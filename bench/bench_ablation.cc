@@ -1,0 +1,121 @@
+// Ablations of the design choices DESIGN.md §5 calls out (not a paper
+// figure; supports the analysis of where UTCQ's gains come from):
+//
+//  * referential representation ON vs OFF (every instance standalone):
+//    isolates the reference-selection machinery from improved-TED + SIAR;
+//  * SIAR + improved Exp-Golomb vs TED's (i, t) anchor pairs on the same
+//    shared time sequences;
+//  * TED's T' bitmap compression (WAH [33]), which the paper's adapted
+//    baseline omits as "time consuming": measured here to justify that.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/exp_golomb.h"
+#include "common/wah_bitmap.h"
+#include "core/encoder.h"
+#include "core/improved_ted.h"
+#include "core/utcq.h"
+#include "ted/ted_repr.h"
+
+namespace {
+
+using namespace utcq;          // NOLINT
+using namespace utcq::bench;   // NOLINT
+
+void BM_Referential(benchmark::State& state, traj::DatasetProfile profile,
+                    bool enabled) {
+  const auto w = MakeWorkload(profile, TrajectoryCount(300));
+  const auto raw = traj::MeasureRawSize(w->net, w->corpus);
+  core::UtcqParams params;
+  params.default_interval_s = profile.default_interval_s;
+  params.eta_p = profile.eta_p;
+  params.disable_referential = !enabled;
+  core::CompressionReport report;
+  for (auto _ : state) {
+    common::Stopwatch watch;
+    core::UtcqCompressor comp(w->net, params);
+    const auto cc = comp.Compress(w->corpus);
+    report = core::MakeReport(raw, cc.compressed_bits(),
+                              watch.ElapsedSeconds(), cc.peak_memory_bytes());
+    benchmark::DoNotOptimize(cc.total_bits());
+  }
+  state.counters["CR_total"] = report.total;
+  state.counters["CR_E"] = report.e;
+  state.counters["CR_D"] = report.d;
+  state.counters["CR_Tflag"] = report.tflag;
+  state.counters["compress_s"] = report.seconds;
+}
+
+void BM_TimeCodings(benchmark::State& state, traj::DatasetProfile profile) {
+  const auto w = MakeWorkload(profile, TrajectoryCount(300));
+  uint64_t raw_bits = 0;
+  uint64_t siar_bits = 0;
+  uint64_t pairs_bits = 0;
+  for (auto _ : state) {
+    raw_bits = siar_bits = pairs_bits = 0;
+    for (const auto& tu : w->corpus) {
+      raw_bits += 32 * tu.times.size();
+      siar_bits += 17;
+      for (const int64_t d :
+           core::SiarDeltas(tu.times, profile.default_interval_s)) {
+        siar_bits += common::ImprovedExpGolombLength(d);
+      }
+      const auto pairs = ted::BuildTimePairs(tu.times);
+      pairs_bits +=
+          pairs.size() *
+          (common::BitsFor(tu.times.size() - 1) + 17);
+    }
+    benchmark::DoNotOptimize(siar_bits);
+  }
+  state.counters["CR_SIAR"] =
+      static_cast<double>(raw_bits) / static_cast<double>(siar_bits);
+  state.counters["CR_pairs"] =
+      static_cast<double>(raw_bits) / static_cast<double>(pairs_bits);
+}
+
+void BM_WahTflag(benchmark::State& state, traj::DatasetProfile profile) {
+  // Would WAH have paid off on the time-flag bit-strings? (The paper's
+  // baseline omits it; short mostly-1 strings make fill words rare.)
+  const auto w = MakeWorkload(profile, TrajectoryCount(300));
+  uint64_t raw_bits = 0;
+  uint64_t wah_bits = 0;
+  for (auto _ : state) {
+    raw_bits = wah_bits = 0;
+    for (const auto& tu : w->corpus) {
+      for (const auto& inst : tu.instances) {
+        const auto bits = traj::BuildTimeFlagBits(inst);
+        raw_bits += bits.size();
+        wah_bits += common::WahBitmap::Compress(bits).size_bits();
+      }
+    }
+    benchmark::DoNotOptimize(wah_bits);
+  }
+  state.counters["CR_WAH"] =
+      static_cast<double>(raw_bits) / static_cast<double>(wah_bits);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& profile : utcq::traj::AllProfiles()) {
+    benchmark::RegisterBenchmark(
+        ("Ablation/referential_on/" + profile.name).c_str(), BM_Referential,
+        profile, true)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("Ablation/referential_off/" + profile.name).c_str(), BM_Referential,
+        profile, false)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("Ablation/time_codings/" + profile.name).c_str(), BM_TimeCodings,
+        profile)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("Ablation/wah_tflag/" + profile.name).c_str(), BM_WahTflag, profile)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,104 @@
+#ifndef UTCQ_BENCH_BENCH_COMMON_H_
+#define UTCQ_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "network/generator.h"
+#include "network/grid_index.h"
+#include "traj/generator.h"
+#include "traj/profiles.h"
+#include "traj/statistics.h"
+#include "traj/types.h"
+
+namespace utcq::bench {
+
+/// A generated experiment input: network + NCUT corpus for one profile.
+struct Workload {
+  traj::DatasetProfile profile;
+  network::RoadNetwork net;
+  traj::UncertainCorpus corpus;
+};
+
+/// Scale knob: UTCQ_BENCH_TRAJ overrides the per-profile trajectory count
+/// so the full suite can be run at laptop or server scale.
+inline size_t TrajectoryCount(size_t default_count) {
+  if (const char* env = std::getenv("UTCQ_BENCH_TRAJ")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return default_count;
+}
+
+/// Deterministic workload for a profile. The same (profile, seed, count)
+/// triple always produces the same corpus, so figures are reproducible.
+inline std::unique_ptr<Workload> MakeWorkload(
+    const traj::DatasetProfile& profile, size_t trajectories,
+    uint64_t seed = 2024, uint32_t grid_rows = 24) {
+  auto w = std::make_unique<Workload>();
+  w->profile = profile;
+  common::Rng net_rng(100);
+  network::CityParams city = profile.city;
+  city.rows = grid_rows;
+  city.cols = grid_rows;
+  w->net = network::GenerateCity(net_rng, city);
+  traj::UncertainTrajectoryGenerator gen(w->net, profile, seed);
+  w->corpus = gen.GenerateCorpus(trajectories);
+  return w;
+}
+
+/// Keeps the first ceil(frac * N) instances of every trajectory and
+/// renormalizes probabilities (Fig. 6's "number of instances" sweep).
+inline traj::UncertainCorpus KeepInstanceFraction(
+    const traj::UncertainCorpus& corpus, double frac) {
+  traj::UncertainCorpus out = corpus;
+  for (auto& tu : out) {
+    const size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(frac * static_cast<double>(tu.instances.size()) +
+                               0.999));
+    if (keep < tu.instances.size()) tu.instances.resize(keep);
+    double total = 0.0;
+    for (const auto& inst : tu.instances) total += inst.probability;
+    for (auto& inst : tu.instances) inst.probability /= total;
+  }
+  return out;
+}
+
+/// Keeps the first ceil(frac * n) mapped locations of every trajectory,
+/// cutting each instance's path after the last kept location (Fig. 7's
+/// "trajectory length" sweep). Shared timestamps truncate identically.
+inline traj::UncertainCorpus TruncateLengthFraction(
+    const traj::UncertainCorpus& corpus, double frac) {
+  traj::UncertainCorpus out;
+  out.reserve(corpus.size());
+  for (const auto& tu : corpus) {
+    traj::UncertainTrajectory cut;
+    cut.id = tu.id;
+    const size_t keep = std::max<size_t>(
+        2, static_cast<size_t>(frac * static_cast<double>(tu.times.size()) +
+                               0.999));
+    if (keep >= tu.times.size()) {
+      out.push_back(tu);
+      continue;
+    }
+    cut.times.assign(tu.times.begin(), tu.times.begin() + keep);
+    for (const auto& inst : tu.instances) {
+      traj::TrajectoryInstance ci;
+      ci.probability = inst.probability;
+      ci.locations.assign(inst.locations.begin(),
+                          inst.locations.begin() + keep);
+      const uint32_t last_edge = ci.locations.back().path_index;
+      ci.path.assign(inst.path.begin(), inst.path.begin() + last_edge + 1);
+      cut.instances.push_back(std::move(ci));
+    }
+    out.push_back(std::move(cut));
+  }
+  return out;
+}
+
+}  // namespace utcq::bench
+
+#endif  // UTCQ_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,122 @@
+// Fig. 10: probabilistic where and when query time, UTCQ vs TED, on all
+// three profiles at the default partitioning.
+//
+// Paper shape: UTCQ is faster on both query types — the temporal index
+// lets it decode only the needed SIAR deltas (where), and Lemma 1's p_max
+// gate skips whole reference groups (when); TED must fully decode every
+// probability-qualified instance. The when-query gap depends on the
+// probability distribution (smaller on DK), as the paper notes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/utcq.h"
+#include "ted/ted_index.h"
+#include "ted/ted_query.h"
+
+namespace {
+
+using namespace utcq;          // NOLINT
+using namespace utcq::bench;   // NOLINT
+
+struct PointQuery {
+  size_t traj;
+  traj::Timestamp t;          // where
+  network::EdgeId edge;       // when
+  double rd;
+  double alpha;
+};
+
+std::vector<PointQuery> MakeQueries(const Workload& w, size_t count) {
+  common::Rng rng(99);
+  std::vector<PointQuery> out;
+  for (size_t i = 0; i < count; ++i) {
+    const size_t j =
+        static_cast<size_t>(rng.UniformInt(0, w.corpus.size() - 1));
+    const auto& tu = w.corpus[j];
+    const auto& inst = tu.instances[static_cast<size_t>(
+        rng.UniformInt(0, tu.instances.size() - 1))];
+    const auto& loc = inst.locations[static_cast<size_t>(
+        rng.UniformInt(0, inst.locations.size() - 1))];
+    out.push_back({j,
+                   tu.times.front() + rng.UniformInt(
+                       0, std::max<int64_t>(
+                              tu.times.back() - tu.times.front(), 1)),
+                   inst.path[loc.path_index], loc.rd,
+                   rng.Uniform(0.05, 0.6)});
+  }
+  return out;
+}
+
+void BM_Queries(benchmark::State& state, traj::DatasetProfile profile,
+                bool use_utcq, bool where_query) {
+  const auto w = MakeWorkload(profile, TrajectoryCount(300));
+  const auto queries = MakeQueries(*w, 300);
+
+  core::UtcqParams uparams;
+  uparams.default_interval_s = profile.default_interval_s;
+  uparams.eta_p = profile.eta_p;
+  const network::GridIndex grid(w->net, 32);
+  std::unique_ptr<core::UtcqSystem> utcq_sys;
+  std::unique_ptr<ted::TedCompressed> ted_cc;
+  std::unique_ptr<ted::TedIndex> ted_index;
+  std::unique_ptr<ted::TedQueryProcessor> ted_q;
+  if (use_utcq) {
+    utcq_sys = std::make_unique<core::UtcqSystem>(w->net, grid, w->corpus,
+                                                  uparams,
+                                                  core::StiuParams{32, 1800});
+  } else {
+    ted::TedParams tparams;
+    tparams.eta_p = profile.eta_p;
+    ted_cc = std::make_unique<ted::TedCompressed>(
+        ted::TedCompressor(w->net, tparams).Compress(w->corpus));
+    ted_index =
+        std::make_unique<ted::TedIndex>(w->net, grid, *ted_cc, 1800);
+    ted_q = std::make_unique<ted::TedQueryProcessor>(w->net, *ted_cc,
+                                                     *ted_index);
+  }
+
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits = 0;
+    for (const auto& q : queries) {
+      if (use_utcq) {
+        hits += where_query
+                    ? utcq_sys->queries().Where(q.traj, q.t, q.alpha).size()
+                    : utcq_sys->queries()
+                          .When(q.traj, q.edge, q.rd, q.alpha)
+                          .size();
+      } else {
+        hits += where_query
+                    ? ted_q->Where(q.traj, q.t, q.alpha).size()
+                    : ted_q->When(q.traj, q.edge, q.rd, q.alpha).size();
+      }
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+  state.counters["queries_per_s"] = benchmark::Counter(
+      static_cast<double>(queries.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& profile : utcq::traj::AllProfiles()) {
+    for (const bool where_query : {true, false}) {
+      const std::string kind = where_query ? "where" : "when";
+      benchmark::RegisterBenchmark(
+          ("Fig10/" + kind + "/UTCQ/" + profile.name).c_str(), BM_Queries,
+          profile, true, where_query)
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(
+          ("Fig10/" + kind + "/TED/" + profile.name).c_str(), BM_Queries,
+          profile, false, where_query)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Fig. 11: effect of the PDDP error bounds on query accuracy.
+//  11a — average difference of where (meters) and when (seconds) results
+//        versus the uncompressed ground truth as eta_D varies 1/128..1/8.
+//  11b — F1 score of where/when result sets as eta_p varies 1/2048..1/128
+//        (quantized probabilities can flip instances across alpha).
+//
+// Paper shape: differences stay small (a few meters / fractions of a
+// second at the default bounds) and F1 stays close to 1.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/plain_query.h"
+#include "core/utcq.h"
+
+namespace {
+
+using namespace utcq;          // NOLINT
+using namespace utcq::bench;   // NOLINT
+
+struct Accuracy {
+  double where_diff_m = 0.0;
+  double when_diff_s = 0.0;
+  double where_f1 = 1.0;
+  double when_f1 = 1.0;
+};
+
+Accuracy Evaluate(const Workload& w, double eta_d, double eta_p) {
+  core::UtcqParams params;
+  params.default_interval_s = w.profile.default_interval_s;
+  params.eta_d = eta_d;
+  params.eta_p = eta_p;
+  const network::GridIndex grid(w.net, 32);
+  const core::UtcqSystem sys(w.net, grid, w.corpus, params, {32, 1800});
+  const core::PlainQueryEngine plain(w.net, w.corpus);
+
+  common::Rng rng(55);
+  Accuracy acc;
+  double where_sum = 0.0;
+  size_t where_n = 0;
+  double when_sum = 0.0;
+  size_t when_n = 0;
+  size_t tp_where = 0, fp_where = 0, fn_where = 0;
+  size_t tp_when = 0, fp_when = 0, fn_when = 0;
+
+  for (int trial = 0; trial < 250; ++trial) {
+    const size_t j =
+        static_cast<size_t>(rng.UniformInt(0, w.corpus.size() - 1));
+    const auto& tu = w.corpus[j];
+    const double alpha = rng.Uniform(0.05, 0.6);
+
+    // --- where ---
+    const traj::Timestamp t =
+        tu.times.front() +
+        rng.UniformInt(0, std::max<int64_t>(
+                              tu.times.back() - tu.times.front(), 1));
+    const auto got = sys.queries().Where(j, t, alpha);
+    const auto want = plain.Where(j, t, alpha);
+    for (const auto& g : got) {
+      bool matched = false;
+      for (const auto& p : want) {
+        if (p.instance != g.instance) continue;
+        matched = true;
+        const auto a = w.net.PointOnEdge(g.position.edge, g.position.ndist);
+        const auto b = w.net.PointOnEdge(p.position.edge, p.position.ndist);
+        where_sum += network::Distance(a.x, a.y, b.x, b.y);
+        ++where_n;
+        break;
+      }
+      matched ? ++tp_where : ++fp_where;
+    }
+    for (const auto& p : want) {
+      bool matched = false;
+      for (const auto& g : got) matched = matched || g.instance == p.instance;
+      if (!matched) ++fn_where;
+    }
+
+    // --- when ---
+    const auto& inst = tu.instances[static_cast<size_t>(
+        rng.UniformInt(0, tu.instances.size() - 1))];
+    const auto& loc = inst.locations[static_cast<size_t>(
+        rng.UniformInt(0, inst.locations.size() - 1))];
+    const network::EdgeId edge = inst.path[loc.path_index];
+    const auto got_when = sys.queries().When(j, edge, loc.rd, alpha);
+    const auto want_when = plain.When(j, edge, loc.rd, alpha);
+    for (const auto& g : got_when) {
+      bool matched = false;
+      for (const auto& p : want_when) {
+        if (p.instance != g.instance) continue;
+        matched = true;
+        when_sum += std::abs(static_cast<double>(g.t - p.t));
+        ++when_n;
+        break;
+      }
+      matched ? ++tp_when : ++fp_when;
+    }
+    for (const auto& p : want_when) {
+      bool matched = false;
+      for (const auto& g : got_when) {
+        matched = matched || g.instance == p.instance;
+      }
+      if (!matched) ++fn_when;
+    }
+  }
+
+  const auto f1 = [](size_t tp, size_t fp, size_t fn) {
+    const double denom = 2.0 * tp + fp + fn;
+    return denom > 0 ? 2.0 * tp / denom : 1.0;
+  };
+  acc.where_diff_m = where_n > 0 ? where_sum / where_n : 0.0;
+  acc.when_diff_s = when_n > 0 ? when_sum / when_n : 0.0;
+  acc.where_f1 = f1(tp_where, fp_where, fn_where);
+  acc.when_f1 = f1(tp_when, fp_when, fn_when);
+  return acc;
+}
+
+void BM_EtaD(benchmark::State& state, traj::DatasetProfile profile,
+             double eta_d) {
+  const auto w = MakeWorkload(profile, TrajectoryCount(150));
+  Accuracy acc;
+  for (auto _ : state) {
+    acc = Evaluate(*w, eta_d, profile.eta_p);
+    benchmark::DoNotOptimize(acc.where_diff_m);
+  }
+  state.counters["where_diff_m"] = acc.where_diff_m;
+  state.counters["when_diff_s"] = acc.when_diff_s;
+}
+
+void BM_EtaP(benchmark::State& state, traj::DatasetProfile profile,
+             double eta_p) {
+  const auto w = MakeWorkload(profile, TrajectoryCount(150));
+  Accuracy acc;
+  for (auto _ : state) {
+    acc = Evaluate(*w, 1.0 / 128.0, eta_p);
+    benchmark::DoNotOptimize(acc.where_f1);
+  }
+  state.counters["where_F1"] = acc.where_f1;
+  state.counters["when_F1"] = acc.when_f1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto profiles = utcq::traj::AllProfiles();
+  for (const auto& profile : {profiles[1], profiles[2]}) {  // CD, HZ (paper)
+    for (const int denom : {128, 64, 32, 16, 8}) {
+      benchmark::RegisterBenchmark(
+          ("Fig11a/" + profile.name + "/eta_d:1/" + std::to_string(denom))
+              .c_str(),
+          BM_EtaD, profile, 1.0 / denom)
+          ->Unit(benchmark::kMillisecond);
+    }
+    for (const int denom : {2048, 1024, 512, 256, 128}) {
+      benchmark::RegisterBenchmark(
+          ("Fig11b/" + profile.name + "/eta_p:1/" + std::to_string(denom))
+              .c_str(),
+          BM_EtaP, profile, 1.0 / denom)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

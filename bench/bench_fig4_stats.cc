@@ -1,0 +1,69 @@
+// Fig. 4: dataset statistics that motivate SIAR and referential coding.
+//  4a — fraction of sample-interval deviations per bucket
+//       {0s, 1s, (1,50]s, (50,100]s, >100s}; the paper reports 93% / 62% /
+//       54% of deviations within 1s on DK / CD / HZ.
+//  4b — E(.) edit-distance histograms within one uncertain trajectory
+//       (concentrated in [0,5]) vs across trajectories (mass at >= 9).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "traj/statistics.h"
+
+namespace {
+
+using namespace utcq;          // NOLINT
+using namespace utcq::bench;   // NOLINT
+
+void BM_IntervalHistogram(benchmark::State& state,
+                          traj::DatasetProfile profile) {
+  const auto w = MakeWorkload(profile, TrajectoryCount(400));
+  traj::IntervalHistogram h;
+  for (auto _ : state) {
+    h = traj::ComputeIntervalHistogram(w->corpus, profile.default_interval_s);
+    benchmark::DoNotOptimize(h.total);
+  }
+  state.counters["frac_0s"] = h.fraction[0];
+  state.counters["frac_1s"] = h.fraction[1];
+  state.counters["frac_1_50s"] = h.fraction[2];
+  state.counters["frac_50_100s"] = h.fraction[3];
+  state.counters["frac_gt100s"] = h.fraction[4];
+  state.counters["within_1s"] = h.within_one();
+  state.counters["avg_run_len"] = traj::AverageRunLength(w->corpus);
+}
+
+void BM_EditDistances(benchmark::State& state, traj::DatasetProfile profile) {
+  const auto w = MakeWorkload(profile, TrajectoryCount(300));
+  traj::EditDistanceHistogram within;
+  traj::EditDistanceHistogram across;
+  for (auto _ : state) {
+    common::Rng rng(5);
+    within = traj::ComputeWithinDistances(w->net, w->corpus, rng);
+    across = traj::ComputeAcrossDistances(w->net, w->corpus, rng, 2000);
+    benchmark::DoNotOptimize(within.total);
+  }
+  state.counters["within_0_2"] = within.fraction[0];
+  state.counters["within_3_5"] = within.fraction[1];
+  state.counters["within_6_8"] = within.fraction[2];
+  state.counters["within_ge9"] = within.fraction[3];
+  state.counters["across_0_2"] = across.fraction[0];
+  state.counters["across_3_5"] = across.fraction[1];
+  state.counters["across_6_8"] = across.fraction[2];
+  state.counters["across_ge9"] = across.fraction[3];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& profile : utcq::traj::AllProfiles()) {
+    benchmark::RegisterBenchmark(("Fig4a/intervals/" + profile.name).c_str(),
+                                 BM_IntervalHistogram, profile)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("Fig4b/editdist/" + profile.name).c_str(),
+                                 BM_EditDistances, profile)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

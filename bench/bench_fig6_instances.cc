@@ -1,0 +1,96 @@
+// Fig. 6: effect of the number of instances per uncertain trajectory on
+// compression ratio, time and peak memory (60%..100% of instances kept,
+// over trajectories with >= 20 instances).
+//
+// Paper shape: UTCQ's ratio improves slightly with more instances (more
+// referential sharing) while TED's is flat; UTCQ is faster and 1-2 orders
+// lighter on memory (TED materializes the corpus-wide code matrices).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/encoder.h"
+#include "core/utcq.h"
+#include "ted/ted_compress.h"
+
+namespace {
+
+using namespace utcq;          // NOLINT
+using namespace utcq::bench;   // NOLINT
+
+std::unique_ptr<Workload> ManyInstanceWorkload(traj::DatasetProfile profile) {
+  // The paper filters trajectories with >= 20 instances; emulate by raising
+  // the profile's instance mean/minimum.
+  profile.min_instances = 20;
+  profile.mean_instances = 28;
+  profile.max_instances = 140;
+  return MakeWorkload(profile, TrajectoryCount(120));
+}
+
+void BM_Utcq(benchmark::State& state, traj::DatasetProfile profile,
+             int percent) {
+  const auto w = ManyInstanceWorkload(profile);
+  const auto corpus = KeepInstanceFraction(w->corpus, percent / 100.0);
+  const auto raw = traj::MeasureRawSize(w->net, corpus);
+  core::UtcqParams params;
+  params.default_interval_s = profile.default_interval_s;
+  params.eta_p = profile.eta_p;
+  core::CompressionReport report;
+  for (auto _ : state) {
+    common::Stopwatch watch;
+    core::UtcqCompressor comp(w->net, params);
+    const auto cc = comp.Compress(corpus);
+    report = core::MakeReport(raw, cc.compressed_bits(),
+                              watch.ElapsedSeconds(), cc.peak_memory_bytes());
+    benchmark::DoNotOptimize(cc.total_bits());
+  }
+  state.counters["CR"] = report.total;
+  state.counters["compress_s"] = report.seconds;
+  state.counters["peak_mem_KiB"] = report.peak_memory_bytes / 1024.0;
+}
+
+void BM_Ted(benchmark::State& state, traj::DatasetProfile profile,
+            int percent) {
+  const auto w = ManyInstanceWorkload(profile);
+  const auto corpus = KeepInstanceFraction(w->corpus, percent / 100.0);
+  const auto raw = traj::MeasureRawSize(w->net, corpus);
+  ted::TedParams params;
+  params.eta_p = profile.eta_p;
+  core::CompressionReport report;
+  for (auto _ : state) {
+    common::Stopwatch watch;
+    ted::TedCompressor comp(w->net, params);
+    const auto cc = comp.Compress(corpus);
+    report = core::MakeReport(raw, cc.compressed_bits(),
+                              watch.ElapsedSeconds(), cc.peak_memory_bytes());
+    benchmark::DoNotOptimize(cc.compressed_bits().total());
+  }
+  state.counters["CR"] = report.total;
+  state.counters["compress_s"] = report.seconds;
+  state.counters["peak_mem_KiB"] = report.peak_memory_bytes / 1024.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto profiles = utcq::traj::AllProfiles();
+  for (const auto& profile : {profiles[0], profiles[2]}) {  // DK, HZ (paper)
+    for (const int percent : {60, 70, 80, 90, 100}) {
+      benchmark::RegisterBenchmark(
+          ("Fig6/UTCQ/" + profile.name + "/instances_pct:" +
+           std::to_string(percent))
+              .c_str(),
+          BM_Utcq, profile, percent)
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(
+          ("Fig6/TED/" + profile.name + "/instances_pct:" +
+           std::to_string(percent))
+              .c_str(),
+          BM_Ted, profile, percent)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

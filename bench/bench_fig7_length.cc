@@ -1,0 +1,92 @@
+// Fig. 7: effect of trajectory length (20%..100% of the points kept, over
+// long trajectories) on compression ratio and time.
+//
+// Paper shape: UTCQ's ratio first rises slightly (T compresses better on
+// long sequences) then drops (longer sequences are less similar, weakening
+// referential factors); TED's ratio decreases slightly; both times grow.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/encoder.h"
+#include "core/utcq.h"
+#include "ted/ted_compress.h"
+
+namespace {
+
+using namespace utcq;          // NOLINT
+using namespace utcq::bench;   // NOLINT
+
+std::unique_ptr<Workload> LongWorkload(traj::DatasetProfile profile) {
+  profile.min_edges = 24;  // the paper keeps trajectories with >= 20 edges
+  profile.mean_edges = 40;
+  return MakeWorkload(profile, TrajectoryCount(150), 2024, 32);
+}
+
+template <typename Compressor, typename Params>
+core::CompressionReport RunOnce(const network::RoadNetwork& net,
+                                const traj::UncertainCorpus& corpus,
+                                const Params& params) {
+  const auto raw = traj::MeasureRawSize(net, corpus);
+  common::Stopwatch watch;
+  Compressor comp(net, params);
+  const auto cc = comp.Compress(corpus);
+  return core::MakeReport(raw, cc.compressed_bits(), watch.ElapsedSeconds(),
+                          cc.peak_memory_bytes());
+}
+
+void BM_Utcq(benchmark::State& state, traj::DatasetProfile profile,
+             int percent) {
+  const auto w = LongWorkload(profile);
+  const auto corpus = TruncateLengthFraction(w->corpus, percent / 100.0);
+  core::UtcqParams params;
+  params.default_interval_s = profile.default_interval_s;
+  params.eta_p = profile.eta_p;
+  core::CompressionReport report;
+  for (auto _ : state) {
+    report = RunOnce<core::UtcqCompressor>(w->net, corpus, params);
+  }
+  state.counters["CR"] = report.total;
+  state.counters["compress_s"] = report.seconds;
+  state.counters["peak_mem_KiB"] = report.peak_memory_bytes / 1024.0;
+}
+
+void BM_Ted(benchmark::State& state, traj::DatasetProfile profile,
+            int percent) {
+  const auto w = LongWorkload(profile);
+  const auto corpus = TruncateLengthFraction(w->corpus, percent / 100.0);
+  ted::TedParams params;
+  params.eta_p = profile.eta_p;
+  core::CompressionReport report;
+  for (auto _ : state) {
+    report = RunOnce<ted::TedCompressor>(w->net, corpus, params);
+  }
+  state.counters["CR"] = report.total;
+  state.counters["compress_s"] = report.seconds;
+  state.counters["peak_mem_KiB"] = report.peak_memory_bytes / 1024.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto profiles = utcq::traj::AllProfiles();
+  for (const auto& profile : {profiles[1], profiles[2]}) {  // CD, HZ (paper)
+    for (const int percent : {20, 40, 60, 80, 100}) {
+      benchmark::RegisterBenchmark(
+          ("Fig7/UTCQ/" + profile.name + "/length_pct:" +
+           std::to_string(percent))
+              .c_str(),
+          BM_Utcq, profile, percent)
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(
+          ("Fig7/TED/" + profile.name + "/length_pct:" +
+           std::to_string(percent))
+              .c_str(),
+          BM_Ted, profile, percent)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

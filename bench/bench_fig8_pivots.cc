@@ -1,0 +1,56 @@
+// Fig. 8: effect of the number of pivots (1..5) on compression ratio and
+// time.
+//
+// Paper shape: more pivots -> a (slightly) better ratio, because the FJD
+// similarity estimate gets more accurate and reference selection improves;
+// compression time and working set grow with the pivot count.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/encoder.h"
+#include "core/utcq.h"
+
+namespace {
+
+using namespace utcq;          // NOLINT
+using namespace utcq::bench;   // NOLINT
+
+void BM_Pivots(benchmark::State& state, traj::DatasetProfile profile,
+               int pivots) {
+  const auto w = MakeWorkload(profile, TrajectoryCount(300));
+  const auto raw = traj::MeasureRawSize(w->net, w->corpus);
+  core::UtcqParams params;
+  params.default_interval_s = profile.default_interval_s;
+  params.eta_p = profile.eta_p;
+  params.num_pivots = pivots;
+  core::CompressionReport report;
+  for (auto _ : state) {
+    common::Stopwatch watch;
+    core::UtcqCompressor comp(w->net, params);
+    const auto cc = comp.Compress(w->corpus);
+    report = core::MakeReport(raw, cc.compressed_bits(),
+                              watch.ElapsedSeconds(), cc.peak_memory_bytes());
+    benchmark::DoNotOptimize(cc.total_bits());
+  }
+  state.counters["CR"] = report.total;
+  state.counters["compress_s"] = report.seconds;
+  state.counters["peak_mem_KiB"] = report.peak_memory_bytes / 1024.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& profile : utcq::traj::AllProfiles()) {
+    for (int pivots = 1; pivots <= 5; ++pivots) {
+      benchmark::RegisterBenchmark(
+          ("Fig8/" + profile.name + "/pivots:" + std::to_string(pivots))
+              .c_str(),
+          BM_Pivots, profile, pivots)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

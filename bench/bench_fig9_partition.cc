@@ -1,0 +1,128 @@
+// Fig. 9: effect of spatial grid granularity (8^2..128^2 cells) and time
+// partition duration (10..60 min) on probabilistic range queries.
+//
+// Paper shape: finer spatial/temporal partitions -> larger index, faster
+// queries; UTCQ's index is smaller than TED's (referential tuples instead
+// of per-instance ones) and UTCQ answers faster (Lemma 2/3/4 pruning plus
+// partial decompression).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/utcq.h"
+#include "ted/ted_index.h"
+#include "ted/ted_query.h"
+
+namespace {
+
+using namespace utcq;          // NOLINT
+using namespace utcq::bench;   // NOLINT
+
+struct RangeQuery {
+  network::Rect re;
+  traj::Timestamp tq;
+  double alpha;
+};
+
+std::vector<RangeQuery> MakeRangeQueries(const Workload& w, size_t count) {
+  common::Rng rng(77);
+  const auto bbox = w.net.bounding_box();
+  std::vector<RangeQuery> queries;
+  for (size_t i = 0; i < count; ++i) {
+    const auto& tu = w.corpus[static_cast<size_t>(
+        rng.UniformInt(0, w.corpus.size() - 1))];
+    const double cx = rng.Uniform(bbox.min_x, bbox.max_x);
+    const double cy = rng.Uniform(bbox.min_y, bbox.max_y);
+    const double half = rng.Uniform(150.0, 800.0);
+    queries.push_back({{cx - half, cy - half, cx + half, cy + half},
+                       tu.times[static_cast<size_t>(
+                           rng.UniformInt(0, tu.times.size() - 1))],
+                       rng.Uniform(0.1, 0.8)});
+  }
+  return queries;
+}
+
+void BM_UtcqRange(benchmark::State& state, traj::DatasetProfile profile,
+                  uint32_t cells, int64_t partition_s) {
+  const auto w = MakeWorkload(profile, TrajectoryCount(300));
+  core::UtcqParams params;
+  params.default_interval_s = profile.default_interval_s;
+  params.eta_p = profile.eta_p;
+  const network::GridIndex grid(w->net, cells);
+  const core::UtcqSystem sys(w->net, grid, w->corpus, params,
+                             {cells, partition_s});
+  const auto queries = MakeRangeQueries(*w, 200);
+  size_t results = 0;
+  for (auto _ : state) {
+    results = 0;
+    for (const auto& q : queries) {
+      results += sys.queries().Range(q.re, q.tq, q.alpha).size();
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["index_s_KiB"] = sys.index().spatial_size_bytes() / 1024.0;
+  state.counters["index_t_KiB"] = sys.index().temporal_size_bytes() / 1024.0;
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["queries_per_s"] = benchmark::Counter(
+      static_cast<double>(queries.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_TedRange(benchmark::State& state, traj::DatasetProfile profile,
+                 uint32_t cells, int64_t partition_s) {
+  const auto w = MakeWorkload(profile, TrajectoryCount(300));
+  ted::TedParams params;
+  params.eta_p = profile.eta_p;
+  const ted::TedCompressor comp(w->net, params);
+  const auto cc = comp.Compress(w->corpus);
+  const network::GridIndex grid(w->net, cells);
+  const ted::TedIndex index(w->net, grid, cc, partition_s);
+  const ted::TedQueryProcessor queries_proc(w->net, cc, index);
+  const auto queries = MakeRangeQueries(*w, 200);
+  size_t results = 0;
+  for (auto _ : state) {
+    results = 0;
+    for (const auto& q : queries) {
+      results += queries_proc.Range(q.re, q.tq, q.alpha).size();
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["index_KiB"] = index.SizeBytes() / 1024.0;
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["queries_per_s"] = benchmark::Counter(
+      static_cast<double>(queries.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto profiles = utcq::traj::AllProfiles();
+  // Fig. 9a/9b: sweep grid cells at the default 30-minute partition.
+  for (const auto& profile : {profiles[0], profiles[2]}) {  // DK, HZ
+    for (const uint32_t cells : {8u, 16u, 32u, 64u, 128u}) {
+      benchmark::RegisterBenchmark(
+          ("Fig9ab/UTCQ/" + profile.name + "/grid:" + std::to_string(cells))
+              .c_str(),
+          BM_UtcqRange, profile, cells, int64_t{1800})
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(
+          ("Fig9ab/TED/" + profile.name + "/grid:" + std::to_string(cells))
+              .c_str(),
+          BM_TedRange, profile, cells, int64_t{1800})
+          ->Unit(benchmark::kMillisecond);
+    }
+    // Fig. 9c/9d: sweep the time partition at the default 32^2 grid.
+    for (const int minutes : {10, 20, 30, 40, 50, 60}) {
+      benchmark::RegisterBenchmark(
+          ("Fig9cd/UTCQ/" + profile.name + "/partition_min:" +
+           std::to_string(minutes))
+              .c_str(),
+          BM_UtcqRange, profile, 32u, int64_t{minutes * 60})
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Table 8: compression ratio (Total, T, E, D, T', p) and compression time
+// for UTCQ vs the adapted TED baseline on the DK / CD / HZ profiles.
+//
+// Paper shape to check: UTCQ total CR is a multiple of TED's; SIAR beats
+// TED's (i,t) pairs on T; referential coding lifts E, D and T' while TED's
+// T' stays exactly 1; p is identical for both (same PDDP codec).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/encoder.h"
+#include "core/utcq.h"
+#include "ted/ted_compress.h"
+
+namespace {
+
+using namespace utcq;          // NOLINT
+using namespace utcq::bench;   // NOLINT
+
+void SetCounters(benchmark::State& state, const core::CompressionReport& r) {
+  state.counters["CR_total"] = r.total;
+  state.counters["CR_T"] = r.t;
+  state.counters["CR_E"] = r.e;
+  state.counters["CR_D"] = r.d;
+  state.counters["CR_Tflag"] = r.tflag;
+  state.counters["CR_p"] = r.p;
+  state.counters["compress_s"] = r.seconds;
+  state.counters["peak_mem_KiB"] =
+      static_cast<double>(r.peak_memory_bytes) / 1024.0;
+}
+
+void BM_UtcqCompress(benchmark::State& state, traj::DatasetProfile profile) {
+  const auto w = MakeWorkload(profile, TrajectoryCount(400));
+  const auto raw = traj::MeasureRawSize(w->net, w->corpus);
+  core::UtcqParams params;
+  params.default_interval_s = profile.default_interval_s;
+  params.eta_p = profile.eta_p;
+  params.num_pivots = profile.name == "DK" ? 2 : 1;
+  core::CompressionReport report;
+  for (auto _ : state) {
+    common::Stopwatch watch;
+    core::UtcqCompressor comp(w->net, params);
+    const auto cc = comp.Compress(w->corpus);
+    report = core::MakeReport(raw, cc.compressed_bits(),
+                              watch.ElapsedSeconds(),
+                              cc.peak_memory_bytes());
+    benchmark::DoNotOptimize(cc.total_bits());
+  }
+  SetCounters(state, report);
+}
+
+void BM_TedCompress(benchmark::State& state, traj::DatasetProfile profile) {
+  const auto w = MakeWorkload(profile, TrajectoryCount(400));
+  const auto raw = traj::MeasureRawSize(w->net, w->corpus);
+  ted::TedParams params;
+  params.eta_p = profile.eta_p;
+  core::CompressionReport report;
+  for (auto _ : state) {
+    common::Stopwatch watch;
+    ted::TedCompressor comp(w->net, params);
+    const auto cc = comp.Compress(w->corpus);
+    report = core::MakeReport(raw, cc.compressed_bits(),
+                              watch.ElapsedSeconds(),
+                              cc.peak_memory_bytes());
+    benchmark::DoNotOptimize(cc.compressed_bits().total());
+  }
+  SetCounters(state, report);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& profile : utcq::traj::AllProfiles()) {
+    benchmark::RegisterBenchmark(("Table8/UTCQ/" + profile.name).c_str(),
+                                 BM_UtcqCompress, profile)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("Table8/TED/" + profile.name).c_str(),
+                                 BM_TedCompress, profile)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: compress a small fleet of uncertain trajectories and answer
+// probabilistic queries on the compressed form — the 60-second tour of the
+// public API.
+//
+//   1. build (or load) a road network
+//   2. obtain network-constrained uncertain trajectories (here: generated)
+//   3. compress + index them with UtcqSystem
+//   4. run probabilistic where / when / range queries without full
+//      decompression
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/utcq.h"
+#include "network/generator.h"
+#include "traj/generator.h"
+#include "traj/profiles.h"
+
+int main() {
+  using namespace utcq;  // NOLINT
+
+  // 1. A synthetic city: ~40x40 blocks, two-way streets, a few one-ways.
+  common::Rng rng(42);
+  network::CityParams city;
+  city.rows = 24;
+  city.cols = 24;
+  const network::RoadNetwork net = network::GenerateCity(rng, city);
+  std::printf("network: %zu vertices, %zu edges (avg out-degree %.2f)\n",
+              net.num_vertices(), net.num_edges(), net.average_out_degree());
+
+  // 2. 500 uncertain taxi trajectories with Chengdu-like statistics.
+  const traj::DatasetProfile profile = traj::ChengduProfile();
+  traj::UncertainTrajectoryGenerator gen(net, profile, /*seed=*/7);
+  const traj::UncertainCorpus corpus = gen.GenerateCorpus(500);
+
+  // 3. Compress and index.
+  core::UtcqParams params;
+  params.default_interval_s = profile.default_interval_s;  // Ts for SIAR
+  params.eta_d = 1.0 / 128.0;  // relative-distance error bound
+  params.eta_p = 1.0 / 512.0;  // probability error bound
+  const network::GridIndex grid(net, 32);
+  const core::UtcqSystem sys(net, grid, corpus, params,
+                             core::StiuParams{32, 1800});
+  std::printf("%s\n",
+              core::FormatReport("compressed", sys.report()).c_str());
+  std::printf("StIU index: %.1f KiB\n", sys.index_size_bytes() / 1024.0);
+
+  // 4a. where: positions of trajectory 0's instances (p >= 0.2) at the
+  //     midpoint of its time span.
+  const auto& tu = corpus[0];
+  const traj::Timestamp t_mid = (tu.times.front() + tu.times.back()) / 2;
+  for (const auto& hit : sys.queries().Where(0, t_mid, 0.2)) {
+    std::printf("where: instance %u (p=%.2f) at edge %u, %.1f m from start\n",
+                hit.instance, hit.probability, hit.position.edge,
+                hit.position.ndist);
+  }
+
+  // 4b. when: when did instances (p >= 0.1) pass the first sampled
+  //     location of the most likely instance?
+  const auto& inst = tu.instances[0];
+  const network::EdgeId edge = inst.path[inst.locations[0].path_index];
+  for (const auto& hit :
+       sys.queries().When(0, edge, inst.locations[0].rd, 0.1)) {
+    std::printf("when: instance %u (p=%.2f) at t=%lld s\n", hit.instance,
+                hit.probability, static_cast<long long>(hit.t));
+  }
+
+  // 4c. range: which trajectories were inside a 600 m box around that
+  //     location when trajectory 0 started there (probability mass >= 0.5)?
+  const network::Vertex xy =
+      net.PointOnEdge(edge, inst.locations[0].rd * net.edge(edge).length);
+  const network::Rect box{xy.x - 300, xy.y - 300, xy.x + 300, xy.y + 300};
+  const auto result = sys.queries().Range(box, tu.times.front(), 0.5);
+  std::printf("range: %zu trajectories in the box at t=%lld\n", result.size(),
+              static_cast<long long>(tu.times.front()));
+  return 0;
+}

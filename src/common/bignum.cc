@@ -1,0 +1,67 @@
+#include "common/bignum.h"
+
+namespace utcq::common {
+
+BigNum::BigNum(uint64_t v) {
+  while (v > 0) {
+    limbs_.push_back(static_cast<uint32_t>(v & 0xFFFFFFFFu));
+    v >>= 32;
+  }
+}
+
+void BigNum::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+void BigNum::MulAdd(uint32_t m, uint32_t a) {
+  uint64_t carry = a;
+  for (auto& limb : limbs_) {
+    const uint64_t v = static_cast<uint64_t>(limb) * m + carry;
+    limb = static_cast<uint32_t>(v & 0xFFFFFFFFu);
+    carry = v >> 32;
+  }
+  while (carry > 0) {
+    limbs_.push_back(static_cast<uint32_t>(carry & 0xFFFFFFFFu));
+    carry >>= 32;
+  }
+  Trim();
+}
+
+uint32_t BigNum::DivMod(uint32_t d) {
+  uint64_t rem = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    const uint64_t cur = (rem << 32) | limbs_[i];
+    limbs_[i] = static_cast<uint32_t>(cur / d);
+    rem = cur % d;
+  }
+  Trim();
+  return static_cast<uint32_t>(rem);
+}
+
+int BigNum::BitLength() const {
+  if (limbs_.empty()) return 0;
+  const uint32_t top = limbs_.back();
+  return static_cast<int>((limbs_.size() - 1) * 32) + BitsFor(top);
+}
+
+void BigNum::WriteBits(BitWriter& w, int width) const {
+  for (int i = width - 1; i >= 0; --i) {
+    const size_t limb = static_cast<size_t>(i) / 32;
+    const bool bit = limb < limbs_.size() && ((limbs_[limb] >> (i % 32)) & 1u);
+    w.PutBit(bit);
+  }
+}
+
+BigNum BigNum::ReadBits(BitReader& r, int width) {
+  BigNum out;
+  out.limbs_.assign(static_cast<size_t>(width + 31) / 32, 0);
+  for (int i = width - 1; i >= 0; --i) {
+    if (r.GetBit()) {
+      out.limbs_[static_cast<size_t>(i) / 32] |= (1u << (i % 32));
+    }
+  }
+  out.Trim();
+  return out;
+}
+
+}  // namespace utcq::common

@@ -1,0 +1,48 @@
+#ifndef UTCQ_COMMON_BIGNUM_H_
+#define UTCQ_COMMON_BIGNUM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitstream.h"
+
+namespace utcq::common {
+
+/// Minimal unsigned multiprecision integer for TED's multiple-bases (mixed
+/// radix) matrix compression [40]: a row of outgoing-edge digits d_0..d_{B-1}
+/// with per-column bases b_c packs into the single number
+/// sum_c d_c * prod_{c'<c} b_{c'}, which needs ceil(log2(prod b_c)) bits —
+/// strictly fewer than sum_c ceil(log2 b_c) whenever bases are not powers
+/// of two. Little-endian 32-bit limbs.
+class BigNum {
+ public:
+  BigNum() = default;
+  explicit BigNum(uint64_t v);
+
+  /// *this = *this * m + a  (m, a < 2^32).
+  void MulAdd(uint32_t m, uint32_t a);
+
+  /// Returns *this mod d and sets *this = *this / d  (d < 2^32, d > 0).
+  uint32_t DivMod(uint32_t d);
+
+  bool IsZero() const { return limbs_.empty(); }
+
+  /// Number of significant bits (0 for zero).
+  int BitLength() const;
+
+  /// Writes exactly `width` bits, most significant first.
+  void WriteBits(BitWriter& w, int width) const;
+
+  /// Reads `width` bits into a BigNum.
+  static BigNum ReadBits(BitReader& r, int width);
+
+  const std::vector<uint32_t>& limbs() const { return limbs_; }
+
+ private:
+  void Trim();
+  std::vector<uint32_t> limbs_;  // little-endian, no trailing zero limbs
+};
+
+}  // namespace utcq::common
+
+#endif  // UTCQ_COMMON_BIGNUM_H_

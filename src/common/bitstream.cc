@@ -1,0 +1,62 @@
+#include "common/bitstream.h"
+
+namespace utcq::common {
+
+void BitWriter::PutBit(bool bit) {
+  const size_t byte = size_bits_ / 8;
+  if (byte == bytes_.size()) bytes_.push_back(0);
+  if (bit) bytes_[byte] |= static_cast<uint8_t>(0x80u >> (size_bits_ % 8));
+  ++size_bits_;
+}
+
+void BitWriter::PutBits(uint64_t value, int width) {
+  for (int i = width - 1; i >= 0; --i) {
+    PutBit((value >> i) & 1u);
+  }
+}
+
+void BitWriter::PutRun(bool bit, size_t count) {
+  for (size_t i = 0; i < count; ++i) PutBit(bit);
+}
+
+void BitWriter::Append(const BitWriter& other) {
+  for (size_t i = 0; i < other.size_bits(); ++i) PutBit(other.BitAt(i));
+}
+
+bool BitWriter::BitAt(size_t pos) const {
+  return (bytes_[pos / 8] >> (7 - pos % 8)) & 1u;
+}
+
+void BitWriter::Clear() {
+  bytes_.clear();
+  size_bits_ = 0;
+}
+
+bool BitReader::GetBit() {
+  if (pos_ >= size_bits_) {
+    overflow_ = true;
+    return false;
+  }
+  const bool bit = (data_[pos_ / 8] >> (7 - pos_ % 8)) & 1u;
+  ++pos_;
+  return bit;
+}
+
+uint64_t BitReader::GetBits(int width) {
+  uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    v = (v << 1) | static_cast<uint64_t>(GetBit());
+  }
+  return v;
+}
+
+int BitsFor(uint64_t n) {
+  int bits = 0;
+  while (n > 0) {
+    ++bits;
+    n >>= 1;
+  }
+  return bits;
+}
+
+}  // namespace utcq::common

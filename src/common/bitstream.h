@@ -1,0 +1,90 @@
+#ifndef UTCQ_COMMON_BITSTREAM_H_
+#define UTCQ_COMMON_BITSTREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace utcq::common {
+
+/// Append-only MSB-first bit buffer.
+///
+/// All compressed artifacts in this project (TED and UTCQ alike) are built on
+/// this writer: fixed-width fields, Exp-Golomb codes, PDDP codes and raw
+/// bit-strings are appended in sequence and later consumed by a BitReader
+/// positioned at an arbitrary bit offset (partial decompression relies on
+/// that random positioning).
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the single bit `bit` (0 or 1).
+  void PutBit(bool bit);
+
+  /// Appends the lowest `width` bits of `value`, most significant bit first.
+  /// `width` must be <= 64. A width of 0 appends nothing.
+  void PutBits(uint64_t value, int width);
+
+  /// Appends `count` copies of `bit`.
+  void PutRun(bool bit, size_t count);
+
+  /// Appends the contents of another writer.
+  void Append(const BitWriter& other);
+
+  /// Number of bits written so far.
+  size_t size_bits() const { return size_bits_; }
+
+  /// Number of bytes needed to hold the written bits.
+  size_t size_bytes() const { return (size_bits_ + 7) / 8; }
+
+  /// Read access to bit `pos` (0-based from the start of the stream).
+  bool BitAt(size_t pos) const;
+
+  /// Backing bytes; the final partial byte (if any) is zero-padded.
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+  void Clear();
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t size_bits_ = 0;
+};
+
+/// MSB-first reader over a byte buffer, seekable to any bit position.
+class BitReader {
+ public:
+  /// The reader does not own the buffer; it must outlive the reader.
+  BitReader(const uint8_t* data, size_t size_bits)
+      : data_(data), size_bits_(size_bits) {}
+
+  explicit BitReader(const BitWriter& w)
+      : BitReader(w.bytes().data(), w.size_bits()) {}
+
+  /// Reads one bit. Reading past the end returns 0 and sets overflow().
+  bool GetBit();
+
+  /// Reads `width` (<= 64) bits MSB-first into the low bits of the result.
+  uint64_t GetBits(int width);
+
+  /// Repositions the cursor to absolute bit `pos`.
+  void Seek(size_t pos) { pos_ = pos; }
+
+  size_t position() const { return pos_; }
+  size_t size_bits() const { return size_bits_; }
+  size_t remaining() const { return pos_ < size_bits_ ? size_bits_ - pos_ : 0; }
+  bool overflow() const { return overflow_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_bits_;
+  size_t pos_ = 0;
+  bool overflow_ = false;
+};
+
+/// Number of bits needed to represent values in [0, n]; BitsFor(0) == 0.
+/// This is the ceil(log2(n + 1)) convention the paper uses for field widths.
+int BitsFor(uint64_t n);
+
+}  // namespace utcq::common
+
+#endif  // UTCQ_COMMON_BITSTREAM_H_

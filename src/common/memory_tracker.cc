@@ -1,0 +1,3 @@
+#include "common/memory_tracker.h"
+
+// MemoryTracker is header-only; this translation unit anchors the library.

@@ -1,0 +1,60 @@
+#ifndef UTCQ_COMMON_MEMORY_TRACKER_H_
+#define UTCQ_COMMON_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace utcq::common {
+
+/// Logical working-set accounting for the "maximum memory cost" metric of
+/// the paper's Figures 6-8.
+///
+/// Process RSS cannot distinguish two compressors running in one benchmark
+/// binary, so each compressor reports bytes of intermediate state it
+/// materializes (score matrices and pivot representations for UTCQ, the
+/// grouped A x B code matrices for TED). Add() / Release() bracket the
+/// lifetime of such state; peak_bytes() is the reported metric.
+class MemoryTracker {
+ public:
+  void Add(size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  void Release(size_t bytes) { current_ = bytes > current_ ? 0 : current_ - bytes; }
+
+  void Reset() {
+    current_ = 0;
+    peak_ = 0;
+  }
+
+  size_t current_bytes() const { return current_; }
+  size_t peak_bytes() const { return peak_; }
+
+ private:
+  size_t current_ = 0;
+  size_t peak_ = 0;
+};
+
+/// RAII helper charging `bytes` to a tracker for the current scope.
+class ScopedMemory {
+ public:
+  ScopedMemory(MemoryTracker* tracker, size_t bytes)
+      : tracker_(tracker), bytes_(bytes) {
+    if (tracker_ != nullptr) tracker_->Add(bytes_);
+  }
+  ~ScopedMemory() {
+    if (tracker_ != nullptr) tracker_->Release(bytes_);
+  }
+
+  ScopedMemory(const ScopedMemory&) = delete;
+  ScopedMemory& operator=(const ScopedMemory&) = delete;
+
+ private:
+  MemoryTracker* tracker_;
+  size_t bytes_;
+};
+
+}  // namespace utcq::common
+
+#endif  // UTCQ_COMMON_MEMORY_TRACKER_H_

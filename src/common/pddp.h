@@ -1,0 +1,103 @@
+#ifndef UTCQ_COMMON_PDDP_H_
+#define UTCQ_COMMON_PDDP_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bitstream.h"
+
+namespace utcq::common {
+
+/// Distance-preserving lossy codec for values in [0, 1] with a configurable
+/// error bound, after the PDDP scheme of TED [40].
+///
+/// A value v is coded as the shortest binary expansion b_1..b_I (weights
+/// 2^-1..2^-I) whose reconstruction differs from v by at most eta. Codes are
+/// self-framing on the bit stream: a fixed-width length field (BitsFor(I_max)
+/// bits) precedes the I code bits, so a reader positioned at the start of a
+/// code can decode it without external framing — the property the StIU
+/// index's `d.pos` partial decompression relies on.
+///
+/// The code is distance preserving in the sense that lexicographic order of
+/// equal-length codes equals numeric order of the reconstructed values.
+class PddpCodec {
+ public:
+  /// `eta` must be in (0, 1). The maximum code length is
+  /// I_max = ceil(log2(1/eta)), which guarantees every value in [0, 1] has a
+  /// code with |decoded - v| <= eta.
+  explicit PddpCodec(double eta);
+
+  void Encode(BitWriter& w, double value) const;
+  double Decode(BitReader& r) const;
+
+  /// Length in bits of the code for `value` (length field included).
+  int CodeLength(double value) const;
+
+  /// Quantized reconstruction of `value` (what Decode would return after
+  /// Encode). Exposed so callers can compare quantized values without
+  /// round-tripping through a bit stream.
+  double Quantize(double value) const;
+
+  double eta() const { return eta_; }
+  int max_code_bits() const { return max_bits_; }
+  int length_field_bits() const { return length_bits_; }
+
+ private:
+  /// Finds the shortest (I, code) pair within the error bound.
+  void ShortestCode(double value, int* length, uint64_t* code) const;
+
+  double eta_;
+  int max_bits_;
+  int length_bits_;
+};
+
+/// Prefix tree over PDDP codes (the "PDDP-tree" of [40]).
+///
+/// The tree deduplicates the distinct quantized codes of a corpus and can
+/// report the dictionary statistics the TED paper exploits (distinct-code
+/// count, total trie nodes, per-code frequency). It also supports an
+/// alternative dictionary encoding: values become fixed-width indexes into
+/// the sorted distinct-code table. Benchmarks use this to ablate per-value
+/// versus dictionary coding of relative distances.
+class PddpTree {
+ public:
+  explicit PddpTree(PddpCodec codec) : codec_(codec) {}
+
+  /// Inserts the quantized form of `value` into the tree.
+  void Insert(double value);
+
+  /// Number of distinct quantized codes inserted.
+  size_t distinct_codes() const { return codes_.size(); }
+
+  /// Total values inserted.
+  size_t total_values() const { return total_; }
+
+  /// Number of trie nodes the distinct codes occupy (root excluded).
+  size_t trie_nodes() const;
+
+  /// Bits per value when coding with fixed-width dictionary indexes
+  /// (dictionary storage excluded).
+  int index_bits() const;
+
+  /// Dictionary index of `value`'s quantized code, or -1 if absent.
+  int64_t IndexOf(double value) const;
+
+  /// Reconstructed value for dictionary index `index`.
+  double ValueAt(size_t index) const;
+
+  const PddpCodec& codec() const { return codec_; }
+
+ private:
+  // Key: (length, code bits); map keeps keys sorted so indexes are
+  // deterministic and order-preserving within a length class.
+  using Key = std::pair<int, uint64_t>;
+
+  PddpCodec codec_;
+  std::map<Key, size_t> codes_;  // key -> frequency
+  size_t total_ = 0;
+};
+
+}  // namespace utcq::common
+
+#endif  // UTCQ_COMMON_PDDP_H_

@@ -1,0 +1,17 @@
+#include "common/rng.h"
+
+namespace utcq::common {
+
+size_t Rng::Weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  if (total <= 0.0) return 0;
+  double x = Uniform(0.0, total);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace utcq::common

@@ -1,0 +1,46 @@
+#ifndef UTCQ_COMMON_RNG_H_
+#define UTCQ_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace utcq::common {
+
+/// Deterministic random source shared by the synthetic network and workload
+/// generators. All experiments seed it explicitly so every figure is exactly
+/// reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Samples an index according to `weights` (need not be normalized).
+  size_t Weighted(const std::vector<double>& weights);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace utcq::common
+
+#endif  // UTCQ_COMMON_RNG_H_

@@ -1,0 +1,29 @@
+#ifndef UTCQ_COMMON_STOPWATCH_H_
+#define UTCQ_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace utcq::common {
+
+/// Monotonic wall-clock stopwatch for the compression/query time metrics.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace utcq::common
+
+#endif  // UTCQ_COMMON_STOPWATCH_H_

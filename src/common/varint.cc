@@ -1,0 +1,43 @@
+#include "common/varint.h"
+
+namespace utcq::common {
+
+void PutVarint(BitWriter& w, uint64_t value) {
+  while (true) {
+    const uint64_t group = value & 0x7Fu;
+    value >>= 7;
+    w.PutBit(value != 0);  // continuation bit first, MSB-style framing
+    w.PutBits(group, 7);
+    if (value == 0) break;
+  }
+}
+
+uint64_t GetVarint(BitReader& r) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    const bool more = r.GetBit();
+    const uint64_t group = r.GetBits(7);
+    value |= group << shift;
+    if (!more || shift >= 63) break;
+    shift += 7;
+  }
+  return value;
+}
+
+uint64_t ZigZagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+void PutSignedVarint(BitWriter& w, int64_t value) {
+  PutVarint(w, ZigZagEncode(value));
+}
+
+int64_t GetSignedVarint(BitReader& r) { return ZigZagDecode(GetVarint(r)); }
+
+}  // namespace utcq::common

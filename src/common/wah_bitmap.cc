@@ -1,0 +1,74 @@
+#include "common/wah_bitmap.h"
+
+namespace utcq::common {
+
+namespace {
+constexpr uint32_t kGroupBits = 31;
+constexpr uint32_t kFillFlag = 0x80000000u;
+constexpr uint32_t kFillValueBit = 0x40000000u;
+constexpr uint32_t kRunMask = 0x3FFFFFFFu;
+constexpr uint32_t kAllOnesGroup = 0x7FFFFFFFu;
+}  // namespace
+
+WahBitmap WahBitmap::Compress(const std::vector<uint8_t>& bits) {
+  WahBitmap out;
+  out.original_bits_ = bits.size();
+  const size_t groups = (bits.size() + kGroupBits - 1) / kGroupBits;
+  uint32_t pending_fill_value = 0;
+  uint32_t pending_fill_run = 0;
+
+  auto flush_fill = [&] {
+    if (pending_fill_run > 0) {
+      out.words_.push_back(kFillFlag |
+                           (pending_fill_value ? kFillValueBit : 0u) |
+                           (pending_fill_run & kRunMask));
+      pending_fill_run = 0;
+    }
+  };
+
+  for (size_t g = 0; g < groups; ++g) {
+    uint32_t group = 0;
+    const size_t base = g * kGroupBits;
+    const size_t count =
+        base + kGroupBits <= bits.size() ? kGroupBits : bits.size() - base;
+    for (size_t i = 0; i < count; ++i) {
+      group = (group << 1) | (bits[base + i] ? 1u : 0u);
+    }
+    group <<= (kGroupBits - count);  // zero-pad the final partial group
+
+    const bool full_group = count == kGroupBits;
+    if (full_group && (group == 0 || group == kAllOnesGroup)) {
+      const uint32_t value = group == 0 ? 0u : 1u;
+      if (pending_fill_run > 0 && pending_fill_value != value) flush_fill();
+      pending_fill_value = value;
+      if (++pending_fill_run == kRunMask) flush_fill();
+    } else {
+      flush_fill();
+      out.words_.push_back(group);
+    }
+  }
+  flush_fill();
+  return out;
+}
+
+std::vector<uint8_t> WahBitmap::Decompress() const {
+  std::vector<uint8_t> bits;
+  bits.reserve(original_bits_);
+  for (const uint32_t word : words_) {
+    if (word & kFillFlag) {
+      const uint8_t value = (word & kFillValueBit) ? 1 : 0;
+      const uint32_t run = word & kRunMask;
+      for (uint32_t g = 0; g < run; ++g) {
+        for (uint32_t i = 0; i < kGroupBits; ++i) bits.push_back(value);
+      }
+    } else {
+      for (int i = static_cast<int>(kGroupBits) - 1; i >= 0; --i) {
+        bits.push_back((word >> i) & 1u);
+      }
+    }
+  }
+  bits.resize(original_bits_);
+  return bits;
+}
+
+}  // namespace utcq::common

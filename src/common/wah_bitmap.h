@@ -1,0 +1,40 @@
+#ifndef UTCQ_COMMON_WAH_BITMAP_H_
+#define UTCQ_COMMON_WAH_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace utcq::common {
+
+/// Word-Aligned Hybrid (WAH) bitmap compression [33], the bitmap codec TED
+/// [40] applies to time-flag bit-strings.
+///
+/// The input bit-string is split into 31-bit groups. Runs of all-0 or all-1
+/// groups become *fill words* (msb=1, next bit = fill value, 30-bit run
+/// length in groups); other groups become *literal words* (msb=0, 31 payload
+/// bits). The paper's experimental baseline omits this codec ("time
+/// consuming"); we provide it for the ablation benches and as an optional
+/// UTCQ extension.
+class WahBitmap {
+ public:
+  /// Compresses `bits` (each element 0/1).
+  static WahBitmap Compress(const std::vector<uint8_t>& bits);
+
+  /// Decompresses back to the original bit vector.
+  std::vector<uint8_t> Decompress() const;
+
+  /// Size of the compressed form in bits (32 per word + 32 for the length).
+  size_t size_bits() const { return 32 * (words_.size() + 1); }
+
+  size_t original_size_bits() const { return original_bits_; }
+  const std::vector<uint32_t>& words() const { return words_; }
+
+ private:
+  std::vector<uint32_t> words_;
+  size_t original_bits_ = 0;
+};
+
+}  // namespace utcq::common
+
+#endif  // UTCQ_COMMON_WAH_BITMAP_H_

@@ -1,0 +1,198 @@
+#include "core/decoder.h"
+
+#include <algorithm>
+
+#include "common/exp_golomb.h"
+#include "common/varint.h"
+#include "core/improved_ted.h"
+#include "core/referential.h"
+
+namespace utcq::core {
+
+using common::BitReader;
+using common::BitsFor;
+
+std::vector<traj::Timestamp> UtcqDecoder::DecodeTimes(size_t j) const {
+  const TrajMeta& meta = cc_.meta(j);
+  BitReader r(cc_.t_stream().bytes().data(), cc_.t_stream().size_bits());
+  r.Seek(meta.t_pos);
+  const uint64_t n = common::GetVarint(r);
+  const auto t0 = static_cast<traj::Timestamp>(r.GetBits(17));
+  std::vector<int64_t> deltas;
+  deltas.reserve(n > 0 ? n - 1 : 0);
+  for (uint64_t i = 1; i < n; ++i) {
+    deltas.push_back(common::GetImprovedExpGolomb(r));
+  }
+  return SiarExpand(t0, deltas, cc_.params().default_interval_s);
+}
+
+std::optional<UtcqDecoder::TimeBracket> UtcqDecoder::BracketTime(
+    size_t j, traj::Timestamp t, uint32_t t_no, traj::Timestamp t_start,
+    uint64_t t_pos) const {
+  const TrajMeta& meta = cc_.meta(j);
+  if (t < t_start || meta.n_points == 0) return std::nullopt;
+  if (t_no + 1 >= meta.n_points) {
+    return t == t_start ? std::optional<TimeBracket>(
+                              TimeBracket{t_no, t_start, t_start})
+                        : std::nullopt;
+  }
+  BitReader r(cc_.t_stream().bytes().data(), cc_.t_stream().size_bits());
+  r.Seek(t_pos);
+  traj::Timestamp cur = t_start;
+  for (uint32_t i = t_no; i + 1 < meta.n_points; ++i) {
+    const int64_t delta = common::GetImprovedExpGolomb(r);
+    const traj::Timestamp next =
+        cur + cc_.params().default_interval_s + delta;
+    if (t <= next) return TimeBracket{i, cur, next};
+    cur = next;
+  }
+  return std::nullopt;  // t beyond the last timestamp
+}
+
+DecodedInstance UtcqDecoder::DecodeReference(size_t j, uint32_t ref_idx) const {
+  const TrajMeta& meta = cc_.meta(j);
+  const RefMeta& rm = meta.refs[ref_idx];
+  DecodedInstance d;
+  BitReader r(cc_.ref_stream().bytes().data(), cc_.ref_stream().size_bits());
+  r.Seek(rm.offset);
+  d.sv = static_cast<network::VertexId>(r.GetBits(32));
+  const uint64_t e_len = common::GetVarint(r);
+  d.entries.resize(e_len);
+  for (auto& e : d.entries) {
+    e = static_cast<uint32_t>(r.GetBits(cc_.entry_bits()));
+  }
+  const size_t trimmed = e_len >= 2 ? e_len - 2 : 0;
+  d.tflag_trimmed.resize(trimmed);
+  for (auto& b : d.tflag_trimmed) b = r.GetBit() ? 1 : 0;
+  d.rds.resize(meta.n_points);
+  for (auto& rd : d.rds) rd = cc_.d_codec().Decode(r);
+  d.p = cc_.p_codec().Decode(r);
+  return d;
+}
+
+DecodedInstance UtcqDecoder::DecodeNonReference(
+    size_t j, uint32_t nref_idx, const DecodedInstance& ref) const {
+  const TrajMeta& meta = cc_.meta(j);
+  const NrefMeta& nm = meta.nrefs[nref_idx];
+  DecodedInstance d;
+  d.sv = ref.sv;  // SV(Nref) is omitted: identical to the reference's
+
+  BitReader r(cc_.nref_stream().bytes().data(), cc_.nref_stream().size_bits());
+  r.Seek(nm.offset);
+
+  // --- E factors ---
+  const uint64_t e_len = common::GetVarint(r);
+  const uint32_t ref_e_len = static_cast<uint32_t>(ref.entries.size());
+  const int s_bits = BitsFor(ref_e_len);
+  const int l_bits = BitsFor(ref_e_len > 0 ? ref_e_len - 1 : 0);
+  d.entries.reserve(e_len);
+  while (d.entries.size() < e_len) {
+    const uint32_t s = static_cast<uint32_t>(r.GetBits(s_bits));
+    if (s == ref_e_len) {  // case B
+      d.entries.push_back(static_cast<uint32_t>(r.GetBits(cc_.entry_bits())));
+      continue;
+    }
+    const uint32_t l = static_cast<uint32_t>(r.GetBits(l_bits)) + 1;
+    d.entries.insert(d.entries.end(), ref.entries.begin() + s,
+                     ref.entries.begin() + s + l);
+    if (d.entries.size() < e_len) {
+      d.entries.push_back(static_cast<uint32_t>(r.GetBits(cc_.entry_bits())));
+    }
+  }
+
+  // --- T' ---
+  const size_t trimmed_len = e_len >= 2 ? e_len - 2 : 0;
+  const auto mode = static_cast<TflagMode>(r.GetBits(2));
+  switch (mode) {
+    case TflagMode::kIdentical:
+      d.tflag_trimmed = ref.tflag_trimmed;
+      break;
+    case TflagMode::kLiteral:
+      d.tflag_trimmed.resize(trimmed_len);
+      for (auto& b : d.tflag_trimmed) b = r.GetBit() ? 1 : 0;
+      break;
+    case TflagMode::kFactors: {
+      const uint32_t rtl = static_cast<uint32_t>(ref.tflag_trimmed.size());
+      const int ts_bits = BitsFor(rtl > 0 ? rtl - 1 : 0);
+      const int tl_bits = BitsFor(rtl);
+      const uint64_t h = common::GetVarint(r);
+      d.tflag_trimmed.reserve(trimmed_len);
+      for (uint64_t k = 0; k < h; ++k) {
+        const uint32_t s = static_cast<uint32_t>(r.GetBits(ts_bits));
+        const uint32_t l = static_cast<uint32_t>(r.GetBits(tl_bits));
+        d.tflag_trimmed.insert(d.tflag_trimmed.end(),
+                               ref.tflag_trimmed.begin() + s,
+                               ref.tflag_trimmed.begin() + s + l);
+        if (k + 1 < h) {
+          // Inferred mismatch: NOT ref[s + l].
+          d.tflag_trimmed.push_back(ref.tflag_trimmed[s + l] ? 0 : 1);
+        }
+      }
+      if (d.tflag_trimmed.size() < trimmed_len) {
+        d.tflag_trimmed.push_back(r.GetBit() ? 1 : 0);  // explicit final M
+      }
+      break;
+    }
+  }
+
+  // --- D diffs ---
+  const uint64_t h_d = common::GetVarint(r);
+  const int pos_bits = BitsFor(meta.n_points > 0 ? meta.n_points - 1 : 0);
+  d.rds = ref.rds;
+  for (uint64_t k = 0; k < h_d; ++k) {
+    const uint32_t pos = static_cast<uint32_t>(r.GetBits(pos_bits));
+    const double rd = cc_.d_codec().Decode(r);
+    if (pos < d.rds.size()) d.rds[pos] = rd;
+  }
+
+  d.p = cc_.p_codec().Decode(r);
+  return d;
+}
+
+DecodedInstance UtcqDecoder::DecodeByOriginal(size_t j, uint32_t w) const {
+  const TrajMeta& meta = cc_.meta(j);
+  const auto [is_ref, idx] = meta.roles[w];
+  if (is_ref) return DecodeReference(j, idx);
+  const DecodedInstance ref =
+      DecodeReference(j, meta.nrefs[idx].ref_pos);
+  return DecodeNonReference(j, idx, ref);
+}
+
+std::optional<traj::TrajectoryInstance> UtcqDecoder::ToInstance(
+    const DecodedInstance& d) const {
+  const auto full = UntrimTimeFlags(d.tflag_trimmed, d.entries.size());
+  return traj::ReconstructInstance(net_, d.sv, d.entries, full, d.rds, d.p);
+}
+
+traj::UncertainCorpus UtcqDecoder::DecompressAll() const {
+  traj::UncertainCorpus corpus;
+  corpus.reserve(cc_.num_trajectories());
+  for (size_t j = 0; j < cc_.num_trajectories(); ++j) {
+    const TrajMeta& meta = cc_.meta(j);
+    traj::UncertainTrajectory tu;
+    tu.id = j;
+    tu.times = DecodeTimes(j);
+    tu.instances.resize(meta.roles.size());
+    // Decode references once, then expand their non-references.
+    std::vector<DecodedInstance> refs(meta.refs.size());
+    for (uint32_t r = 0; r < meta.refs.size(); ++r) {
+      refs[r] = DecodeReference(j, r);
+      const auto inst = ToInstance(refs[r]);
+      if (inst.has_value()) {
+        tu.instances[meta.refs[r].orig_index] = *inst;
+      }
+    }
+    for (uint32_t k = 0; k < meta.nrefs.size(); ++k) {
+      const DecodedInstance d =
+          DecodeNonReference(j, k, refs[meta.nrefs[k].ref_pos]);
+      const auto inst = ToInstance(d);
+      if (inst.has_value()) {
+        tu.instances[meta.nrefs[k].orig_index] = *inst;
+      }
+    }
+    corpus.push_back(std::move(tu));
+  }
+  return corpus;
+}
+
+}  // namespace utcq::core

@@ -1,0 +1,69 @@
+#ifndef UTCQ_CORE_DECODER_H_
+#define UTCQ_CORE_DECODER_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/encoder.h"
+#include "traj/interpolate.h"
+#include "traj/types.h"
+
+namespace utcq::core {
+
+/// A decoded instance in improved-TED form.
+struct DecodedInstance {
+  network::VertexId sv = network::kInvalidVertex;
+  std::vector<uint32_t> entries;
+  std::vector<uint8_t> tflag_trimmed;
+  std::vector<double> rds;
+  double p = 0.0;
+};
+
+/// Decode paths over a CompressedCorpus: full per-instance decoding for
+/// round-trip tests, and the partial entry points the query processor uses
+/// (time bracketing from a temporal tuple, reference-then-non-reference
+/// expansion).
+class UtcqDecoder {
+ public:
+  UtcqDecoder(const network::RoadNetwork& net, const CompressedCorpus& cc)
+      : net_(net), cc_(cc) {}
+
+  /// Decodes the full shared time sequence of trajectory `j`.
+  std::vector<traj::Timestamp> DecodeTimes(size_t j) const;
+
+  /// Partial T decompression: starting from a temporal-index tuple
+  /// (t_no, t_start, t_pos), finds i with t_i <= t <= t_{i+1}. Returns
+  /// (i, t_i, t_{i+1}); nullopt when t falls outside the remaining span.
+  struct TimeBracket {
+    size_t index;
+    traj::Timestamp t0;
+    traj::Timestamp t1;
+  };
+  std::optional<TimeBracket> BracketTime(size_t j, traj::Timestamp t,
+                                         uint32_t t_no,
+                                         traj::Timestamp t_start,
+                                         uint64_t t_pos) const;
+
+  DecodedInstance DecodeReference(size_t j, uint32_t ref_idx) const;
+  DecodedInstance DecodeNonReference(size_t j, uint32_t nref_idx,
+                                     const DecodedInstance& ref) const;
+
+  /// Decodes the instance at original position `w` of trajectory `j`
+  /// (resolving its reference first when needed).
+  DecodedInstance DecodeByOriginal(size_t j, uint32_t w) const;
+
+  /// Rebuilds a TrajectoryInstance (path + locations) from a decoded form.
+  std::optional<traj::TrajectoryInstance> ToInstance(
+      const DecodedInstance& d) const;
+
+  /// Full corpus decompression (round-trip tests, ablation benches).
+  traj::UncertainCorpus DecompressAll() const;
+
+ private:
+  const network::RoadNetwork& net_;
+  const CompressedCorpus& cc_;
+};
+
+}  // namespace utcq::core
+
+#endif  // UTCQ_CORE_DECODER_H_

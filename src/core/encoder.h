@@ -1,0 +1,135 @@
+#ifndef UTCQ_CORE_ENCODER_H_
+#define UTCQ_CORE_ENCODER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitstream.h"
+#include "common/memory_tracker.h"
+#include "common/pddp.h"
+#include "core/reference_selection.h"
+#include "network/road_network.h"
+#include "traj/types.h"
+
+namespace utcq::core {
+
+/// UTCQ compression parameters (Table 7 defaults).
+struct UtcqParams {
+  double eta_d = 1.0 / 128.0;   // relative-distance error bound
+  double eta_p = 1.0 / 512.0;   // probability error bound
+  int num_pivots = 1;           // n_p (paper default: 1 on CD/HZ, 2 on DK)
+  int64_t default_interval_s = 10;  // Ts for SIAR
+  /// Ablation: encode every instance as a standalone reference (no pivot
+  /// selection, no FJD, no referential factors). Isolates the contribution
+  /// of the referential representation versus the improved TED + SIAR
+  /// coding (DESIGN.md §5).
+  bool disable_referential = false;
+};
+
+/// Bit positions of one compressed reference within the corpus streams.
+struct RefMeta {
+  uint32_t orig_index = 0;  // instance position within the trajectory
+  uint64_t offset = 0;      // start of this reference in ref_stream
+  uint32_t e_len = 0;
+  uint64_t d_pos = 0;       // absolute bit position of the first D code
+  float p_quantized = 0.0f;
+};
+
+/// Bit positions of one compressed non-reference.
+struct NrefMeta {
+  uint32_t orig_index = 0;
+  uint32_t ref_pos = 0;  // position of its reference in TrajMeta::refs
+  uint64_t offset = 0;   // start of this non-reference in nref_stream
+  uint32_t e_len = 0;
+  float p_quantized = 0.0f;
+};
+
+struct TrajMeta {
+  uint64_t t_pos = 0;  // start of this trajectory's block in t_stream
+  uint32_t n_points = 0;
+  traj::Timestamp t_first = 0;
+  traj::Timestamp t_last = 0;
+  std::vector<RefMeta> refs;
+  std::vector<NrefMeta> nrefs;
+  /// Per original instance: (is_reference, index into refs / nrefs).
+  std::vector<std::pair<bool, uint32_t>> roles;
+};
+
+/// Transient per-factor layout of one encoded non-reference E(.) block,
+/// consumed by the StIU builder to compute ma.pos tuples; not persisted.
+struct NrefFactorLayout {
+  std::vector<uint32_t> factor_entry_start;  // decoded E index per factor
+  std::vector<uint64_t> factor_bit_offset;   // absolute offset in nref_stream
+};
+
+/// The UTCQ-compressed corpus: self-framing bit streams plus the per-entity
+/// bit positions the query processor navigates with. Compressed-size
+/// accounting covers every stream bit (framing included); the metas are
+/// index-side state, reported with the StIU size.
+class CompressedCorpus {
+ public:
+  const UtcqParams& params() const { return params_; }
+  int entry_bits() const { return entry_bits_; }
+  const common::PddpCodec& d_codec() const { return d_codec_; }
+  const common::PddpCodec& p_codec() const { return p_codec_; }
+
+  const common::BitWriter& t_stream() const { return t_stream_; }
+  const common::BitWriter& ref_stream() const { return ref_stream_; }
+  const common::BitWriter& nref_stream() const { return nref_stream_; }
+  const common::BitWriter& structure_stream() const {
+    return structure_stream_;
+  }
+
+  size_t num_trajectories() const { return metas_.size(); }
+  const TrajMeta& meta(size_t j) const { return metas_[j]; }
+
+  const traj::ComponentSizes& compressed_bits() const {
+    return compressed_bits_;
+  }
+  size_t peak_memory_bytes() const { return peak_memory_; }
+
+  /// Total compressed payload in bits (all four streams).
+  uint64_t total_bits() const {
+    return t_stream_.size_bits() + ref_stream_.size_bits() +
+           nref_stream_.size_bits() + structure_stream_.size_bits();
+  }
+
+ private:
+  friend class UtcqCompressor;
+
+  UtcqParams params_{};
+  int entry_bits_ = 4;
+  common::PddpCodec d_codec_{1.0 / 128.0};
+  common::PddpCodec p_codec_{1.0 / 512.0};
+  common::BitWriter t_stream_;
+  common::BitWriter ref_stream_;
+  common::BitWriter nref_stream_;
+  common::BitWriter structure_stream_;
+  std::vector<TrajMeta> metas_;
+  traj::ComponentSizes compressed_bits_;
+  size_t peak_memory_ = 0;
+};
+
+/// The UTCQ compressor: improved TED representation, pivot selection, FJD
+/// score matrix, greedy reference selection, then binary encoding of
+/// references and referential non-references (Sections 4.1-4.4).
+class UtcqCompressor {
+ public:
+  UtcqCompressor(const network::RoadNetwork& net, UtcqParams params)
+      : net_(net), params_(params) {}
+
+  /// Compresses the corpus. When `layouts` is non-null it receives, for
+  /// every trajectory, the per-non-reference factor layout (for StIU
+  /// construction).
+  CompressedCorpus Compress(
+      const traj::UncertainCorpus& corpus,
+      std::vector<std::vector<NrefFactorLayout>>* layouts = nullptr) const;
+
+ private:
+  const network::RoadNetwork& net_;
+  UtcqParams params_;
+};
+
+}  // namespace utcq::core
+
+#endif  // UTCQ_CORE_ENCODER_H_

@@ -1,0 +1,56 @@
+#include "core/fjd.h"
+
+#include <algorithm>
+
+namespace utcq::core {
+
+double Fjd(const PivotCom& com_w, const PivotCom& com_v) {
+  const uint32_t h_w = com_w.total_factors;
+  const uint32_t h_v = com_v.total_factors;
+  if (h_w == 0 || h_v == 0) return 0.0;
+
+  double sum = 0.0;
+  for (const auto& [s_v, l_v] : com_v.factors) {
+    // Equation (2): the factor of w with the largest interval overlap; on
+    // overlap ties the smallest L_w wins (the paper's min-on-ties rule).
+    long best_overlap = 0;
+    uint32_t best_l_w = 0;
+    for (const auto& [s_w, l_w] : com_w.factors) {
+      const long lo = std::max<long>(s_w, s_v);
+      const long hi = std::min<long>(s_w + l_w, s_v + l_v);
+      const long overlap = std::max<long>(hi - lo, 0);
+      if (overlap > best_overlap ||
+          (overlap == best_overlap && overlap > 0 && l_w < best_l_w)) {
+        best_overlap = overlap;
+        best_l_w = l_w;
+      }
+    }
+    if (best_overlap > 0) {
+      const double denom = static_cast<double>(std::max(best_l_w, l_v));
+      sum += static_cast<double>(best_overlap) / denom;
+    }
+  }
+  return sum / static_cast<double>(std::max(h_w, h_v));
+}
+
+std::vector<std::vector<double>> BuildScoreMatrix(
+    const std::vector<std::vector<PivotCom>>& pivot_reprs,
+    const std::vector<double>& probabilities,
+    const std::vector<uint32_t>& start_vertices) {
+  const size_t n = probabilities.size();
+  std::vector<std::vector<double>> sm(n, std::vector<double>(n, 0.0));
+  for (size_t w = 0; w < n; ++w) {
+    for (size_t v = 0; v < n; ++v) {
+      if (w == v) continue;  // SF(w, w) = 0
+      if (start_vertices[w] != start_vertices[v]) continue;
+      double best = 0.0;
+      for (const auto& reprs : pivot_reprs) {
+        best = std::max(best, Fjd(reprs[w], reprs[v]));
+      }
+      sm[w][v] = probabilities[w] * best;
+    }
+  }
+  return sm;
+}
+
+}  // namespace utcq::core

@@ -1,0 +1,29 @@
+#ifndef UTCQ_CORE_FJD_H_
+#define UTCQ_CORE_FJD_H_
+
+#include <vector>
+
+#include "core/pivot.h"
+
+namespace utcq::core {
+
+/// Fine-grained Jaccard Distance FJD(Tu_w -> Tu_v, piv) of Equation (1):
+/// the average, over the factors of Com_E(Tu_v, piv), of their best interval
+/// similarity against the factors of Com_E(Tu_w, piv) (Equation (2)),
+/// normalized by max{H, H'}.
+///
+/// Despite the name, a *higher* value means the instances are more similar
+/// (it estimates how well w would serve as a reference for v).
+double Fjd(const PivotCom& com_w, const PivotCom& com_v);
+
+/// Score matrix SM of Section 4.3: SM[w][v] = SF(Tu_w, Tu_v) =
+/// p_w * max_i FJD(w -> v, piv_i); zero on the diagonal and for pairs whose
+/// start vertices differ.
+std::vector<std::vector<double>> BuildScoreMatrix(
+    const std::vector<std::vector<PivotCom>>& pivot_reprs,
+    const std::vector<double>& probabilities,
+    const std::vector<uint32_t>& start_vertices);
+
+}  // namespace utcq::core
+
+#endif  // UTCQ_CORE_FJD_H_

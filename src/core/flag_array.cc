@@ -1,0 +1,76 @@
+#include "core/flag_array.h"
+
+#include <algorithm>
+
+namespace utcq::core {
+
+FlagArray::FlagArray(const std::vector<uint8_t>& trimmed_bits) {
+  prefix_.resize(trimmed_bits.size() + 1, 0);
+  for (size_t i = 0; i < trimmed_bits.size(); ++i) {
+    prefix_[i + 1] = prefix_[i] + (trimmed_bits[i] ? 1 : 0);
+  }
+}
+
+uint32_t OnesInNrefPrefix(const TflagCom& com,
+                          const std::vector<uint8_t>& ref_trimmed,
+                          const FlagArray& omega, uint32_t q,
+                          const std::vector<uint8_t>& literal) {
+  switch (com.mode) {
+    case TflagMode::kIdentical:
+      return omega.OnesBefore(std::min<uint32_t>(q, omega.size()));
+    case TflagMode::kLiteral: {
+      uint32_t ones = 0;
+      for (uint32_t i = 0; i < q && i < literal.size(); ++i) {
+        ones += literal[i] ? 1 : 0;
+      }
+      return ones;
+    }
+    case TflagMode::kFactors:
+      break;
+  }
+
+  // Formula 5's running count Z, walking factors until q falls inside one;
+  // at most one factor's subsequence is then consulted partially.
+  uint32_t ones = 0;
+  uint32_t consumed = 0;
+  for (size_t h = 0; h < com.factors.size(); ++h) {
+    const TFactor& f = com.factors[h];
+    if (q < consumed + f.l) {
+      // q falls inside this factor's copied span: partial lookup.
+      const uint32_t within = q - consumed;
+      return ones + omega.OnesBefore(f.s + within) - omega.OnesBefore(f.s);
+    }
+    ones += omega.OnesBefore(f.s + f.l) - omega.OnesBefore(f.s);
+    consumed += f.l;
+    const bool last = h + 1 == com.factors.size();
+    if (!last) {
+      if (q == consumed) return ones;
+      // Inferred mismatched bit ~ref[S+L] (Formula 5's NOT term).
+      ones += ref_trimmed[f.s + f.l] ? 0 : 1;
+      ++consumed;
+    } else if (com.last_has_m && q > consumed) {
+      ones += com.last_m ? 1 : 0;
+      ++consumed;
+    }
+    if (q <= consumed) return ones;
+  }
+  return ones;
+}
+
+uint32_t GammaNref(const TflagCom& com,
+                   const std::vector<uint8_t>& ref_trimmed,
+                   const FlagArray& omega, uint32_t g, uint32_t entry_count,
+                   const std::vector<uint8_t>& literal) {
+  if (entry_count == 0) return 0;
+  // original[0] is always 1.
+  uint32_t gamma = 1;
+  if (g == 0) return gamma;
+  const uint32_t trimmed_len = entry_count >= 2 ? entry_count - 2 : 0;
+  // Trimmed positions [0, min(g, trimmed_len)) are original [1, g].
+  gamma += OnesInNrefPrefix(com, ref_trimmed, omega,
+                            std::min(g, trimmed_len), literal);
+  if (g == entry_count - 1 && entry_count >= 2) ++gamma;  // final bit = 1
+  return gamma;
+}
+
+}  // namespace utcq::core

@@ -1,0 +1,47 @@
+#ifndef UTCQ_CORE_FLAG_ARRAY_H_
+#define UTCQ_CORE_FLAG_ARRAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/referential.h"
+
+namespace utcq::core {
+
+/// The *flag array* omega of a reference's (trimmed) time-flag bit-string
+/// (Section 5.1): OnesBefore(g) = number of 1s before the g-th bit, i.e. in
+/// positions [0, g).
+class FlagArray {
+ public:
+  explicit FlagArray(const std::vector<uint8_t>& trimmed_bits);
+
+  uint32_t OnesBefore(uint32_t g) const { return prefix_[g]; }
+  uint32_t size() const { return static_cast<uint32_t>(prefix_.size() - 1); }
+
+ private:
+  std::vector<uint32_t> prefix_;  // prefix[g] = ones in [0, g)
+};
+
+/// Number of 1s in positions [0, q) of a *non-reference's* trimmed time-flag
+/// bit-string, derived from its factor representation and the reference's
+/// flag array by decompressing at most one factor (Formulas 4-6). For
+/// kLiteral mode the literal bits must be supplied; for kIdentical the
+/// reference's array answers directly.
+uint32_t OnesInNrefPrefix(const TflagCom& com,
+                          const std::vector<uint8_t>& ref_trimmed,
+                          const FlagArray& omega, uint32_t q,
+                          const std::vector<uint8_t>& literal = {});
+
+/// The *original array* gamma: number of 1s up to and including position g
+/// of the non-reference's original (untrimmed, first/last = 1) time-flag
+/// bit-string of length `entry_count`. gamma(fv.no) is the paper's d.no —
+/// the ordinal of the first mapped location at or after an edge-sequence
+/// position.
+uint32_t GammaNref(const TflagCom& com,
+                   const std::vector<uint8_t>& ref_trimmed,
+                   const FlagArray& omega, uint32_t g, uint32_t entry_count,
+                   const std::vector<uint8_t>& literal = {});
+
+}  // namespace utcq::core
+
+#endif  // UTCQ_CORE_FLAG_ARRAY_H_

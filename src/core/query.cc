@@ -1,0 +1,326 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace utcq::core {
+
+using network::Rect;
+using traj::NetworkPosition;
+using traj::Timestamp;
+using traj::TrajectoryInstance;
+
+namespace {
+
+/// Position of `inst` at time t given the bracketing samples (i, t0, t1);
+/// constant-speed interpolation along the path (Example 3 semantics).
+NetworkPosition PositionInBracket(const network::RoadNetwork& net,
+                                  const TrajectoryInstance& inst, size_t i,
+                                  Timestamp t0, Timestamp t1, Timestamp t) {
+  if (i + 1 >= inst.locations.size() || t1 <= t0) {
+    const auto& loc = inst.locations[std::min(i, inst.locations.size() - 1)];
+    return {inst.path[loc.path_index],
+            loc.rd * net.edge(inst.path[loc.path_index]).length};
+  }
+  const double d0 = traj::PathOffsetOfLocation(net, inst, i);
+  const double d1 = traj::PathOffsetOfLocation(net, inst, i + 1);
+  const double f = static_cast<double>(t - t0) / static_cast<double>(t1 - t0);
+  return traj::PositionAtPathOffset(net, inst, d0 + (d1 - d0) * f);
+}
+
+enum class SubpathRelation { kInside, kDisjoint, kPartial };
+
+/// Lemma 2 relation of the subpath travelled between locations i and i+1
+/// against RE, using the full bracketing edges as a conservative superset.
+SubpathRelation ClassifySubpath(const network::RoadNetwork& net,
+                                const TrajectoryInstance& inst, size_t i,
+                                const Rect& re) {
+  const uint32_t from = inst.locations[i].path_index;
+  const uint32_t to = i + 1 < inst.locations.size()
+                          ? inst.locations[i + 1].path_index
+                          : from;
+  bool all_inside = true;
+  bool any_intersect = false;
+  for (uint32_t k = from; k <= to && k < inst.path.size(); ++k) {
+    const auto& e = net.edge(inst.path[k]);
+    const auto& a = net.vertex(e.from);
+    const auto& b = net.vertex(e.to);
+    if (!network::SegmentInsideRect(a.x, a.y, b.x, b.y, re)) {
+      all_inside = false;
+    }
+    if (network::SegmentIntersectsRect(a.x, a.y, b.x, b.y, re)) {
+      any_intersect = true;
+    }
+  }
+  if (all_inside) return SubpathRelation::kInside;
+  if (!any_intersect) return SubpathRelation::kDisjoint;
+  return SubpathRelation::kPartial;
+}
+
+}  // namespace
+
+std::vector<std::pair<uint32_t, TrajectoryInstance>>
+UtcqQueryProcessor::DecodeQualifying(size_t j, double alpha,
+                                     QueryStats* stats) const {
+  std::vector<std::pair<uint32_t, TrajectoryInstance>> result;
+  const TrajMeta& meta = cc_.meta(j);
+
+  // Which references must be materialized: their own probability passes, or
+  // one of their Rrs members' does.
+  std::vector<bool> need_ref(meta.refs.size(), false);
+  for (uint32_t r = 0; r < meta.refs.size(); ++r) {
+    if (meta.refs[r].p_quantized >= alpha) need_ref[r] = true;
+  }
+  for (const NrefMeta& nm : meta.nrefs) {
+    if (nm.p_quantized >= alpha) need_ref[nm.ref_pos] = true;
+  }
+
+  std::vector<DecodedInstance> refs(meta.refs.size());
+  for (uint32_t r = 0; r < meta.refs.size(); ++r) {
+    if (!need_ref[r]) continue;
+    refs[r] = decoder_.DecodeReference(j, r);
+    if (stats != nullptr) ++stats->instances_decoded;
+    if (meta.refs[r].p_quantized >= alpha) {
+      const auto inst = decoder_.ToInstance(refs[r]);
+      if (inst.has_value()) {
+        result.emplace_back(meta.refs[r].orig_index, *inst);
+      }
+    }
+  }
+  for (uint32_t k = 0; k < meta.nrefs.size(); ++k) {
+    const NrefMeta& nm = meta.nrefs[k];
+    if (nm.p_quantized < alpha) continue;
+    const auto d = decoder_.DecodeNonReference(j, k, refs[nm.ref_pos]);
+    if (stats != nullptr) ++stats->instances_decoded;
+    const auto inst = decoder_.ToInstance(d);
+    if (inst.has_value()) result.emplace_back(nm.orig_index, *inst);
+  }
+  return result;
+}
+
+std::vector<traj::WhereHit> UtcqQueryProcessor::Where(
+    size_t traj_idx, Timestamp t, double alpha, QueryStats* stats) const {
+  std::vector<traj::WhereHit> hits;
+  const TrajMeta& meta = cc_.meta(traj_idx);
+  if (t < meta.t_first || t > meta.t_last) return hits;
+
+  // Partial T decompression: start at the temporal tuple for t.
+  const auto& tuple = index_.TemporalTupleFor(traj_idx, t);
+  const auto bracket =
+      decoder_.BracketTime(traj_idx, t, tuple.t_no, tuple.t_start, tuple.t_pos);
+  if (!bracket.has_value()) return hits;
+
+  for (const auto& [w, inst] : DecodeQualifying(traj_idx, alpha, stats)) {
+    hits.push_back({w, inst.probability,
+                    PositionInBracket(net_, inst, bracket->index, bracket->t0,
+                                      bracket->t1, t)});
+  }
+  return hits;
+}
+
+std::vector<traj::WhenHit> UtcqQueryProcessor::When(size_t traj_idx,
+                                                    network::EdgeId edge,
+                                                    double rd, double alpha,
+                                                    QueryStats* stats) const {
+  std::vector<traj::WhenHit> hits;
+  const TrajMeta& meta = cc_.meta(traj_idx);
+
+  // Any instance passing <edge, rd> has spatial tuples in the regions the
+  // edge overlaps (grid-boundary quantization makes the point's own region
+  // unreliable at cell borders, so consult the edge's region list).
+  const auto& regions = index_.grid().RegionsOfEdge(edge);
+
+  // Reference-group tuples of this trajectory near the query location,
+  // merged across the edge's regions (Lemma 1 needs the max p_max). Flat
+  // vectors: a trajectory rarely has more than a handful of groups.
+  std::vector<StiuIndex::RefTuple> groups;
+  std::vector<uint32_t> nref_candidates;
+  for (const network::RegionId re : regions) {
+    for (const auto& rt : index_.RefTuplesIn(re)) {
+      if (rt.traj != traj_idx) continue;
+      bool merged = false;
+      for (auto& g : groups) {
+        if (g.ref_idx == rt.ref_idx) {
+          g.p_max = std::max(g.p_max, rt.p_max);
+          g.ref_passes = g.ref_passes || rt.ref_passes;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) groups.push_back(rt);
+    }
+    for (const auto& nt : index_.NrefTuplesIn(re)) {
+      if (nt.traj != traj_idx) continue;
+      if (std::find(nref_candidates.begin(), nref_candidates.end(),
+                    nt.nref_idx) == nref_candidates.end()) {
+        nref_candidates.push_back(nt.nref_idx);
+      }
+    }
+  }
+  if (groups.empty()) return hits;  // no instance of Tu^j passes the edge
+  if (stats != nullptr) stats->candidates += groups.size();
+
+  std::vector<Timestamp> times;  // decoded lazily
+  auto ensure_times = [&] {
+    if (times.empty()) times = decoder_.DecodeTimes(traj_idx);
+  };
+
+  for (const auto& tuple : groups) {
+    const StiuIndex::RefTuple* rt = &tuple;
+    const bool need_nrefs = rt->p_max >= alpha;
+    if (!need_nrefs && stats != nullptr) ++stats->pruned_lemma1;
+    const bool need_ref_eval =
+        rt->ref_passes && meta.refs[rt->ref_idx].p_quantized >= alpha;
+    if (!need_nrefs && !need_ref_eval) continue;  // Lemma 1 full skip
+
+    const DecodedInstance ref = decoder_.DecodeReference(traj_idx, rt->ref_idx);
+    if (stats != nullptr) ++stats->instances_decoded;
+    // Quantized relative distances can pull the sampled span slightly off
+    // the exact query position; widen by the D error bound.
+    const double tol =
+        2.0 * cc_.params().eta_d * net_.edge(edge).length + 1e-6;
+    if (need_ref_eval) {
+      const auto inst = decoder_.ToInstance(ref);
+      if (inst.has_value()) {
+        ensure_times();
+        for (const Timestamp t :
+             traj::TimesAtPosition(net_, *inst, times, edge, rd, tol)) {
+          hits.push_back({meta.refs[rt->ref_idx].orig_index,
+                          inst->probability, t});
+        }
+      }
+    }
+    if (!need_nrefs) continue;
+    // Only the Rrs members that pass these regions (their tuples name them).
+    for (const uint32_t nref_idx : nref_candidates) {
+      const NrefMeta& nm = meta.nrefs[nref_idx];
+      if (nm.ref_pos != rt->ref_idx || nm.p_quantized < alpha) continue;
+      const auto d = decoder_.DecodeNonReference(traj_idx, nref_idx, ref);
+      if (stats != nullptr) ++stats->instances_decoded;
+      const auto inst = decoder_.ToInstance(d);
+      if (!inst.has_value()) continue;
+      ensure_times();
+      for (const Timestamp t :
+           traj::TimesAtPosition(net_, *inst, times, edge, rd, tol)) {
+        hits.push_back({nm.orig_index, inst->probability, t});
+      }
+    }
+  }
+  return hits;
+}
+
+traj::RangeResult UtcqQueryProcessor::Range(const Rect& region, Timestamp tq,
+                                            double alpha,
+                                            QueryStats* stats) const {
+  traj::RangeResult result;
+  const auto retotal = index_.grid().RegionsInRect(region);
+
+  // Active trajectories at tq (sorted by construction).
+  const auto& active = index_.TrajectoriesAt(tq);
+  const auto is_active = [&](uint32_t j) {
+    return std::binary_search(active.begin(), active.end(), j);
+  };
+
+  // Candidate instances from the spatial tuples over retotal (a superset
+  // of RE — Lemma 4's region), as packed keys: traj | is_ref | idx.
+  // Sort + unique beats hashing on the small per-query candidate sets.
+  std::vector<uint64_t> members;
+  for (const network::RegionId re : retotal) {
+    for (const auto& rt : index_.RefTuplesIn(re)) {
+      if (!rt.ref_passes || !is_active(rt.traj)) continue;
+      members.push_back((static_cast<uint64_t>(rt.traj) << 33) |
+                        (1ull << 32) | rt.ref_idx);
+    }
+    for (const auto& nt : index_.NrefTuplesIn(re)) {
+      if (!is_active(nt.traj)) continue;
+      members.push_back((static_cast<uint64_t>(nt.traj) << 33) | nt.nref_idx);
+    }
+  }
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+
+  for (size_t lo = 0; lo < members.size();) {
+    const uint32_t j = static_cast<uint32_t>(members[lo] >> 33);
+    size_t hi = lo;
+    double p_sum = 0.0;
+    const TrajMeta& meta = cc_.meta(j);
+    while (hi < members.size() &&
+           static_cast<uint32_t>(members[hi] >> 33) == j) {
+      const bool is_ref = (members[hi] >> 32) & 1;
+      const uint32_t idx = static_cast<uint32_t>(members[hi] & 0xFFFFFFFFu);
+      p_sum += is_ref ? meta.refs[idx].p_quantized
+                      : meta.nrefs[idx].p_quantized;
+      ++hi;
+    }
+    const size_t begin = lo;
+    lo = hi;
+    if (stats != nullptr) ++stats->candidates;
+    if (tq < meta.t_first || tq > meta.t_last) continue;
+
+    // Lemma 4: total probability mass near RE cannot reach alpha.
+    if (p_sum < alpha) {
+      if (stats != nullptr) ++stats->pruned_lemma4;
+      continue;
+    }
+
+    const auto& tuple = index_.TemporalTupleFor(j, tq);
+    const auto bracket =
+        decoder_.BracketTime(j, tq, tuple.t_no, tuple.t_start, tuple.t_pos);
+    if (!bracket.has_value()) continue;
+
+    // Decode members, references first (reused across their Rrs).
+    std::vector<std::pair<uint32_t, DecodedInstance>> ref_cache;
+    auto ref_of = [&](uint32_t r) -> const DecodedInstance& {
+      for (const auto& [key, value] : ref_cache) {
+        if (key == r) return value;
+      }
+      ref_cache.emplace_back(r, decoder_.DecodeReference(j, r));
+      if (stats != nullptr) ++stats->instances_decoded;
+      return ref_cache.back().second;
+    };
+
+    double overlap_p = 0.0;
+    bool accepted = false;
+    for (size_t k = begin; k < hi; ++k) {
+      const bool is_ref = (members[k] >> 32) & 1;
+      const uint32_t idx = static_cast<uint32_t>(members[k] & 0xFFFFFFFFu);
+      double p;
+      std::optional<TrajectoryInstance> inst;
+      if (is_ref) {
+        p = meta.refs[idx].p_quantized;
+        inst = decoder_.ToInstance(ref_of(idx));
+      } else {
+        p = meta.nrefs[idx].p_quantized;
+        const auto d =
+            decoder_.DecodeNonReference(j, idx, ref_of(meta.nrefs[idx].ref_pos));
+        if (stats != nullptr) ++stats->instances_decoded;
+        inst = decoder_.ToInstance(d);
+      }
+      if (!inst.has_value()) continue;
+
+      const SubpathRelation rel =
+          ClassifySubpath(net_, *inst, bracket->index, region);
+      if (rel == SubpathRelation::kInside) {
+        overlap_p += p;
+        if (stats != nullptr) ++stats->pruned_lemma2;
+      } else if (rel == SubpathRelation::kDisjoint) {
+        if (stats != nullptr) ++stats->pruned_lemma2;
+      } else {
+        const NetworkPosition pos = PositionInBracket(
+            net_, *inst, bracket->index, bracket->t0, bracket->t1, tq);
+        const network::Vertex xy = net_.PointOnEdge(pos.edge, pos.ndist);
+        if (region.Contains(xy.x, xy.y)) overlap_p += p;
+      }
+      if (overlap_p >= alpha) {  // Lemma 3 early accept
+        if (stats != nullptr) ++stats->accepted_lemma3;
+        accepted = true;
+        break;
+      }
+    }
+    if (accepted) result.push_back(j);
+  }
+  return result;
+}
+
+}  // namespace utcq::core

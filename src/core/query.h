@@ -1,0 +1,63 @@
+#ifndef UTCQ_CORE_QUERY_H_
+#define UTCQ_CORE_QUERY_H_
+
+#include <vector>
+
+#include "core/decoder.h"
+#include "core/stiu_index.h"
+#include "network/geometry.h"
+#include "traj/query_types.h"
+
+namespace utcq::core {
+
+/// Counters making the filtering lemmas' effectiveness observable
+/// (reported by the query benches).
+struct QueryStats {
+  uint64_t candidates = 0;
+  uint64_t pruned_lemma1 = 0;  // when: p_max gate on non-references
+  uint64_t pruned_lemma2 = 0;  // range: subpath containment/disjointness
+  uint64_t pruned_lemma4 = 0;  // range: region probability mass below alpha
+  uint64_t accepted_lemma3 = 0;  // range: early accept
+  uint64_t instances_decoded = 0;
+};
+
+/// Probabilistic where / when / range queries over a compressed corpus,
+/// using the StIU index for candidate generation and partial decompression
+/// and Lemmas 1-4 for pruning (Sections 5.3-5.4).
+class UtcqQueryProcessor {
+ public:
+  UtcqQueryProcessor(const network::RoadNetwork& net,
+                     const CompressedCorpus& cc, const StiuIndex& index)
+      : net_(net), cc_(cc), index_(index), decoder_(net, cc) {}
+
+  /// where(Tu^j, t, alpha) — Definition 10.
+  std::vector<traj::WhereHit> Where(size_t traj_idx, traj::Timestamp t,
+                                    double alpha,
+                                    QueryStats* stats = nullptr) const;
+
+  /// when(Tu^j, <edge, rd>, alpha) — Definition 11.
+  std::vector<traj::WhenHit> When(size_t traj_idx, network::EdgeId edge,
+                                  double rd, double alpha,
+                                  QueryStats* stats = nullptr) const;
+
+  /// range(Tu, RE, tq, alpha) — Definition 12.
+  traj::RangeResult Range(const network::Rect& region, traj::Timestamp tq,
+                          double alpha, QueryStats* stats = nullptr) const;
+
+  const UtcqDecoder& decoder() const { return decoder_; }
+
+ private:
+  /// Decodes the instances of trajectory `j` whose quantized probability is
+  /// >= alpha, reusing each reference decode across its Rrs.
+  std::vector<std::pair<uint32_t, traj::TrajectoryInstance>>
+  DecodeQualifying(size_t j, double alpha, QueryStats* stats) const;
+
+  const network::RoadNetwork& net_;
+  const CompressedCorpus& cc_;
+  const StiuIndex& index_;
+  UtcqDecoder decoder_;
+};
+
+}  // namespace utcq::core
+
+#endif  // UTCQ_CORE_QUERY_H_

@@ -1,0 +1,67 @@
+#include "core/reference_selection.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace utcq::core {
+
+ReferencePlan SelectReferences(const std::vector<std::vector<double>>& sm) {
+  const size_t n = sm.size();
+  ReferencePlan plan;
+  plan.ref_of.assign(n, -1);
+  if (n == 0) return plan;
+
+  // Pre-sort all positive cells (the paper's pre-sorting optimization) and
+  // pop them in decreasing score order; staleness is checked against the
+  // row/column liveness masks, which realize the constraint deletions.
+  struct Cell {
+    double score;
+    uint32_t w;
+    uint32_t v;
+    bool operator<(const Cell& o) const { return score < o.score; }
+  };
+  std::priority_queue<Cell> heap;
+  for (uint32_t w = 0; w < n; ++w) {
+    for (uint32_t v = 0; v < n; ++v) {
+      if (w != v && sm[w][v] > 0.0) heap.push({sm[w][v], w, v});
+    }
+  }
+
+  std::vector<bool> is_reference(n, false);
+  std::vector<bool> is_represented(n, false);
+
+  while (!heap.empty()) {
+    const Cell cell = heap.top();
+    heap.pop();
+    // Constraint liveness: w may not be represented itself; v may not be a
+    // reference or already represented.
+    if (is_represented[cell.w]) continue;            // row w removed
+    if (is_reference[cell.v] || is_represented[cell.v]) continue;
+    if (!is_reference[cell.w]) {
+      is_reference[cell.w] = true;  // line 6: new reference, create Rrs
+      // Column w removal (line 7) is implied by is_reference[w].
+    }
+    is_represented[cell.v] = true;  // lines 8-9
+    // Record membership: position of w in plan.references.
+    auto it = std::find(plan.references.begin(), plan.references.end(), cell.w);
+    uint32_t pos;
+    if (it == plan.references.end()) {
+      pos = static_cast<uint32_t>(plan.references.size());
+      plan.references.push_back(cell.w);
+    } else {
+      pos = static_cast<uint32_t>(it - plan.references.begin());
+    }
+    plan.ref_of[cell.v] = static_cast<int32_t>(pos);
+  }
+
+  // Lines 11-13: instances that are neither references nor represented
+  // become standalone references (empty Rrs).
+  for (uint32_t w = 0; w < n; ++w) {
+    if (!is_reference[w] && !is_represented[w]) {
+      plan.references.push_back(w);
+    }
+  }
+  return plan;
+}
+
+}  // namespace utcq::core

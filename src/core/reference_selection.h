@@ -1,0 +1,41 @@
+#ifndef UTCQ_CORE_REFERENCE_SELECTION_H_
+#define UTCQ_CORE_REFERENCE_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace utcq::core {
+
+/// Outcome of Algorithm 1 for one uncertain trajectory.
+struct ReferencePlan {
+  /// Instance indexes chosen as references, in selection order. Instances
+  /// never assigned a reference join this list as standalone references
+  /// (Algorithm 1, lines 11-13).
+  std::vector<uint32_t> references;
+
+  /// Per instance: -1 when the instance is itself a reference, otherwise
+  /// the position (in `references`) of its reference.
+  std::vector<int32_t> ref_of;
+
+  bool IsReference(uint32_t instance) const { return ref_of[instance] < 0; }
+
+  /// The referential representation set Rrs of reference `references[r]`.
+  std::vector<uint32_t> Rrs(uint32_t r) const {
+    std::vector<uint32_t> members;
+    for (uint32_t w = 0; w < ref_of.size(); ++w) {
+      if (ref_of[w] == static_cast<int32_t>(r)) members.push_back(w);
+    }
+    return members;
+  }
+};
+
+/// Greedy reference selection (Algorithm 1): repeatedly take the largest
+/// positive score SM[w][v], make w a reference and v a member of w's Rrs,
+/// then drop the cells the two constraints forbid (a reference cannot be
+/// represented; a represented instance can neither represent nor be
+/// re-represented — single-order compression).
+ReferencePlan SelectReferences(const std::vector<std::vector<double>>& sm);
+
+}  // namespace utcq::core
+
+#endif  // UTCQ_CORE_REFERENCE_SELECTION_H_

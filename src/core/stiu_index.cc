@@ -1,0 +1,246 @@
+#include "core/stiu_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/exp_golomb.h"
+#include "common/varint.h"
+#include "core/improved_ted.h"
+
+namespace utcq::core {
+
+namespace {
+
+/// Entry index in E(.) of each path edge (accounting for the 0 repeats).
+std::vector<uint32_t> EntryIndexOfPathEdge(
+    const traj::TrajectoryInstance& inst) {
+  std::vector<uint32_t> counts(inst.path.size(), 0);
+  for (const auto& loc : inst.locations) ++counts[loc.path_index];
+  std::vector<uint32_t> entry_idx(inst.path.size(), 0);
+  uint32_t cursor = 0;
+  for (size_t i = 0; i < inst.path.size(); ++i) {
+    entry_idx[i] = cursor;
+    cursor += 1 + (counts[i] > 1 ? counts[i] - 1 : 0);
+  }
+  return entry_idx;
+}
+
+/// First path-edge index entering each region, in travel order.
+std::vector<std::pair<network::RegionId, uint32_t>> FirstVisits(
+    const network::GridIndex& grid, const traj::TrajectoryInstance& inst) {
+  std::vector<std::pair<network::RegionId, uint32_t>> visits;
+  std::unordered_map<network::RegionId, bool> seen;
+  for (uint32_t i = 0; i < inst.path.size(); ++i) {
+    for (const network::RegionId re : grid.RegionsOfEdge(inst.path[i])) {
+      if (!seen[re]) {
+        seen[re] = true;
+        visits.emplace_back(re, i);
+      }
+    }
+  }
+  return visits;
+}
+
+}  // namespace
+
+StiuIndex::StiuIndex(const network::RoadNetwork& net,
+                     const network::GridIndex& grid,
+                     const traj::UncertainCorpus& corpus,
+                     const CompressedCorpus& cc,
+                     const std::vector<std::vector<NrefFactorLayout>>& layouts,
+                     StiuParams params)
+    : grid_(grid), params_(params) {
+  params_.time_partition_s = std::max<int64_t>(params_.time_partition_s, 1);
+  const size_t partitions =
+      static_cast<size_t>((traj::kSecondsPerDay + params_.time_partition_s - 1) /
+                          params_.time_partition_s);
+  temporal_.resize(corpus.size());
+  partition_trajs_.resize(partitions);
+  region_refs_.resize(grid.num_regions());
+  region_nrefs_.resize(grid.num_regions());
+
+  for (size_t j = 0; j < corpus.size(); ++j) {
+    const traj::UncertainTrajectory& tu = corpus[j];
+    const TrajMeta& meta = cc.meta(j);
+
+    // ---- temporal tuples: bit positions into the SIAR-coded T stream ----
+    {
+      // Skip the header (n varint + 17-bit t0) to find the first delta.
+      common::BitReader r(cc.t_stream().bytes().data(),
+                          cc.t_stream().size_bits());
+      r.Seek(meta.t_pos);
+      common::GetVarint(r);
+      r.GetBits(17);
+      uint64_t pos = r.position();
+
+      const auto deltas =
+          SiarDeltas(tu.times, cc.params().default_interval_s);
+      int64_t last_partition = -1;
+      for (size_t i = 0; i < tu.times.size(); ++i) {
+        const int64_t p = tu.times[i] / params_.time_partition_s;
+        if (p != last_partition) {
+          temporal_[j].push_back(
+              {tu.times[i], static_cast<uint32_t>(i), pos});
+          last_partition = p;
+        }
+        if (i < deltas.size()) {
+          pos += common::ImprovedExpGolombLength(deltas[i]);
+        }
+      }
+      const size_t first_p =
+          static_cast<size_t>(tu.times.front() / params_.time_partition_s);
+      const size_t last_p = std::min(
+          partitions - 1,
+          static_cast<size_t>(tu.times.back() / params_.time_partition_s));
+      for (size_t p = first_p; p <= last_p; ++p) {
+        partition_trajs_[p].push_back(static_cast<uint32_t>(j));
+      }
+    }
+
+    // ---- spatial tuples ----
+    // Region visit lists per instance, plus D-code bit offsets per ref.
+    struct GroupAgg {
+      float p_total = 0.0f;
+      float p_max = 0.0f;  // over non-references only
+      bool ref_passes = false;
+      network::VertexId fv_id = network::kInvalidVertex;
+      uint32_t fv_no = 0;
+      uint32_t d_no = 0;
+      uint64_t d_pos = 0;
+    };
+    // Aggregate per (region, ref group).
+    std::unordered_map<uint64_t, GroupAgg> agg;
+    auto key_of = [](network::RegionId re, uint32_t ref_pos) {
+      return (static_cast<uint64_t>(re) << 20) | ref_pos;
+    };
+
+    for (uint32_t w = 0; w < tu.instances.size(); ++w) {
+      const traj::TrajectoryInstance& inst = tu.instances[w];
+      const auto [is_ref, idx] = meta.roles[w];
+      const uint32_t ref_pos = is_ref ? idx : meta.nrefs[idx].ref_pos;
+      const float p = is_ref ? meta.refs[idx].p_quantized
+                             : meta.nrefs[idx].p_quantized;
+      const auto entry_idx = EntryIndexOfPathEdge(inst);
+      const auto visits = FirstVisits(grid, inst);
+
+      // D-code offsets (references only): prefix bit lengths of codes.
+      std::vector<uint64_t> d_offsets;
+      if (is_ref) {
+        d_offsets.resize(inst.locations.size() + 1, meta.refs[idx].d_pos);
+        for (size_t k = 0; k < inst.locations.size(); ++k) {
+          d_offsets[k + 1] =
+              d_offsets[k] + cc.d_codec().CodeLength(inst.locations[k].rd);
+        }
+      }
+      // Location ordinals per entry (gamma of the full bit-string).
+      std::vector<uint32_t> gamma(inst.path.size(), 0);
+      {
+        uint32_t count = 0;
+        size_t loc = 0;
+        for (size_t i = 0; i < inst.path.size(); ++i) {
+          while (loc < inst.locations.size() &&
+                 inst.locations[loc].path_index == i) {
+            ++count;
+            ++loc;
+          }
+          gamma[i] = count;
+        }
+      }
+
+      for (const auto& [re, path_edge] : visits) {
+        GroupAgg& a = agg[key_of(re, ref_pos)];
+        a.p_total += p;
+        if (is_ref) {
+          a.ref_passes = true;
+          a.fv_no = entry_idx[path_edge];
+          a.fv_id = path_edge == 0
+                        ? traj::StartVertex(net, inst)
+                        : net.edge(inst.path[path_edge]).from;
+          a.d_no = path_edge == 0 ? 0 : gamma[path_edge - 1];
+          // Bracketing D code: the last location at or before region entry.
+          const uint32_t code =
+              a.d_no > 0 ? a.d_no - 1 : 0;
+          a.d_pos = d_offsets[std::min<size_t>(code, inst.locations.size())];
+        } else {
+          a.p_max = std::max(a.p_max, p);
+          // Non-reference tuple.
+          NrefTuple nt;
+          nt.traj = static_cast<uint32_t>(j);
+          nt.nref_idx = idx;
+          nt.rv_no = entry_idx[path_edge];
+          nt.rv_id = path_edge == 0
+                         ? traj::StartVertex(net, inst)
+                         : net.edge(inst.path[path_edge]).from;
+          // Factor containing entry rv_no (ma.pos).
+          const NrefFactorLayout& layout = layouts[j][idx];
+          const auto it = std::upper_bound(layout.factor_entry_start.begin(),
+                                           layout.factor_entry_start.end(),
+                                           nt.rv_no);
+          const size_t f =
+              it == layout.factor_entry_start.begin()
+                  ? 0
+                  : static_cast<size_t>(it - layout.factor_entry_start.begin()) -
+                        1;
+          nt.ma_pos = f < layout.factor_bit_offset.size()
+                          ? layout.factor_bit_offset[f]
+                          : 0;
+          region_nrefs_[re].push_back(nt);
+        }
+      }
+    }
+
+    for (const auto& [key, a] : agg) {
+      RefTuple rt;
+      rt.traj = static_cast<uint32_t>(j);
+      rt.ref_idx = static_cast<uint32_t>(key & 0xFFFFFu);
+      rt.fv_id = a.fv_id;
+      rt.fv_no = a.fv_no;
+      rt.d_no = a.d_no;
+      rt.d_pos = a.d_pos;
+      rt.p_total = a.p_total;
+      rt.p_max = a.p_max;
+      rt.ref_passes = a.ref_passes;
+      region_refs_[static_cast<network::RegionId>(key >> 20)].push_back(rt);
+    }
+  }
+}
+
+const StiuIndex::TemporalTuple& StiuIndex::TemporalTupleFor(
+    size_t j, traj::Timestamp t) const {
+  const auto& tuples = temporal_[j];
+  // Latest tuple with t_start <= t.
+  auto it = std::upper_bound(
+      tuples.begin(), tuples.end(), t,
+      [](traj::Timestamp v, const TemporalTuple& tup) { return v < tup.t_start; });
+  if (it != tuples.begin()) --it;
+  return *it;
+}
+
+const std::vector<uint32_t>& StiuIndex::TrajectoriesAt(
+    traj::Timestamp t) const {
+  static const std::vector<uint32_t> kEmpty;
+  if (t < 0) return kEmpty;
+  const size_t p = static_cast<size_t>(t / params_.time_partition_s);
+  if (p >= partition_trajs_.size()) return kEmpty;
+  return partition_trajs_[p];
+}
+
+size_t StiuIndex::temporal_size_bytes() const {
+  size_t bytes = 0;
+  for (const auto& v : temporal_) bytes += v.size() * sizeof(TemporalTuple);
+  for (const auto& v : partition_trajs_) bytes += v.size() * sizeof(uint32_t);
+  return bytes;
+}
+
+size_t StiuIndex::spatial_size_bytes() const {
+  size_t bytes = 0;
+  for (const auto& v : region_refs_) bytes += v.size() * sizeof(RefTuple);
+  for (const auto& v : region_nrefs_) bytes += v.size() * sizeof(NrefTuple);
+  return bytes;
+}
+
+size_t StiuIndex::SizeBytes() const {
+  return sizeof(*this) + temporal_size_bytes() + spatial_size_bytes();
+}
+
+}  // namespace utcq::core

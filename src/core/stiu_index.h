@@ -1,0 +1,98 @@
+#ifndef UTCQ_CORE_STIU_INDEX_H_
+#define UTCQ_CORE_STIU_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/encoder.h"
+#include "network/grid_index.h"
+#include "traj/types.h"
+
+namespace utcq::core {
+
+struct StiuParams {
+  uint32_t cells_per_side = 32;       // spatial grid (Table 7: 8^2..128^2)
+  int64_t time_partition_s = 1800;    // Table 7: 10..60 minutes
+};
+
+/// Spatio-temporal Information based Uncertain Trajectory Index
+/// (Section 5.2). Built during compression: temporal tuples point into the
+/// SIAR-coded T stream so where/range queries decode only the deltas after
+/// the partition start; spatial tuples carry the final-vertex anchors plus
+/// the p_total / p_max aggregates Lemmas 1-4 prune with.
+class StiuIndex {
+ public:
+  /// (t.start, t.no, t.pos) of Section 5.2's temporal part.
+  struct TemporalTuple {
+    traj::Timestamp t_start = 0;
+    uint32_t t_no = 0;
+    uint64_t t_pos = 0;  // absolute bit position of the (t_no+1)-th delta
+  };
+
+  /// Tuple of a reference w.r.t. a region (first form: the reference passes
+  /// the region; second form, ref_passes = false: only members of its Rrs
+  /// do — the paper's fv.id = infinity case).
+  struct RefTuple {
+    uint32_t traj = 0;
+    uint32_t ref_idx = 0;
+    network::VertexId fv_id = network::kInvalidVertex;
+    uint32_t fv_no = 0;   // entry index of the region's first edge in E(ref)
+    uint32_t d_no = 0;    // gamma(fv_no): locations at or before that entry
+    uint64_t d_pos = 0;   // bit position of the bracketing D code
+    float p_total = 0.0f;
+    float p_max = 0.0f;   // max non-reference probability in the region
+    bool ref_passes = false;
+  };
+
+  /// Tuple of a non-reference w.r.t. a region.
+  struct NrefTuple {
+    uint32_t traj = 0;
+    uint32_t nref_idx = 0;
+    network::VertexId rv_id = network::kInvalidVertex;
+    uint32_t rv_no = 0;   // entry index of the region's first edge in E(nref)
+    uint64_t ma_pos = 0;  // bit offset of the factor containing that entry
+  };
+
+  StiuIndex(const network::RoadNetwork& net, const network::GridIndex& grid,
+            const traj::UncertainCorpus& corpus, const CompressedCorpus& cc,
+            const std::vector<std::vector<NrefFactorLayout>>& layouts,
+            StiuParams params);
+
+  const network::GridIndex& grid() const { return grid_; }
+  int64_t time_partition_s() const { return params_.time_partition_s; }
+
+  /// Temporal tuples of trajectory `j`, ordered by t_start.
+  const std::vector<TemporalTuple>& TemporalOf(size_t j) const {
+    return temporal_[j];
+  }
+
+  /// Best tuple to start a partial T decode for time `t` (the latest tuple
+  /// with t_start <= t), or the first tuple when t precedes them all.
+  const TemporalTuple& TemporalTupleFor(size_t j, traj::Timestamp t) const;
+
+  /// Trajectories whose time span intersects the partition containing `t`.
+  const std::vector<uint32_t>& TrajectoriesAt(traj::Timestamp t) const;
+
+  const std::vector<RefTuple>& RefTuplesIn(network::RegionId re) const {
+    return region_refs_[re];
+  }
+  const std::vector<NrefTuple>& NrefTuplesIn(network::RegionId re) const {
+    return region_nrefs_[re];
+  }
+
+  size_t SizeBytes() const;
+  size_t temporal_size_bytes() const;
+  size_t spatial_size_bytes() const;
+
+ private:
+  const network::GridIndex& grid_;
+  StiuParams params_;
+  std::vector<std::vector<TemporalTuple>> temporal_;   // [traj]
+  std::vector<std::vector<uint32_t>> partition_trajs_; // [partition]
+  std::vector<std::vector<RefTuple>> region_refs_;     // [region]
+  std::vector<std::vector<NrefTuple>> region_nrefs_;   // [region]
+};
+
+}  // namespace utcq::core
+
+#endif  // UTCQ_CORE_STIU_INDEX_H_

@@ -1,0 +1,29 @@
+#include "matching/candidates.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace utcq::matching {
+
+std::vector<Candidate> FindCandidates(const network::GridIndex& grid,
+                                      const traj::RawPoint& point,
+                                      double radius, size_t max_candidates) {
+  std::vector<Candidate> candidates;
+  for (const network::EdgeId e : grid.EdgesNear(point.x, point.y, radius)) {
+    double offset = 0.0;
+    const double d = grid.DistanceToEdge(point.x, point.y, e, &offset);
+    candidates.push_back({e, offset, d});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.distance < b.distance;
+            });
+  if (candidates.size() > max_candidates) candidates.resize(max_candidates);
+  return candidates;
+}
+
+double EmissionLogProb(double distance, double sigma) {
+  return -(distance * distance) / (2.0 * sigma * sigma);
+}
+
+}  // namespace utcq::matching

@@ -1,0 +1,33 @@
+#ifndef UTCQ_MATCHING_CANDIDATES_H_
+#define UTCQ_MATCHING_CANDIDATES_H_
+
+#include <vector>
+
+#include "network/grid_index.h"
+#include "network/road_network.h"
+#include "traj/types.h"
+
+namespace utcq::matching {
+
+/// A candidate projection of one raw GPS point onto the road network: the
+/// probabilistic map-matcher considers several of these per point ([2, 15]),
+/// which is exactly where trajectory uncertainty comes from.
+struct Candidate {
+  network::EdgeId edge = network::kInvalidEdge;
+  double offset = 0.0;    // meters from edge start
+  double distance = 0.0;  // Euclidean distance from the raw point
+};
+
+/// Finds the `max_candidates` nearest edges within `radius` of the point,
+/// sorted by distance.
+std::vector<Candidate> FindCandidates(const network::GridIndex& grid,
+                                      const traj::RawPoint& point,
+                                      double radius, size_t max_candidates);
+
+/// Gaussian emission log-likelihood of observing the raw point at `distance`
+/// from the candidate, with GPS noise sigma.
+double EmissionLogProb(double distance, double sigma);
+
+}  // namespace utcq::matching
+
+#endif  // UTCQ_MATCHING_CANDIDATES_H_

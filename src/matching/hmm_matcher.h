@@ -1,0 +1,54 @@
+#ifndef UTCQ_MATCHING_HMM_MATCHER_H_
+#define UTCQ_MATCHING_HMM_MATCHER_H_
+
+#include <optional>
+#include <vector>
+
+#include "matching/candidates.h"
+#include "network/grid_index.h"
+#include "network/road_network.h"
+#include "traj/types.h"
+
+namespace utcq::matching {
+
+/// Tunables of the probabilistic map-matcher.
+struct MatchParams {
+  double candidate_radius_m = 60.0;
+  size_t max_candidates = 4;
+  double gps_sigma_m = 20.0;
+  /// Exponential scale of the |route - straight line| transition penalty
+  /// (Newson-Krumm style).
+  double transition_beta_m = 30.0;
+  /// Number of top-probability instances to keep per trajectory (N^j).
+  size_t max_instances = 8;
+  /// Route-search budget as a multiple of the straight-line distance.
+  double route_slack_factor = 5.0;
+  double route_slack_abs_m = 400.0;
+};
+
+/// HMM-based probabilistic map matching ([2, 15]): instead of committing to
+/// the single most likely road position per GPS point, it carries the K best
+/// joint path hypotheses through a list-Viterbi pass and emits them as the
+/// instances of a network-constrained uncertain trajectory (Definition 5),
+/// with probabilities normalized over the surviving hypotheses.
+class HmmMatcher {
+ public:
+  HmmMatcher(const network::RoadNetwork& net, const network::GridIndex& grid,
+             MatchParams params)
+      : net_(net), grid_(grid), params_(params) {}
+
+  /// Matches a raw trajectory. Points with no nearby edge are dropped;
+  /// returns nullopt when fewer than two points survive or the HMM breaks
+  /// (no feasible transition anywhere).
+  std::optional<traj::UncertainTrajectory> Match(
+      const traj::RawTrajectory& raw) const;
+
+ private:
+  const network::RoadNetwork& net_;
+  const network::GridIndex& grid_;
+  MatchParams params_;
+};
+
+}  // namespace utcq::matching
+
+#endif  // UTCQ_MATCHING_HMM_MATCHER_H_

@@ -1,0 +1,69 @@
+#include "network/csv_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace utcq::network {
+
+bool SaveCsv(const RoadNetwork& network, const std::string& prefix) {
+  std::ofstream vf(prefix + ".vertices.csv");
+  if (!vf) return false;
+  vf << std::setprecision(17);  // doubles survive the decimal round trip
+  vf << "id,x,y\n";
+  for (VertexId v = 0; v < network.num_vertices(); ++v) {
+    const Vertex& vx = network.vertex(v);
+    vf << v << ',' << vx.x << ',' << vx.y << '\n';
+  }
+
+  std::ofstream ef(prefix + ".edges.csv");
+  if (!ef) return false;
+  ef << std::setprecision(17);
+  ef << "from,to,length\n";
+  for (EdgeId e = 0; e < network.num_edges(); ++e) {
+    const Edge& ed = network.edge(e);
+    ef << ed.from << ',' << ed.to << ',' << ed.length << '\n';
+  }
+  return true;
+}
+
+std::optional<RoadNetwork> LoadCsv(const std::string& prefix) {
+  std::ifstream vf(prefix + ".vertices.csv");
+  std::ifstream ef(prefix + ".edges.csv");
+  if (!vf || !ef) return std::nullopt;
+
+  RoadNetwork net;
+  std::string line;
+  std::getline(vf, line);  // header
+  while (std::getline(vf, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string id, x, y;
+    if (!std::getline(ss, id, ',') || !std::getline(ss, x, ',') ||
+        !std::getline(ss, y, ',')) {
+      return std::nullopt;
+    }
+    net.AddVertex(std::stod(x), std::stod(y));
+  }
+
+  std::getline(ef, line);  // header
+  while (std::getline(ef, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string from, to, length;
+    if (!std::getline(ss, from, ',') || !std::getline(ss, to, ',') ||
+        !std::getline(ss, length, ',')) {
+      return std::nullopt;
+    }
+    const auto f = static_cast<VertexId>(std::stoul(from));
+    const auto t = static_cast<VertexId>(std::stoul(to));
+    if (f >= net.num_vertices() || t >= net.num_vertices()) {
+      return std::nullopt;
+    }
+    net.AddEdge(f, t, std::stod(length));
+  }
+  return net;
+}
+
+}  // namespace utcq::network

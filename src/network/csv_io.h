@@ -1,0 +1,23 @@
+#ifndef UTCQ_NETWORK_CSV_IO_H_
+#define UTCQ_NETWORK_CSV_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "network/road_network.h"
+
+namespace utcq::network {
+
+/// Persists a network as two CSV files: `<prefix>.vertices.csv` with rows
+/// `id,x,y` and `<prefix>.edges.csv` with rows `from,to,length`. The format
+/// is intentionally compatible with common OSM graph exports so real road
+/// graphs can be dropped in when available.
+bool SaveCsv(const RoadNetwork& network, const std::string& prefix);
+
+/// Loads a network written by SaveCsv (or an equivalent export). Vertices
+/// must be consecutively numbered from 0. Returns nullopt on parse failure.
+std::optional<RoadNetwork> LoadCsv(const std::string& prefix);
+
+}  // namespace utcq::network
+
+#endif  // UTCQ_NETWORK_CSV_IO_H_

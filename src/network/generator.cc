@@ -1,0 +1,84 @@
+#include "network/generator.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace utcq::network {
+
+RoadNetwork GenerateCity(common::Rng& rng, const CityParams& p) {
+  RoadNetwork net;
+  std::vector<VertexId> grid(static_cast<size_t>(p.rows) * p.cols);
+  for (uint32_t r = 0; r < p.rows; ++r) {
+    for (uint32_t c = 0; c < p.cols; ++c) {
+      const double jx = rng.Uniform(-1.0, 1.0) * p.jitter_fraction;
+      const double jy = rng.Uniform(-1.0, 1.0) * p.jitter_fraction;
+      grid[r * p.cols + c] =
+          net.AddVertex((c + jx) * p.block_meters, (r + jy) * p.block_meters);
+    }
+  }
+
+  auto link = [&](VertexId a, VertexId b) {
+    if (rng.Bernoulli(p.drop_probability)) return;
+    if (rng.Bernoulli(p.one_way_probability)) {
+      if (rng.Bernoulli(0.5)) {
+        net.AddEdge(a, b);
+      } else {
+        net.AddEdge(b, a);
+      }
+    } else {
+      net.AddEdge(a, b);
+      net.AddEdge(b, a);
+    }
+  };
+
+  for (uint32_t r = 0; r < p.rows; ++r) {
+    for (uint32_t c = 0; c < p.cols; ++c) {
+      const VertexId v = grid[r * p.cols + c];
+      if (c + 1 < p.cols) link(v, grid[r * p.cols + c + 1]);
+      if (r + 1 < p.rows) link(v, grid[(r + 1) * p.cols + c]);
+      if (r + 1 < p.rows && c + 1 < p.cols &&
+          rng.Bernoulli(p.diagonal_probability)) {
+        link(v, grid[(r + 1) * p.cols + c + 1]);
+      }
+    }
+  }
+  return net;
+}
+
+RoadNetwork GenerateRingRadial(common::Rng& rng, uint32_t rings,
+                               uint32_t spokes, double ring_spacing_meters) {
+  RoadNetwork net;
+  const VertexId center = net.AddVertex(0.0, 0.0);
+  std::vector<std::vector<VertexId>> ring_vertices(rings);
+  for (uint32_t r = 0; r < rings; ++r) {
+    const double radius = (r + 1) * ring_spacing_meters;
+    for (uint32_t s = 0; s < spokes; ++s) {
+      const double angle = 2.0 * std::numbers::pi * s / spokes +
+                           rng.Uniform(-0.03, 0.03);
+      ring_vertices[r].push_back(
+          net.AddVertex(radius * std::cos(angle), radius * std::sin(angle)));
+    }
+  }
+  // Ring links (both directions).
+  for (uint32_t r = 0; r < rings; ++r) {
+    for (uint32_t s = 0; s < spokes; ++s) {
+      const VertexId a = ring_vertices[r][s];
+      const VertexId b = ring_vertices[r][(s + 1) % spokes];
+      net.AddEdge(a, b);
+      net.AddEdge(b, a);
+    }
+  }
+  // Radial links.
+  for (uint32_t s = 0; s < spokes; ++s) {
+    net.AddEdge(center, ring_vertices[0][s]);
+    net.AddEdge(ring_vertices[0][s], center);
+    for (uint32_t r = 0; r + 1 < rings; ++r) {
+      net.AddEdge(ring_vertices[r][s], ring_vertices[r + 1][s]);
+      net.AddEdge(ring_vertices[r + 1][s], ring_vertices[r][s]);
+    }
+  }
+  return net;
+}
+
+}  // namespace utcq::network

@@ -1,0 +1,39 @@
+#ifndef UTCQ_NETWORK_GENERATOR_H_
+#define UTCQ_NETWORK_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "network/road_network.h"
+
+namespace utcq::network {
+
+/// Parameters for the perturbed-grid city generator.
+///
+/// The generator produces networks whose statistics track the paper's
+/// Table 6: mean out-degree ~2.4-2.8 is obtained by dropping a fraction of
+/// grid links and adding a few diagonals; block sizes set edge lengths
+/// (~80-250 m in urban cores).
+struct CityParams {
+  uint32_t rows = 40;
+  uint32_t cols = 40;
+  double block_meters = 150.0;   // nominal block edge length
+  double jitter_fraction = 0.2;  // vertex position jitter (fraction of block)
+  double drop_probability = 0.12;     // fraction of grid links removed
+  double diagonal_probability = 0.05; // extra diagonal shortcut links
+  double one_way_probability = 0.15;  // links kept in one direction only
+};
+
+/// Generates a strongly-connected-ish urban grid network. Both directions of
+/// a street are separate directed edges (Definition 1), except for one-way
+/// streets.
+RoadNetwork GenerateCity(common::Rng& rng, const CityParams& params);
+
+/// Generates a ring-radial network (ring roads plus spokes), a second
+/// topology used by examples and robustness tests.
+RoadNetwork GenerateRingRadial(common::Rng& rng, uint32_t rings,
+                               uint32_t spokes, double ring_spacing_meters);
+
+}  // namespace utcq::network
+
+#endif  // UTCQ_NETWORK_GENERATOR_H_

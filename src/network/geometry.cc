@@ -1,0 +1,59 @@
+#include "network/geometry.h"
+
+#include <algorithm>
+
+namespace utcq::network {
+
+bool SegmentInsideRect(double ax, double ay, double bx, double by,
+                       const Rect& rect) {
+  return rect.Contains(ax, ay) && rect.Contains(bx, by);
+}
+
+namespace {
+
+int Orientation(double ax, double ay, double bx, double by, double cx,
+                double cy) {
+  const double v = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
+  if (v > 0) return 1;
+  if (v < 0) return -1;
+  return 0;
+}
+
+bool OnSegment(double ax, double ay, double bx, double by, double px,
+               double py) {
+  return px >= std::min(ax, bx) && px <= std::max(ax, bx) &&
+         py >= std::min(ay, by) && py <= std::max(ay, by);
+}
+
+}  // namespace
+
+bool SegmentsIntersect(double ax, double ay, double bx, double by, double cx,
+                       double cy, double dx, double dy) {
+  const int o1 = Orientation(ax, ay, bx, by, cx, cy);
+  const int o2 = Orientation(ax, ay, bx, by, dx, dy);
+  const int o3 = Orientation(cx, cy, dx, dy, ax, ay);
+  const int o4 = Orientation(cx, cy, dx, dy, bx, by);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && OnSegment(ax, ay, bx, by, cx, cy)) return true;
+  if (o2 == 0 && OnSegment(ax, ay, bx, by, dx, dy)) return true;
+  if (o3 == 0 && OnSegment(cx, cy, dx, dy, ax, ay)) return true;
+  if (o4 == 0 && OnSegment(cx, cy, dx, dy, bx, by)) return true;
+  return false;
+}
+
+bool SegmentIntersectsRect(double ax, double ay, double bx, double by,
+                           const Rect& rect) {
+  if (rect.Contains(ax, ay) || rect.Contains(bx, by)) return true;
+  // Segment fully outside can still cross the rectangle: test all four
+  // rectangle edges.
+  return SegmentsIntersect(ax, ay, bx, by, rect.min_x, rect.min_y, rect.max_x,
+                           rect.min_y) ||
+         SegmentsIntersect(ax, ay, bx, by, rect.max_x, rect.min_y, rect.max_x,
+                           rect.max_y) ||
+         SegmentsIntersect(ax, ay, bx, by, rect.max_x, rect.max_y, rect.min_x,
+                           rect.max_y) ||
+         SegmentsIntersect(ax, ay, bx, by, rect.min_x, rect.max_y, rect.min_x,
+                           rect.min_y);
+}
+
+}  // namespace utcq::network

@@ -1,0 +1,27 @@
+#ifndef UTCQ_NETWORK_GEOMETRY_H_
+#define UTCQ_NETWORK_GEOMETRY_H_
+
+#include "network/road_network.h"
+
+namespace utcq::network {
+
+/// Exact segment/rectangle predicates shared by every query engine (plain,
+/// TED, UTCQ) so that Lemma 2's shortcuts are conservative with respect to
+/// the same geometric semantics the ground truth uses.
+
+/// True iff both endpoints (and hence the whole segment) lie inside `rect`.
+bool SegmentInsideRect(double ax, double ay, double bx, double by,
+                       const Rect& rect);
+
+/// True iff the closed segment intersects the closed rectangle
+/// (Cohen-Sutherland outcode test plus exact segment/edge intersection).
+bool SegmentIntersectsRect(double ax, double ay, double bx, double by,
+                           const Rect& rect);
+
+/// True iff two closed segments intersect.
+bool SegmentsIntersect(double ax, double ay, double bx, double by, double cx,
+                       double cy, double dx, double dy);
+
+}  // namespace utcq::network
+
+#endif  // UTCQ_NETWORK_GEOMETRY_H_

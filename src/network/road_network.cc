@@ -1,0 +1,146 @@
+#include "network/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+namespace utcq::network {
+
+double Distance(double ax, double ay, double bx, double by) {
+  const double dx = ax - bx;
+  const double dy = ay - by;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+VertexId RoadNetwork::AddVertex(double x, double y) {
+  const VertexId id = static_cast<VertexId>(vertices_.size());
+  vertices_.push_back({x, y});
+  out_edges_.emplace_back();
+  bbox_.min_x = std::min(bbox_.min_x, x);
+  bbox_.min_y = std::min(bbox_.min_y, y);
+  bbox_.max_x = std::max(bbox_.max_x, x);
+  bbox_.max_y = std::max(bbox_.max_y, y);
+  return id;
+}
+
+EdgeId RoadNetwork::AddEdge(VertexId from, VertexId to, double length) {
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  if (length <= 0.0) {
+    const Vertex& a = vertices_[from];
+    const Vertex& b = vertices_[to];
+    length = Distance(a.x, a.y, b.x, b.y);
+    if (length <= 0.0) length = 1.0;  // degenerate zero-length edges
+  }
+  const uint32_t no = static_cast<uint32_t>(out_edges_[from].size()) + 1;
+  edges_.push_back({from, to, length, no});
+  out_edges_[from].push_back(id);
+  max_out_degree_ = std::max(max_out_degree_, no);
+  return id;
+}
+
+EdgeId RoadNetwork::OutEdge(VertexId v, uint32_t no) const {
+  if (no == 0 || no > out_edges_[v].size()) return kInvalidEdge;
+  return out_edges_[v][no - 1];
+}
+
+EdgeId RoadNetwork::FindEdge(VertexId from, VertexId to) const {
+  for (const EdgeId e : out_edges_[from]) {
+    if (edges_[e].to == to) return e;
+  }
+  return kInvalidEdge;
+}
+
+double RoadNetwork::average_out_degree() const {
+  if (vertices_.empty()) return 0.0;
+  return static_cast<double>(edges_.size()) /
+         static_cast<double>(vertices_.size());
+}
+
+int RoadNetwork::edge_number_bits() const {
+  // Entries take values 0..o (0 is the repeat marker), so the field must
+  // cover o+1 distinct values; BitsFor(o) bits hold [0, o].
+  const uint32_t o = std::max<uint32_t>(max_out_degree_, 1);
+  int bits = 0;
+  uint32_t n = o;
+  while (n > 0) {
+    ++bits;
+    n >>= 1;
+  }
+  return bits;
+}
+
+Vertex RoadNetwork::PointOnEdge(EdgeId e, double dist) const {
+  const Edge& ed = edges_[e];
+  const Vertex& a = vertices_[ed.from];
+  const Vertex& b = vertices_[ed.to];
+  const double f = ed.length > 0 ? std::clamp(dist / ed.length, 0.0, 1.0) : 0.0;
+  return {a.x + (b.x - a.x) * f, a.y + (b.y - a.y) * f};
+}
+
+namespace {
+
+struct QueueEntry {
+  double cost;
+  VertexId vertex;
+  bool operator>(const QueueEntry& o) const { return cost > o.cost; }
+};
+
+}  // namespace
+
+std::optional<std::vector<EdgeId>> RoadNetwork::ShortestPath(
+    VertexId from, VertexId to, double max_cost) const {
+  if (from == to) return std::vector<EdgeId>{};
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  // Sparse maps: bounded searches touch a tiny fraction of the graph.
+  std::unordered_map<VertexId, double> dist;
+  std::unordered_map<VertexId, EdgeId> parent;
+  auto dist_of = [&](VertexId v) {
+    const auto it = dist.find(v);
+    return it == dist.end() ? std::numeric_limits<double>::infinity()
+                            : it->second;
+  };
+
+  pq.push({0.0, from});
+  dist[from] = 0.0;
+  while (!pq.empty()) {
+    const auto [cost, v] = pq.top();
+    pq.pop();
+    if (cost > dist_of(v)) continue;
+    if (v == to) break;
+    if (cost > max_cost) break;
+    for (const EdgeId e : out_edges_[v]) {
+      const Edge& ed = edges_[e];
+      const double next = cost + ed.length;
+      if (next > max_cost) continue;
+      if (next < dist_of(ed.to)) {
+        dist[ed.to] = next;
+        parent[ed.to] = e;
+        pq.push({next, ed.to});
+      }
+    }
+  }
+  if (dist.find(to) == dist.end()) return std::nullopt;
+
+  std::vector<EdgeId> path;
+  VertexId v = to;
+  while (v != from) {
+    const auto it = parent.find(v);
+    if (it == parent.end()) return std::nullopt;
+    path.push_back(it->second);
+    v = edges_[it->second].from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double RoadNetwork::ShortestPathCost(VertexId from, VertexId to,
+                                     double max_cost) const {
+  const auto path = ShortestPath(from, to, max_cost);
+  if (!path.has_value()) return std::numeric_limits<double>::infinity();
+  double cost = 0.0;
+  for (const EdgeId e : *path) cost += edges_[e].length;
+  return cost;
+}
+
+}  // namespace utcq::network

@@ -1,0 +1,112 @@
+#ifndef UTCQ_NETWORK_ROAD_NETWORK_H_
+#define UTCQ_NETWORK_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+namespace utcq::network {
+
+using VertexId = uint32_t;
+using EdgeId = uint32_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// A road-network vertex: an intersection or end point with a planar
+/// position (Definition 1). Coordinates are in meters in a local projection;
+/// the synthetic generators and all geometry work in this plane.
+struct Vertex {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// A directed edge (vs -> ve) with its physical length and its 1-based
+/// *outgoing edge number* w.r.t. vs (Definition 6). TED and UTCQ both encode
+/// paths as sequences of outgoing edge numbers.
+struct Edge {
+  VertexId from = kInvalidVertex;
+  VertexId to = kInvalidVertex;
+  double length = 0.0;
+  uint32_t out_number = 0;  // 1-based position among `from`'s outgoing edges
+};
+
+/// Axis-aligned rectangle used for bounding boxes and range-query regions.
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  bool Contains(double x, double y) const {
+    return x >= min_x && x <= max_x && y >= min_y && y <= max_y;
+  }
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+};
+
+/// Directed road-network graph G = (V, E) with stable outgoing-edge
+/// numbering, the substrate every trajectory in this project lives on.
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+
+  VertexId AddVertex(double x, double y);
+
+  /// Adds edge (from -> to); assigns the next outgoing edge number of
+  /// `from`. `length` <= 0 means "use Euclidean distance".
+  EdgeId AddEdge(VertexId from, VertexId to, double length = -1.0);
+
+  size_t num_vertices() const { return vertices_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  const Vertex& vertex(VertexId v) const { return vertices_[v]; }
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// Outgoing edges of `v`, ordered by outgoing edge number (1-based).
+  const std::vector<EdgeId>& out_edges(VertexId v) const {
+    return out_edges_[v];
+  }
+
+  /// Edge leaving `v` with outgoing edge number `no` (1-based), or
+  /// kInvalidEdge when out of range.
+  EdgeId OutEdge(VertexId v, uint32_t no) const;
+
+  /// Directed edge from -> to if present.
+  EdgeId FindEdge(VertexId from, VertexId to) const;
+
+  uint32_t max_out_degree() const { return max_out_degree_; }
+  double average_out_degree() const;
+
+  /// Bits per outgoing edge number: ceil(log2(o)) with o the maximum
+  /// out-degree over all vertices (Section 2.3 step i).
+  int edge_number_bits() const;
+
+  Rect bounding_box() const { return bbox_; }
+
+  /// Position `dist` meters from edge start along the (straight) edge.
+  Vertex PointOnEdge(EdgeId e, double dist) const;
+
+  /// Bounded Dijkstra from `from` to `to`; returns the edge-id path, or
+  /// nullopt if `to` is unreachable within `max_cost` meters.
+  std::optional<std::vector<EdgeId>> ShortestPath(VertexId from, VertexId to,
+                                                  double max_cost) const;
+
+  /// Network distance of the bounded shortest path, or +inf.
+  double ShortestPathCost(VertexId from, VertexId to, double max_cost) const;
+
+ private:
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  uint32_t max_out_degree_ = 0;
+  Rect bbox_{1e300, 1e300, -1e300, -1e300};
+};
+
+/// Euclidean distance helper.
+double Distance(double ax, double ay, double bx, double by);
+
+}  // namespace utcq::network
+
+#endif  // UTCQ_NETWORK_ROAD_NETWORK_H_

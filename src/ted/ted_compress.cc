@@ -1,0 +1,239 @@
+#include "ted/ted_compress.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/bignum.h"
+#include "common/varint.h"
+#include "ted/ted_repr.h"
+#include "traj/interpolate.h"
+
+namespace utcq::ted {
+
+using common::BitReader;
+using common::BitsFor;
+using common::BitWriter;
+
+TedCompressed TedCompressor::Compress(const traj::UncertainCorpus& corpus) const {
+  TedCompressed out;
+  out.params_ = params_;
+  out.entry_bits_ = BitsFor(std::max<uint32_t>(net_.max_out_degree(), 1));
+  out.d_codec_ = common::PddpCodec(params_.eta_d);
+  out.p_codec_ = common::PddpCodec(params_.eta_p);
+
+  common::MemoryTracker mem;
+
+  // Entry vectors retained corpus-wide for the matrix transformation.
+  struct PendingE {
+    size_t traj;
+    size_t inst;
+    std::vector<uint32_t> entries;
+  };
+  std::vector<PendingE> pending;
+
+  out.metas_.reserve(corpus.size());
+  for (size_t j = 0; j < corpus.size(); ++j) {
+    const traj::UncertainTrajectory& tu = corpus[j];
+    TedTrajMeta meta;
+    meta.n_points = static_cast<uint32_t>(tu.times.size());
+    meta.t_first = tu.times.front();
+    meta.t_last = tu.times.back();
+
+    // --- T: (i, t) anchor pairs ---
+    meta.t_pos = out.t_stream_.size_bits();
+    const auto pairs = BuildTimePairs(tu.times);
+    const size_t t_before = out.t_stream_.size_bits();
+    common::PutVarint(out.t_stream_, tu.times.size());
+    common::PutVarint(out.t_stream_, pairs.size());
+    const int idx_bits = BitsFor(tu.times.size() - 1);
+    for (const auto& [i, t] : pairs) {
+      out.t_stream_.PutBits(i, idx_bits);
+      out.t_stream_.PutBits(static_cast<uint64_t>(t), 17);
+    }
+    out.compressed_bits_.t_bits += out.t_stream_.size_bits() - t_before;
+
+    // --- per instance ---
+    for (size_t w = 0; w < tu.instances.size(); ++w) {
+      const traj::TrajectoryInstance& inst = tu.instances[w];
+      TedInstanceMeta im;
+
+      im.sv_pos = out.sv_stream_.size_bits();
+      out.sv_stream_.PutBits(traj::StartVertex(net_, inst), 32);
+      out.compressed_bits_.e_bits += 32;  // SV folded into E (DESIGN §2)
+
+      auto entries = traj::BuildEdgeSequence(net_, inst);
+      im.e_len = static_cast<uint32_t>(entries.size());
+
+      const auto tflag = traj::BuildTimeFlagBits(inst);
+      im.tflag_pos = out.tflag_stream_.size_bits();
+      for (const uint8_t b : tflag) out.tflag_stream_.PutBit(b != 0);
+      out.compressed_bits_.tflag_bits += tflag.size();
+
+      im.d_pos = out.d_stream_.size_bits();
+      im.n_locs = static_cast<uint32_t>(inst.locations.size());
+      const size_t d_before = out.d_stream_.size_bits();
+      for (const auto& loc : inst.locations) {
+        out.d_codec_.Encode(out.d_stream_, loc.rd);
+      }
+      out.compressed_bits_.d_bits += out.d_stream_.size_bits() - d_before;
+
+      im.p_pos = out.p_stream_.size_bits();
+      const size_t p_before = out.p_stream_.size_bits();
+      out.p_codec_.Encode(out.p_stream_, inst.probability);
+      out.compressed_bits_.p_bits += out.p_stream_.size_bits() - p_before;
+      im.p_quantized =
+          static_cast<float>(out.p_codec_.Quantize(inst.probability));
+
+      if (params_.matrix_compression) {
+        mem.Add(entries.size() * sizeof(uint32_t) + sizeof(PendingE));
+        pending.push_back({j, w, std::move(entries)});
+      } else {
+        im.e_pos = out.e_plain_.size_bits();
+        for (const uint32_t e : entries) {
+          out.e_plain_.PutBits(e, out.entry_bits_);
+        }
+        out.compressed_bits_.e_bits += entries.size() * out.entry_bits_;
+      }
+      meta.instances.push_back(im);
+    }
+    out.metas_.push_back(std::move(meta));
+  }
+
+  if (params_.matrix_compression) {
+    // Step ii: group codes by length; step iii: per-column bases.
+    std::map<uint32_t, std::vector<size_t>> by_length;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      by_length[static_cast<uint32_t>(pending[i].entries.size())].push_back(i);
+    }
+    mem.Add(pending.size() * sizeof(size_t) +
+            by_length.size() * sizeof(std::vector<size_t>));
+
+    const int base_field_bits = out.entry_bits_ + 1;  // bases reach 2^eb
+    for (auto& [length, rows] : by_length) {
+      TedGroup group;
+      group.entry_count = length;
+      group.rows = static_cast<uint32_t>(rows.size());
+      group.col_bases.assign(length, 1);
+      // Column maxima over the A x B matrix define the bases b_c.
+      for (const size_t r : rows) {
+        const auto& entries = pending[r].entries;
+        for (uint32_t c = 0; c < length; ++c) {
+          group.col_bases[c] = std::max(group.col_bases[c], entries[c] + 1);
+        }
+      }
+      // Row width: ceil(log2(prod b_c)) via the maximum row value prod-1,
+      // built digit-wise so no subtraction is needed.
+      common::BigNum max_row;
+      for (size_t c = length; c-- > 0;) {
+        max_row.MulAdd(group.col_bases[c], group.col_bases[c] - 1);
+      }
+      group.row_width_bits = max_row.BitLength();
+      mem.Add(static_cast<size_t>(group.row_width_bits) * rows.size() / 8 +
+              length * sizeof(uint32_t));
+
+      // Header: group length + row count (64) plus one base field per
+      // column. Only keep the matrix when it beats plain coding — a group
+      // of very few rows cannot amortize the header.
+      const uint64_t header_bits =
+          64 + static_cast<uint64_t>(base_field_bits) * length;
+      const uint64_t matrix_bits =
+          header_bits +
+          static_cast<uint64_t>(group.row_width_bits) * rows.size();
+      const uint64_t plain_bits = static_cast<uint64_t>(out.entry_bits_) *
+                                  length * rows.size();
+      if (matrix_bits >= plain_bits) {
+        for (const size_t r : rows) {
+          auto& im = out.metas_[pending[r].traj].instances[pending[r].inst];
+          im.group = kNoGroup;
+          im.e_pos = out.e_plain_.size_bits();
+          for (const uint32_t e : pending[r].entries) {
+            out.e_plain_.PutBits(e, out.entry_bits_);
+          }
+        }
+        out.compressed_bits_.e_bits += plain_bits;
+        continue;
+      }
+
+      const uint32_t group_id = static_cast<uint32_t>(out.groups_.size());
+      uint32_t row_no = 0;
+      for (const size_t r : rows) {
+        auto& im = out.metas_[pending[r].traj].instances[pending[r].inst];
+        im.group = group_id;
+        im.row = row_no++;
+        // Mixed-radix packing (Horner from the last digit).
+        common::BigNum acc;
+        const auto& entries = pending[r].entries;
+        for (size_t c = length; c-- > 0;) {
+          acc.MulAdd(group.col_bases[c], entries[c]);
+        }
+        acc.WriteBits(group.codes, group.row_width_bits);
+      }
+      out.compressed_bits_.e_bits += matrix_bits;
+      out.groups_.push_back(std::move(group));
+    }
+  }
+
+  out.peak_memory_ = mem.peak_bytes();
+  return out;
+}
+
+std::vector<traj::Timestamp> TedCompressed::DecodeTimes(size_t traj_idx) const {
+  const TedTrajMeta& meta = metas_[traj_idx];
+  BitReader r(t_stream_.bytes().data(), t_stream_.size_bits());
+  r.Seek(meta.t_pos);
+  const uint64_t n = common::GetVarint(r);
+  const uint64_t pairs = common::GetVarint(r);
+  const int idx_bits = BitsFor(n - 1);
+  std::vector<TimePair> anchor;
+  anchor.reserve(pairs);
+  for (uint64_t i = 0; i < pairs; ++i) {
+    const uint32_t idx = static_cast<uint32_t>(r.GetBits(idx_bits));
+    const auto t = static_cast<traj::Timestamp>(r.GetBits(17));
+    anchor.emplace_back(idx, t);
+  }
+  return ExpandTimePairs(anchor);
+}
+
+std::optional<traj::TrajectoryInstance> TedCompressed::DecodeInstance(
+    const network::RoadNetwork& net, size_t traj_idx, size_t inst_idx) const {
+  const TedInstanceMeta& im = metas_[traj_idx].instances[inst_idx];
+
+  BitReader sv_reader(sv_stream_.bytes().data(), sv_stream_.size_bits());
+  sv_reader.Seek(im.sv_pos);
+  const auto sv = static_cast<network::VertexId>(sv_reader.GetBits(32));
+
+  std::vector<uint32_t> entries(im.e_len);
+  if (params_.matrix_compression && im.group != kNoGroup) {
+    const TedGroup& g = groups_[im.group];
+    BitReader er(g.codes.bytes().data(), g.codes.size_bits());
+    er.Seek(static_cast<uint64_t>(im.row) * g.row_width_bits);
+    common::BigNum acc = common::BigNum::ReadBits(er, g.row_width_bits);
+    for (uint32_t c = 0; c < im.e_len; ++c) {
+      entries[c] = acc.DivMod(g.col_bases[c]);
+    }
+  } else {
+    BitReader er(e_plain_.bytes().data(), e_plain_.size_bits());
+    er.Seek(im.e_pos);
+    for (uint32_t c = 0; c < im.e_len; ++c) {
+      entries[c] = static_cast<uint32_t>(er.GetBits(entry_bits_));
+    }
+  }
+
+  std::vector<uint8_t> tflag(im.e_len);
+  BitReader tr(tflag_stream_.bytes().data(), tflag_stream_.size_bits());
+  tr.Seek(im.tflag_pos);
+  for (uint32_t i = 0; i < im.e_len; ++i) tflag[i] = tr.GetBit() ? 1 : 0;
+
+  std::vector<double> rds(im.n_locs);
+  BitReader dr(d_stream_.bytes().data(), d_stream_.size_bits());
+  dr.Seek(im.d_pos);
+  for (uint32_t i = 0; i < im.n_locs; ++i) rds[i] = d_codec_.Decode(dr);
+
+  BitReader pr(p_stream_.bytes().data(), p_stream_.size_bits());
+  pr.Seek(im.p_pos);
+  const double p = p_codec_.Decode(pr);
+
+  return traj::ReconstructInstance(net, sv, entries, tflag, rds, p);
+}
+
+}  // namespace utcq::ted

@@ -1,0 +1,43 @@
+#include "ted/ted_repr.h"
+
+namespace utcq::ted {
+
+std::vector<TimePair> BuildTimePairs(const std::vector<traj::Timestamp>& times) {
+  std::vector<TimePair> pairs;
+  const size_t n = times.size();
+  if (n == 0) return pairs;
+  pairs.emplace_back(0, times[0]);
+  if (n == 1) return pairs;
+
+  size_t pos = 0;
+  while (pos + 1 < n) {
+    // Extend the arithmetic run starting at `pos` as far as possible.
+    const traj::Timestamp interval = times[pos + 1] - times[pos];
+    size_t end = pos + 1;
+    while (end + 1 < n && times[end + 1] - times[end] == interval) ++end;
+    pairs.emplace_back(static_cast<uint32_t>(end), times[end]);
+    pos = end;
+  }
+  return pairs;
+}
+
+std::vector<traj::Timestamp> ExpandTimePairs(const std::vector<TimePair>& pairs) {
+  std::vector<traj::Timestamp> times;
+  if (pairs.empty()) return times;
+  times.push_back(pairs[0].second);
+  for (size_t k = 1; k < pairs.size(); ++k) {
+    const auto [i0, t0] = pairs[k - 1];
+    const auto [i1, t1] = pairs[k];
+    const uint32_t steps = i1 - i0;
+    const traj::Timestamp interval = (t1 - t0) / static_cast<traj::Timestamp>(steps);
+    for (uint32_t s = 1; s <= steps; ++s) {
+      times.push_back(t0 + interval * static_cast<traj::Timestamp>(s));
+    }
+    // Guard against non-integral intervals (cannot happen for anchors built
+    // by BuildTimePairs, but keep the expansion self-consistent).
+    times.back() = t1;
+  }
+  return times;
+}
+
+}  // namespace utcq::ted

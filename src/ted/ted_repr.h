@@ -1,0 +1,27 @@
+#ifndef UTCQ_TED_TED_REPR_H_
+#define UTCQ_TED_TED_REPR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "traj/types.h"
+
+namespace utcq::ted {
+
+/// One (index, timestamp) anchor of TED's time-sequence representation.
+using TimePair = std::pair<uint32_t, traj::Timestamp>;
+
+/// Builds TED's T(Tr) representation (Section 2.2): timestamps with
+/// unchanged sample intervals are omitted, i.e. the anchors are the
+/// endpoints of maximal arithmetic runs. Reproduces the paper's example:
+/// 7 timestamps with intervals (240,241,240,239,240,240) keep indexes
+/// {0,1,2,3,4,6}.
+std::vector<TimePair> BuildTimePairs(const std::vector<traj::Timestamp>& times);
+
+/// Losslessly reconstructs the full time sequence from the anchors.
+std::vector<traj::Timestamp> ExpandTimePairs(const std::vector<TimePair>& pairs);
+
+}  // namespace utcq::ted
+
+#endif  // UTCQ_TED_TED_REPR_H_

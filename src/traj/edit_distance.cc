@@ -1,0 +1,50 @@
+#include "traj/edit_distance.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace utcq::traj {
+
+size_t EditDistance(const std::vector<uint32_t>& a,
+                    const std::vector<uint32_t>& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<size_t> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      const size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+size_t EditDistanceBanded(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b, size_t band) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  const size_t diff = n > m ? n - m : m - n;
+  if (diff > band) return band + 1;
+
+  constexpr size_t kInf = std::numeric_limits<size_t>::max() / 2;
+  std::vector<size_t> prev(m + 1, kInf), cur(m + 1, kInf);
+  for (size_t j = 0; j <= std::min(m, band); ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    const size_t lo = i > band ? i - band : 0;
+    const size_t hi = std::min(m, i + band);
+    std::fill(cur.begin(), cur.end(), kInf);
+    if (lo == 0) cur[0] = i;
+    for (size_t j = std::max<size_t>(lo, 1); j <= hi; ++j) {
+      const size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+    if (*std::min_element(prev.begin(), prev.end()) > band) return band + 1;
+  }
+  return std::min(prev[m], band + 1);
+}
+
+}  // namespace utcq::traj

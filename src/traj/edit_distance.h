@@ -1,0 +1,24 @@
+#ifndef UTCQ_TRAJ_EDIT_DISTANCE_H_
+#define UTCQ_TRAJ_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace utcq::traj {
+
+/// Levenshtein distance between two symbol sequences (unit costs), the
+/// measure the paper uses on E(.) sequences in Fig. 4b and the similarity
+/// ground truth for FJD evaluation ([37, 43]).
+size_t EditDistance(const std::vector<uint32_t>& a,
+                    const std::vector<uint32_t>& b);
+
+/// Banded variant: returns min(EditDistance(a, b), band + 1) in
+/// O(band * max(|a|, |b|)) time. Used by corpus statistics where only the
+/// histogram bucket (<= 2, <= 5, <= 8, >= 9) matters.
+size_t EditDistanceBanded(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b, size_t band);
+
+}  // namespace utcq::traj
+
+#endif  // UTCQ_TRAJ_EDIT_DISTANCE_H_

@@ -1,0 +1,448 @@
+#include "traj/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+namespace utcq::traj {
+
+using network::Edge;
+using network::EdgeId;
+using network::kInvalidEdge;
+using network::VertexId;
+
+UncertainTrajectoryGenerator::UncertainTrajectoryGenerator(
+    const network::RoadNetwork& net, DatasetProfile profile, uint64_t seed)
+    : net_(net), profile_(std::move(profile)), rng_(seed) {
+  in_edges_.resize(net.num_vertices());
+  for (EdgeId e = 0; e < net.num_edges(); ++e) {
+    in_edges_[net.edge(e).to].push_back(e);
+  }
+}
+
+std::vector<EdgeId> UncertainTrajectoryGenerator::RandomWalkPath(
+    size_t target_edges) {
+  for (int attempt = 0; attempt < 24; ++attempt) {
+    const EdgeId start =
+        static_cast<EdgeId>(rng_.UniformInt(0, net_.num_edges() - 1));
+    std::vector<EdgeId> path{start};
+    std::unordered_set<EdgeId> used{start};
+    while (path.size() < target_edges) {
+      const Edge& head = net_.edge(path.back());
+      const auto& outs = net_.out_edges(head.to);
+      // Prefer moves that are neither U-turns nor edge revisits.
+      std::vector<EdgeId> fresh;
+      for (const EdgeId e : outs) {
+        if (used.count(e) > 0) continue;
+        if (net_.edge(e).to == head.from && outs.size() > 1) continue;
+        fresh.push_back(e);
+      }
+      if (fresh.empty()) break;
+      const EdgeId next =
+          fresh[static_cast<size_t>(rng_.UniformInt(0, fresh.size() - 1))];
+      path.push_back(next);
+      used.insert(next);
+    }
+    if (path.size() >= static_cast<size_t>(profile_.min_edges) &&
+        path.size() * 2 >= target_edges) {
+      return path;
+    }
+  }
+  // Fall back to whatever single edge we can start from.
+  const EdgeId start =
+      static_cast<EdgeId>(rng_.UniformInt(0, net_.num_edges() - 1));
+  return {start};
+}
+
+double UncertainTrajectoryGenerator::DrawRd() {
+  // Map-matched relative distances cluster heavily in real data (points
+  // snap to intersections and segment anchors): a profile-controlled
+  // fraction sits on the coarse 1/8 grid, some on 1/16, the rest uniform.
+  const double u = rng_.Uniform();
+  if (u < profile_.rd_grid_fraction) {
+    return static_cast<double>(rng_.UniformInt(0, 7)) / 8.0;
+  }
+  if (u < profile_.rd_grid_fraction + 0.2) {
+    return static_cast<double>(rng_.UniformInt(0, 15)) / 16.0;
+  }
+  // Keep away from exactly 1.0 so rd stays in [0, 1).
+  return std::min(rng_.Uniform(0.0, 1.0), 0.999999);
+}
+
+int64_t UncertainTrajectoryGenerator::DrawDeviation() {
+  const IntervalDeviationMix& m = profile_.deviations;
+  const double u = rng_.Uniform();
+  int64_t magnitude = 0;
+  if (u < m.zero) {
+    magnitude = 0;
+  } else if (u < m.zero + m.one) {
+    magnitude = 1;
+  } else if (u < m.zero + m.one + m.upto_50) {
+    magnitude = rng_.UniformInt(2, 50);
+  } else if (u < m.zero + m.one + m.upto_50 + m.upto_100) {
+    magnitude = rng_.UniformInt(51, 100);
+  } else {
+    magnitude = rng_.UniformInt(101, 240);
+  }
+  if (magnitude == 0) return 0;
+  const bool negative =
+      rng_.Bernoulli(0.5) && magnitude < profile_.default_interval_s;
+  return negative ? -magnitude : magnitude;
+}
+
+std::vector<MappedLocation> UncertainTrajectoryGenerator::PlaceLocations(
+    const std::vector<EdgeId>& path) {
+  std::vector<MappedLocation> locations;
+  for (uint32_t i = 0; i < path.size(); ++i) {
+    uint32_t count;
+    const double u = rng_.Uniform();
+    if (u < 0.25) {
+      count = 0;
+    } else if (u < 0.85) {
+      count = 1;
+    } else {
+      count = 2;
+    }
+    if (i == 0 || i + 1 == path.size()) count = std::max<uint32_t>(count, 1);
+    std::vector<double> rds(count);
+    for (auto& rd : rds) rd = DrawRd();
+    std::sort(rds.begin(), rds.end());
+    for (const double rd : rds) locations.push_back({i, rd});
+  }
+  return locations;
+}
+
+void UncertainTrajectoryGenerator::NormalizeLocations(
+    TrajectoryInstance& inst) {
+  auto& locs = inst.locations;
+  std::stable_sort(locs.begin(), locs.end(),
+                   [](const MappedLocation& a, const MappedLocation& b) {
+                     return a.path_index != b.path_index
+                                ? a.path_index < b.path_index
+                                : a.rd < b.rd;
+                   });
+  for (auto& loc : locs) {
+    loc.path_index = std::min<uint32_t>(
+        loc.path_index, static_cast<uint32_t>(inst.path.size()) - 1);
+  }
+  if (!locs.empty()) {
+    locs.front().path_index = std::min<uint32_t>(locs.front().path_index, 0);
+    // First and last path edges must carry a location (Definition 5 /
+    // Section 4.1: their time-flag bits are always 1).
+    locs.front().path_index = 0;
+    locs.back().path_index = static_cast<uint32_t>(inst.path.size()) - 1;
+    if (locs.size() >= 2 &&
+        locs[locs.size() - 2].path_index > locs.back().path_index) {
+      locs[locs.size() - 2].path_index = locs.back().path_index;
+    }
+  }
+  std::stable_sort(locs.begin(), locs.end(),
+                   [](const MappedLocation& a, const MappedLocation& b) {
+                     return a.path_index != b.path_index
+                                ? a.path_index < b.path_index
+                                : a.rd < b.rd;
+                   });
+}
+
+bool UncertainTrajectoryGenerator::MutateDetour(TrajectoryInstance& inst) {
+  if (inst.path.size() < 2) return false;
+  // Spans of 2-3 edges dominate: a one-edge span has a same-length
+  // alternative only where true parallel edges exist, which grid networks
+  // lack; around-the-block alternatives need >= 2 edges.
+  const size_t max_span = std::min<size_t>(3, inst.path.size());
+  size_t span;
+  if (max_span < 2 || rng_.Bernoulli(0.1)) {
+    span = static_cast<size_t>(rng_.UniformInt(1, max_span));
+  } else {
+    span = static_cast<size_t>(rng_.UniformInt(2, max_span));
+  }
+  const size_t a =
+      static_cast<size_t>(rng_.UniformInt(0, inst.path.size() - span));
+  const size_t b = a + span - 1;
+  const VertexId u = net_.edge(inst.path[a]).from;
+  const VertexId v = net_.edge(inst.path[b]).to;
+  double orig_len = 0.0;
+  for (size_t i = a; i <= b; ++i) orig_len += net_.edge(inst.path[i]).length;
+
+  // Collect alternative routes u -> v; prefer same-length replacements
+  // (parallel roads), which dominate real probabilistic map-matching output
+  // — they keep D and often T' identical across instances, the similarity
+  // the referential representation exploits (Section 4.2).
+  std::vector<std::vector<EdgeId>> same_len;
+  std::vector<std::vector<EdgeId>> other_len;
+  for (const EdgeId first : net_.out_edges(u)) {
+    if (first == inst.path[a]) continue;
+    std::optional<std::vector<EdgeId>> rest;
+    if (net_.edge(first).to == v) {
+      rest = std::vector<EdgeId>{};
+    } else {
+      rest = net_.ShortestPath(net_.edge(first).to, v,
+                               orig_len * 3.0 + 500.0);
+    }
+    if (!rest.has_value()) continue;
+    std::vector<EdgeId> alt{first};
+    alt.insert(alt.end(), rest->begin(), rest->end());
+    // Reject alternatives identical to the original subpath and overly long
+    // detours (keeps edit distances small, per Fig. 4b).
+    if (alt.size() > span + 3) continue;
+    if (std::equal(alt.begin(), alt.end(), inst.path.begin() + a,
+                   inst.path.begin() + b + 1)) {
+      continue;
+    }
+    (alt.size() == span ? same_len : other_len).push_back(std::move(alt));
+  }
+  std::vector<std::vector<EdgeId>> pool = std::move(same_len);
+  if (pool.empty() || rng_.Bernoulli(0.2)) {
+    pool.insert(pool.end(), other_len.begin(), other_len.end());
+  }
+  if (!pool.empty()) {
+    const auto& alt =
+        pool[static_cast<size_t>(rng_.UniformInt(0, pool.size() - 1))];
+
+    // Remap locations in [a, b] proportionally onto the new subpath.
+    const size_t m = alt.size();
+    for (auto& loc : inst.locations) {
+      if (loc.path_index < a || loc.path_index > b) continue;
+      const double q =
+          (static_cast<double>(loc.path_index - a) + loc.rd) / span;
+      const double scaled = q * static_cast<double>(m);
+      uint32_t new_rel = std::min<uint32_t>(static_cast<uint32_t>(scaled),
+                                            static_cast<uint32_t>(m) - 1);
+      // Same-size replacements keep the old rd (the paper's "same relative
+      // distance on a different edge" observation).
+      const double new_rd =
+          m == span ? loc.rd
+                    : std::min(scaled - static_cast<double>(new_rel), 0.999999);
+      loc.path_index = static_cast<uint32_t>(a) + new_rel;
+      loc.rd = new_rd;
+    }
+    // Shift locations after the replaced range.
+    const int64_t delta = static_cast<int64_t>(m) - static_cast<int64_t>(span);
+    if (delta != 0) {
+      for (auto& loc : inst.locations) {
+        if (loc.path_index > b) {
+          loc.path_index = static_cast<uint32_t>(loc.path_index + delta);
+        }
+      }
+    }
+    // Splice the path.
+    std::vector<EdgeId> new_path(inst.path.begin(),
+                                 inst.path.begin() + static_cast<long>(a));
+    new_path.insert(new_path.end(), alt.begin(), alt.end());
+    new_path.insert(new_path.end(), inst.path.begin() + static_cast<long>(b) + 1,
+                    inst.path.end());
+    inst.path = std::move(new_path);
+    NormalizeLocations(inst);
+    return true;
+  }
+  return false;
+}
+
+bool UncertainTrajectoryGenerator::MutateStartSwap(TrajectoryInstance& inst) {
+  // Replace the first edge by a different in-edge of the same junction,
+  // giving the instance a different start vertex (exercises the SV(.)
+  // constraint of Section 4.2/4.3).
+  const VertexId join = net_.edge(inst.path.front()).to;
+  const auto& candidates = in_edges_[join];
+  if (candidates.size() < 2) return false;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const EdgeId pick =
+        candidates[static_cast<size_t>(rng_.UniformInt(0, candidates.size() - 1))];
+    if (pick == inst.path.front()) continue;
+    if (inst.path.size() > 1 && pick == inst.path[1]) continue;
+    inst.path.front() = pick;
+    NormalizeLocations(inst);
+    return true;
+  }
+  return false;
+}
+
+bool UncertainTrajectoryGenerator::MutateRd(TrajectoryInstance& inst) {
+  if (inst.locations.empty()) return false;
+  const size_t i =
+      static_cast<size_t>(rng_.UniformInt(0, inst.locations.size() - 1));
+  // Half the time move the location to a neighbouring path edge *keeping
+  // its rd* — the paper's Fig. 1 observation that the same raw point maps
+  // to different edges at the same relative distance (D stays identical,
+  // only E / T' shift). Otherwise draw a new rd on the same edge.
+  auto& loc = inst.locations[i];
+  if (rng_.Bernoulli(0.5) && inst.path.size() > 1 && i > 0 &&
+      i + 1 < inst.locations.size()) {
+    const bool forward = rng_.Bernoulli(0.5);
+    const uint32_t max_index = static_cast<uint32_t>(inst.path.size()) - 1;
+    const MappedLocation moved{
+        forward ? loc.path_index + 1 : loc.path_index - 1, loc.rd};
+    // The move must keep the time-ordered locations monotone along the
+    // path, otherwise timestamps would silently remap.
+    const auto leq = [](const MappedLocation& x, const MappedLocation& y) {
+      return x.path_index != y.path_index ? x.path_index < y.path_index
+                                          : x.rd <= y.rd;
+    };
+    if ((forward && loc.path_index < max_index &&
+         leq(moved, inst.locations[i + 1])) ||
+        (!forward && loc.path_index > 0 &&
+         leq(inst.locations[i - 1], moved))) {
+      loc = moved;
+    } else {
+      return false;
+    }
+  } else {
+    const double old_rd = loc.rd;
+    loc.rd = DrawRd();
+    if (loc.rd == old_rd) loc.rd = old_rd * 0.5 + 0.25;
+  }
+  NormalizeLocations(inst);
+  return true;
+}
+
+UncertainTrajectory UncertainTrajectoryGenerator::Generate() {
+  UncertainTrajectory tu;
+  tu.id = next_id_++;
+
+  // --- true path & locations ---
+  const double mean_extra = std::max(1.0, profile_.mean_edges -
+                                              profile_.min_edges);
+  size_t target =
+      profile_.min_edges +
+      static_cast<size_t>(-mean_extra * std::log(1.0 - rng_.Uniform(0.0, 0.999)));
+  target = std::min<size_t>(target, profile_.max_edges);
+  TrajectoryInstance truth;
+  truth.path = RandomWalkPath(std::max<size_t>(target, profile_.min_edges));
+  truth.locations = PlaceLocations(truth.path);
+
+  // --- shared time sequence ---
+  const size_t n = truth.locations.size();
+  std::vector<int64_t> intervals(n > 0 ? n - 1 : 0);
+  int64_t span = 0;
+  for (auto& iv : intervals) {
+    iv = profile_.default_interval_s + DrawDeviation();
+    iv = std::max<int64_t>(iv, 1);
+    span += iv;
+  }
+  const Timestamp t0 =
+      rng_.UniformInt(0, std::max<int64_t>(1, kSecondsPerDay - span - 1));
+  tu.times.resize(n);
+  Timestamp t = t0;
+  for (size_t i = 0; i < n; ++i) {
+    tu.times[i] = t;
+    if (i < intervals.size()) t += intervals[i];
+  }
+
+  // --- instance count: heavy-tailed mixture (Table 5 pairs small averages
+  // with large maxima, e.g. CD: avg 3, max 148; the bulk of *instances*
+  // lives in the tail, which is what makes referential groups large) ---
+  const double mean_extra_inst =
+      std::max(0.5, profile_.mean_instances - profile_.min_instances);
+  double extra;
+  if (rng_.Bernoulli(0.15)) {
+    extra = -2.5 * profile_.mean_instances *
+            std::log(1.0 - rng_.Uniform(0.0, 0.999));
+  } else {
+    extra = -0.55 * mean_extra_inst * std::log(1.0 - rng_.Uniform(0.0, 0.999));
+  }
+  size_t want = profile_.min_instances + static_cast<size_t>(extra);
+  want = std::min<size_t>(want, profile_.max_instances);
+  want = std::max<size_t>(want, profile_.min_instances);
+
+  // --- mutate copies of the truth into distinct instances ---
+  std::set<std::pair<std::vector<EdgeId>, std::vector<std::pair<uint32_t, int64_t>>>>
+      seen;
+  auto signature = [](const TrajectoryInstance& inst) {
+    std::vector<std::pair<uint32_t, int64_t>> locs;
+    locs.reserve(inst.locations.size());
+    for (const auto& l : inst.locations) {
+      locs.emplace_back(l.path_index,
+                        static_cast<int64_t>(std::llround(l.rd * 1e9)));
+    }
+    return std::make_pair(inst.path, std::move(locs));
+  };
+
+  tu.instances.push_back(truth);
+  seen.insert(signature(truth));
+  int failures = 0;
+  while (tu.instances.size() < want && failures < 40) {
+    TrajectoryInstance inst = truth;
+    const int mutations = 1 + static_cast<int>(-profile_.mutation_rate *
+                                               std::log(1.0 - rng_.Uniform(0.0, 0.999)) /
+                                               2.0);
+    bool changed = false;
+    for (int k = 0; k < std::max(1, mutations); ++k) {
+      const double u = rng_.Uniform();
+      if (u < 0.62) {
+        changed |= MutateDetour(inst);
+      } else if (u < 0.70) {
+        changed |= MutateStartSwap(inst);
+      } else {
+        changed |= MutateRd(inst);
+      }
+    }
+    if (!changed || inst.locations.size() != n ||
+        !seen.insert(signature(inst)).second) {
+      ++failures;
+      continue;
+    }
+    tu.instances.push_back(std::move(inst));
+  }
+
+  // --- probabilities: decreasing with rank, truth most likely ---
+  std::vector<double> weights(tu.instances.size());
+  double total = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = std::exp(-0.7 * static_cast<double>(i)) *
+                 (0.5 + rng_.Uniform(0.0, 0.5));
+    total += weights[i];
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    tu.instances[i].probability = weights[i] / total;
+  }
+  return tu;
+}
+
+UncertainCorpus UncertainTrajectoryGenerator::GenerateCorpus(size_t count) {
+  UncertainCorpus corpus;
+  corpus.reserve(count);
+  for (size_t i = 0; i < count; ++i) corpus.push_back(Generate());
+  return corpus;
+}
+
+UncertainTrajectoryGenerator::RawWithTruth
+UncertainTrajectoryGenerator::GenerateRaw() {
+  RawWithTruth out;
+  const size_t target = static_cast<size_t>(
+      std::max<double>(profile_.min_edges, profile_.mean_edges));
+  out.true_path = RandomWalkPath(target);
+
+  double total_len = 0.0;
+  for (const EdgeId e : out.true_path) total_len += net_.edge(e).length;
+
+  // Sample every ~Ts seconds at constant speed along the path.
+  const double speed = 10.0;  // m/s, urban traffic
+  const double duration = total_len / speed;
+  const size_t n = std::max<size_t>(
+      2, static_cast<size_t>(duration / profile_.default_interval_s));
+  const Timestamp t0 = rng_.UniformInt(0, kSecondsPerDay / 2);
+
+  // Prefix distances: prefix[i] = path length before edge i.
+  std::vector<double> prefix(out.true_path.size() + 1, 0.0);
+  for (size_t i = 0; i < out.true_path.size(); ++i) {
+    prefix[i + 1] = prefix[i] + net_.edge(out.true_path[i]).length;
+  }
+
+  size_t edge_idx = 0;
+  Timestamp t = t0;
+  for (size_t i = 0; i < n; ++i) {
+    const double goal = total_len * static_cast<double>(i) / (n - 1);
+    while (edge_idx + 1 < out.true_path.size() && prefix[edge_idx + 1] < goal) {
+      ++edge_idx;
+    }
+    const network::Vertex pos =
+        net_.PointOnEdge(out.true_path[edge_idx], goal - prefix[edge_idx]);
+    out.raw.push_back({pos.x + rng_.Normal(0.0, profile_.gps_noise_m),
+                       pos.y + rng_.Normal(0.0, profile_.gps_noise_m), t});
+    t += profile_.default_interval_s + std::max<int64_t>(DrawDeviation(), 0);
+  }
+  return out;
+}
+
+}  // namespace utcq::traj

@@ -1,0 +1,77 @@
+#ifndef UTCQ_TRAJ_GENERATOR_H_
+#define UTCQ_TRAJ_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "network/road_network.h"
+#include "traj/profiles.h"
+#include "traj/types.h"
+
+namespace utcq::traj {
+
+/// Synthesizes network-constrained uncertain trajectories whose statistics
+/// match a DatasetProfile (see DESIGN.md §2 for the substitution argument).
+///
+/// The true instance is a random walk on the network; further instances are
+/// produced by detour / start-swap / relative-distance mutations so that
+/// within-trajectory edit distances concentrate in the paper's [0,5] band
+/// while independent trajectories stay dissimilar (Fig. 4b). The shared time
+/// sequence follows the profile's sample-interval deviation mix (Fig. 4a).
+class UncertainTrajectoryGenerator {
+ public:
+  UncertainTrajectoryGenerator(const network::RoadNetwork& net,
+                               DatasetProfile profile, uint64_t seed);
+
+  /// Generates one uncertain trajectory (valid per traj::Validate).
+  UncertainTrajectory Generate();
+
+  /// Generates `count` independent uncertain trajectories.
+  UncertainCorpus GenerateCorpus(size_t count);
+
+  /// Generates a noisy raw GPS trajectory together with its ground-truth
+  /// path; input for the probabilistic map-matcher (examples and matcher
+  /// tests).
+  struct RawWithTruth {
+    RawTrajectory raw;
+    std::vector<network::EdgeId> true_path;
+  };
+  RawWithTruth GenerateRaw();
+
+  const DatasetProfile& profile() const { return profile_; }
+
+ private:
+  std::vector<network::EdgeId> RandomWalkPath(size_t target_edges);
+
+  /// Draws a relative distance; a profile-controlled fraction snaps to the
+  /// k/8 grid (matching the paper's observation that instances often share
+  /// rds even across different edges).
+  double DrawRd();
+
+  /// Samples a sample-interval deviation from the profile mix, clamped so
+  /// intervals stay >= 1 s.
+  int64_t DrawDeviation();
+
+  /// Places locations on a path: >= 1 on the first and last edges.
+  std::vector<MappedLocation> PlaceLocations(
+      const std::vector<network::EdgeId>& path);
+
+  /// Mutation operators; each returns true when it changed the instance.
+  bool MutateDetour(TrajectoryInstance& inst);
+  bool MutateStartSwap(TrajectoryInstance& inst);
+  bool MutateRd(TrajectoryInstance& inst);
+
+  /// Restores ordering/coverage invariants after a mutation.
+  void NormalizeLocations(TrajectoryInstance& inst);
+
+  const network::RoadNetwork& net_;
+  DatasetProfile profile_;
+  common::Rng rng_;
+  std::vector<std::vector<network::EdgeId>> in_edges_;  // reverse adjacency
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace utcq::traj
+
+#endif  // UTCQ_TRAJ_GENERATOR_H_

@@ -1,0 +1,62 @@
+#ifndef UTCQ_TRAJ_INTERPOLATE_H_
+#define UTCQ_TRAJ_INTERPOLATE_H_
+
+#include <optional>
+#include <vector>
+
+#include "network/road_network.h"
+#include "traj/types.h"
+
+namespace utcq::traj {
+
+/// A concrete network position <(vs -> ve), ndist> as returned by
+/// probabilistic where queries (Definition 10).
+struct NetworkPosition {
+  network::EdgeId edge = network::kInvalidEdge;
+  double ndist = 0.0;
+
+  bool operator==(const NetworkPosition&) const = default;
+};
+
+/// Movement semantics shared by every query engine: between consecutive
+/// mapped locations the object moves along the instance path at constant
+/// speed (the interpolation the paper's Example 3 applies).
+
+/// Network distance from the path start to location `loc_idx`.
+double PathOffsetOfLocation(const network::RoadNetwork& net,
+                            const TrajectoryInstance& inst, size_t loc_idx);
+
+/// Network position of the instance at time `t`, or nullopt when t lies
+/// outside [times.front(), times.back()].
+std::optional<NetworkPosition> PositionAtTime(
+    const network::RoadNetwork& net, const TrajectoryInstance& inst,
+    const std::vector<Timestamp>& times, Timestamp t);
+
+/// Path offset -> (edge, ndist) resolution.
+NetworkPosition PositionAtPathOffset(const network::RoadNetwork& net,
+                                     const TrajectoryInstance& inst,
+                                     double offset);
+
+/// All timestamps at which the instance passes <edge, rd> (one per matching
+/// traversal of `edge` within the sampled span); probabilistic when queries
+/// (Definition 11) build on this. `tolerance_m` widens the sampled span for
+/// engines working on lossily-coded relative distances (quantization can
+/// pull the first/last location past the exact query position).
+std::vector<Timestamp> TimesAtPosition(const network::RoadNetwork& net,
+                                       const TrajectoryInstance& inst,
+                                       const std::vector<Timestamp>& times,
+                                       network::EdgeId edge, double rd,
+                                       double tolerance_m = 1e-9);
+
+/// Rebuilds a TrajectoryInstance from its improved-TED constituents: start
+/// vertex, edge sequence entries E(.), *full* (untrimmed) time-flag bits and
+/// relative distances. Returns nullopt when the entries do not resolve to a
+/// connected path in the network (corruption guard for decoders).
+std::optional<TrajectoryInstance> ReconstructInstance(
+    const network::RoadNetwork& net, network::VertexId sv,
+    const std::vector<uint32_t>& entries, const std::vector<uint8_t>& tflag,
+    const std::vector<double>& rds, double probability);
+
+}  // namespace utcq::traj
+
+#endif  // UTCQ_TRAJ_INTERPOLATE_H_

@@ -1,0 +1,81 @@
+#include "traj/profiles.h"
+
+namespace utcq::traj {
+
+DatasetProfile DenmarkProfile() {
+  DatasetProfile p;
+  p.name = "DK";
+  p.default_interval_s = 1;
+  p.deviations = {0.80, 0.13, 0.05, 0.013, 0.007};
+  p.mean_instances = 9.0;
+  p.min_instances = 2;
+  p.max_instances = 139;
+  p.mean_edges = 14.0;
+  p.min_edges = 2;
+  p.max_edges = 434;
+  p.mutation_rate = 1.5;
+  p.rd_grid_fraction = 0.45;
+  p.city.rows = 48;
+  p.city.cols = 48;
+  p.city.block_meters = 240.0;
+  p.city.drop_probability = 0.22;  // rural sparsity: avg out-degree ~2.45
+  p.city.diagonal_probability = 0.03;
+  p.city.one_way_probability = 0.10;
+  p.gps_noise_m = 15.0;
+  p.eta_p = 1.0 / 512.0;
+  return p;
+}
+
+DatasetProfile ChengduProfile() {
+  DatasetProfile p;
+  p.name = "CD";
+  p.default_interval_s = 10;
+  p.deviations = {0.40, 0.22, 0.28, 0.07, 0.03};
+  p.mean_instances = 3.0;
+  p.min_instances = 2;
+  p.max_instances = 148;
+  p.mean_edges = 11.0;
+  p.min_edges = 2;
+  p.max_edges = 192;
+  p.mutation_rate = 1.4;
+  p.rd_grid_fraction = 0.45;
+  p.city.rows = 40;
+  p.city.cols = 40;
+  p.city.block_meters = 150.0;
+  p.city.drop_probability = 0.10;  // dense urban grid: avg out-degree ~2.83
+  p.city.diagonal_probability = 0.06;
+  p.city.one_way_probability = 0.15;
+  p.gps_noise_m = 20.0;
+  p.eta_p = 1.0 / 512.0;
+  return p;
+}
+
+DatasetProfile HangzhouProfile() {
+  DatasetProfile p;
+  p.name = "HZ";
+  p.default_interval_s = 20;
+  p.deviations = {0.34, 0.20, 0.32, 0.09, 0.05};
+  p.mean_instances = 13.0;
+  p.min_instances = 2;
+  p.max_instances = 189;
+  p.mean_edges = 13.0;
+  p.min_edges = 2;
+  p.max_edges = 1500;
+  p.mutation_rate = 1.8;
+  p.rd_grid_fraction = 0.45;
+  p.city.rows = 40;
+  p.city.cols = 40;
+  p.city.block_meters = 160.0;
+  p.city.drop_probability = 0.11;  // avg out-degree ~2.79
+  p.city.diagonal_probability = 0.05;
+  p.city.one_way_probability = 0.14;
+  p.gps_noise_m = 22.0;
+  p.eta_p = 1.0 / 2048.0;
+  return p;
+}
+
+std::vector<DatasetProfile> AllProfiles() {
+  return {DenmarkProfile(), ChengduProfile(), HangzhouProfile()};
+}
+
+}  // namespace utcq::traj

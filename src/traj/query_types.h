@@ -1,0 +1,34 @@
+#ifndef UTCQ_TRAJ_QUERY_TYPES_H_
+#define UTCQ_TRAJ_QUERY_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "network/road_network.h"
+#include "traj/interpolate.h"
+#include "traj/types.h"
+
+namespace utcq::traj {
+
+/// One mapped location returned by a probabilistic where query
+/// (Definition 10): the position of instance `instance` at the query time.
+struct WhereHit {
+  uint32_t instance = 0;
+  double probability = 0.0;
+  NetworkPosition position;
+};
+
+/// One timestamp returned by a probabilistic when query (Definition 11).
+struct WhenHit {
+  uint32_t instance = 0;
+  double probability = 0.0;
+  Timestamp t = 0;
+};
+
+/// Probabilistic range query result (Definition 12): ids of qualifying
+/// uncertain trajectories.
+using RangeResult = std::vector<uint32_t>;
+
+}  // namespace utcq::traj
+
+#endif  // UTCQ_TRAJ_QUERY_TYPES_H_

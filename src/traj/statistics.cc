@@ -1,0 +1,169 @@
+#include "traj/statistics.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "traj/edit_distance.h"
+
+namespace utcq::traj {
+
+IntervalHistogram ComputeIntervalHistogram(const UncertainCorpus& corpus,
+                                           int default_interval_s) {
+  IntervalHistogram h;
+  std::array<uint64_t, 5> counts{};
+  for (const UncertainTrajectory& tu : corpus) {
+    for (size_t i = 1; i < tu.times.size(); ++i) {
+      const int64_t dev =
+          std::llabs((tu.times[i] - tu.times[i - 1]) - default_interval_s);
+      size_t bucket;
+      if (dev == 0) {
+        bucket = 0;
+      } else if (dev == 1) {
+        bucket = 1;
+      } else if (dev <= 50) {
+        bucket = 2;
+      } else if (dev <= 100) {
+        bucket = 3;
+      } else {
+        bucket = 4;
+      }
+      ++counts[bucket];
+      ++h.total;
+    }
+  }
+  if (h.total > 0) {
+    for (size_t i = 0; i < counts.size(); ++i) {
+      h.fraction[i] =
+          static_cast<double>(counts[i]) / static_cast<double>(h.total);
+    }
+  }
+  return h;
+}
+
+double AverageRunLength(const UncertainCorpus& corpus) {
+  uint64_t intervals = 0;
+  uint64_t changes = 0;
+  for (const UncertainTrajectory& tu : corpus) {
+    int64_t prev_interval = -1;
+    for (size_t i = 1; i < tu.times.size(); ++i) {
+      const int64_t iv = tu.times[i] - tu.times[i - 1];
+      ++intervals;
+      if (prev_interval >= 0 && iv != prev_interval) ++changes;
+      prev_interval = iv;
+    }
+  }
+  if (changes == 0) return static_cast<double>(intervals);
+  return static_cast<double>(intervals) / static_cast<double>(changes);
+}
+
+namespace {
+
+void AddDistance(EditDistanceHistogram& h, std::array<uint64_t, 4>& counts,
+                 size_t d) {
+  size_t bucket;
+  if (d <= 2) {
+    bucket = 0;
+  } else if (d <= 5) {
+    bucket = 1;
+  } else if (d <= 8) {
+    bucket = 2;
+  } else {
+    bucket = 3;
+  }
+  ++counts[bucket];
+  ++h.total;
+}
+
+void Finalize(EditDistanceHistogram& h, const std::array<uint64_t, 4>& counts) {
+  if (h.total == 0) return;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    h.fraction[i] =
+        static_cast<double>(counts[i]) / static_cast<double>(h.total);
+  }
+}
+
+}  // namespace
+
+EditDistanceHistogram ComputeWithinDistances(const network::RoadNetwork& net,
+                                             const UncertainCorpus& corpus,
+                                             common::Rng& rng,
+                                             size_t max_pairs_per_trajectory) {
+  EditDistanceHistogram h;
+  std::array<uint64_t, 4> counts{};
+  for (const UncertainTrajectory& tu : corpus) {
+    const size_t n = tu.instances.size();
+    if (n < 2) continue;
+    std::vector<std::vector<uint32_t>> seqs(n);
+    for (size_t i = 0; i < n; ++i) {
+      seqs[i] = BuildEdgeSequence(net, tu.instances[i]);
+    }
+    const size_t all_pairs = n * (n - 1) / 2;
+    if (all_pairs <= max_pairs_per_trajectory) {
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+          AddDistance(h, counts, EditDistanceBanded(seqs[i], seqs[j], 9));
+        }
+      }
+    } else {
+      for (size_t k = 0; k < max_pairs_per_trajectory; ++k) {
+        const size_t i = static_cast<size_t>(rng.UniformInt(0, n - 1));
+        size_t j = static_cast<size_t>(rng.UniformInt(0, n - 2));
+        if (j >= i) ++j;
+        AddDistance(h, counts, EditDistanceBanded(seqs[i], seqs[j], 9));
+      }
+    }
+  }
+  Finalize(h, counts);
+  return h;
+}
+
+EditDistanceHistogram ComputeAcrossDistances(const network::RoadNetwork& net,
+                                             const UncertainCorpus& corpus,
+                                             common::Rng& rng, size_t samples) {
+  EditDistanceHistogram h;
+  std::array<uint64_t, 4> counts{};
+  if (corpus.size() < 2) return h;
+  for (size_t k = 0; k < samples; ++k) {
+    const size_t a = static_cast<size_t>(rng.UniformInt(0, corpus.size() - 1));
+    size_t b = static_cast<size_t>(rng.UniformInt(0, corpus.size() - 2));
+    if (b >= a) ++b;
+    const auto& ia = corpus[a].instances;
+    const auto& ib = corpus[b].instances;
+    const auto sa = BuildEdgeSequence(
+        net, ia[static_cast<size_t>(rng.UniformInt(0, ia.size() - 1))]);
+    const auto sb = BuildEdgeSequence(
+        net, ib[static_cast<size_t>(rng.UniformInt(0, ib.size() - 1))]);
+    AddDistance(h, counts, EditDistanceBanded(sa, sb, 9));
+  }
+  Finalize(h, counts);
+  return h;
+}
+
+CorpusSummary Summarize(const network::RoadNetwork& net,
+                        const UncertainCorpus& corpus) {
+  CorpusSummary s;
+  s.trajectories = corpus.size();
+  uint64_t inst_sum = 0;
+  uint64_t edge_sum = 0;
+  uint64_t edge_obs = 0;
+  for (const UncertainTrajectory& tu : corpus) {
+    inst_sum += tu.instances.size();
+    s.max_instances = std::max(s.max_instances, tu.instances.size());
+    for (const TrajectoryInstance& inst : tu.instances) {
+      edge_sum += inst.path.size();
+      ++edge_obs;
+      s.max_edges = std::max(s.max_edges, inst.path.size());
+    }
+  }
+  if (!corpus.empty()) {
+    s.avg_instances =
+        static_cast<double>(inst_sum) / static_cast<double>(corpus.size());
+  }
+  if (edge_obs > 0) {
+    s.avg_edges = static_cast<double>(edge_sum) / static_cast<double>(edge_obs);
+  }
+  s.raw_bytes = MeasureRawSize(net, corpus).total() / 8;
+  return s;
+}
+
+}  // namespace utcq::traj

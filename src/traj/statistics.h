@@ -1,0 +1,67 @@
+#ifndef UTCQ_TRAJ_STATISTICS_H_
+#define UTCQ_TRAJ_STATISTICS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "network/road_network.h"
+#include "traj/types.h"
+
+namespace utcq::traj {
+
+/// Fraction of sample-interval deviations per Fig. 4a bucket:
+/// {0, 1, (1,50], (50,100], >100} seconds.
+struct IntervalHistogram {
+  std::array<double, 5> fraction{};
+  uint64_t total = 0;
+
+  /// Fraction with deviation <= 1 s (the paper's 93% / 62% / 54% numbers).
+  double within_one() const { return fraction[0] + fraction[1]; }
+};
+
+IntervalHistogram ComputeIntervalHistogram(const UncertainCorpus& corpus,
+                                           int default_interval_s);
+
+/// Average number of sample intervals between interval changes (the paper's
+/// 6.80 / 2.32 / 1.97 statistics motivating SIAR).
+double AverageRunLength(const UncertainCorpus& corpus);
+
+/// Fraction of E(.) edit distances per Fig. 4b bucket:
+/// {[0,2], [3,5], [6,8], >=9}.
+struct EditDistanceHistogram {
+  std::array<double, 4> fraction{};
+  uint64_t total = 0;
+
+  double at_most_five() const { return fraction[0] + fraction[1]; }
+  double at_least_nine() const { return fraction[3]; }
+};
+
+/// Pairwise edit distances between instances of the *same* uncertain
+/// trajectory. At most `max_pairs_per_trajectory` sampled pairs each.
+EditDistanceHistogram ComputeWithinDistances(
+    const network::RoadNetwork& net, const UncertainCorpus& corpus,
+    common::Rng& rng, size_t max_pairs_per_trajectory = 32);
+
+/// Pairwise edit distances between instances of *different* uncertain
+/// trajectories (`samples` random cross pairs).
+EditDistanceHistogram ComputeAcrossDistances(const network::RoadNetwork& net,
+                                             const UncertainCorpus& corpus,
+                                             common::Rng& rng, size_t samples);
+
+/// Aggregate corpus descriptors matching Table 5.
+struct CorpusSummary {
+  size_t trajectories = 0;
+  double avg_instances = 0.0;
+  size_t max_instances = 0;
+  double avg_edges = 0.0;
+  size_t max_edges = 0;
+  uint64_t raw_bytes = 0;
+};
+
+CorpusSummary Summarize(const network::RoadNetwork& net,
+                        const UncertainCorpus& corpus);
+
+}  // namespace utcq::traj
+
+#endif  // UTCQ_TRAJ_STATISTICS_H_

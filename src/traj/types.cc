@@ -1,0 +1,138 @@
+#include "traj/types.h"
+
+#include <sstream>
+
+namespace utcq::traj {
+
+std::string Validate(const network::RoadNetwork& net,
+                     const UncertainTrajectory& tu) {
+  std::ostringstream err;
+  if (tu.instances.empty()) return "uncertain trajectory has no instances";
+  if (tu.times.empty()) return "uncertain trajectory has no timestamps";
+  for (size_t i = 1; i < tu.times.size(); ++i) {
+    if (tu.times[i] <= tu.times[i - 1]) {
+      err << "timestamps not strictly increasing at " << i;
+      return err.str();
+    }
+  }
+  double prob_sum = 0.0;
+  for (size_t w = 0; w < tu.instances.size(); ++w) {
+    const TrajectoryInstance& inst = tu.instances[w];
+    prob_sum += inst.probability;
+    if (inst.path.empty()) {
+      err << "instance " << w << " has empty path";
+      return err.str();
+    }
+    for (size_t i = 1; i < inst.path.size(); ++i) {
+      if (net.edge(inst.path[i - 1]).to != net.edge(inst.path[i]).from) {
+        err << "instance " << w << " path disconnected at edge " << i;
+        return err.str();
+      }
+    }
+    if (inst.locations.size() != tu.times.size()) {
+      err << "instance " << w << " has " << inst.locations.size()
+          << " locations but trajectory has " << tu.times.size()
+          << " timestamps";
+      return err.str();
+    }
+    for (size_t i = 0; i < inst.locations.size(); ++i) {
+      const MappedLocation& loc = inst.locations[i];
+      if (loc.path_index >= inst.path.size()) {
+        err << "instance " << w << " location " << i << " off path";
+        return err.str();
+      }
+      if (loc.rd < 0.0 || loc.rd > 1.0) {
+        err << "instance " << w << " location " << i << " rd out of [0,1]";
+        return err.str();
+      }
+      if (i > 0) {
+        const MappedLocation& prev = inst.locations[i - 1];
+        if (loc.path_index < prev.path_index ||
+            (loc.path_index == prev.path_index && loc.rd < prev.rd)) {
+          err << "instance " << w << " locations not monotone at " << i;
+          return err.str();
+        }
+      }
+    }
+    if (inst.locations.front().path_index != 0) {
+      err << "instance " << w << " first path edge carries no location";
+      return err.str();
+    }
+    if (inst.locations.back().path_index != inst.path.size() - 1) {
+      err << "instance " << w << " last path edge carries no location";
+      return err.str();
+    }
+  }
+  if (prob_sum < 0.99 || prob_sum > 1.01) {
+    err << "instance probabilities sum to " << prob_sum;
+    return err.str();
+  }
+  return "";
+}
+
+std::vector<uint32_t> BuildEdgeSequence(const network::RoadNetwork& net,
+                                        const TrajectoryInstance& inst) {
+  // Count mapped locations per path position.
+  std::vector<uint32_t> counts(inst.path.size(), 0);
+  for (const MappedLocation& loc : inst.locations) ++counts[loc.path_index];
+
+  std::vector<uint32_t> entries;
+  entries.reserve(inst.path.size() + inst.locations.size());
+  for (size_t i = 0; i < inst.path.size(); ++i) {
+    entries.push_back(net.edge(inst.path[i]).out_number);
+    for (uint32_t r = 1; r < counts[i]; ++r) entries.push_back(0);
+  }
+  return entries;
+}
+
+std::vector<uint8_t> BuildTimeFlagBits(const TrajectoryInstance& inst) {
+  std::vector<uint32_t> counts(inst.path.size(), 0);
+  for (const MappedLocation& loc : inst.locations) ++counts[loc.path_index];
+
+  std::vector<uint8_t> bits;
+  bits.reserve(inst.path.size() + inst.locations.size());
+  for (size_t i = 0; i < inst.path.size(); ++i) {
+    bits.push_back(counts[i] > 0 ? 1 : 0);
+    for (uint32_t r = 1; r < counts[i]; ++r) bits.push_back(1);
+  }
+  return bits;
+}
+
+network::VertexId StartVertex(const network::RoadNetwork& net,
+                              const TrajectoryInstance& inst) {
+  return net.edge(inst.path.front()).from;
+}
+
+ComponentSizes& ComponentSizes::operator+=(const ComponentSizes& o) {
+  t_bits += o.t_bits;
+  sv_bits += o.sv_bits;
+  e_bits += o.e_bits;
+  d_bits += o.d_bits;
+  tflag_bits += o.tflag_bits;
+  p_bits += o.p_bits;
+  return *this;
+}
+
+ComponentSizes MeasureRawSize(const network::RoadNetwork& net,
+                              const UncertainTrajectory& tu) {
+  ComponentSizes s;
+  s.t_bits = 32 * tu.times.size();
+  for (const TrajectoryInstance& inst : tu.instances) {
+    const auto entries = BuildEdgeSequence(net, inst);
+    s.sv_bits += 32;
+    s.e_bits += 32 * entries.size();
+    s.d_bits += 32 * inst.locations.size();
+    s.tflag_bits += entries.size();  // 1 bit per entry, uncompressed
+    s.p_bits += 32;
+  }
+  return s;
+}
+
+ComponentSizes MeasureRawSize(const network::RoadNetwork& net,
+                              const UncertainCorpus& corpus) {
+  ComponentSizes s;
+  for (const UncertainTrajectory& tu : corpus) s += MeasureRawSize(net, tu);
+  return s;
+}
+
+}  // namespace utcq::traj

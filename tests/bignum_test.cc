@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "common/bignum.h"
+#include "common/rng.h"
+
+namespace utcq::common {
+namespace {
+
+TEST(BigNum, ZeroAndSmallValues) {
+  BigNum z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.BitLength(), 0);
+  BigNum one(1);
+  EXPECT_FALSE(one.IsZero());
+  EXPECT_EQ(one.BitLength(), 1);
+  BigNum big(0xFFFFFFFFFFFFull);
+  EXPECT_EQ(big.BitLength(), 48);
+}
+
+TEST(BigNum, MulAddDivModInverse) {
+  BigNum n;
+  const std::vector<std::pair<uint32_t, uint32_t>> digits = {
+      {7, 3}, {12, 11}, {5, 0}, {1000003, 999999}, {2, 1}};
+  for (size_t i = digits.size(); i-- > 0;) {
+    n.MulAdd(digits[i].first, digits[i].second);
+  }
+  for (const auto& [base, digit] : digits) {
+    EXPECT_EQ(n.DivMod(base), digit);
+  }
+  EXPECT_TRUE(n.IsZero());
+}
+
+TEST(BigNum, MixedRadixRoundTripWide) {
+  // 40 digits of varying bases exceed 64 bits comfortably.
+  common::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint32_t> bases(40);
+    std::vector<uint32_t> digits(40);
+    for (size_t i = 0; i < bases.size(); ++i) {
+      bases[i] = static_cast<uint32_t>(rng.UniformInt(1, 9));
+      digits[i] = static_cast<uint32_t>(rng.UniformInt(0, bases[i] - 1));
+    }
+    BigNum n;
+    for (size_t i = bases.size(); i-- > 0;) n.MulAdd(bases[i], digits[i]);
+    for (size_t i = 0; i < bases.size(); ++i) {
+      ASSERT_EQ(n.DivMod(bases[i]), digits[i]) << "trial " << trial;
+    }
+  }
+}
+
+TEST(BigNum, BitSerializationRoundTrip) {
+  common::Rng rng(9);
+  for (int trial = 0; trial < 40; ++trial) {
+    BigNum n;
+    for (int i = 0; i < 10; ++i) {
+      n.MulAdd(static_cast<uint32_t>(rng.UniformInt(2, 1 << 20)),
+               static_cast<uint32_t>(rng.UniformInt(0, 1000)));
+    }
+    const int width = n.BitLength() + static_cast<int>(rng.UniformInt(0, 7));
+    BitWriter w;
+    n.WriteBits(w, width);
+    EXPECT_EQ(w.size_bits(), static_cast<size_t>(width));
+    BitReader r(w);
+    BigNum back = BigNum::ReadBits(r, width);
+    EXPECT_EQ(back.limbs(), n.limbs()) << "trial " << trial;
+  }
+}
+
+TEST(BigNum, WidthCapsHighBits) {
+  BigNum n(0b1011);
+  BitWriter w;
+  n.WriteBits(w, 4);
+  BitReader r(w);
+  EXPECT_EQ(r.GetBits(4), 0b1011u);
+}
+
+}  // namespace
+}  // namespace utcq::common

@@ -1,0 +1,317 @@
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bitstream.h"
+#include "common/exp_golomb.h"
+#include "common/pddp.h"
+#include "common/rng.h"
+#include "common/varint.h"
+#include "common/wah_bitmap.h"
+
+namespace utcq::common {
+namespace {
+
+// ---------------------------------------------------------------- bitstream
+
+TEST(BitStream, SingleBits) {
+  BitWriter w;
+  w.PutBit(true);
+  w.PutBit(false);
+  w.PutBit(true);
+  EXPECT_EQ(w.size_bits(), 3u);
+  BitReader r(w);
+  EXPECT_TRUE(r.GetBit());
+  EXPECT_FALSE(r.GetBit());
+  EXPECT_TRUE(r.GetBit());
+  EXPECT_FALSE(r.overflow());
+}
+
+TEST(BitStream, MultiBitRoundTrip) {
+  BitWriter w;
+  w.PutBits(0b101101, 6);
+  w.PutBits(0xDEADBEEF, 32);
+  w.PutBits(0, 0);  // zero width writes nothing
+  w.PutBits(1, 1);
+  BitReader r(w);
+  EXPECT_EQ(r.GetBits(6), 0b101101u);
+  EXPECT_EQ(r.GetBits(32), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetBits(1), 1u);
+}
+
+TEST(BitStream, SeekReadsAtArbitraryPositions) {
+  BitWriter w;
+  for (int i = 0; i < 100; ++i) w.PutBits(static_cast<uint64_t>(i), 7);
+  BitReader r(w);
+  r.Seek(7 * 42);
+  EXPECT_EQ(r.GetBits(7), 42u);
+  r.Seek(7 * 99);
+  EXPECT_EQ(r.GetBits(7), 99u);
+  r.Seek(0);
+  EXPECT_EQ(r.GetBits(7), 0u);
+}
+
+TEST(BitStream, OverflowSetsFlag) {
+  BitWriter w;
+  w.PutBits(3, 2);
+  BitReader r(w);
+  r.GetBits(2);
+  EXPECT_FALSE(r.overflow());
+  r.GetBit();
+  EXPECT_TRUE(r.overflow());
+}
+
+TEST(BitStream, AppendConcatenates) {
+  BitWriter a;
+  a.PutBits(0b1011, 4);
+  BitWriter b;
+  b.PutBits(0b001, 3);
+  a.Append(b);
+  BitReader r(a);
+  EXPECT_EQ(r.GetBits(7), 0b1011001u);
+}
+
+TEST(BitStream, BitAt) {
+  BitWriter w;
+  w.PutBits(0b10110, 5);
+  EXPECT_TRUE(w.BitAt(0));
+  EXPECT_FALSE(w.BitAt(1));
+  EXPECT_TRUE(w.BitAt(2));
+  EXPECT_TRUE(w.BitAt(3));
+  EXPECT_FALSE(w.BitAt(4));
+}
+
+TEST(BitsFor, Values) {
+  EXPECT_EQ(BitsFor(0), 0);
+  EXPECT_EQ(BitsFor(1), 1);
+  EXPECT_EQ(BitsFor(2), 2);
+  EXPECT_EQ(BitsFor(3), 2);
+  EXPECT_EQ(BitsFor(4), 3);
+  EXPECT_EQ(BitsFor(7), 3);
+  EXPECT_EQ(BitsFor(8), 4);
+  EXPECT_EQ(BitsFor(255), 8);
+  EXPECT_EQ(BitsFor(256), 9);
+}
+
+// ------------------------------------------------------------------- varint
+
+TEST(Varint, RoundTripSmallAndLarge) {
+  BitWriter w;
+  const std::vector<uint64_t> values = {0,    1,       127,        128,
+                                        300,  16383,   16384,      1u << 20,
+                                        ~0ull >> 1, 0xFFFFFFFFFFFFFFFFull};
+  for (const auto v : values) PutVarint(w, v);
+  BitReader r(w);
+  for (const auto v : values) EXPECT_EQ(GetVarint(r), v);
+}
+
+TEST(Varint, SignedZigZag) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagDecode(ZigZagEncode(-123456)), -123456);
+  BitWriter w;
+  for (int64_t v = -70; v <= 70; v += 7) PutSignedVarint(w, v);
+  BitReader r(w);
+  for (int64_t v = -70; v <= 70; v += 7) EXPECT_EQ(GetSignedVarint(r), v);
+}
+
+// --------------------------------------------------------------- exp-golomb
+
+TEST(ExpGolomb, Order0KnownCodewords) {
+  BitWriter w;
+  PutExpGolomb(w, 0);  // "1"
+  EXPECT_EQ(w.size_bits(), 1u);
+  w.Clear();
+  PutExpGolomb(w, 1);  // "010"
+  EXPECT_EQ(w.size_bits(), 3u);
+  w.Clear();
+  PutExpGolomb(w, 6);  // "00111"
+  EXPECT_EQ(w.size_bits(), 5u);
+  EXPECT_EQ(ExpGolombLength(0), 1);
+  EXPECT_EQ(ExpGolombLength(1), 3);
+  EXPECT_EQ(ExpGolombLength(6), 5);
+}
+
+class ExpGolombRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExpGolombRoundTrip, Sweep) {
+  const int k = GetParam();
+  BitWriter w;
+  for (uint64_t v = 0; v < 600; ++v) PutExpGolomb(w, v, k);
+  PutExpGolomb(w, 1'000'000'007ull, k);
+  BitReader r(w);
+  for (uint64_t v = 0; v < 600; ++v) EXPECT_EQ(GetExpGolomb(r, k), v);
+  EXPECT_EQ(GetExpGolomb(r, k), 1'000'000'007ull);
+  EXPECT_FALSE(r.overflow());
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ExpGolombRoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 5));
+
+TEST(ImprovedExpGolomb, PaperWorkedExample) {
+  // Section 4.4: <..., 0, 1, 0, -1, 0, 0> encodes as
+  // <..., 0, 1000, 0, 1010, 0, 0> — 12 bits total for the six deltas.
+  BitWriter w;
+  const std::vector<int64_t> deltas = {0, 1, 0, -1, 0, 0};
+  for (const auto d : deltas) PutImprovedExpGolomb(w, d);
+  EXPECT_EQ(w.size_bits(), 12u);
+  // Spot-check the exact codewords.
+  BitWriter one;
+  PutImprovedExpGolomb(one, 1);
+  ASSERT_EQ(one.size_bits(), 4u);
+  EXPECT_TRUE(one.BitAt(0));   // 1
+  EXPECT_FALSE(one.BitAt(1));  // 0
+  EXPECT_FALSE(one.BitAt(2));  // sign +
+  EXPECT_FALSE(one.BitAt(3));  // offset 0
+  BitWriter neg;
+  PutImprovedExpGolomb(neg, -1);
+  ASSERT_EQ(neg.size_bits(), 4u);
+  EXPECT_TRUE(neg.BitAt(0));
+  EXPECT_FALSE(neg.BitAt(1));
+  EXPECT_TRUE(neg.BitAt(2));  // sign -
+  EXPECT_FALSE(neg.BitAt(3));
+  BitReader r(w);
+  for (const auto d : deltas) EXPECT_EQ(GetImprovedExpGolomb(r), d);
+}
+
+TEST(ImprovedExpGolomb, GroupBoundaries) {
+  // Group j covers [2^j - 1, 2^{j+1} - 2]: 0 | 1,2 | 3..6 | 7..14 | ...
+  EXPECT_EQ(ImprovedExpGolombLength(0), 1);
+  EXPECT_EQ(ImprovedExpGolombLength(1), 4);
+  EXPECT_EQ(ImprovedExpGolombLength(2), 4);
+  EXPECT_EQ(ImprovedExpGolombLength(3), 6);
+  EXPECT_EQ(ImprovedExpGolombLength(6), 6);
+  EXPECT_EQ(ImprovedExpGolombLength(7), 8);
+  EXPECT_EQ(ImprovedExpGolombLength(-1), 4);
+  EXPECT_EQ(ImprovedExpGolombLength(-6), 6);
+}
+
+TEST(ImprovedExpGolomb, RoundTripSweep) {
+  BitWriter w;
+  for (int64_t d = -300; d <= 300; ++d) PutImprovedExpGolomb(w, d);
+  BitReader r(w);
+  for (int64_t d = -300; d <= 300; ++d) EXPECT_EQ(GetImprovedExpGolomb(r), d);
+}
+
+// --------------------------------------------------------------------- pddp
+
+class PddpErrorBound : public ::testing::TestWithParam<double> {};
+
+TEST_P(PddpErrorBound, BoundHoldsAcrossUnitInterval) {
+  // Table 7's eta ranges: 1/8 .. 1/128 for D, 1/128 .. 1/2048 for p.
+  const double eta = GetParam();
+  const PddpCodec codec(eta);
+  Rng rng(42);
+  BitWriter w;
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) values.push_back(rng.Uniform(0.0, 1.0));
+  values.push_back(0.0);
+  values.push_back(1.0);
+  values.push_back(0.5);
+  values.push_back(0.875);
+  for (const double v : values) codec.Encode(w, v);
+  BitReader r(w);
+  for (const double v : values) {
+    const double decoded = codec.Decode(r);
+    EXPECT_LE(std::abs(decoded - v), eta + 1e-12) << "value " << v;
+    EXPECT_EQ(decoded, codec.Quantize(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Etas, PddpErrorBound,
+                         ::testing::Values(1.0 / 8, 1.0 / 16, 1.0 / 32,
+                                           1.0 / 64, 1.0 / 128, 1.0 / 256,
+                                           1.0 / 512, 1.0 / 1024, 1.0 / 2048));
+
+TEST(Pddp, ShortValuesGetShortCodes) {
+  const PddpCodec codec(1.0 / 128);
+  // 0.875 = 0.111b: 3 code bits (+3 length bits); an irrational-ish value
+  // needs the full 7.
+  EXPECT_LE(codec.CodeLength(0.875), codec.length_field_bits() + 3);
+  EXPECT_LE(codec.CodeLength(0.0), codec.length_field_bits());
+  EXPECT_GE(codec.CodeLength(0.3333), codec.length_field_bits() + 6);
+}
+
+TEST(Pddp, CodeLengthMatchesStream) {
+  const PddpCodec codec(1.0 / 64);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.Uniform(0.0, 1.0);
+    BitWriter w;
+    codec.Encode(w, v);
+    EXPECT_EQ(static_cast<int>(w.size_bits()), codec.CodeLength(v));
+  }
+}
+
+TEST(PddpTree, DeduplicatesAndIndexes) {
+  const PddpCodec codec(1.0 / 128);
+  PddpTree tree(codec);
+  tree.Insert(0.5);
+  tree.Insert(0.5);
+  tree.Insert(0.875);
+  tree.Insert(0.25);
+  EXPECT_EQ(tree.total_values(), 4u);
+  EXPECT_EQ(tree.distinct_codes(), 3u);
+  EXPECT_GE(tree.trie_nodes(), tree.distinct_codes());
+  const auto idx = tree.IndexOf(0.875);
+  ASSERT_GE(idx, 0);
+  EXPECT_DOUBLE_EQ(tree.ValueAt(static_cast<size_t>(idx)), 0.875);
+  EXPECT_EQ(tree.IndexOf(0.12345), -1);
+}
+
+// ---------------------------------------------------------------------- wah
+
+TEST(WahBitmap, RoundTripPatterns) {
+  const std::vector<std::vector<uint8_t>> patterns = {
+      {},
+      {1},
+      {0, 1, 0, 1, 1, 1, 0},
+      std::vector<uint8_t>(200, 0),
+      std::vector<uint8_t>(200, 1),
+  };
+  for (const auto& bits : patterns) {
+    const WahBitmap bm = WahBitmap::Compress(bits);
+    EXPECT_EQ(bm.Decompress(), bits);
+  }
+}
+
+TEST(WahBitmap, LongRunsCompress) {
+  std::vector<uint8_t> bits(31 * 100, 0);  // 100 all-zero groups
+  const WahBitmap bm = WahBitmap::Compress(bits);
+  EXPECT_LT(bm.size_bits(), bits.size() / 10);
+  EXPECT_EQ(bm.Decompress(), bits);
+}
+
+TEST(WahBitmap, MixedRunsAndLiterals) {
+  Rng rng(5);
+  std::vector<uint8_t> bits;
+  for (int block = 0; block < 40; ++block) {
+    const uint8_t fill = rng.Bernoulli(0.5) ? 1 : 0;
+    const size_t len = static_cast<size_t>(rng.UniformInt(1, 120));
+    for (size_t i = 0; i < len; ++i) bits.push_back(fill);
+    for (int i = 0; i < 5; ++i) bits.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+  }
+  const WahBitmap bm = WahBitmap::Compress(bits);
+  EXPECT_EQ(bm.Decompress(), bits);
+}
+
+// ---------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(Rng, WeightedRespectsZeroWeights) {
+  Rng rng(9);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Weighted(weights), 1u);
+}
+
+}  // namespace
+}  // namespace utcq::common

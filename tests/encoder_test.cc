@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/varint.h"
+#include "core/decoder.h"
+#include "core/encoder.h"
+#include "network/generator.h"
+#include "paper_example.h"
+#include "traj/generator.h"
+#include "traj/profiles.h"
+
+namespace utcq::core {
+namespace {
+
+UtcqParams PaperParams() {
+  UtcqParams p;
+  p.default_interval_s = 240;
+  p.eta_d = 1.0 / 128.0;
+  p.eta_p = 1.0 / 512.0;
+  p.num_pivots = 1;
+  return p;
+}
+
+TEST(Encoder, PaperExampleRoundTrip) {
+  const auto ex = test::MakePaperExample();
+  const traj::UncertainCorpus corpus{ex.tu};
+  UtcqCompressor compressor(ex.net, PaperParams());
+  const CompressedCorpus cc = compressor.Compress(corpus);
+  ASSERT_EQ(cc.num_trajectories(), 1u);
+
+  UtcqDecoder decoder(ex.net, cc);
+  // Times are lossless.
+  EXPECT_EQ(decoder.DecodeTimes(0), ex.tu.times);
+
+  const auto rebuilt = decoder.DecompressAll();
+  ASSERT_EQ(rebuilt.size(), 1u);
+  ASSERT_EQ(rebuilt[0].instances.size(), 3u);
+  for (size_t w = 0; w < 3; ++w) {
+    const auto& orig = ex.tu.instances[w];
+    const auto& got = rebuilt[0].instances[w];
+    EXPECT_EQ(got.path, orig.path) << "instance " << w;
+    ASSERT_EQ(got.locations.size(), orig.locations.size());
+    for (size_t i = 0; i < orig.locations.size(); ++i) {
+      EXPECT_EQ(got.locations[i].path_index, orig.locations[i].path_index);
+      EXPECT_NEAR(got.locations[i].rd, orig.locations[i].rd,
+                  PaperParams().eta_d + 1e-12);
+    }
+    EXPECT_NEAR(got.probability, orig.probability,
+                PaperParams().eta_p + 1e-12);
+  }
+}
+
+TEST(Encoder, ReferenceSharingShrinksNonReferences) {
+  const auto ex = test::MakePaperExample();
+  const traj::UncertainCorpus corpus{ex.tu};
+  UtcqCompressor compressor(ex.net, PaperParams());
+  const CompressedCorpus cc = compressor.Compress(corpus);
+  const TrajMeta& meta = cc.meta(0);
+  // Example 2: Tu^1_1 is the single reference; Tu^1_2, Tu^1_3 in its Rrs.
+  ASSERT_EQ(meta.refs.size(), 1u);
+  EXPECT_EQ(meta.refs[0].orig_index, 0u);
+  ASSERT_EQ(meta.nrefs.size(), 2u);
+  // A non-reference costs far fewer bits than the reference's E block.
+  const uint64_t nref_bits =
+      cc.nref_stream().size_bits();  // both non-references together
+  const uint64_t ref_bits = cc.ref_stream().size_bits();
+  EXPECT_LT(nref_bits, ref_bits);
+}
+
+TEST(Encoder, SingleInstanceTrajectory) {
+  auto ex = test::MakePaperExample();
+  ex.tu.instances.resize(1);
+  ex.tu.instances[0].probability = 1.0;
+  const traj::UncertainCorpus corpus{ex.tu};
+  UtcqCompressor compressor(ex.net, PaperParams());
+  const CompressedCorpus cc = compressor.Compress(corpus);
+  UtcqDecoder decoder(ex.net, cc);
+  const auto rebuilt = decoder.DecompressAll();
+  ASSERT_EQ(rebuilt[0].instances.size(), 1u);
+  EXPECT_EQ(rebuilt[0].instances[0].path, ex.tu.instances[0].path);
+}
+
+TEST(Encoder, BracketTimePartialDecode) {
+  const auto ex = test::MakePaperExample();
+  const traj::UncertainCorpus corpus{ex.tu};
+  UtcqCompressor compressor(ex.net, PaperParams());
+  const CompressedCorpus cc = compressor.Compress(corpus);
+  UtcqDecoder decoder(ex.net, cc);
+
+  // Header in the T stream: n varint (16 bits) + 17-bit t0.
+  common::BitReader r(cc.t_stream().bytes().data(),
+                      cc.t_stream().size_bits());
+  r.Seek(cc.meta(0).t_pos);
+  common::GetVarint(r);
+  r.GetBits(17);
+  const uint64_t first_delta_pos = r.position();
+
+  // 5:21:25 = 19285 sits between samples 4 (19165) and 5 (19405).
+  const auto bracket =
+      decoder.BracketTime(0, 19285, 0, ex.tu.times[0], first_delta_pos);
+  ASSERT_TRUE(bracket.has_value());
+  EXPECT_EQ(bracket->index, 4u);
+  EXPECT_EQ(bracket->t0, 19165);
+  EXPECT_EQ(bracket->t1, 19405);
+
+  // Exactly at a sample.
+  const auto at_sample =
+      decoder.BracketTime(0, 18445, 0, ex.tu.times[0], first_delta_pos);
+  ASSERT_TRUE(at_sample.has_value());
+  EXPECT_LE(at_sample->t0, 18445);
+  EXPECT_GE(at_sample->t1, 18445);
+
+  // Outside the span.
+  EXPECT_FALSE(decoder.BracketTime(0, 18204, 0, ex.tu.times[0],
+                                   first_delta_pos)
+                   .has_value());
+  EXPECT_FALSE(decoder.BracketTime(0, 99999, 0, ex.tu.times[0],
+                                   first_delta_pos)
+                   .has_value());
+}
+
+class EncoderProfileRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncoderProfileRoundTrip, LosslessButForQuantization) {
+  const auto profiles = traj::AllProfiles();
+  const auto& profile = profiles[static_cast<size_t>(GetParam())];
+  common::Rng net_rng(100);
+  network::CityParams small = profile.city;
+  small.rows = 16;
+  small.cols = 16;
+  const auto net = network::GenerateCity(net_rng, small);
+  traj::UncertainTrajectoryGenerator gen(net, profile, 51);
+  const auto corpus = gen.GenerateCorpus(60);
+
+  UtcqParams params;
+  params.default_interval_s = profile.default_interval_s;
+  params.eta_p = profile.eta_p;
+  params.num_pivots = profile.name == "DK" ? 2 : 1;
+  UtcqCompressor compressor(net, params);
+  const CompressedCorpus cc = compressor.Compress(corpus);
+  UtcqDecoder decoder(net, cc);
+  const auto rebuilt = decoder.DecompressAll();
+
+  ASSERT_EQ(rebuilt.size(), corpus.size());
+  for (size_t j = 0; j < corpus.size(); ++j) {
+    EXPECT_EQ(rebuilt[j].times, corpus[j].times) << "traj " << j;
+    ASSERT_EQ(rebuilt[j].instances.size(), corpus[j].instances.size());
+    for (size_t w = 0; w < corpus[j].instances.size(); ++w) {
+      const auto& orig = corpus[j].instances[w];
+      const auto& got = rebuilt[j].instances[w];
+      // Paths and location structure are lossless.
+      ASSERT_EQ(got.path, orig.path) << "traj " << j << " inst " << w;
+      ASSERT_EQ(got.locations.size(), orig.locations.size());
+      for (size_t i = 0; i < orig.locations.size(); ++i) {
+        EXPECT_EQ(got.locations[i].path_index, orig.locations[i].path_index);
+        // Same-edge monotonicity clamping can add at most one more eta.
+        EXPECT_NEAR(got.locations[i].rd, orig.locations[i].rd,
+                    2 * params.eta_d + 1e-12);
+      }
+      EXPECT_NEAR(got.probability, orig.probability, params.eta_p + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, EncoderProfileRoundTrip,
+                         ::testing::Values(0, 1, 2));
+
+TEST(Encoder, CompressedSmallerThanRaw) {
+  common::Rng net_rng(100);
+  const auto profile = traj::ChengduProfile();
+  network::CityParams small = profile.city;
+  small.rows = 16;
+  small.cols = 16;
+  const auto net = network::GenerateCity(net_rng, small);
+  traj::UncertainTrajectoryGenerator gen(net, profile, 61);
+  const auto corpus = gen.GenerateCorpus(120);
+
+  UtcqParams params;
+  params.default_interval_s = profile.default_interval_s;
+  UtcqCompressor compressor(net, params);
+  const CompressedCorpus cc = compressor.Compress(corpus);
+  const auto raw = traj::MeasureRawSize(net, corpus);
+  EXPECT_LT(cc.total_bits(), raw.total() / 4)
+      << "expected a compression ratio well above 4";
+  // Component accounting matches the stream totals.
+  const auto& bits = cc.compressed_bits();
+  EXPECT_EQ(bits.total(), cc.total_bits());
+}
+
+TEST(Encoder, MorePivotsNeverCrash) {
+  const auto ex = test::MakePaperExample();
+  const traj::UncertainCorpus corpus{ex.tu};
+  for (int pivots = 1; pivots <= 5; ++pivots) {
+    UtcqParams params = PaperParams();
+    params.num_pivots = pivots;
+    UtcqCompressor compressor(ex.net, params);
+    const CompressedCorpus cc = compressor.Compress(corpus);
+    UtcqDecoder decoder(ex.net, cc);
+    EXPECT_EQ(decoder.DecompressAll()[0].instances[0].path,
+              ex.tu.instances[0].path);
+  }
+}
+
+}  // namespace
+}  // namespace utcq::core

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "core/fjd.h"
+#include "core/pivot.h"
+#include "core/reference_selection.h"
+#include "paper_example.h"
+#include "traj/types.h"
+
+namespace utcq::core {
+namespace {
+
+std::vector<std::vector<uint32_t>> PaperEntrySequences() {
+  const auto ex = test::MakePaperExample();
+  std::vector<std::vector<uint32_t>> seqs;
+  for (const auto& inst : ex.tu.instances) {
+    seqs.push_back(traj::BuildEdgeSequence(ex.net, inst));
+  }
+  return seqs;
+}
+
+// ---------------------------------------------------------------- pivots
+
+TEST(Pivot, PaperPivotRepresentations) {
+  const auto seqs = PaperEntrySequences();
+  // piv_1 = Tu^1_3 (Section 4.3): Com_E(Tu^1_1, piv_1) = <(0,8), (5,1)>.
+  const auto com1 = FactorizeAgainstPivot(seqs[2], seqs[0]);
+  ASSERT_EQ(com1.factors.size(), 2u);
+  EXPECT_EQ(com1.factors[0], (std::pair<uint32_t, uint32_t>{0, 8}));
+  EXPECT_EQ(com1.factors[1], (std::pair<uint32_t, uint32_t>{5, 1}));
+  EXPECT_EQ(com1.total_factors, 2u);
+
+  // Com_E(Tu^1_2, piv_1) = <(0,1), (0,1), (2,6), (5,1)> (Example 1).
+  const auto com2 = FactorizeAgainstPivot(seqs[2], seqs[1]);
+  ASSERT_EQ(com2.factors.size(), 4u);
+  EXPECT_EQ(com2.factors[0], (std::pair<uint32_t, uint32_t>{0, 1}));
+  EXPECT_EQ(com2.factors[1], (std::pair<uint32_t, uint32_t>{0, 1}));
+  EXPECT_EQ(com2.factors[2], (std::pair<uint32_t, uint32_t>{2, 6}));
+  EXPECT_EQ(com2.factors[3], (std::pair<uint32_t, uint32_t>{5, 1}));
+}
+
+TEST(Pivot, AbsentSymbolsCountedButOmitted) {
+  const std::vector<uint32_t> pivot = {1, 2, 1};
+  const std::vector<uint32_t> target = {1, 9, 2};  // 9 absent
+  const auto com = FactorizeAgainstPivot(pivot, target);
+  EXPECT_EQ(com.total_factors, 3u);
+  EXPECT_EQ(com.factors.size(), 2u);
+}
+
+TEST(Pivot, SelectPivotsPicksFarthestInstance) {
+  const auto seqs = PaperEntrySequences();
+  // Seeded at instance 0, the farthest instance (most factors against
+  // Tu^1_1) is Tu^1_2 (the detour): it becomes the first pivot.
+  const auto pivots = SelectPivots(seqs, 1, 0);
+  ASSERT_EQ(pivots.size(), 1u);
+  EXPECT_EQ(pivots[0], 1u);
+  // Two pivots never repeat.
+  const auto two = SelectPivots(seqs, 2, 0);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_NE(two[0], two[1]);
+}
+
+TEST(Pivot, RepresentAgainstPivotsShapes) {
+  const auto seqs = PaperEntrySequences();
+  const auto reprs = RepresentAgainstPivots(seqs, {2u, 0u});
+  ASSERT_EQ(reprs.size(), 2u);
+  ASSERT_EQ(reprs[0].size(), 3u);
+  // Every sequence representable against itself with one factor.
+  EXPECT_EQ(reprs[0][2].factors.size(), 1u);
+  EXPECT_EQ(reprs[1][0].factors.size(), 1u);
+}
+
+// ------------------------------------------------------------------ FJD
+
+TEST(Fjd, PaperExample1ExactValue) {
+  const auto seqs = PaperEntrySequences();
+  const auto com_w = FactorizeAgainstPivot(seqs[2], seqs[0]);  // Tu^1_1
+  const auto com_v = FactorizeAgainstPivot(seqs[2], seqs[1]);  // Tu^1_2
+  // FJD(Tu^1_1 -> Tu^1_2, piv_1) = (1/8 + 1/8 + 3/4 + 1) / 4 = 1/2.
+  EXPECT_DOUBLE_EQ(Fjd(com_w, com_v), 0.5);
+}
+
+TEST(Fjd, IdenticalRepresentationsScoreOne) {
+  const auto seqs = PaperEntrySequences();
+  const auto com = FactorizeAgainstPivot(seqs[2], seqs[0]);
+  EXPECT_DOUBLE_EQ(Fjd(com, com), 1.0);
+}
+
+TEST(Fjd, DisjointFactorsScoreZero) {
+  PivotCom a;
+  a.factors = {{0, 3}};
+  a.total_factors = 1;
+  PivotCom b;
+  b.factors = {{10, 3}};
+  b.total_factors = 1;
+  EXPECT_DOUBLE_EQ(Fjd(a, b), 0.0);
+}
+
+TEST(Fjd, ScoreMatrixZeroDiagonalAndSvGate) {
+  const auto ex = test::MakePaperExample();
+  const auto seqs = PaperEntrySequences();
+  const auto reprs = RepresentAgainstPivots(seqs, {2u});
+  std::vector<double> probs = {0.75, 0.2, 0.05};
+  std::vector<uint32_t> svs = {1, 1, 2};  // pretend Tu^1_3 starts elsewhere
+  const auto sm = BuildScoreMatrix(reprs, probs, svs);
+  EXPECT_DOUBLE_EQ(sm[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(sm[1][1], 0.0);
+  EXPECT_GT(sm[0][1], 0.0);
+  EXPECT_DOUBLE_EQ(sm[0][2], 0.0);  // different SV
+  EXPECT_DOUBLE_EQ(sm[2][0], 0.0);
+  // Probability weighting: representing by Tu^1_1 scores higher than the
+  // reverse direction (p = 0.75 vs 0.2) given symmetric FJD inputs.
+  EXPECT_GT(sm[0][1], sm[1][0]);
+}
+
+TEST(Fjd, PaperScoreMatrixPrefersHighProbabilityReference) {
+  const auto ex = test::MakePaperExample();
+  const auto seqs = PaperEntrySequences();
+  const auto reprs = RepresentAgainstPivots(seqs, {2u});
+  std::vector<double> probs(3);
+  std::vector<uint32_t> svs(3);
+  for (size_t w = 0; w < 3; ++w) {
+    probs[w] = ex.tu.instances[w].probability;
+    svs[w] = traj::StartVertex(ex.net, ex.tu.instances[w]);
+  }
+  const auto sm = BuildScoreMatrix(reprs, probs, svs);
+  const auto plan = SelectReferences(sm);
+  // Tu^1_1 (p = 0.75) becomes the reference; both others join its Rrs
+  // (Example 2's outcome).
+  ASSERT_EQ(plan.references.size(), 1u);
+  EXPECT_EQ(plan.references[0], 0u);
+  EXPECT_EQ(plan.Rrs(0), (std::vector<uint32_t>{1, 2}));
+}
+
+// ------------------------------------------------------ Algorithm 1 greedy
+
+TEST(ReferenceSelection, EmptyAndSingleton) {
+  EXPECT_TRUE(SelectReferences({}).references.empty());
+  const auto plan = SelectReferences({{0.0}});
+  ASSERT_EQ(plan.references.size(), 1u);
+  EXPECT_EQ(plan.references[0], 0u);
+  EXPECT_TRUE(plan.IsReference(0));
+}
+
+TEST(ReferenceSelection, AllZeroScoresMakeEveryoneStandalone) {
+  const std::vector<std::vector<double>> sm(4, std::vector<double>(4, 0.0));
+  const auto plan = SelectReferences(sm);
+  EXPECT_EQ(plan.references.size(), 4u);
+  for (uint32_t w = 0; w < 4; ++w) EXPECT_TRUE(plan.IsReference(w));
+}
+
+TEST(ReferenceSelection, GreedyPicksMaxAndEnforcesConstraints) {
+  // 0 represents 1 (0.9, global max); after that 1 may not represent 2
+  // even though 0.8 would be next — 1 is already represented. 2 ends up
+  // standalone unless someone else can take it (0 can: 0.3).
+  std::vector<std::vector<double>> sm = {
+      {0.0, 0.9, 0.3},
+      {0.0, 0.0, 0.8},
+      {0.0, 0.0, 0.0},
+  };
+  const auto plan = SelectReferences(sm);
+  ASSERT_GE(plan.references.size(), 1u);
+  EXPECT_EQ(plan.references[0], 0u);
+  EXPECT_EQ(plan.ref_of[1], 0);
+  EXPECT_EQ(plan.ref_of[2], 0);  // 0 also takes 2 via SM[0][2] = 0.3
+}
+
+TEST(ReferenceSelection, ReferenceCannotBeRepresented) {
+  // Global max makes 0 a reference; the tempting SM[1][0] = 0.85 must then
+  // be discarded (column-0 removal, line 7 of Algorithm 1).
+  std::vector<std::vector<double>> sm = {
+      {0.0, 0.9, 0.0},
+      {0.85, 0.0, 0.0},
+      {0.0, 0.0, 0.0},
+  };
+  const auto plan = SelectReferences(sm);
+  EXPECT_TRUE(plan.IsReference(0));
+  EXPECT_EQ(plan.ref_of[1], 0);
+  EXPECT_TRUE(plan.IsReference(2));  // standalone leftover
+  // 0 must still be a reference, never represented.
+  EXPECT_LT(plan.ref_of[0], 0);
+}
+
+TEST(ReferenceSelection, SingleOrderOnly) {
+  // Chain temptation 0->1 (0.9), 1->2 (0.89): single-order compression
+  // forbids 1 (now represented) from representing 2; 0->2 (0.5) wins.
+  std::vector<std::vector<double>> sm = {
+      {0.0, 0.9, 0.5},
+      {0.0, 0.0, 0.89},
+      {0.0, 0.0, 0.0},
+  };
+  const auto plan = SelectReferences(sm);
+  EXPECT_EQ(plan.ref_of[1], 0);
+  EXPECT_EQ(plan.ref_of[2], 0);
+  EXPECT_EQ(plan.references.size(), 1u);
+}
+
+TEST(ReferenceSelection, RrsMembership) {
+  std::vector<std::vector<double>> sm = {
+      {0.0, 0.9, 0.8, 0.0},
+      {0.0, 0.0, 0.0, 0.0},
+      {0.0, 0.0, 0.0, 0.0},
+      {0.0, 0.0, 0.0, 0.0},
+  };
+  const auto plan = SelectReferences(sm);
+  EXPECT_EQ(plan.Rrs(0), (std::vector<uint32_t>{1, 2}));
+  // Instance 3 is standalone with empty Rrs.
+  ASSERT_EQ(plan.references.size(), 2u);
+  EXPECT_EQ(plan.references[1], 3u);
+  EXPECT_TRUE(plan.Rrs(1).empty());
+}
+
+}  // namespace
+}  // namespace utcq::core

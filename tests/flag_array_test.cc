@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/flag_array.h"
+#include "core/improved_ted.h"
+#include "core/referential.h"
+#include "paper_example.h"
+
+namespace utcq::core {
+namespace {
+
+TEST(FlagArray, OnesBeforePrefixCounts) {
+  const FlagArray fa({1, 0, 1, 1, 0});
+  EXPECT_EQ(fa.OnesBefore(0), 0u);
+  EXPECT_EQ(fa.OnesBefore(1), 1u);
+  EXPECT_EQ(fa.OnesBefore(2), 1u);
+  EXPECT_EQ(fa.OnesBefore(3), 2u);
+  EXPECT_EQ(fa.OnesBefore(5), 3u);
+  EXPECT_EQ(fa.size(), 5u);
+}
+
+uint32_t BruteOnesInPrefix(const std::vector<uint8_t>& bits, uint32_t q) {
+  uint32_t ones = 0;
+  for (uint32_t i = 0; i < q && i < bits.size(); ++i) ones += bits[i] ? 1 : 0;
+  return ones;
+}
+
+TEST(FlagArray, OnesInNrefPrefixPaperExample) {
+  const auto ex = test::MakePaperExample();
+  const auto r1 = BuildInstanceRepr(ex.net, ex.tu.instances[0]);
+  const auto r2 = BuildInstanceRepr(ex.net, ex.tu.instances[1]);
+  const FlagArray omega(r1.tflag_trimmed);
+  TflagCom com;
+  com.mode = TflagMode::kFactors;
+  ASSERT_TRUE(FactorizeTflagFactors(r1.tflag_trimmed, r2.tflag_trimmed,
+                                    &com.factors, &com.last_has_m,
+                                    &com.last_m));
+  for (uint32_t q = 0; q <= r2.tflag_trimmed.size(); ++q) {
+    EXPECT_EQ(OnesInNrefPrefix(com, r1.tflag_trimmed, omega, q),
+              BruteOnesInPrefix(r2.tflag_trimmed, q))
+        << "q = " << q;
+  }
+}
+
+TEST(FlagArray, OnesInNrefPrefixAllModes) {
+  common::Rng rng(13);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t ref_len = static_cast<size_t>(rng.UniformInt(1, 24));
+    const size_t tgt_len = static_cast<size_t>(rng.UniformInt(1, 24));
+    std::vector<uint8_t> ref(ref_len), target(tgt_len);
+    for (auto& b : ref) b = rng.Bernoulli(0.7) ? 1 : 0;
+    for (auto& b : target) b = rng.Bernoulli(0.7) ? 1 : 0;
+    const auto com = FactorizeTflag(ref, target);
+    const FlagArray omega(ref);
+    for (uint32_t q = 0; q <= target.size(); ++q) {
+      EXPECT_EQ(OnesInNrefPrefix(com, ref, omega, q, target),
+                BruteOnesInPrefix(target, q))
+          << "trial " << trial << " q " << q << " mode "
+          << static_cast<int>(com.mode);
+    }
+  }
+}
+
+TEST(FlagArray, GammaMatchesOriginalBitString) {
+  common::Rng rng(29);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t entries = static_cast<size_t>(rng.UniformInt(2, 20));
+    std::vector<uint8_t> ref_trim(entries - 2), tgt_trim(entries - 2);
+    for (auto& b : ref_trim) b = rng.Bernoulli(0.6) ? 1 : 0;
+    for (auto& b : tgt_trim) b = rng.Bernoulli(0.6) ? 1 : 0;
+    const auto com = FactorizeTflag(ref_trim, tgt_trim);
+    const FlagArray omega(ref_trim);
+
+    const auto original = UntrimTimeFlags(tgt_trim, entries);
+    uint32_t running = 0;
+    for (uint32_t g = 0; g < entries; ++g) {
+      running += original[g] ? 1 : 0;
+      EXPECT_EQ(GammaNref(com, ref_trim, omega, g,
+                          static_cast<uint32_t>(entries), tgt_trim),
+                running)
+          << "trial " << trial << " g " << g;
+    }
+  }
+}
+
+TEST(FlagArray, GammaDegenerateLengths) {
+  const FlagArray omega({});
+  TflagCom identical;  // mode kIdentical
+  EXPECT_EQ(GammaNref(identical, {}, omega, 0, 1), 1u);
+  EXPECT_EQ(GammaNref(identical, {}, omega, 0, 2), 1u);
+  EXPECT_EQ(GammaNref(identical, {}, omega, 1, 2), 2u);
+  EXPECT_EQ(GammaNref(identical, {}, omega, 0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace utcq::core

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "matching/hmm_matcher.h"
+#include "network/generator.h"
+#include "traj/generator.h"
+#include "traj/profiles.h"
+#include "traj/types.h"
+
+namespace utcq::matching {
+namespace {
+
+struct MatcherFixture {
+  MatcherFixture() {
+    common::Rng net_rng(100);
+    network::CityParams params;
+    params.rows = 14;
+    params.cols = 14;
+    params.drop_probability = 0.05;
+    net = network::GenerateCity(net_rng, params);
+    grid = std::make_unique<network::GridIndex>(net, 16);
+  }
+  network::RoadNetwork net;
+  std::unique_ptr<network::GridIndex> grid;
+};
+
+TEST(Candidates, NearestEdgesSortedByDistance) {
+  MatcherFixture fx;
+  const auto& v = fx.net.vertex(10);
+  const auto cands =
+      FindCandidates(*fx.grid, {v.x + 5.0, v.y + 5.0, 0}, 60.0, 4);
+  ASSERT_FALSE(cands.empty());
+  for (size_t i = 1; i < cands.size(); ++i) {
+    EXPECT_GE(cands[i].distance, cands[i - 1].distance);
+  }
+  EXPECT_LE(cands.size(), 4u);
+}
+
+TEST(Candidates, EmissionDecaysWithDistance) {
+  EXPECT_GT(EmissionLogProb(0.0, 20.0), EmissionLogProb(10.0, 20.0));
+  EXPECT_GT(EmissionLogProb(10.0, 20.0), EmissionLogProb(50.0, 20.0));
+}
+
+TEST(HmmMatcher, ProducesValidUncertainTrajectory) {
+  MatcherFixture fx;
+  auto profile = traj::ChengduProfile();
+  profile.gps_noise_m = 10.0;
+  traj::UncertainTrajectoryGenerator gen(fx.net, profile, 7);
+
+  MatchParams params;
+  params.max_instances = 6;
+  const HmmMatcher matcher(fx.net, *fx.grid, params);
+
+  int matched = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto rt = gen.GenerateRaw();
+    const auto tu = matcher.Match(rt.raw);
+    if (!tu.has_value()) continue;
+    ++matched;
+    EXPECT_EQ(traj::Validate(fx.net, *tu), "");
+    // Probabilities sorted descending, instance 1 most likely.
+    for (size_t w = 1; w < tu->instances.size(); ++w) {
+      EXPECT_LE(tu->instances[w].probability,
+                tu->instances[w - 1].probability);
+    }
+  }
+  EXPECT_GE(matched, 8) << "most clean traces should match";
+}
+
+TEST(HmmMatcher, LowNoiseRecoversTruePath) {
+  MatcherFixture fx;
+  auto profile = traj::ChengduProfile();
+  profile.gps_noise_m = 4.0;  // nearly clean GPS
+  traj::UncertainTrajectoryGenerator gen(fx.net, profile, 21);
+
+  MatchParams params;
+  params.gps_sigma_m = 10.0;
+  const HmmMatcher matcher(fx.net, *fx.grid, params);
+
+  int close = 0;
+  int total = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto rt = gen.GenerateRaw();
+    const auto tu = matcher.Match(rt.raw);
+    if (!tu.has_value()) continue;
+    ++total;
+    // The top instance's edge set should mostly overlap the true path.
+    const auto& top = tu->instances[0].path;
+    size_t hits = 0;
+    for (const auto e : top) {
+      if (std::find(rt.true_path.begin(), rt.true_path.end(), e) !=
+          rt.true_path.end()) {
+        ++hits;
+      }
+    }
+    if (hits * 10 >= top.size() * 7) ++close;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GE(close * 10, total * 6);
+}
+
+TEST(HmmMatcher, AmbiguousTracesYieldMultipleInstances) {
+  MatcherFixture fx;
+  auto profile = traj::HangzhouProfile();
+  profile.gps_noise_m = 35.0;  // noisy: several plausible roads per point
+  traj::UncertainTrajectoryGenerator gen(fx.net, profile, 29);
+
+  MatchParams params;
+  params.gps_sigma_m = 35.0;
+  params.max_instances = 8;
+  const HmmMatcher matcher(fx.net, *fx.grid, params);
+
+  size_t multi = 0;
+  size_t total = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto rt = gen.GenerateRaw();
+    const auto tu = matcher.Match(rt.raw);
+    if (!tu.has_value()) continue;
+    ++total;
+    if (tu->instances.size() > 1) ++multi;
+    double sum = 0.0;
+    for (const auto& inst : tu->instances) sum += inst.probability;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(multi * 2, total) << "noise should induce uncertainty";
+}
+
+TEST(HmmMatcher, RejectsDegenerateInput) {
+  MatcherFixture fx;
+  const HmmMatcher matcher(fx.net, *fx.grid, {});
+  EXPECT_FALSE(matcher.Match({}).has_value());
+  EXPECT_FALSE(matcher.Match({{0.0, 0.0, 10}}).has_value());
+  // Points far outside the network cannot be matched.
+  traj::RawTrajectory far{{1e7, 1e7, 0}, {1e7, 1e7, 10}};
+  EXPECT_FALSE(matcher.Match(far).has_value());
+}
+
+TEST(HmmMatcher, DropsDuplicateTimestamps) {
+  MatcherFixture fx;
+  auto profile = traj::ChengduProfile();
+  profile.gps_noise_m = 5.0;
+  traj::UncertainTrajectoryGenerator gen(fx.net, profile, 41);
+  const HmmMatcher matcher(fx.net, *fx.grid, {});
+  auto rt = gen.GenerateRaw();
+  ASSERT_GE(rt.raw.size(), 3u);
+  rt.raw[1].t = rt.raw[0].t;  // duplicate timestamp must be skipped
+  const auto tu = matcher.Match(rt.raw);
+  if (tu.has_value()) {
+    for (size_t i = 1; i < tu->times.size(); ++i) {
+      EXPECT_GT(tu->times[i], tu->times[i - 1]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace utcq::matching

@@ -1,0 +1,94 @@
+#ifndef UTCQ_TESTS_PAPER_EXAMPLE_H_
+#define UTCQ_TESTS_PAPER_EXAMPLE_H_
+
+#include <vector>
+
+#include "network/road_network.h"
+#include "traj/types.h"
+
+namespace utcq::test {
+
+/// The paper's running example: the road network of Fig. 2 and the
+/// uncertain trajectory Tu^1 with instances Tu^1_1, Tu^1_2, Tu^1_3
+/// (Tables 2-4). Edge insertion order is arranged so outgoing edge numbers
+/// match the paper:
+///   E(Tu^1_1) = <1,2,1,2,2,0,4,1,0>
+///   E(Tu^1_2) = <1,1,1,2,2,0,4,1,0>
+///   E(Tu^1_3) = <1,2,1,2,2,0,4,1,2>
+struct PaperExample {
+  network::RoadNetwork net;
+  traj::UncertainTrajectory tu;
+  // Path edge ids of the main corridor, for convenience in tests.
+  std::vector<network::EdgeId> corridor;  // (v1->v2) ... (v7->v8)
+  network::EdgeId e_v2_v10 = 0;
+  network::EdgeId e_v10_v4 = 0;
+  network::EdgeId e_v8_v9 = 0;
+  network::VertexId v[11] = {};  // v[1]..v[10]
+};
+
+inline PaperExample MakePaperExample() {
+  PaperExample ex;
+  auto& net = ex.net;
+  // Geometry loosely follows Fig. 2: a west-east corridor with v10 above
+  // (the detour) and v9 below right. Coordinates in meters.
+  ex.v[1] = net.AddVertex(0, 0);
+  ex.v[2] = net.AddVertex(200, 0);
+  ex.v[3] = net.AddVertex(400, 0);
+  ex.v[4] = net.AddVertex(600, 0);
+  ex.v[5] = net.AddVertex(700, 0);
+  ex.v[6] = net.AddVertex(900, 0);
+  ex.v[7] = net.AddVertex(1100, 0);
+  ex.v[8] = net.AddVertex(1100, -200);
+  ex.v[9] = net.AddVertex(1100, -400);
+  ex.v[10] = net.AddVertex(400, 150);
+
+  // Insertion order fixes the outgoing edge numbers.
+  const auto e12 = net.AddEdge(ex.v[1], ex.v[2]);   // v1 #1
+  ex.e_v2_v10 = net.AddEdge(ex.v[2], ex.v[10]);     // v2 #1
+  const auto e23 = net.AddEdge(ex.v[2], ex.v[3]);   // v2 #2
+  const auto e34 = net.AddEdge(ex.v[3], ex.v[4]);   // v3 #1
+  ex.e_v10_v4 = net.AddEdge(ex.v[10], ex.v[4]);     // v10 #1
+  net.AddEdge(ex.v[4], ex.v[10]);                   // v4 #1 (filler)
+  const auto e45 = net.AddEdge(ex.v[4], ex.v[5]);   // v4 #2
+  net.AddEdge(ex.v[5], ex.v[4]);                    // v5 #1 (filler)
+  const auto e56 = net.AddEdge(ex.v[5], ex.v[6]);   // v5 #2
+  net.AddEdge(ex.v[6], ex.v[5]);                    // v6 #1 (filler)
+  net.AddEdge(ex.v[6], ex.v[3]);                    // v6 #2 (filler)
+  net.AddEdge(ex.v[6], ex.v[10]);                   // v6 #3 (filler)
+  const auto e67 = net.AddEdge(ex.v[6], ex.v[7]);   // v6 #4
+  const auto e78 = net.AddEdge(ex.v[7], ex.v[8]);   // v7 #1
+  net.AddEdge(ex.v[8], ex.v[7]);                    // v8 #1 (filler)
+  ex.e_v8_v9 = net.AddEdge(ex.v[8], ex.v[9]);       // v8 #2
+
+  ex.corridor = {e12, e23, e34, e45, e56, e67, e78};
+
+  // Shared time sequence: 5:03:25 ... 5:27:25 with the paper's intervals
+  // (240, 241, 240, 239, 240, 240).
+  ex.tu.id = 1;
+  ex.tu.times = {18205, 18445, 18686, 18926, 19165, 19405, 19645};
+
+  traj::TrajectoryInstance i1;  // Tu^1_1
+  i1.path = ex.corridor;
+  i1.locations = {{0, 0.875}, {2, 0.25}, {4, 0.5}, {4, 0.875},
+                  {5, 0.5},   {6, 0.0},  {6, 0.875}};
+  i1.probability = 0.75;
+
+  traj::TrajectoryInstance i2;  // Tu^1_2 (detour via v10)
+  i2.path = {e12, ex.e_v2_v10, ex.e_v10_v4, e45, e56, e67, e78};
+  i2.locations = {{0, 0.875}, {1, 0.25}, {4, 0.5}, {4, 0.875},
+                  {5, 0.5},   {6, 0.0},  {6, 0.875}};
+  i2.probability = 0.2;
+
+  traj::TrajectoryInstance i3;  // Tu^1_3 (extends to v9)
+  i3.path = {e12, e23, e34, e45, e56, e67, e78, ex.e_v8_v9};
+  i3.locations = {{0, 0.875}, {2, 0.25}, {4, 0.5}, {4, 0.875},
+                  {5, 0.5},   {6, 0.0},  {7, 0.5}};
+  i3.probability = 0.05;
+
+  ex.tu.instances = {i1, i2, i3};
+  return ex;
+}
+
+}  // namespace utcq::test
+
+#endif  // UTCQ_TESTS_PAPER_EXAMPLE_H_

@@ -1,0 +1,162 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/utcq.h"
+#include "network/generator.h"
+#include "paper_example.h"
+#include "traj/generator.h"
+#include "traj/profiles.h"
+
+namespace utcq::core {
+namespace {
+
+struct StiuFixture {
+  StiuFixture() {
+    const auto profile = traj::ChengduProfile();
+    common::Rng net_rng(100);
+    network::CityParams small = profile.city;
+    small.rows = 14;
+    small.cols = 14;
+    net = network::GenerateCity(net_rng, small);
+    traj::UncertainTrajectoryGenerator gen(net, profile, 606);
+    corpus = gen.GenerateCorpus(60);
+    grid = std::make_unique<network::GridIndex>(net, 16);
+    params.default_interval_s = profile.default_interval_s;
+    sys = std::make_unique<UtcqSystem>(net, *grid, corpus, params,
+                                       StiuParams{16, 900});
+  }
+  network::RoadNetwork net;
+  traj::UncertainCorpus corpus;
+  std::unique_ptr<network::GridIndex> grid;
+  UtcqParams params;
+  std::unique_ptr<UtcqSystem> sys;
+};
+
+TEST(StiuIndex, TemporalTuplesCoverEveryPartitionOfTheSpan) {
+  StiuFixture fx;
+  for (size_t j = 0; j < fx.corpus.size(); ++j) {
+    const auto& tuples = fx.sys->index().TemporalOf(j);
+    ASSERT_FALSE(tuples.empty());
+    EXPECT_EQ(tuples.front().t_no, 0u);
+    EXPECT_EQ(tuples.front().t_start, fx.corpus[j].times.front());
+    for (size_t k = 1; k < tuples.size(); ++k) {
+      EXPECT_GT(tuples[k].t_start, tuples[k - 1].t_start);
+      EXPECT_GT(tuples[k].t_no, tuples[k - 1].t_no);
+      // Each tuple starts a new 900 s partition.
+      EXPECT_NE(tuples[k].t_start / 900, tuples[k - 1].t_start / 900);
+    }
+  }
+}
+
+TEST(StiuIndex, BracketFromAnyTupleMatchesBracketFromStart) {
+  // The t_pos bit offsets must let a partial decode starting at *any*
+  // temporal tuple agree with a decode from the beginning of the stream.
+  StiuFixture fx;
+  const auto decoder = fx.sys->decoder();
+  for (size_t j = 0; j < fx.corpus.size(); ++j) {
+    const auto& tu = fx.corpus[j];
+    const auto& tuples = fx.sys->index().TemporalOf(j);
+    const auto& first = tuples.front();
+    for (traj::Timestamp t = tu.times.front(); t <= tu.times.back();
+         t += std::max<traj::Timestamp>(
+             (tu.times.back() - tu.times.front()) / 7, 1)) {
+      const auto via_index = fx.sys->index().TemporalTupleFor(j, t);
+      const auto a = decoder.BracketTime(j, t, via_index.t_no,
+                                         via_index.t_start, via_index.t_pos);
+      const auto b =
+          decoder.BracketTime(j, t, first.t_no, first.t_start, first.t_pos);
+      ASSERT_EQ(a.has_value(), b.has_value()) << "traj " << j << " t " << t;
+      if (a.has_value()) {
+        EXPECT_EQ(a->index, b->index);
+        EXPECT_EQ(a->t0, b->t0);
+        EXPECT_EQ(a->t1, b->t1);
+        // And the bracket is correct against the raw time sequence.
+        EXPECT_EQ(a->t0, tu.times[a->index]);
+        if (a->index + 1 < tu.times.size()) {
+          EXPECT_EQ(a->t1, tu.times[a->index + 1]);
+        }
+        EXPECT_LE(a->t0, t);
+        EXPECT_GE(a->t1, t);
+      }
+    }
+  }
+}
+
+TEST(StiuIndex, SpatialTuplesAreComplete) {
+  // Every region an instance's path overlaps must be reachable via a tuple
+  // (the conservative completeness the range candidate generation needs).
+  StiuFixture fx;
+  const auto& meta_of = fx.sys->compressed();
+  for (size_t j = 0; j < fx.corpus.size(); ++j) {
+    const TrajMeta& meta = meta_of.meta(j);
+    for (size_t w = 0; w < fx.corpus[j].instances.size(); ++w) {
+      const auto& inst = fx.corpus[j].instances[w];
+      const auto [is_ref, idx] = meta.roles[w];
+      for (const auto e : inst.path) {
+        for (const auto re : fx.grid->RegionsOfEdge(e)) {
+          bool found = false;
+          if (is_ref) {
+            for (const auto& rt : fx.sys->index().RefTuplesIn(re)) {
+              found = found || (rt.traj == j && rt.ref_idx == idx &&
+                                rt.ref_passes);
+            }
+          } else {
+            for (const auto& nt : fx.sys->index().NrefTuplesIn(re)) {
+              found = found || (nt.traj == j && nt.nref_idx == idx);
+            }
+          }
+          EXPECT_TRUE(found) << "traj " << j << " inst " << w << " region "
+                             << re;
+        }
+      }
+    }
+  }
+}
+
+TEST(StiuIndex, RefTupleAggregatesAreConsistent) {
+  StiuFixture fx;
+  for (network::RegionId re = 0; re < fx.grid->num_regions(); ++re) {
+    for (const auto& rt : fx.sys->index().RefTuplesIn(re)) {
+      const TrajMeta& meta = fx.sys->compressed().meta(rt.traj);
+      // p_total covers at least the members that contributed p_max and the
+      // reference itself when it passes.
+      double lower = rt.p_max;
+      if (rt.ref_passes) lower += meta.refs[rt.ref_idx].p_quantized;
+      EXPECT_GE(rt.p_total + 1e-6, lower);
+      EXPECT_GE(rt.p_max, 0.0f);
+      if (rt.ref_passes) {
+        EXPECT_LT(rt.fv_no, meta.refs[rt.ref_idx].e_len);
+      }
+    }
+  }
+}
+
+TEST(StiuIndex, PaperExampleTuples) {
+  // Fig. 5: Tu^1_1 is the reference; the spatial tuples near the corridor
+  // start must name it with fv = SV and carry p_total = 1 (all three
+  // instances pass the first region).
+  const auto ex = test::MakePaperExample();
+  const traj::UncertainCorpus corpus{ex.tu};
+  const network::GridIndex grid(ex.net, 4);
+  UtcqParams params;
+  params.default_interval_s = 240;
+  const UtcqSystem sys(ex.net, grid, corpus, params, StiuParams{4, 900});
+
+  const auto re0 = grid.RegionOf(ex.net.vertex(ex.v[1]).x + 1,
+                                 ex.net.vertex(ex.v[1]).y + 1);
+  bool found = false;
+  for (const auto& rt : sys.index().RefTuplesIn(re0)) {
+    if (rt.traj != 0 || !rt.ref_passes) continue;
+    found = true;
+    EXPECT_EQ(rt.fv_id, ex.v[1]);  // SV special case of Section 5.2
+    EXPECT_EQ(rt.fv_no, 0u);
+    EXPECT_NEAR(rt.p_total, 1.0, 0.02);  // all instances start here
+    EXPECT_NEAR(rt.p_max, 0.2, 0.01);    // max non-reference probability
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace utcq::core

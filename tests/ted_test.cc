@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "network/generator.h"
+#include "paper_example.h"
+#include "ted/ted_compress.h"
+#include "ted/ted_index.h"
+#include "ted/ted_query.h"
+#include "ted/ted_repr.h"
+#include "traj/generator.h"
+#include "traj/profiles.h"
+
+namespace utcq::ted {
+namespace {
+
+TEST(TedTimePairs, PaperExampleAnchors) {
+  // Intervals (240, 241, 240, 239, 240, 240) keep indexes {0,1,2,3,4,6}
+  // (Section 2.2's worked example).
+  const std::vector<traj::Timestamp> times = {18205, 18445, 18686, 18926,
+                                              19165, 19405, 19645};
+  const auto pairs = BuildTimePairs(times);
+  std::vector<uint32_t> kept;
+  for (const auto& [i, t] : pairs) kept.push_back(i);
+  EXPECT_EQ(kept, (std::vector<uint32_t>{0, 1, 2, 3, 4, 6}));
+  EXPECT_EQ(ExpandTimePairs(pairs), times);
+}
+
+TEST(TedTimePairs, ConstantIntervalKeepsTwoAnchors) {
+  std::vector<traj::Timestamp> times;
+  for (int i = 0; i < 20; ++i) times.push_back(100 + 10 * i);
+  const auto pairs = BuildTimePairs(times);
+  EXPECT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(ExpandTimePairs(pairs), times);
+}
+
+TEST(TedTimePairs, SingleAndEmpty) {
+  EXPECT_TRUE(BuildTimePairs({}).empty());
+  const auto one = BuildTimePairs({42});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(ExpandTimePairs(one), (std::vector<traj::Timestamp>{42}));
+}
+
+TEST(TedTimePairs, RandomRoundTrip) {
+  common::Rng rng(44);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<traj::Timestamp> times{rng.UniformInt(0, 10000)};
+    const int n = static_cast<int>(rng.UniformInt(1, 60));
+    for (int i = 0; i < n; ++i) {
+      times.push_back(times.back() + rng.UniformInt(1, 50));
+    }
+    EXPECT_EQ(ExpandTimePairs(BuildTimePairs(times)), times);
+  }
+}
+
+class TedCompressModes : public ::testing::TestWithParam<bool> {};
+
+TEST_P(TedCompressModes, RoundTripPaperExample) {
+  const auto ex = test::MakePaperExample();
+  const traj::UncertainCorpus corpus{ex.tu};
+  TedParams params;
+  params.matrix_compression = GetParam();
+  TedCompressor compressor(ex.net, params);
+  const TedCompressed cc = compressor.Compress(corpus);
+
+  EXPECT_EQ(cc.DecodeTimes(0), ex.tu.times);
+  for (size_t w = 0; w < 3; ++w) {
+    const auto inst = cc.DecodeInstance(ex.net, 0, w);
+    ASSERT_TRUE(inst.has_value()) << "instance " << w;
+    EXPECT_EQ(inst->path, ex.tu.instances[w].path);
+    ASSERT_EQ(inst->locations.size(), ex.tu.instances[w].locations.size());
+    for (size_t i = 0; i < inst->locations.size(); ++i) {
+      EXPECT_EQ(inst->locations[i].path_index,
+                ex.tu.instances[w].locations[i].path_index);
+      EXPECT_NEAR(inst->locations[i].rd,
+                  ex.tu.instances[w].locations[i].rd, params.eta_d + 1e-12);
+    }
+    EXPECT_NEAR(inst->probability, ex.tu.instances[w].probability,
+                params.eta_p + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MatrixOnOff, TedCompressModes,
+                         ::testing::Values(true, false));
+
+TEST(TedCompress, MatrixModeNeverLosesToPlainOnE) {
+  common::Rng net_rng(100);
+  const auto profile = traj::ChengduProfile();
+  network::CityParams small = profile.city;
+  small.rows = 16;
+  small.cols = 16;
+  const auto net = network::GenerateCity(net_rng, small);
+  traj::UncertainTrajectoryGenerator gen(net, profile, 71);
+  const auto corpus = gen.GenerateCorpus(80);
+
+  TedParams with_matrix;
+  TedParams plain;
+  plain.matrix_compression = false;
+  const auto a = TedCompressor(net, with_matrix).Compress(corpus);
+  const auto b = TedCompressor(net, plain).Compress(corpus);
+  // Column bases can only trim bits (headers cost a little; on realistic
+  // corpora the saving dominates).
+  EXPECT_LE(a.compressed_bits().e_bits, b.compressed_bits().e_bits * 1.05);
+  // The matrix transformation is exactly what inflates TED's working set.
+  EXPECT_GT(a.peak_memory_bytes(), b.peak_memory_bytes());
+}
+
+TEST(TedCompress, RoundTripOnGeneratedCorpus) {
+  common::Rng net_rng(100);
+  const auto profile = traj::DenmarkProfile();
+  network::CityParams small = profile.city;
+  small.rows = 16;
+  small.cols = 16;
+  const auto net = network::GenerateCity(net_rng, small);
+  traj::UncertainTrajectoryGenerator gen(net, profile, 81);
+  const auto corpus = gen.GenerateCorpus(50);
+
+  TedParams params;
+  const TedCompressed cc = TedCompressor(net, params).Compress(corpus);
+  for (size_t j = 0; j < corpus.size(); ++j) {
+    EXPECT_EQ(cc.DecodeTimes(j), corpus[j].times);
+    for (size_t w = 0; w < corpus[j].instances.size(); ++w) {
+      const auto inst = cc.DecodeInstance(net, j, w);
+      ASSERT_TRUE(inst.has_value()) << j << "/" << w;
+      EXPECT_EQ(inst->path, corpus[j].instances[w].path);
+    }
+  }
+}
+
+TEST(TedIndexAndQuery, AgreesWithDirectEvaluation) {
+  const auto ex = test::MakePaperExample();
+  const traj::UncertainCorpus corpus{ex.tu};
+  TedParams params;
+  const TedCompressed cc = TedCompressor(ex.net, params).Compress(corpus);
+  const network::GridIndex grid(ex.net, 8);
+  const TedIndex index(ex.net, grid, cc, 900);
+  const TedQueryProcessor queries(ex.net, cc, index);
+
+  // where at 5:21:25 with alpha 0.25: only Tu^1_1 (p 0.75) qualifies.
+  const auto where = queries.Where(0, 19285, 0.25);
+  ASSERT_EQ(where.size(), 1u);
+  EXPECT_EQ(where[0].instance, 0u);
+
+  // alpha 0.1 admits Tu^1_2 as well.
+  EXPECT_EQ(queries.Where(0, 19285, 0.1).size(), 2u);
+
+  // when on the first corridor edge at rd 0.875 (l0's position).
+  const auto when =
+      queries.When(0, ex.corridor[0], 0.875, 0.0);
+  ASSERT_GE(when.size(), 3u);
+  for (const auto& hit : when) EXPECT_EQ(hit.t, ex.tu.times[0]);
+
+  // range around the corridor start at the first sample time.
+  const network::Rect around{100, -100, 300, 100};
+  const auto range = queries.Range(around, ex.tu.times[0], 0.5);
+  ASSERT_EQ(range.size(), 1u);
+  EXPECT_EQ(range[0], 0u);
+  // A far-away box matches nothing.
+  EXPECT_TRUE(queries.Range({5000, 5000, 6000, 6000}, ex.tu.times[0], 0.5)
+                  .empty());
+}
+
+TEST(TedIndex, SizeGrowsWithFinerGrid) {
+  common::Rng net_rng(100);
+  const auto profile = traj::ChengduProfile();
+  network::CityParams small = profile.city;
+  small.rows = 16;
+  small.cols = 16;
+  const auto net = network::GenerateCity(net_rng, small);
+  traj::UncertainTrajectoryGenerator gen(net, profile, 97);
+  const auto corpus = gen.GenerateCorpus(40);
+  TedParams params;
+  const TedCompressed cc = TedCompressor(net, params).Compress(corpus);
+  const network::GridIndex g8(net, 8);
+  const network::GridIndex g32(net, 32);
+  const TedIndex i8(net, g8, cc, 1800);
+  const TedIndex i32(net, g32, cc, 1800);
+  EXPECT_GE(i32.SizeBytes(), i8.SizeBytes());
+}
+
+}  // namespace
+}  // namespace utcq::ted

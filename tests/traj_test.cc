@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "paper_example.h"
+#include "traj/edit_distance.h"
+#include "traj/generator.h"
+#include "traj/interpolate.h"
+#include "traj/statistics.h"
+#include "traj/types.h"
+
+namespace utcq::traj {
+namespace {
+
+// ------------------------------------------------- representation builders
+
+TEST(Types, PaperEdgeSequences) {
+  const auto ex = test::MakePaperExample();
+  const auto e1 = BuildEdgeSequence(ex.net, ex.tu.instances[0]);
+  const auto e2 = BuildEdgeSequence(ex.net, ex.tu.instances[1]);
+  const auto e3 = BuildEdgeSequence(ex.net, ex.tu.instances[2]);
+  EXPECT_EQ(e1, (std::vector<uint32_t>{1, 2, 1, 2, 2, 0, 4, 1, 0}));
+  EXPECT_EQ(e2, (std::vector<uint32_t>{1, 1, 1, 2, 2, 0, 4, 1, 0}));
+  EXPECT_EQ(e3, (std::vector<uint32_t>{1, 2, 1, 2, 2, 0, 4, 1, 2}));
+}
+
+TEST(Types, PaperTimeFlagBits) {
+  const auto ex = test::MakePaperExample();
+  const auto t1 = BuildTimeFlagBits(ex.tu.instances[0]);
+  const auto t2 = BuildTimeFlagBits(ex.tu.instances[1]);
+  EXPECT_EQ(t1, (std::vector<uint8_t>{1, 0, 1, 0, 1, 1, 1, 1, 1}));  // Table 2
+  EXPECT_EQ(t2, (std::vector<uint8_t>{1, 1, 0, 0, 1, 1, 1, 1, 1}));
+  // The count of 1s equals the location count.
+  int ones = 0;
+  for (const auto b : t1) ones += b;
+  EXPECT_EQ(ones, 7);
+}
+
+TEST(Types, StartVertexAndValidate) {
+  const auto ex = test::MakePaperExample();
+  EXPECT_EQ(StartVertex(ex.net, ex.tu.instances[0]), ex.v[1]);
+  EXPECT_EQ(Validate(ex.net, ex.tu), "");
+}
+
+TEST(Types, ValidateCatchesDisconnectedPath) {
+  auto ex = test::MakePaperExample();
+  std::swap(ex.tu.instances[0].path[1], ex.tu.instances[0].path[3]);
+  EXPECT_NE(Validate(ex.net, ex.tu), "");
+}
+
+TEST(Types, ValidateCatchesBadProbabilities) {
+  auto ex = test::MakePaperExample();
+  ex.tu.instances[0].probability = 0.2;
+  EXPECT_NE(Validate(ex.net, ex.tu), "");
+}
+
+TEST(Types, MeasureRawSizeComponents) {
+  const auto ex = test::MakePaperExample();
+  const ComponentSizes s = MeasureRawSize(ex.net, ex.tu);
+  EXPECT_EQ(s.t_bits, 32u * 7);
+  EXPECT_EQ(s.sv_bits, 32u * 3);
+  EXPECT_EQ(s.e_bits, 32u * (9 + 9 + 9));
+  EXPECT_EQ(s.d_bits, 32u * 7 * 3);
+  EXPECT_EQ(s.tflag_bits, 9u * 3);
+  EXPECT_EQ(s.p_bits, 32u * 3);
+}
+
+// ---------------------------------------------------------- edit distance
+
+TEST(EditDistance, Basics) {
+  EXPECT_EQ(EditDistance({}, {}), 0u);
+  EXPECT_EQ(EditDistance({1, 2, 3}, {1, 2, 3}), 0u);
+  EXPECT_EQ(EditDistance({1, 2, 3}, {1, 3}), 1u);
+  EXPECT_EQ(EditDistance({1, 2, 3}, {4, 5, 6}), 3u);
+  EXPECT_EQ(EditDistance({}, {1, 2}), 2u);
+}
+
+TEST(EditDistance, BandedAgreesWithinBand) {
+  common::Rng rng(2);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<uint32_t> a, b;
+    const int n = static_cast<int>(rng.UniformInt(0, 20));
+    const int m = static_cast<int>(rng.UniformInt(0, 20));
+    for (int i = 0; i < n; ++i) a.push_back(static_cast<uint32_t>(rng.UniformInt(0, 4)));
+    for (int i = 0; i < m; ++i) b.push_back(static_cast<uint32_t>(rng.UniformInt(0, 4)));
+    const size_t exact = EditDistance(a, b);
+    const size_t banded = EditDistanceBanded(a, b, 9);
+    if (exact <= 9) {
+      EXPECT_EQ(banded, exact);
+    } else {
+      EXPECT_EQ(banded, 10u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- generator
+
+class GeneratorPerProfile : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorPerProfile, ProducesValidTrajectories) {
+  const auto profiles = AllProfiles();
+  const DatasetProfile& profile = profiles[static_cast<size_t>(GetParam())];
+  common::Rng net_rng(100);
+  network::CityParams small = profile.city;
+  small.rows = 16;
+  small.cols = 16;
+  const auto net = network::GenerateCity(net_rng, small);
+  UncertainTrajectoryGenerator gen(net, profile, 7);
+  const auto corpus = gen.GenerateCorpus(40);
+  ASSERT_EQ(corpus.size(), 40u);
+  for (const auto& tu : corpus) {
+    EXPECT_EQ(Validate(net, tu), "") << "profile " << profile.name;
+    EXPECT_GE(tu.instances.size(),
+              static_cast<size_t>(profile.min_instances));
+  }
+}
+
+TEST_P(GeneratorPerProfile, IntervalMixTracksProfile) {
+  const auto profiles = AllProfiles();
+  const DatasetProfile& profile = profiles[static_cast<size_t>(GetParam())];
+  common::Rng net_rng(100);
+  network::CityParams small = profile.city;
+  small.rows = 16;
+  small.cols = 16;
+  const auto net = network::GenerateCity(net_rng, small);
+  UncertainTrajectoryGenerator gen(net, profile, 13);
+  const auto corpus = gen.GenerateCorpus(250);
+  const IntervalHistogram h =
+      ComputeIntervalHistogram(corpus, profile.default_interval_s);
+  ASSERT_GT(h.total, 500u);
+  const double expected =
+      profile.deviations.zero + profile.deviations.one;
+  EXPECT_NEAR(h.within_one(), expected, 0.06) << profile.name;
+}
+
+TEST_P(GeneratorPerProfile, InstancesSimilarWithinTrajectory) {
+  const auto profiles = AllProfiles();
+  const DatasetProfile& profile = profiles[static_cast<size_t>(GetParam())];
+  common::Rng net_rng(100);
+  network::CityParams small = profile.city;
+  small.rows = 16;
+  small.cols = 16;
+  const auto net = network::GenerateCity(net_rng, small);
+  UncertainTrajectoryGenerator gen(net, profile, 23);
+  const auto corpus = gen.GenerateCorpus(150);
+  common::Rng rng(5);
+  const auto within = ComputeWithinDistances(net, corpus, rng);
+  const auto across = ComputeAcrossDistances(net, corpus, rng, 400);
+  // Fig. 4b shape: within-trajectory distances concentrate at <= 5; across
+  // pairs are far less similar.
+  EXPECT_GT(within.at_most_five(), 0.6) << profile.name;
+  EXPECT_GT(across.at_least_nine(), within.at_least_nine()) << profile.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, GeneratorPerProfile,
+                         ::testing::Values(0, 1, 2));
+
+TEST(Generator, DeterministicAcrossRuns) {
+  common::Rng net_rng(100);
+  const auto profile = ChengduProfile();
+  network::CityParams small = profile.city;
+  small.rows = 12;
+  small.cols = 12;
+  const auto net = network::GenerateCity(net_rng, small);
+  UncertainTrajectoryGenerator g1(net, profile, 99);
+  UncertainTrajectoryGenerator g2(net, profile, 99);
+  const auto a = g1.Generate();
+  const auto b = g2.Generate();
+  EXPECT_EQ(a.times, b.times);
+  ASSERT_EQ(a.instances.size(), b.instances.size());
+  for (size_t i = 0; i < a.instances.size(); ++i) {
+    EXPECT_EQ(a.instances[i].path, b.instances[i].path);
+  }
+}
+
+TEST(Generator, RawTrajectoryFollowsTruePath) {
+  common::Rng net_rng(100);
+  const auto profile = ChengduProfile();
+  network::CityParams small = profile.city;
+  small.rows = 12;
+  small.cols = 12;
+  const auto net = network::GenerateCity(net_rng, small);
+  UncertainTrajectoryGenerator gen(net, profile, 3);
+  const auto rt = gen.GenerateRaw();
+  ASSERT_GE(rt.raw.size(), 2u);
+  ASSERT_GE(rt.true_path.size(), 2u);
+  for (size_t i = 1; i < rt.raw.size(); ++i) {
+    EXPECT_GT(rt.raw[i].t, rt.raw[i - 1].t);
+  }
+}
+
+// --------------------------------------------------------------- statistics
+
+TEST(Statistics, SummaryCountsInstancesAndEdges) {
+  const auto ex = test::MakePaperExample();
+  UncertainCorpus corpus{ex.tu};
+  const CorpusSummary s = Summarize(ex.net, corpus);
+  EXPECT_EQ(s.trajectories, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_instances, 3.0);
+  EXPECT_EQ(s.max_instances, 3u);
+  EXPECT_EQ(s.max_edges, 8u);
+  EXPECT_GT(s.raw_bytes, 0u);
+}
+
+TEST(Statistics, AverageRunLength) {
+  UncertainCorpus corpus(1);
+  corpus[0].times = {0, 10, 20, 30, 45, 60};  // one change among 5 intervals
+  EXPECT_DOUBLE_EQ(AverageRunLength(corpus), 5.0);
+}
+
+// ------------------------------------------------------------ interpolation
+
+TEST(Interpolate, PositionAtSampleTimes) {
+  const auto ex = test::MakePaperExample();
+  const auto& inst = ex.tu.instances[0];
+  const auto pos0 =
+      PositionAtTime(ex.net, inst, ex.tu.times, ex.tu.times.front());
+  ASSERT_TRUE(pos0.has_value());
+  EXPECT_EQ(pos0->edge, inst.path[0]);
+  EXPECT_NEAR(pos0->ndist, 0.875 * ex.net.edge(inst.path[0]).length, 1e-6);
+  const auto pos_last =
+      PositionAtTime(ex.net, inst, ex.tu.times, ex.tu.times.back());
+  ASSERT_TRUE(pos_last.has_value());
+  EXPECT_EQ(pos_last->edge, inst.path[6]);
+}
+
+TEST(Interpolate, PositionOutsideSpanIsEmpty) {
+  const auto ex = test::MakePaperExample();
+  const auto& inst = ex.tu.instances[0];
+  EXPECT_FALSE(
+      PositionAtTime(ex.net, inst, ex.tu.times, ex.tu.times.front() - 1)
+          .has_value());
+  EXPECT_FALSE(
+      PositionAtTime(ex.net, inst, ex.tu.times, ex.tu.times.back() + 1)
+          .has_value());
+}
+
+TEST(Interpolate, MidpointBetweenSamples) {
+  // Two locations on one 100 m edge at rd 0.0 and 1.0, 100 s apart: at t=50
+  // the object sits mid-edge.
+  network::RoadNetwork net;
+  net.AddVertex(0, 0);
+  net.AddVertex(100, 0);
+  const auto e = net.AddEdge(0, 1);
+  TrajectoryInstance inst;
+  inst.path = {e};
+  inst.locations = {{0, 0.0}, {0, 1.0}};
+  inst.probability = 1.0;
+  const std::vector<Timestamp> times = {0, 100};
+  const auto pos = PositionAtTime(net, inst, times, 50);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(pos->edge, e);
+  EXPECT_NEAR(pos->ndist, 50.0, 1e-9);
+}
+
+TEST(Interpolate, TimesAtPositionInverseOfPosition) {
+  network::RoadNetwork net;
+  net.AddVertex(0, 0);
+  net.AddVertex(100, 0);
+  net.AddVertex(200, 0);
+  const auto e1 = net.AddEdge(0, 1);
+  const auto e2 = net.AddEdge(1, 2);
+  TrajectoryInstance inst;
+  inst.path = {e1, e2};
+  inst.locations = {{0, 0.0}, {1, 1.0}};
+  inst.probability = 1.0;
+  const std::vector<Timestamp> times = {0, 200};
+  const auto hits = TimesAtPosition(net, inst, times, e1, 0.5);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 50);  // 50 m of 200 m at constant speed
+  const auto hits2 = TimesAtPosition(net, inst, times, e2, 0.5);
+  ASSERT_EQ(hits2.size(), 1u);
+  EXPECT_EQ(hits2[0], 150);
+}
+
+TEST(Interpolate, TimesAtPositionOutsideSampledSpanEmpty) {
+  const auto ex = test::MakePaperExample();
+  const auto& inst = ex.tu.instances[0];
+  // rd 0.1 on the first edge lies before l0 (rd 0.875): not covered.
+  const auto hits =
+      TimesAtPosition(ex.net, inst, ex.tu.times, inst.path[0], 0.1);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(Interpolate, ReconstructInstanceRoundTrip) {
+  const auto ex = test::MakePaperExample();
+  for (const auto& inst : ex.tu.instances) {
+    const auto entries = BuildEdgeSequence(ex.net, inst);
+    const auto tflag = BuildTimeFlagBits(inst);
+    std::vector<double> rds;
+    for (const auto& loc : inst.locations) rds.push_back(loc.rd);
+    const auto rebuilt =
+        ReconstructInstance(ex.net, StartVertex(ex.net, inst), entries, tflag,
+                            rds, inst.probability);
+    ASSERT_TRUE(rebuilt.has_value());
+    EXPECT_EQ(rebuilt->path, inst.path);
+    ASSERT_EQ(rebuilt->locations.size(), inst.locations.size());
+    for (size_t i = 0; i < inst.locations.size(); ++i) {
+      EXPECT_EQ(rebuilt->locations[i].path_index,
+                inst.locations[i].path_index);
+      EXPECT_DOUBLE_EQ(rebuilt->locations[i].rd, inst.locations[i].rd);
+    }
+  }
+}
+
+TEST(Interpolate, ReconstructRejectsCorruptEntries) {
+  const auto ex = test::MakePaperExample();
+  const auto& inst = ex.tu.instances[0];
+  auto entries = BuildEdgeSequence(ex.net, inst);
+  const auto tflag = BuildTimeFlagBits(inst);
+  std::vector<double> rds(inst.locations.size(), 0.5);
+  entries[0] = 7;  // v1 has a single outgoing edge: number 7 cannot resolve
+  EXPECT_FALSE(ReconstructInstance(ex.net, ex.v[1], entries, tflag, rds, 1.0)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace utcq::traj
