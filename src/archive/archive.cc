@@ -1,0 +1,490 @@
+#include "archive/archive.h"
+
+#include <cstdio>
+#include <cstring>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "common/serial.h"
+
+namespace utcq::archive {
+
+using common::ByteReader;
+using common::ByteWriter;
+
+namespace {
+
+bool GetStream(ByteReader& in, ArchivePayload::Stream* stream) {
+  stream->size_bits = in.GetVarint();
+  // Bound before computing the byte count: a size_bits near 2^64 would wrap
+  // (size_bits + 7) / 8 to a tiny number and fake a consistent section.
+  if (stream->size_bits > in.remaining() * 8) return false;
+  const size_t bytes = (stream->size_bits + 7) / 8;
+  if (bytes != in.remaining()) return false;  // length field must agree
+  stream->bytes.resize(bytes);
+  in.GetBytes(stream->bytes.data(), bytes);
+  return in.ok();
+}
+
+void PutParams(ByteWriter& out, const core::UtcqParams& params,
+               int entry_bits, const traj::ComponentSizes& bits) {
+  out.PutF64(params.eta_d);
+  out.PutF64(params.eta_p);
+  out.PutVarint(static_cast<uint64_t>(params.num_pivots));
+  out.PutSignedVarint(params.default_interval_s);
+  out.PutU8(params.disable_referential ? 1 : 0);
+  out.PutVarint(static_cast<uint64_t>(entry_bits));
+  out.PutVarint(bits.t_bits);
+  out.PutVarint(bits.sv_bits);
+  out.PutVarint(bits.e_bits);
+  out.PutVarint(bits.d_bits);
+  out.PutVarint(bits.tflag_bits);
+  out.PutVarint(bits.p_bits);
+}
+
+bool GetParams(ByteReader& in, ArchivePayload* p) {
+  p->params.eta_d = in.GetF64();
+  p->params.eta_p = in.GetF64();
+  p->params.num_pivots = static_cast<int>(in.GetVarint());
+  p->params.default_interval_s = in.GetSignedVarint();
+  p->params.disable_referential = in.GetU8() != 0;
+  p->entry_bits = static_cast<int>(in.GetVarint());
+  p->compressed_bits.t_bits = in.GetVarint();
+  p->compressed_bits.sv_bits = in.GetVarint();
+  p->compressed_bits.e_bits = in.GetVarint();
+  p->compressed_bits.d_bits = in.GetVarint();
+  p->compressed_bits.tflag_bits = in.GetVarint();
+  p->compressed_bits.p_bits = in.GetVarint();
+  // PDDP codecs require an error bound in (0, 1); entry fields are bounded
+  // by the 32-bit vertex ids.
+  return in.ok() && p->params.eta_d > 0.0 && p->params.eta_d < 1.0 &&
+         p->params.eta_p > 0.0 && p->params.eta_p < 1.0 &&
+         p->entry_bits >= 0 && p->entry_bits <= 32;
+}
+
+void PutMetas(ByteWriter& out, const std::vector<core::TrajMeta>& metas) {
+  out.PutVarint(metas.size());
+  for (const core::TrajMeta& m : metas) {
+    out.PutVarint(m.t_pos);
+    out.PutVarint(m.n_points);
+    out.PutSignedVarint(m.t_first);
+    out.PutSignedVarint(m.t_last);
+    out.PutVarint(m.refs.size());
+    for (const core::RefMeta& rm : m.refs) {
+      out.PutVarint(rm.orig_index);
+      out.PutVarint(rm.offset);
+      out.PutVarint(rm.e_len);
+      out.PutVarint(rm.d_pos);
+      out.PutF32(rm.p_quantized);
+    }
+    out.PutVarint(m.nrefs.size());
+    for (const core::NrefMeta& nm : m.nrefs) {
+      out.PutVarint(nm.orig_index);
+      out.PutVarint(nm.ref_pos);
+      out.PutVarint(nm.offset);
+      out.PutVarint(nm.e_len);
+      out.PutF32(nm.p_quantized);
+    }
+    // Roles are fully determined by the (orig_index -> ref/nref) maps above;
+    // re-derived on load instead of stored.
+  }
+}
+
+bool GetMetas(ByteReader& in, std::vector<core::TrajMeta>* metas) {
+  const uint64_t n = in.GetVarint();
+  // Each trajectory costs at least a few bytes; a count exceeding the
+  // remaining payload means a corrupt length that would OOM resize().
+  if (n > in.remaining()) return false;
+  metas->resize(n);
+  for (core::TrajMeta& m : *metas) {
+    m.t_pos = in.GetVarint();
+    m.n_points = static_cast<uint32_t>(in.GetVarint());
+    m.t_first = in.GetSignedVarint();
+    m.t_last = in.GetSignedVarint();
+    const uint64_t n_refs = in.GetVarint();
+    if (n_refs > in.remaining()) return false;
+    m.refs.resize(n_refs);
+    for (core::RefMeta& rm : m.refs) {
+      rm.orig_index = static_cast<uint32_t>(in.GetVarint());
+      rm.offset = in.GetVarint();
+      rm.e_len = static_cast<uint32_t>(in.GetVarint());
+      rm.d_pos = in.GetVarint();
+      rm.p_quantized = in.GetF32();
+    }
+    const uint64_t n_nrefs = in.GetVarint();
+    if (n_nrefs > in.remaining()) return false;
+    m.nrefs.resize(n_nrefs);
+    for (core::NrefMeta& nm : m.nrefs) {
+      nm.orig_index = static_cast<uint32_t>(in.GetVarint());
+      nm.ref_pos = static_cast<uint32_t>(in.GetVarint());
+      nm.offset = in.GetVarint();
+      nm.e_len = static_cast<uint32_t>(in.GetVarint());
+      nm.p_quantized = in.GetF32();
+    }
+    // Rebuild the role table. Every instance slot must be claimed exactly
+    // once: a duplicate orig_index would leave another slot at the default
+    // {false, 0}, which decodes nrefs[0] out of bounds later.
+    m.roles.assign(m.refs.size() + m.nrefs.size(), {false, 0});
+    std::vector<uint8_t> claimed(m.roles.size(), 0);
+    for (uint32_t r = 0; r < m.refs.size(); ++r) {
+      if (m.refs[r].orig_index >= m.roles.size()) return false;
+      if (claimed[m.refs[r].orig_index]++ != 0) return false;
+      m.roles[m.refs[r].orig_index] = {true, r};
+    }
+    for (uint32_t k = 0; k < m.nrefs.size(); ++k) {
+      if (m.nrefs[k].orig_index >= m.roles.size()) return false;
+      if (m.nrefs[k].ref_pos >= m.refs.size()) return false;
+      if (claimed[m.nrefs[k].orig_index]++ != 0) return false;
+      m.roles[m.nrefs[k].orig_index] = {false, k};
+    }
+  }
+  return in.ok();
+}
+
+size_t VarintLen(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Borrowed inputs of one archive image — the common ground of "save a live
+/// corpus" (spans borrow the BitWriters directly; the streams are copied
+/// only once, into the output buffer) and "re-encode a loaded payload".
+struct ArchiveRef {
+  const core::UtcqParams* params;
+  int entry_bits;
+  const traj::ComponentSizes* compressed_bits;
+  common::BitSpan t, ref, nref, structure;
+  const std::vector<core::TrajMeta>* metas;
+  const uint8_t* stiu;
+  size_t stiu_size;
+};
+
+std::vector<uint8_t> EncodeArchiveRef(const ArchiveRef& p) {
+  ByteWriter params_body;
+  PutParams(params_body, *p.params, p.entry_bits, *p.compressed_bits);
+  ByteWriter metas_body;
+  PutMetas(metas_body, *p.metas);
+
+  ByteWriter out;
+  out.PutBytes(kMagic, sizeof(kMagic));
+  out.PutU32(kFormatVersion);
+  out.PutVarint(6 + (p.stiu_size > 0 ? 1 : 0));
+  out.PutVarint(static_cast<uint64_t>(SectionTag::kParams));
+  out.PutBlob(params_body.bytes().data(), params_body.size());
+  const std::pair<SectionTag, const common::BitSpan*> streams[] = {
+      {SectionTag::kTStream, &p.t},
+      {SectionTag::kRefStream, &p.ref},
+      {SectionTag::kNrefStream, &p.nref},
+      {SectionTag::kStructure, &p.structure},
+  };
+  for (const auto& [tag, span] : streams) {
+    out.PutVarint(static_cast<uint64_t>(tag));
+    out.PutVarint(VarintLen(span->size_bits) + span->size_bytes());
+    out.PutVarint(span->size_bits);
+    out.PutBytes(span->data, span->size_bytes());
+  }
+  out.PutVarint(static_cast<uint64_t>(SectionTag::kMetas));
+  out.PutBlob(metas_body.bytes().data(), metas_body.size());
+  if (p.stiu_size > 0) {
+    out.PutVarint(static_cast<uint64_t>(SectionTag::kStiu));
+    out.PutBlob(p.stiu, p.stiu_size);
+  }
+  const uint32_t crc = common::Crc32(out.bytes().data(), out.size());
+  out.PutU32(crc);
+  return out.Release();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeArchive(const ArchivePayload& payload) {
+  return EncodeArchiveRef({&payload.params, payload.entry_bits,
+                           &payload.compressed_bits, payload.t.span(),
+                           payload.ref.span(), payload.nref.span(),
+                           payload.structure.span(), &payload.metas,
+                           payload.stiu.data(), payload.stiu.size()});
+}
+
+bool DecodeArchive(const uint8_t* data, size_t size, ArchivePayload* out,
+                   std::string* error) {
+  const auto fail = [error](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+
+  if (size < sizeof(kMagic) + sizeof(uint32_t) * 2) {
+    return fail("archive truncated: shorter than header + footer");
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad magic: not a UTCQ archive");
+  }
+  const uint32_t stored_crc = ByteReader(data + size - 4, 4).GetU32();
+  if (common::Crc32(data, size - 4) != stored_crc) {
+    return fail("checksum mismatch: archive corrupt or truncated");
+  }
+
+  ByteReader in(data, size - 4);
+  in.Skip(sizeof(kMagic));
+  const uint32_t version = in.GetU32();
+  if (version == 0 || version > kFormatVersion) {
+    return fail("unsupported archive format version");
+  }
+
+  *out = ArchivePayload{};
+  bool have_params = false;
+  bool have_metas = false;
+  bool have_streams[4] = {false, false, false, false};
+  const uint64_t section_count = in.GetVarint();
+  for (uint64_t i = 0; i < section_count; ++i) {
+    const uint64_t tag = in.GetVarint();
+    const uint64_t length = in.GetVarint();
+    const uint8_t* body = in.BorrowBytes(length);
+    if (body == nullptr) return fail("section table truncated");
+    ByteReader section(body, length);
+    switch (static_cast<SectionTag>(tag)) {
+      case SectionTag::kParams:
+        if (!GetParams(section, out)) return fail("invalid params section");
+        have_params = true;
+        break;
+      case SectionTag::kTStream:
+        if (!GetStream(section, &out->t)) return fail("invalid T stream");
+        have_streams[0] = true;
+        break;
+      case SectionTag::kRefStream:
+        if (!GetStream(section, &out->ref)) return fail("invalid ref stream");
+        have_streams[1] = true;
+        break;
+      case SectionTag::kNrefStream:
+        if (!GetStream(section, &out->nref)) {
+          return fail("invalid nref stream");
+        }
+        have_streams[2] = true;
+        break;
+      case SectionTag::kStructure:
+        if (!GetStream(section, &out->structure)) {
+          return fail("invalid structure stream");
+        }
+        have_streams[3] = true;
+        break;
+      case SectionTag::kMetas:
+        if (!GetMetas(section, &out->metas)) {
+          return fail("invalid metas section");
+        }
+        have_metas = true;
+        break;
+      case SectionTag::kStiu: {
+        out->stiu.assign(body, body + length);
+        // Peek the cells_per_side the tuples were built over (first field
+        // of the StIU payload) so callers can rebuild a matching grid.
+        ByteReader peek(body, length);
+        out->stiu_cells_per_side = static_cast<uint32_t>(peek.GetVarint());
+        if (!peek.ok()) return fail("invalid StIU section");
+        break;
+      }
+      default:
+        break;  // unknown section: skip (forward compatibility)
+    }
+  }
+  if (!in.ok()) return fail("archive parse overran the buffer");
+  if (!have_params || !have_metas || !have_streams[0] || !have_streams[1] ||
+      !have_streams[2] || !have_streams[3]) {
+    return fail("archive missing a required section");
+  }
+
+  // Cross-section sanity: every meta bit position must land inside its
+  // stream, or later partial decodes would read out of bounds.
+  for (const core::TrajMeta& m : out->metas) {
+    if (m.t_pos > out->t.size_bits) return fail("meta t_pos out of range");
+    // n_points drives decode-side allocations; a trajectory with n points
+    // stores n-1 SIAR deltas of >= 1 bit each in the T stream.
+    if (m.n_points > out->t.size_bits + 1) {
+      return fail("meta n_points exceeds the T stream");
+    }
+    for (const core::RefMeta& rm : m.refs) {
+      if (rm.offset > out->ref.size_bits || rm.d_pos > out->ref.size_bits) {
+        return fail("ref meta offset out of range");
+      }
+    }
+    for (const core::NrefMeta& nm : m.nrefs) {
+      if (nm.offset > out->nref.size_bits) {
+        return fail("nref meta offset out of range");
+      }
+    }
+  }
+  return true;
+}
+
+ArchiveWriter::ArchiveWriter(const core::CompressedCorpus& corpus,
+                             const core::StiuIndex* index)
+    : corpus_(corpus), index_(index) {}
+
+std::vector<uint8_t> ArchiveWriter::Serialize() const {
+  // Streams are borrowed straight from the corpus's BitWriters: the only
+  // copy of the compressed payload is into the output image itself.
+  ByteWriter stiu;
+  if (index_ != nullptr) index_->Serialize(stiu);
+  return EncodeArchiveRef(
+      {&corpus_.params(), corpus_.entry_bits(), &corpus_.compressed_bits(),
+       corpus_.t_stream().span(), corpus_.ref_stream().span(),
+       corpus_.nref_stream().span(), corpus_.structure_stream().span(),
+       &corpus_.metas(), stiu.bytes().data(), stiu.size()});
+}
+
+bool ArchiveWriter::Save(const std::string& path, std::string* error) const {
+  const std::vector<uint8_t> bytes = Serialize();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + tmp + " for writing";
+    return false;
+  }
+  // Atomicity needs durability: the data blocks must be on disk before the
+  // rename publishes the new name, or a crash can lose both old and new
+  // archive (rename is metadata-only; the page cache holds the payload).
+  bool synced = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  synced = std::fflush(f) == 0 && synced;
+#ifndef _WIN32
+  synced = ::fsync(::fileno(f)) == 0 && synced;
+#endif
+  synced = std::fclose(f) == 0 && synced;
+  if (!synced) {
+    std::remove(tmp.c_str());
+    if (error != nullptr) *error = "short write to " + tmp;
+    return false;
+  }
+#ifdef _WIN32
+  // POSIX rename replaces an existing target atomically; Windows refuses,
+  // so drop the old archive first (losing atomicity, which the platform
+  // cannot offer through std::rename anyway).
+  std::remove(path.c_str());
+#endif
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    if (error != nullptr) *error = "cannot rename " + tmp + " to " + path;
+    return false;
+  }
+#ifndef _WIN32
+  // Persist the rename itself (the directory entry).
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+#endif
+  return true;
+}
+
+bool ArchiveReader::Open(const std::string& path, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long file_size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes;
+  if (file_size > 0) {
+    bytes.resize(static_cast<size_t>(file_size));
+    if (std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+      std::fclose(f);
+      if (error != nullptr) *error = "short read from " + path;
+      return false;
+    }
+  }
+  std::fclose(f);
+  return OpenBytes(std::move(bytes), error);
+}
+
+bool ArchiveReader::OpenBytes(std::vector<uint8_t> bytes, std::string* error) {
+  open_ = false;
+  payload_ = ArchivePayload{};
+  ArchivePayload parsed;
+  if (!DecodeArchive(bytes.data(), bytes.size(), &parsed, error)) {
+    return false;
+  }
+  payload_ = std::move(parsed);
+  open_ = true;
+  return true;
+}
+
+core::CorpusView ArchiveReader::view() const {
+  return core::CorpusView(payload_.params, payload_.entry_bits,
+                          payload_.t.span(), payload_.ref.span(),
+                          payload_.nref.span(), payload_.structure.span(),
+                          payload_.metas.data(), payload_.metas.size());
+}
+
+std::unique_ptr<core::StiuIndex> ArchiveReader::LoadIndex(
+    const network::GridIndex& grid, std::string* error) const {
+  if (!has_index()) {
+    if (error != nullptr) *error = "archive carries no StIU section";
+    return nullptr;
+  }
+  if (grid.num_regions() !=
+      payload_.stiu_cells_per_side * payload_.stiu_cells_per_side) {
+    if (error != nullptr) {
+      *error = "grid resolution does not match the archived StIU tuples";
+    }
+    return nullptr;
+  }
+  ByteReader in(payload_.stiu);
+  auto index = std::make_unique<core::StiuIndex>(grid, in);
+  if (!in.ok()) {
+    if (error != nullptr) *error = "StIU section failed to parse";
+    return nullptr;
+  }
+  // The index must agree with the metas section it was archived with:
+  // queries index temporal_ by trajectory id, and every trajectory has at
+  // least one temporal tuple by construction (times are never empty).
+  if (index->num_trajectories() != payload_.metas.size()) {
+    if (error != nullptr) {
+      *error = "StIU trajectory count disagrees with the metas section";
+    }
+    return nullptr;
+  }
+  for (size_t j = 0; j < index->num_trajectories(); ++j) {
+    if (index->TemporalOf(j).empty()) {
+      if (error != nullptr) {
+        *error = "StIU section has a trajectory with no temporal tuples";
+      }
+      return nullptr;
+    }
+  }
+  // Spatial tuples feed straight into meta(traj).refs[ref_idx] /
+  // .nrefs[nref_idx] on the query path; reject any that point outside the
+  // metas section rather than letting queries index out of bounds.
+  for (network::RegionId re = 0; re < grid.num_regions(); ++re) {
+    for (const auto& rt : index->RefTuplesIn(re)) {
+      if (rt.traj >= payload_.metas.size() ||
+          rt.ref_idx >= payload_.metas[rt.traj].refs.size()) {
+        if (error != nullptr) {
+          *error = "StIU ref tuple points outside the metas section";
+        }
+        return nullptr;
+      }
+    }
+    for (const auto& nt : index->NrefTuplesIn(re)) {
+      if (nt.traj >= payload_.metas.size() ||
+          nt.nref_idx >= payload_.metas[nt.traj].nrefs.size()) {
+        if (error != nullptr) {
+          *error = "StIU nref tuple points outside the metas section";
+        }
+        return nullptr;
+      }
+    }
+  }
+  return index;
+}
+
+}  // namespace utcq::archive

@@ -1,0 +1,147 @@
+#ifndef UTCQ_ARCHIVE_ARCHIVE_H_
+#define UTCQ_ARCHIVE_ARCHIVE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitstream.h"
+#include "core/corpus_meta.h"
+#include "core/corpus_view.h"
+#include "core/encoder.h"
+#include "core/stiu_index.h"
+#include "network/grid_index.h"
+#include "traj/types.h"
+
+namespace utcq::archive {
+
+/// On-disk corpus container (DESIGN.md §6): a versioned binary file holding
+/// everything needed to answer where/when/range queries without the original
+/// uncompressed corpus — compression parameters, the four UTCQ bit streams,
+/// per-trajectory metas, and (optionally) the StIU tuple lists. The road
+/// network itself is *not* archived; it is shared corpus-independent state
+/// the caller provides on open.
+///
+/// Layout (all multi-byte integers little-endian; varints are LEB128):
+///
+///   offset 0   : 8-byte magic "UTCQARC\0"
+///              : u32 format version (kFormatVersion)
+///              : varint section count
+///   per section: varint tag, varint payload length, payload bytes
+///   footer     : u32 CRC-32 (IEEE) of every preceding byte
+///
+/// Readers skip unknown section tags (forward compatibility within a major
+/// version) and reject missing required sections, bad magic, newer versions,
+/// truncation, and checksum mismatches.
+inline constexpr char kMagic[8] = {'U', 'T', 'C', 'Q', 'A', 'R', 'C', '\0'};
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Section tags. Values are part of the on-disk format: never renumber,
+/// only append.
+enum class SectionTag : uint64_t {
+  kParams = 1,      // UtcqParams + entry_bits + size accounting
+  kTStream = 2,     // SIAR-coded shared time sequences
+  kRefStream = 3,   // reference payloads
+  kNrefStream = 4,  // referential non-reference payloads
+  kStructure = 5,   // per-trajectory role bitmaps
+  kMetas = 6,       // TrajMeta records (bit positions into the streams)
+  kStiu = 7,        // serialized StIU tuple lists (optional)
+};
+
+/// The decoded contents of an archive, owning every buffer a CorpusView
+/// needs. This is the neutral middle ground the writer serializes *from*
+/// and the reader deserializes *into* — re-encoding a loaded payload is
+/// byte-identical to the original file, which the round-trip tests pin down.
+struct ArchivePayload {
+  struct Stream {
+    std::vector<uint8_t> bytes;
+    uint64_t size_bits = 0;
+
+    common::BitSpan span() const { return {bytes.data(), size_bits}; }
+  };
+
+  core::UtcqParams params;
+  int entry_bits = 4;
+  traj::ComponentSizes compressed_bits;
+  Stream t, ref, nref, structure;
+  std::vector<core::TrajMeta> metas;
+  /// Serialized StIU section payload; empty when the archive carries none.
+  std::vector<uint8_t> stiu;
+  /// Grid resolution the StIU tuples were built over (from the StIU
+  /// section); 0 when no index is archived.
+  uint32_t stiu_cells_per_side = 0;
+};
+
+/// Serializes a payload into the container format (header + sections +
+/// checksum footer).
+std::vector<uint8_t> EncodeArchive(const ArchivePayload& payload);
+
+/// Parses and validates a container. Returns false (with a reason in
+/// `*error`) on bad magic, unsupported version, truncation, checksum
+/// mismatch, or a structurally invalid required section.
+bool DecodeArchive(const uint8_t* data, size_t size, ArchivePayload* out,
+                   std::string* error);
+
+/// Write-side entry point: captures a compressed corpus (and optionally its
+/// StIU index) and saves it as one self-contained file.
+class ArchiveWriter {
+ public:
+  explicit ArchiveWriter(const core::CompressedCorpus& corpus,
+                         const core::StiuIndex* index = nullptr);
+
+  /// Serializes to bytes without touching the filesystem (tests, custom
+  /// transports).
+  std::vector<uint8_t> Serialize() const;
+
+  /// Writes the container to `path` (atomically: temp file + rename).
+  bool Save(const std::string& path, std::string* error = nullptr) const;
+
+ private:
+  const core::CompressedCorpus& corpus_;
+  const core::StiuIndex* index_;
+};
+
+/// Read-side entry point: opens a container, validates it, and exposes the
+/// immutable CorpusView plus the reloaded StIU index. The reader owns every
+/// byte the view borrows, so it must outlive all views, decoders and query
+/// processors derived from it.
+class ArchiveReader {
+ public:
+  ArchiveReader() = default;
+
+  /// Reads and validates the file. On failure returns false, describes the
+  /// problem in `*error`, and leaves the reader empty.
+  bool Open(const std::string& path, std::string* error = nullptr);
+
+  /// Same, over an in-memory image (takes ownership of the bytes).
+  bool OpenBytes(std::vector<uint8_t> bytes, std::string* error = nullptr);
+
+  bool is_open() const { return open_; }
+  const core::UtcqParams& params() const { return payload_.params; }
+  const ArchivePayload& payload() const { return payload_; }
+
+  /// Immutable read-side over the loaded streams; identical in behaviour to
+  /// the view of the live CompressedCorpus this archive was saved from.
+  core::CorpusView view() const;
+
+  /// True when the archive carries StIU tuples.
+  bool has_index() const { return !payload_.stiu.empty(); }
+
+  /// Grid resolution to rebuild the spatial grid with before LoadIndex.
+  uint32_t index_cells_per_side() const { return payload_.stiu_cells_per_side; }
+
+  /// Rebuilds the StIU index from the archived tuples. `grid` must have
+  /// been constructed with index_cells_per_side() cells; returns nullptr
+  /// (with a reason) on mismatch or when no index is archived.
+  std::unique_ptr<core::StiuIndex> LoadIndex(
+      const network::GridIndex& grid, std::string* error = nullptr) const;
+
+ private:
+  bool open_ = false;
+  ArchivePayload payload_;
+};
+
+}  // namespace utcq::archive
+
+#endif  // UTCQ_ARCHIVE_ARCHIVE_H_

@@ -7,6 +7,19 @@
 
 namespace utcq::common {
 
+/// A borrowed, immutable view of a bit stream: a pointer into bytes owned by
+/// someone else (a live BitWriter or a loaded archive buffer) plus a bit
+/// count. This is the currency of the read path — decoders and query
+/// processors hold BitSpans and never know whether the bits came from an
+/// in-memory compression run or from disk.
+struct BitSpan {
+  const uint8_t* data = nullptr;
+  size_t size_bits = 0;
+
+  size_t size_bytes() const { return (size_bits + 7) / 8; }
+  bool empty() const { return size_bits == 0; }
+};
+
 /// Append-only MSB-first bit buffer.
 ///
 /// All compressed artifacts in this project (TED and UTCQ alike) are built on
@@ -43,6 +56,9 @@ class BitWriter {
   /// Backing bytes; the final partial byte (if any) is zero-padded.
   const std::vector<uint8_t>& bytes() const { return bytes_; }
 
+  /// Borrowed view of the written bits; invalidated by further writes.
+  BitSpan span() const { return {bytes_.data(), size_bits_}; }
+
   void Clear();
 
  private:
@@ -59,6 +75,9 @@ class BitReader {
 
   explicit BitReader(const BitWriter& w)
       : BitReader(w.bytes().data(), w.size_bits()) {}
+
+  explicit BitReader(const BitSpan& span)
+      : BitReader(span.data, span.size_bits) {}
 
   /// Reads one bit. Reading past the end returns 0 and sets overflow().
   bool GetBit();

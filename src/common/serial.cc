@@ -1,0 +1,165 @@
+#include "common/serial.h"
+
+#include <cstring>
+
+#include "common/varint.h"  // ZigZagEncode / ZigZagDecode
+
+namespace utcq::common {
+
+void ByteWriter::PutU16(uint16_t v) {
+  PutU8(static_cast<uint8_t>(v));
+  PutU8(static_cast<uint8_t>(v >> 8));
+}
+
+void ByteWriter::PutU32(uint32_t v) {
+  PutU16(static_cast<uint16_t>(v));
+  PutU16(static_cast<uint16_t>(v >> 16));
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v));
+  PutU32(static_cast<uint32_t>(v >> 32));
+}
+
+void ByteWriter::PutF32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(bits);
+}
+
+void ByteWriter::PutF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void ByteWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::PutSignedVarint(int64_t v) { PutVarint(ZigZagEncode(v)); }
+
+void ByteWriter::PutBytes(const void* data, size_t size) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + size);
+}
+
+void ByteWriter::PutBlob(const void* data, size_t size) {
+  PutVarint(size);
+  PutBytes(data, size);
+}
+
+uint8_t ByteReader::GetU8() {
+  if (pos_ >= size_) {
+    ok_ = false;
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+uint16_t ByteReader::GetU16() {
+  const uint16_t lo = GetU8();
+  const uint16_t hi = GetU8();
+  return static_cast<uint16_t>(lo | (hi << 8));
+}
+
+uint32_t ByteReader::GetU32() {
+  const uint32_t lo = GetU16();
+  const uint32_t hi = GetU16();
+  return lo | (hi << 16);
+}
+
+uint64_t ByteReader::GetU64() {
+  const uint64_t lo = GetU32();
+  const uint64_t hi = GetU32();
+  return lo | (hi << 32);
+}
+
+float ByteReader::GetF32() {
+  const uint32_t bits = GetU32();
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double ByteReader::GetF64() {
+  const uint64_t bits = GetU64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+uint64_t ByteReader::GetVarint() {
+  uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const uint8_t byte = GetU8();
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+  }
+  ok_ = false;  // > 10 continuation groups: malformed
+  return value;
+}
+
+int64_t ByteReader::GetSignedVarint() { return ZigZagDecode(GetVarint()); }
+
+bool ByteReader::GetBytes(void* out, size_t size) {
+  const uint8_t* p = BorrowBytes(size);
+  if (p == nullptr) {
+    std::memset(out, 0, size);
+    return false;
+  }
+  std::memcpy(out, p, size);
+  return true;
+}
+
+const uint8_t* ByteReader::BorrowBytes(size_t size) {
+  if (size > remaining()) {
+    ok_ = false;
+    pos_ = size_;
+    return nullptr;
+  }
+  const uint8_t* p = data_ + pos_;
+  pos_ += size;
+  return p;
+}
+
+void ByteReader::Skip(size_t size) {
+  if (size > remaining()) {
+    ok_ = false;
+    pos_ = size_;
+    return;
+  }
+  pos_ += size;
+}
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed) {
+  static const Crc32Table table;
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table.entries[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace utcq::common

@@ -1,0 +1,84 @@
+#ifndef UTCQ_COMMON_SERIAL_H_
+#define UTCQ_COMMON_SERIAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace utcq::common {
+
+/// Byte-oriented serialization for the on-disk archive container
+/// (DESIGN.md §6). Unlike BitWriter/BitReader — which carry the *compressed
+/// payloads* at bit granularity — these carry the container framing:
+/// little-endian fixed-width fields, LEB128 varints, and length-prefixed
+/// blobs. Every section of the archive is a (tag, length, payload) record
+/// written through a ByteWriter and re-read through a bounds-checked
+/// ByteReader.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { bytes_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// IEEE-754 bit pattern, little-endian.
+  void PutF32(float v);
+  void PutF64(double v);
+  /// LEB128: 7 payload bits per byte, high bit marks continuation.
+  void PutVarint(uint64_t v);
+  void PutSignedVarint(int64_t v);
+  void PutBytes(const void* data, size_t size);
+  /// Varint length followed by the raw bytes.
+  void PutBlob(const void* data, size_t size);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  size_t size() const { return bytes_.size(); }
+  std::vector<uint8_t> Release() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounds-checked reader over a borrowed byte buffer. Reading past the end
+/// returns zeros and latches ok() to false — callers validate once at the
+/// end of a section rather than after every field, mirroring how
+/// BitReader::overflow() is used on the bit streams.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  uint8_t GetU8();
+  uint16_t GetU16();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  float GetF32();
+  double GetF64();
+  uint64_t GetVarint();
+  int64_t GetSignedVarint();
+  bool GetBytes(void* out, size_t size);
+  /// Borrows `size` bytes from the buffer (no copy); nullptr on overrun.
+  const uint8_t* BorrowBytes(size_t size);
+  void Skip(size_t size);
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return pos_ < size_ ? size_ - pos_ : 0; }
+  /// False once any read overran the buffer or a varint was malformed.
+  bool ok() const { return ok_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). The archive footer
+/// stores the checksum of every preceding byte so truncation and bit rot are
+/// rejected before any section is parsed.
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed = 0);
+
+}  // namespace utcq::common
+
+#endif  // UTCQ_COMMON_SERIAL_H_

@@ -1,0 +1,63 @@
+#ifndef UTCQ_CORE_CORPUS_META_H_
+#define UTCQ_CORE_CORPUS_META_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "traj/types.h"
+
+namespace utcq::core {
+
+/// UTCQ compression parameters (Table 7 defaults).
+struct UtcqParams {
+  double eta_d = 1.0 / 128.0;   // relative-distance error bound
+  double eta_p = 1.0 / 512.0;   // probability error bound
+  int num_pivots = 1;           // n_p (paper default: 1 on CD/HZ, 2 on DK)
+  int64_t default_interval_s = 10;  // Ts for SIAR
+  /// Ablation: encode every instance as a standalone reference (no pivot
+  /// selection, no FJD, no referential factors). Isolates the contribution
+  /// of the referential representation versus the improved TED + SIAR
+  /// coding (DESIGN.md §5).
+  bool disable_referential = false;
+};
+
+/// Bit positions of one compressed reference within the corpus streams.
+struct RefMeta {
+  uint32_t orig_index = 0;  // instance position within the trajectory
+  uint64_t offset = 0;      // start of this reference in ref_stream
+  uint32_t e_len = 0;
+  uint64_t d_pos = 0;       // absolute bit position of the first D code
+  float p_quantized = 0.0f;
+};
+
+/// Bit positions of one compressed non-reference.
+struct NrefMeta {
+  uint32_t orig_index = 0;
+  uint32_t ref_pos = 0;  // position of its reference in TrajMeta::refs
+  uint64_t offset = 0;   // start of this non-reference in nref_stream
+  uint32_t e_len = 0;
+  float p_quantized = 0.0f;
+};
+
+struct TrajMeta {
+  uint64_t t_pos = 0;  // start of this trajectory's block in t_stream
+  uint32_t n_points = 0;
+  traj::Timestamp t_first = 0;
+  traj::Timestamp t_last = 0;
+  std::vector<RefMeta> refs;
+  std::vector<NrefMeta> nrefs;
+  /// Per original instance: (is_reference, index into refs / nrefs).
+  std::vector<std::pair<bool, uint32_t>> roles;
+};
+
+/// Transient per-factor layout of one encoded non-reference E(.) block,
+/// consumed by the StIU builder to compute ma.pos tuples; not persisted.
+struct NrefFactorLayout {
+  std::vector<uint32_t> factor_entry_start;  // decoded E index per factor
+  std::vector<uint64_t> factor_bit_offset;   // absolute offset in nref_stream
+};
+
+}  // namespace utcq::core
+
+#endif  // UTCQ_CORE_CORPUS_META_H_

@@ -1,0 +1,4 @@
+#include "core/corpus_view.h"
+
+// CorpusView is header-only; this TU just anchors standalone compilation of
+// the header.

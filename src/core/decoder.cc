@@ -14,14 +14,18 @@ using common::BitsFor;
 
 std::vector<traj::Timestamp> UtcqDecoder::DecodeTimes(size_t j) const {
   const TrajMeta& meta = cc_.meta(j);
-  BitReader r(cc_.t_stream().bytes().data(), cc_.t_stream().size_bits());
+  BitReader r = cc_.t_reader();
   r.Seek(meta.t_pos);
   const uint64_t n = common::GetVarint(r);
   const auto t0 = static_cast<traj::Timestamp>(r.GetBits(17));
+  // Streams may come from an untrusted archive: every delta costs at least
+  // one bit, so a count beyond the remaining bits is corrupt, not large.
+  if (n > 0 && n - 1 > r.remaining()) return {};
   std::vector<int64_t> deltas;
   deltas.reserve(n > 0 ? n - 1 : 0);
   for (uint64_t i = 1; i < n; ++i) {
     deltas.push_back(common::GetImprovedExpGolomb(r));
+    if (r.overflow()) return {};
   }
   return SiarExpand(t0, deltas, cc_.params().default_interval_s);
 }
@@ -36,7 +40,7 @@ std::optional<UtcqDecoder::TimeBracket> UtcqDecoder::BracketTime(
                               TimeBracket{t_no, t_start, t_start})
                         : std::nullopt;
   }
-  BitReader r(cc_.t_stream().bytes().data(), cc_.t_stream().size_bits());
+  BitReader r = cc_.t_reader();
   r.Seek(t_pos);
   traj::Timestamp cur = t_start;
   for (uint32_t i = t_no; i + 1 < meta.n_points; ++i) {
@@ -53,10 +57,12 @@ DecodedInstance UtcqDecoder::DecodeReference(size_t j, uint32_t ref_idx) const {
   const TrajMeta& meta = cc_.meta(j);
   const RefMeta& rm = meta.refs[ref_idx];
   DecodedInstance d;
-  BitReader r(cc_.ref_stream().bytes().data(), cc_.ref_stream().size_bits());
+  BitReader r = cc_.ref_reader();
   r.Seek(rm.offset);
   d.sv = static_cast<network::VertexId>(r.GetBits(32));
   const uint64_t e_len = common::GetVarint(r);
+  // Untrusted-stream guard: each entry costs >= 1 bit (entry_bits >= 1).
+  if (e_len > r.remaining()) return d;
   d.entries.resize(e_len);
   for (auto& e : d.entries) {
     e = static_cast<uint32_t>(r.GetBits(cc_.entry_bits()));
@@ -77,22 +83,28 @@ DecodedInstance UtcqDecoder::DecodeNonReference(
   DecodedInstance d;
   d.sv = ref.sv;  // SV(Nref) is omitted: identical to the reference's
 
-  BitReader r(cc_.nref_stream().bytes().data(), cc_.nref_stream().size_bits());
+  BitReader r = cc_.nref_reader();
   r.Seek(nm.offset);
 
   // --- E factors ---
+  // Factor operands come straight off a possibly untrusted stream, so every
+  // copy range is validated against the reference and the loop stops on
+  // reader overflow (a crafted length can then truncate the result, never
+  // read out of bounds or spin).
   const uint64_t e_len = common::GetVarint(r);
   const uint32_t ref_e_len = static_cast<uint32_t>(ref.entries.size());
   const int s_bits = BitsFor(ref_e_len);
   const int l_bits = BitsFor(ref_e_len > 0 ? ref_e_len - 1 : 0);
-  d.entries.reserve(e_len);
-  while (d.entries.size() < e_len) {
+  d.entries.reserve(std::min<uint64_t>(e_len, r.remaining()));
+  while (d.entries.size() < e_len && !r.overflow()) {
     const uint32_t s = static_cast<uint32_t>(r.GetBits(s_bits));
     if (s == ref_e_len) {  // case B
       d.entries.push_back(static_cast<uint32_t>(r.GetBits(cc_.entry_bits())));
       continue;
     }
+    if (s > ref_e_len) break;  // corrupt factor start
     const uint32_t l = static_cast<uint32_t>(r.GetBits(l_bits)) + 1;
+    if (l > ref_e_len - s) break;  // corrupt copy length
     d.entries.insert(d.entries.end(), ref.entries.begin() + s,
                      ref.entries.begin() + s + l);
     if (d.entries.size() < e_len) {
@@ -116,14 +128,18 @@ DecodedInstance UtcqDecoder::DecodeNonReference(
       const int ts_bits = BitsFor(rtl > 0 ? rtl - 1 : 0);
       const int tl_bits = BitsFor(rtl);
       const uint64_t h = common::GetVarint(r);
+      // Untrusted-stream guards mirroring the E-factor loop above.
+      if (h > r.remaining() + trimmed_len + 1) break;
       d.tflag_trimmed.reserve(trimmed_len);
-      for (uint64_t k = 0; k < h; ++k) {
+      for (uint64_t k = 0; k < h && !r.overflow(); ++k) {
         const uint32_t s = static_cast<uint32_t>(r.GetBits(ts_bits));
         const uint32_t l = static_cast<uint32_t>(r.GetBits(tl_bits));
+        if (s > rtl || l > rtl - s) break;  // corrupt factor
         d.tflag_trimmed.insert(d.tflag_trimmed.end(),
                                ref.tflag_trimmed.begin() + s,
                                ref.tflag_trimmed.begin() + s + l);
         if (k + 1 < h) {
+          if (s + l >= rtl) break;  // inferred mismatch needs ref[s + l]
           // Inferred mismatch: NOT ref[s + l].
           d.tflag_trimmed.push_back(ref.tflag_trimmed[s + l] ? 0 : 1);
         }
@@ -137,9 +153,10 @@ DecodedInstance UtcqDecoder::DecodeNonReference(
 
   // --- D diffs ---
   const uint64_t h_d = common::GetVarint(r);
+  if (h_d > r.remaining()) return d;  // each diff costs >= 1 bit
   const int pos_bits = BitsFor(meta.n_points > 0 ? meta.n_points - 1 : 0);
   d.rds = ref.rds;
-  for (uint64_t k = 0; k < h_d; ++k) {
+  for (uint64_t k = 0; k < h_d && !r.overflow(); ++k) {
     const uint32_t pos = static_cast<uint32_t>(r.GetBits(pos_bits));
     const double rd = cc_.d_codec().Decode(r);
     if (pos < d.rds.size()) d.rds[pos] = rd;

@@ -4,7 +4,7 @@
 #include <optional>
 #include <vector>
 
-#include "core/encoder.h"
+#include "core/corpus_view.h"
 #include "traj/interpolate.h"
 #include "traj/types.h"
 
@@ -19,13 +19,15 @@ struct DecodedInstance {
   double p = 0.0;
 };
 
-/// Decode paths over a CompressedCorpus: full per-instance decoding for
+/// Decode paths over a CorpusView: full per-instance decoding for
 /// round-trip tests, and the partial entry points the query processor uses
 /// (time bracketing from a temporal tuple, reference-then-non-reference
-/// expansion).
+/// expansion). The view is held by value — a decoder works identically over
+/// a live CompressedCorpus (which converts implicitly) and over a corpus
+/// reopened from an archive file; the bytes' owner must outlive the decoder.
 class UtcqDecoder {
  public:
-  UtcqDecoder(const network::RoadNetwork& net, const CompressedCorpus& cc)
+  UtcqDecoder(const network::RoadNetwork& net, CorpusView cc)
       : net_(net), cc_(cc) {}
 
   /// Decodes the full shared time sequence of trajectory `j`.
@@ -59,9 +61,11 @@ class UtcqDecoder {
   /// Full corpus decompression (round-trip tests, ablation benches).
   traj::UncertainCorpus DecompressAll() const;
 
+  const CorpusView& view() const { return cc_; }
+
  private:
   const network::RoadNetwork& net_;
-  const CompressedCorpus& cc_;
+  CorpusView cc_;
 };
 
 }  // namespace utcq::core

@@ -7,65 +7,25 @@
 #include "common/bitstream.h"
 #include "common/memory_tracker.h"
 #include "common/pddp.h"
+#include "core/corpus_meta.h"
+#include "core/corpus_view.h"
 #include "core/reference_selection.h"
 #include "network/road_network.h"
 #include "traj/types.h"
 
 namespace utcq::core {
 
-/// UTCQ compression parameters (Table 7 defaults).
-struct UtcqParams {
-  double eta_d = 1.0 / 128.0;   // relative-distance error bound
-  double eta_p = 1.0 / 512.0;   // probability error bound
-  int num_pivots = 1;           // n_p (paper default: 1 on CD/HZ, 2 on DK)
-  int64_t default_interval_s = 10;  // Ts for SIAR
-  /// Ablation: encode every instance as a standalone reference (no pivot
-  /// selection, no FJD, no referential factors). Isolates the contribution
-  /// of the referential representation versus the improved TED + SIAR
-  /// coding (DESIGN.md §5).
-  bool disable_referential = false;
-};
-
-/// Bit positions of one compressed reference within the corpus streams.
-struct RefMeta {
-  uint32_t orig_index = 0;  // instance position within the trajectory
-  uint64_t offset = 0;      // start of this reference in ref_stream
-  uint32_t e_len = 0;
-  uint64_t d_pos = 0;       // absolute bit position of the first D code
-  float p_quantized = 0.0f;
-};
-
-/// Bit positions of one compressed non-reference.
-struct NrefMeta {
-  uint32_t orig_index = 0;
-  uint32_t ref_pos = 0;  // position of its reference in TrajMeta::refs
-  uint64_t offset = 0;   // start of this non-reference in nref_stream
-  uint32_t e_len = 0;
-  float p_quantized = 0.0f;
-};
-
-struct TrajMeta {
-  uint64_t t_pos = 0;  // start of this trajectory's block in t_stream
-  uint32_t n_points = 0;
-  traj::Timestamp t_first = 0;
-  traj::Timestamp t_last = 0;
-  std::vector<RefMeta> refs;
-  std::vector<NrefMeta> nrefs;
-  /// Per original instance: (is_reference, index into refs / nrefs).
-  std::vector<std::pair<bool, uint32_t>> roles;
-};
-
-/// Transient per-factor layout of one encoded non-reference E(.) block,
-/// consumed by the StIU builder to compute ma.pos tuples; not persisted.
-struct NrefFactorLayout {
-  std::vector<uint32_t> factor_entry_start;  // decoded E index per factor
-  std::vector<uint64_t> factor_bit_offset;   // absolute offset in nref_stream
-};
-
-/// The UTCQ-compressed corpus: self-framing bit streams plus the per-entity
-/// bit positions the query processor navigates with. Compressed-size
-/// accounting covers every stream bit (framing included); the metas are
-/// index-side state, reported with the StIU size.
+/// The write-side product of UTCQ compression: self-framing bit streams
+/// being appended by the compressor, plus the per-entity bit positions the
+/// query processor navigates with. Compressed-size accounting covers every
+/// stream bit (framing included); the metas are index-side state, reported
+/// with the StIU size.
+///
+/// This class owns mutable BitWriters and is the only part of the system
+/// that does; everything on the read path (decoder, StIU builder, query
+/// processor, archive writer) consumes the immutable CorpusView borrowed
+/// from it via view(). A view stays valid for the lifetime of this object,
+/// as the streams are append-only and sealed once Compress returns.
 class CompressedCorpus {
  public:
   const UtcqParams& params() const { return params_; }
@@ -82,6 +42,7 @@ class CompressedCorpus {
 
   size_t num_trajectories() const { return metas_.size(); }
   const TrajMeta& meta(size_t j) const { return metas_[j]; }
+  const std::vector<TrajMeta>& metas() const { return metas_; }
 
   const traj::ComponentSizes& compressed_bits() const {
     return compressed_bits_;
@@ -93,6 +54,18 @@ class CompressedCorpus {
     return t_stream_.size_bits() + ref_stream_.size_bits() +
            nref_stream_.size_bits() + structure_stream_.size_bits();
   }
+
+  /// Immutable read-side borrowing this corpus's bytes. The corpus must
+  /// outlive the view.
+  CorpusView view() const {
+    return CorpusView(params_, entry_bits_, t_stream_.span(),
+                      ref_stream_.span(), nref_stream_.span(),
+                      structure_stream_.span(), metas_.data(), metas_.size());
+  }
+
+  /// The read path is written against CorpusView; a live corpus converts
+  /// implicitly so call sites need not care which side they hold.
+  operator CorpusView() const { return view(); }  // NOLINT(runtime/explicit)
 
  private:
   friend class UtcqCompressor;

@@ -64,7 +64,7 @@ std::vector<std::pair<uint32_t, TrajectoryInstance>>
 UtcqQueryProcessor::DecodeQualifying(size_t j, double alpha,
                                      QueryStats* stats) const {
   std::vector<std::pair<uint32_t, TrajectoryInstance>> result;
-  const TrajMeta& meta = cc_.meta(j);
+  const TrajMeta& meta = cc().meta(j);
 
   // Which references must be materialized: their own probability passes, or
   // one of their Rrs members' does.
@@ -102,7 +102,7 @@ UtcqQueryProcessor::DecodeQualifying(size_t j, double alpha,
 std::vector<traj::WhereHit> UtcqQueryProcessor::Where(
     size_t traj_idx, Timestamp t, double alpha, QueryStats* stats) const {
   std::vector<traj::WhereHit> hits;
-  const TrajMeta& meta = cc_.meta(traj_idx);
+  const TrajMeta& meta = cc().meta(traj_idx);
   if (t < meta.t_first || t > meta.t_last) return hits;
 
   // Partial T decompression: start at the temporal tuple for t.
@@ -124,7 +124,7 @@ std::vector<traj::WhenHit> UtcqQueryProcessor::When(size_t traj_idx,
                                                     double rd, double alpha,
                                                     QueryStats* stats) const {
   std::vector<traj::WhenHit> hits;
-  const TrajMeta& meta = cc_.meta(traj_idx);
+  const TrajMeta& meta = cc().meta(traj_idx);
 
   // Any instance passing <edge, rd> has spatial tuples in the regions the
   // edge overlaps (grid-boundary quantization makes the point's own region
@@ -179,7 +179,7 @@ std::vector<traj::WhenHit> UtcqQueryProcessor::When(size_t traj_idx,
     // Quantized relative distances can pull the sampled span slightly off
     // the exact query position; widen by the D error bound.
     const double tol =
-        2.0 * cc_.params().eta_d * net_.edge(edge).length + 1e-6;
+        2.0 * cc().params().eta_d * net_.edge(edge).length + 1e-6;
     if (need_ref_eval) {
       const auto inst = decoder_.ToInstance(ref);
       if (inst.has_value()) {
@@ -244,7 +244,7 @@ traj::RangeResult UtcqQueryProcessor::Range(const Rect& region, Timestamp tq,
     const uint32_t j = static_cast<uint32_t>(members[lo] >> 33);
     size_t hi = lo;
     double p_sum = 0.0;
-    const TrajMeta& meta = cc_.meta(j);
+    const TrajMeta& meta = cc().meta(j);
     while (hi < members.size() &&
            static_cast<uint32_t>(members[hi] >> 33) == j) {
       const bool is_ref = (members[hi] >> 32) & 1;

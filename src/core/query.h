@@ -24,11 +24,15 @@ struct QueryStats {
 /// Probabilistic where / when / range queries over a compressed corpus,
 /// using the StIU index for candidate generation and partial decompression
 /// and Lemmas 1-4 for pruning (Sections 5.3-5.4).
+///
+/// Consumes the immutable CorpusView, so the same processor serves a corpus
+/// still held by its compressor and one reopened from an archive file — the
+/// compress→save→exit→open→query lifecycle runs through this one class.
 class UtcqQueryProcessor {
  public:
-  UtcqQueryProcessor(const network::RoadNetwork& net,
-                     const CompressedCorpus& cc, const StiuIndex& index)
-      : net_(net), cc_(cc), index_(index), decoder_(net, cc) {}
+  UtcqQueryProcessor(const network::RoadNetwork& net, CorpusView cc,
+                     const StiuIndex& index)
+      : net_(net), index_(index), decoder_(net, cc) {}
 
   /// where(Tu^j, t, alpha) — Definition 10.
   std::vector<traj::WhereHit> Where(size_t traj_idx, traj::Timestamp t,
@@ -52,8 +56,10 @@ class UtcqQueryProcessor {
   std::vector<std::pair<uint32_t, traj::TrajectoryInstance>>
   DecodeQualifying(size_t j, double alpha, QueryStats* stats) const;
 
+  /// The decoder's view is the single copy of the corpus read-side.
+  const CorpusView& cc() const { return decoder_.view(); }
+
   const network::RoadNetwork& net_;
-  const CompressedCorpus& cc_;
   const StiuIndex& index_;
   UtcqDecoder decoder_;
 };

@@ -46,7 +46,7 @@ std::vector<std::pair<network::RegionId, uint32_t>> FirstVisits(
 StiuIndex::StiuIndex(const network::RoadNetwork& net,
                      const network::GridIndex& grid,
                      const traj::UncertainCorpus& corpus,
-                     const CompressedCorpus& cc,
+                     const CorpusView& cc,
                      const std::vector<std::vector<NrefFactorLayout>>& layouts,
                      StiuParams params)
     : grid_(grid), params_(params) {
@@ -66,8 +66,7 @@ StiuIndex::StiuIndex(const network::RoadNetwork& net,
     // ---- temporal tuples: bit positions into the SIAR-coded T stream ----
     {
       // Skip the header (n varint + 17-bit t0) to find the first delta.
-      common::BitReader r(cc.t_stream().bytes().data(),
-                          cc.t_stream().size_bits());
+      common::BitReader r = cc.t_reader();
       r.Seek(meta.t_pos);
       common::GetVarint(r);
       r.GetBits(17);
@@ -201,6 +200,145 @@ StiuIndex::StiuIndex(const network::RoadNetwork& net,
       rt.p_max = a.p_max;
       rt.ref_passes = a.ref_passes;
       region_refs_[static_cast<network::RegionId>(key >> 20)].push_back(rt);
+    }
+  }
+}
+
+StiuIndex::StiuIndex(const network::GridIndex& grid, common::ByteReader& in)
+    : grid_(grid) {
+  params_.cells_per_side = static_cast<uint32_t>(in.GetVarint());
+  params_.time_partition_s =
+      std::max<int64_t>(in.GetSignedVarint(), 1);
+
+  const uint64_t num_trajs = in.GetVarint();
+  const uint64_t num_partitions = in.GetVarint();
+  const uint64_t num_regions = in.GetVarint();
+  // An index only makes sense against the grid it was built over. Every
+  // list below costs at least one payload byte per element, so any count
+  // exceeding the remaining bytes is a corrupt length that would OOM
+  // resize(); reject instead of allocating.
+  const auto bad_count = [&in](uint64_t n) { return n > in.remaining(); };
+  if (num_regions != grid.num_regions() || bad_count(num_trajs) ||
+      bad_count(num_partitions) || !in.ok()) {
+    in.Skip(in.remaining() + 1);  // latch ok() = false
+    return;
+  }
+
+  temporal_.resize(num_trajs);
+  for (auto& tuples : temporal_) {
+    const uint64_t n = in.GetVarint();
+    if (bad_count(n)) {
+      in.Skip(in.remaining() + 1);
+      break;
+    }
+    tuples.resize(n);
+    traj::Timestamp prev_start = 0;
+    for (auto& t : tuples) {
+      t.t_start = prev_start + static_cast<traj::Timestamp>(in.GetVarint());
+      prev_start = t.t_start;
+      t.t_no = static_cast<uint32_t>(in.GetVarint());
+      t.t_pos = in.GetVarint();
+    }
+  }
+  partition_trajs_.resize(num_partitions);
+  for (auto& trajs : partition_trajs_) {
+    const uint64_t n = in.GetVarint();
+    if (bad_count(n)) {
+      in.Skip(in.remaining() + 1);
+      break;
+    }
+    trajs.resize(n);
+    for (auto& j : trajs) j = static_cast<uint32_t>(in.GetVarint());
+  }
+  region_refs_.resize(num_regions);
+  for (auto& tuples : region_refs_) {
+    const uint64_t n = in.GetVarint();
+    if (bad_count(n)) {
+      in.Skip(in.remaining() + 1);
+      break;
+    }
+    tuples.resize(n);
+    for (auto& rt : tuples) {
+      rt.traj = static_cast<uint32_t>(in.GetVarint());
+      rt.ref_idx = static_cast<uint32_t>(in.GetVarint());
+      rt.fv_id = static_cast<network::VertexId>(in.GetU32());
+      rt.fv_no = static_cast<uint32_t>(in.GetVarint());
+      rt.d_no = static_cast<uint32_t>(in.GetVarint());
+      rt.d_pos = in.GetVarint();
+      rt.p_total = in.GetF32();
+      rt.p_max = in.GetF32();
+      rt.ref_passes = in.GetU8() != 0;
+    }
+  }
+  region_nrefs_.resize(num_regions);
+  for (auto& tuples : region_nrefs_) {
+    const uint64_t n = in.GetVarint();
+    if (bad_count(n)) {
+      in.Skip(in.remaining() + 1);
+      break;
+    }
+    tuples.resize(n);
+    for (auto& nt : tuples) {
+      nt.traj = static_cast<uint32_t>(in.GetVarint());
+      nt.nref_idx = static_cast<uint32_t>(in.GetVarint());
+      nt.rv_id = static_cast<network::VertexId>(in.GetU32());
+      nt.rv_no = static_cast<uint32_t>(in.GetVarint());
+      nt.ma_pos = in.GetVarint();
+    }
+  }
+  if (!in.ok()) {
+    temporal_.clear();
+    partition_trajs_.clear();
+    region_refs_.clear();
+    region_nrefs_.clear();
+  }
+}
+
+void StiuIndex::Serialize(common::ByteWriter& out) const {
+  out.PutVarint(params_.cells_per_side);
+  out.PutSignedVarint(params_.time_partition_s);
+
+  out.PutVarint(temporal_.size());
+  out.PutVarint(partition_trajs_.size());
+  out.PutVarint(region_refs_.size());
+
+  for (const auto& tuples : temporal_) {
+    out.PutVarint(tuples.size());
+    // t_start is monotone within a trajectory: delta-code it.
+    traj::Timestamp prev_start = 0;
+    for (const auto& t : tuples) {
+      out.PutVarint(static_cast<uint64_t>(t.t_start - prev_start));
+      prev_start = t.t_start;
+      out.PutVarint(t.t_no);
+      out.PutVarint(t.t_pos);
+    }
+  }
+  for (const auto& trajs : partition_trajs_) {
+    out.PutVarint(trajs.size());
+    for (const uint32_t j : trajs) out.PutVarint(j);
+  }
+  for (const auto& tuples : region_refs_) {
+    out.PutVarint(tuples.size());
+    for (const auto& rt : tuples) {
+      out.PutVarint(rt.traj);
+      out.PutVarint(rt.ref_idx);
+      out.PutU32(rt.fv_id);
+      out.PutVarint(rt.fv_no);
+      out.PutVarint(rt.d_no);
+      out.PutVarint(rt.d_pos);
+      out.PutF32(rt.p_total);
+      out.PutF32(rt.p_max);
+      out.PutU8(rt.ref_passes ? 1 : 0);
+    }
+  }
+  for (const auto& tuples : region_nrefs_) {
+    out.PutVarint(tuples.size());
+    for (const auto& nt : tuples) {
+      out.PutVarint(nt.traj);
+      out.PutVarint(nt.nref_idx);
+      out.PutU32(nt.rv_id);
+      out.PutVarint(nt.rv_no);
+      out.PutVarint(nt.ma_pos);
     }
   }
 }

@@ -4,7 +4,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/encoder.h"
+#include "common/serial.h"
+#include "core/corpus_view.h"
 #include "network/grid_index.h"
 #include "traj/types.h"
 
@@ -20,6 +21,12 @@ struct StiuParams {
 /// SIAR-coded T stream so where/range queries decode only the deltas after
 /// the partition start; spatial tuples carry the final-vertex anchors plus
 /// the p_total / p_max aggregates Lemmas 1-4 prune with.
+///
+/// The index is persistable: Serialize writes every tuple list to a byte
+/// stream (the archive's StIU section) and the deserializing constructor
+/// rebuilds an identical index against a grid reconstructed from the stored
+/// cells_per_side — nothing in the loaded index depends on the original
+/// uncompressed corpus.
 class StiuIndex {
  public:
   /// (t.start, t.no, t.pos) of Section 5.2's temporal part.
@@ -53,13 +60,29 @@ class StiuIndex {
     uint64_t ma_pos = 0;  // bit offset of the factor containing that entry
   };
 
+  /// Builds the index during compression (needs the uncompressed corpus for
+  /// the spatial aggregates and the factor layouts for ma.pos).
   StiuIndex(const network::RoadNetwork& net, const network::GridIndex& grid,
-            const traj::UncertainCorpus& corpus, const CompressedCorpus& cc,
+            const traj::UncertainCorpus& corpus, const CorpusView& cc,
             const std::vector<std::vector<NrefFactorLayout>>& layouts,
             StiuParams params);
 
+  /// Rebuilds an index from a Serialize()d byte stream (the archive's StIU
+  /// section). `grid` must have been constructed with the cells_per_side
+  /// recorded alongside the section; region-count mismatches latch
+  /// `in.ok()` false and leave the index empty.
+  StiuIndex(const network::GridIndex& grid, common::ByteReader& in);
+
+  /// Writes params and every tuple list; the exact inverse of the reading
+  /// constructor.
+  void Serialize(common::ByteWriter& out) const;
+
   const network::GridIndex& grid() const { return grid_; }
+  const StiuParams& params() const { return params_; }
   int64_t time_partition_s() const { return params_.time_partition_s; }
+
+  /// Number of trajectories the index covers (TemporalOf's valid range).
+  size_t num_trajectories() const { return temporal_.size(); }
 
   /// Temporal tuples of trajectory `j`, ordered by t_start.
   const std::vector<TemporalTuple>& TemporalOf(size_t j) const {

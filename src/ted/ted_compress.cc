@@ -10,7 +10,6 @@
 
 namespace utcq::ted {
 
-using common::BitReader;
 using common::BitsFor;
 using common::BitWriter;
 
@@ -177,63 +176,28 @@ TedCompressed TedCompressor::Compress(const traj::UncertainCorpus& corpus) const
   return out;
 }
 
-std::vector<traj::Timestamp> TedCompressed::DecodeTimes(size_t traj_idx) const {
-  const TedTrajMeta& meta = metas_[traj_idx];
-  BitReader r(t_stream_.bytes().data(), t_stream_.size_bits());
-  r.Seek(meta.t_pos);
-  const uint64_t n = common::GetVarint(r);
-  const uint64_t pairs = common::GetVarint(r);
-  const int idx_bits = BitsFor(n - 1);
-  std::vector<TimePair> anchor;
-  anchor.reserve(pairs);
-  for (uint64_t i = 0; i < pairs; ++i) {
-    const uint32_t idx = static_cast<uint32_t>(r.GetBits(idx_bits));
-    const auto t = static_cast<traj::Timestamp>(r.GetBits(17));
-    anchor.emplace_back(idx, t);
+TedCorpusView TedCompressed::view() const {
+  std::vector<TedGroupView> groups;
+  groups.reserve(groups_.size());
+  for (const TedGroup& g : groups_) {
+    groups.push_back({g.entry_count, g.col_bases.data(), g.row_width_bits,
+                      g.codes.span()});
   }
-  return ExpandTimePairs(anchor);
+  return TedCorpusView(params_.eta_d, params_.eta_p, entry_bits_,
+                       params_.matrix_compression, t_stream_.span(),
+                       sv_stream_.span(), e_plain_.span(),
+                       tflag_stream_.span(), d_stream_.span(),
+                       p_stream_.span(), std::move(groups), metas_.data(),
+                       metas_.size());
+}
+
+std::vector<traj::Timestamp> TedCompressed::DecodeTimes(size_t traj_idx) const {
+  return view().DecodeTimes(traj_idx);
 }
 
 std::optional<traj::TrajectoryInstance> TedCompressed::DecodeInstance(
     const network::RoadNetwork& net, size_t traj_idx, size_t inst_idx) const {
-  const TedInstanceMeta& im = metas_[traj_idx].instances[inst_idx];
-
-  BitReader sv_reader(sv_stream_.bytes().data(), sv_stream_.size_bits());
-  sv_reader.Seek(im.sv_pos);
-  const auto sv = static_cast<network::VertexId>(sv_reader.GetBits(32));
-
-  std::vector<uint32_t> entries(im.e_len);
-  if (params_.matrix_compression && im.group != kNoGroup) {
-    const TedGroup& g = groups_[im.group];
-    BitReader er(g.codes.bytes().data(), g.codes.size_bits());
-    er.Seek(static_cast<uint64_t>(im.row) * g.row_width_bits);
-    common::BigNum acc = common::BigNum::ReadBits(er, g.row_width_bits);
-    for (uint32_t c = 0; c < im.e_len; ++c) {
-      entries[c] = acc.DivMod(g.col_bases[c]);
-    }
-  } else {
-    BitReader er(e_plain_.bytes().data(), e_plain_.size_bits());
-    er.Seek(im.e_pos);
-    for (uint32_t c = 0; c < im.e_len; ++c) {
-      entries[c] = static_cast<uint32_t>(er.GetBits(entry_bits_));
-    }
-  }
-
-  std::vector<uint8_t> tflag(im.e_len);
-  BitReader tr(tflag_stream_.bytes().data(), tflag_stream_.size_bits());
-  tr.Seek(im.tflag_pos);
-  for (uint32_t i = 0; i < im.e_len; ++i) tflag[i] = tr.GetBit() ? 1 : 0;
-
-  std::vector<double> rds(im.n_locs);
-  BitReader dr(d_stream_.bytes().data(), d_stream_.size_bits());
-  dr.Seek(im.d_pos);
-  for (uint32_t i = 0; i < im.n_locs; ++i) rds[i] = d_codec_.Decode(dr);
-
-  BitReader pr(p_stream_.bytes().data(), p_stream_.size_bits());
-  pr.Seek(im.p_pos);
-  const double p = p_codec_.Decode(pr);
-
-  return traj::ReconstructInstance(net, sv, entries, tflag, rds, p);
+  return view().DecodeInstance(net, traj_idx, inst_idx);
 }
 
 }  // namespace utcq::ted

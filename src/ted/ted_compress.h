@@ -9,6 +9,7 @@
 #include "common/memory_tracker.h"
 #include "common/pddp.h"
 #include "network/road_network.h"
+#include "ted/ted_view.h"
 #include "traj/types.h"
 
 namespace utcq::ted {
@@ -63,9 +64,20 @@ struct TedTrajMeta {
   std::vector<TedInstanceMeta> instances;
 };
 
-/// The TED-compressed corpus plus the decode paths queries need.
+/// The write-side product of TED compression. Decode paths live on
+/// TedCorpusView (the baseline's immutable read-side); the DecodeTimes /
+/// DecodeInstance members remain as convenience wrappers that delegate to a
+/// freshly borrowed view.
 class TedCompressed {
  public:
+  /// Immutable read-side borrowing this corpus's bytes; the corpus must
+  /// outlive the view.
+  TedCorpusView view() const;
+
+  /// The read path is written against TedCorpusView; a live corpus converts
+  /// implicitly so call sites need not care which side they hold.
+  operator TedCorpusView() const { return view(); }  // NOLINT
+
   /// Decodes the shared time sequence of trajectory `traj_idx`.
   std::vector<traj::Timestamp> DecodeTimes(size_t traj_idx) const;
 

@@ -6,7 +6,7 @@ namespace utcq::ted {
 
 TedIndex::TedIndex(const network::RoadNetwork& net,
                    const network::GridIndex& grid,
-                   const TedCompressed& compressed, int64_t time_partition_s)
+                   const TedCorpusView& compressed, int64_t time_partition_s)
     : grid_(grid), time_partition_s_(std::max<int64_t>(time_partition_s, 1)) {
   const size_t partitions =
       static_cast<size_t>((traj::kSecondsPerDay + time_partition_s_ - 1) /

@@ -22,7 +22,7 @@ class TedIndex {
   };
 
   TedIndex(const network::RoadNetwork& net, const network::GridIndex& grid,
-           const TedCompressed& compressed, int64_t time_partition_s);
+           const TedCorpusView& compressed, int64_t time_partition_s);
 
   /// Trajectories active in the partition containing `t`.
   const std::vector<uint32_t>& TrajectoriesAt(traj::Timestamp t) const;

@@ -37,7 +37,7 @@ std::vector<traj::WhenHit> TedQueryProcessor::When(size_t traj_idx,
   const auto times = compressed_.DecodeTimes(traj_idx);
   // Widen the sampled span by the D quantization error (see core query).
   const double tol =
-      2.0 * compressed_.params().eta_d * net_.edge(edge).length + 1e-6;
+      2.0 * compressed_.eta_d() * net_.edge(edge).length + 1e-6;
   for (size_t w = 0; w < meta.instances.size(); ++w) {
     if (meta.instances[w].p_quantized < alpha) continue;
     const auto inst = compressed_.DecodeInstance(net_, traj_idx, w);

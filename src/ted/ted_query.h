@@ -1,6 +1,7 @@
 #ifndef UTCQ_TED_TED_QUERY_H_
 #define UTCQ_TED_TED_QUERY_H_
 
+#include <utility>
 #include <vector>
 
 #include "network/geometry.h"
@@ -14,12 +15,13 @@ namespace utcq::ted {
 /// candidates; every surviving instance is then *fully* decoded and
 /// evaluated (the baseline has neither the probability aggregates of StIU
 /// nor referential partial decompression, which is where UTCQ's query-time
-/// advantage comes from).
+/// advantage comes from). Consumes the immutable TedCorpusView; a live
+/// TedCompressed converts implicitly.
 class TedQueryProcessor {
  public:
-  TedQueryProcessor(const network::RoadNetwork& net,
-                    const TedCompressed& compressed, const TedIndex& index)
-      : net_(net), compressed_(compressed), index_(index) {}
+  TedQueryProcessor(const network::RoadNetwork& net, TedCorpusView compressed,
+                    const TedIndex& index)
+      : net_(net), compressed_(std::move(compressed)), index_(index) {}
 
   /// where(Tu^j, t, alpha): positions at `t` of instances with p >= alpha.
   std::vector<traj::WhereHit> Where(size_t traj_idx, traj::Timestamp t,
@@ -35,7 +37,7 @@ class TedQueryProcessor {
 
  private:
   const network::RoadNetwork& net_;
-  const TedCompressed& compressed_;
+  TedCorpusView compressed_;
   const TedIndex& index_;
 };
 

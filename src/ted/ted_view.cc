@@ -1,0 +1,76 @@
+#include "ted/ted_view.h"
+
+#include "common/bignum.h"
+#include "common/varint.h"
+#include "ted/ted_compress.h"
+#include "ted/ted_repr.h"
+#include "traj/interpolate.h"
+
+namespace utcq::ted {
+
+using common::BitReader;
+using common::BitsFor;
+
+const TedTrajMeta& TedCorpusView::meta(size_t i) const { return metas_[i]; }
+
+std::vector<traj::Timestamp> TedCorpusView::DecodeTimes(
+    size_t traj_idx) const {
+  const TedTrajMeta& meta = metas_[traj_idx];
+  BitReader r(t_);
+  r.Seek(meta.t_pos);
+  const uint64_t n = common::GetVarint(r);
+  const uint64_t pairs = common::GetVarint(r);
+  const int idx_bits = BitsFor(n - 1);
+  std::vector<TimePair> anchor;
+  anchor.reserve(pairs);
+  for (uint64_t i = 0; i < pairs; ++i) {
+    const uint32_t idx = static_cast<uint32_t>(r.GetBits(idx_bits));
+    const auto t = static_cast<traj::Timestamp>(r.GetBits(17));
+    anchor.emplace_back(idx, t);
+  }
+  return ExpandTimePairs(anchor);
+}
+
+std::optional<traj::TrajectoryInstance> TedCorpusView::DecodeInstance(
+    const network::RoadNetwork& net, size_t traj_idx, size_t inst_idx) const {
+  const TedInstanceMeta& im = metas_[traj_idx].instances[inst_idx];
+
+  BitReader sv_reader(sv_);
+  sv_reader.Seek(im.sv_pos);
+  const auto sv = static_cast<network::VertexId>(sv_reader.GetBits(32));
+
+  std::vector<uint32_t> entries(im.e_len);
+  if (matrix_compression_ && im.group != kNoGroup) {
+    const TedGroupView& g = groups_[im.group];
+    BitReader er(g.codes);
+    er.Seek(static_cast<uint64_t>(im.row) * g.row_width_bits);
+    common::BigNum acc = common::BigNum::ReadBits(er, g.row_width_bits);
+    for (uint32_t c = 0; c < im.e_len; ++c) {
+      entries[c] = acc.DivMod(g.col_bases[c]);
+    }
+  } else {
+    BitReader er(e_plain_);
+    er.Seek(im.e_pos);
+    for (uint32_t c = 0; c < im.e_len; ++c) {
+      entries[c] = static_cast<uint32_t>(er.GetBits(entry_bits_));
+    }
+  }
+
+  std::vector<uint8_t> tflag(im.e_len);
+  BitReader tr(tflag_);
+  tr.Seek(im.tflag_pos);
+  for (uint32_t i = 0; i < im.e_len; ++i) tflag[i] = tr.GetBit() ? 1 : 0;
+
+  std::vector<double> rds(im.n_locs);
+  BitReader dr(d_);
+  dr.Seek(im.d_pos);
+  for (uint32_t i = 0; i < im.n_locs; ++i) rds[i] = d_codec_.Decode(dr);
+
+  BitReader pr(p_);
+  pr.Seek(im.p_pos);
+  const double p = p_codec_.Decode(pr);
+
+  return traj::ReconstructInstance(net, sv, entries, tflag, rds, p);
+}
+
+}  // namespace utcq::ted

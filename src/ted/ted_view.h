@@ -1,0 +1,92 @@
+#ifndef UTCQ_TED_TED_VIEW_H_
+#define UTCQ_TED_TED_VIEW_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitstream.h"
+#include "common/pddp.h"
+#include "network/road_network.h"
+#include "traj/types.h"
+
+namespace utcq::ted {
+
+struct TedParams;
+struct TedTrajMeta;
+
+/// Borrowed view of one matrix-compressed E group: the column bases and the
+/// packed row codes, without the owning BitWriter.
+struct TedGroupView {
+  uint32_t entry_count = 0;
+  const uint32_t* col_bases = nullptr;
+  int row_width_bits = 0;
+  common::BitSpan codes;
+};
+
+/// Immutable, non-owning read-side of a TED-compressed corpus — the
+/// baseline's counterpart of core::CorpusView. All decode paths (full
+/// instance decode, time expansion) live here, reading borrowed BitSpans,
+/// so TedIndex and TedQueryProcessor never touch the writer-backed
+/// TedCompressed directly. The owner of the streams, groups and metas must
+/// outlive the view.
+class TedCorpusView {
+ public:
+  TedCorpusView() = default;
+  TedCorpusView(double eta_d, double eta_p, int entry_bits,
+                bool matrix_compression, common::BitSpan t,
+                common::BitSpan sv, common::BitSpan e_plain,
+                common::BitSpan tflag, common::BitSpan d, common::BitSpan p,
+                std::vector<TedGroupView> groups, const TedTrajMeta* metas,
+                size_t num_trajectories)
+      : eta_d_(eta_d),
+        eta_p_(eta_p),
+        entry_bits_(entry_bits),
+        matrix_compression_(matrix_compression),
+        d_codec_(eta_d),
+        p_codec_(eta_p),
+        t_(t),
+        sv_(sv),
+        e_plain_(e_plain),
+        tflag_(tflag),
+        d_(d),
+        p_(p),
+        groups_(std::move(groups)),
+        metas_(metas),
+        num_trajectories_(num_trajectories) {}
+
+  /// Decodes the shared time sequence of trajectory `traj_idx`.
+  std::vector<traj::Timestamp> DecodeTimes(size_t traj_idx) const;
+
+  /// Fully decodes one instance (the baseline's query granularity).
+  std::optional<traj::TrajectoryInstance> DecodeInstance(
+      const network::RoadNetwork& net, size_t traj_idx,
+      size_t inst_idx) const;
+
+  size_t num_trajectories() const { return num_trajectories_; }
+  const TedTrajMeta& meta(size_t i) const;  // defined where the type is known
+  double eta_d() const { return eta_d_; }
+  double eta_p() const { return eta_p_; }
+  int entry_bits() const { return entry_bits_; }
+
+ private:
+  double eta_d_ = 1.0 / 128.0;
+  double eta_p_ = 1.0 / 512.0;
+  int entry_bits_ = 4;
+  bool matrix_compression_ = true;
+  common::PddpCodec d_codec_{1.0 / 128.0};
+  common::PddpCodec p_codec_{1.0 / 512.0};
+  common::BitSpan t_;
+  common::BitSpan sv_;
+  common::BitSpan e_plain_;
+  common::BitSpan tflag_;
+  common::BitSpan d_;
+  common::BitSpan p_;
+  std::vector<TedGroupView> groups_;
+  const TedTrajMeta* metas_ = nullptr;
+  size_t num_trajectories_ = 0;
+};
+
+}  // namespace utcq::ted
+
+#endif  // UTCQ_TED_TED_VIEW_H_

@@ -1,0 +1,416 @@
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "archive/archive.h"
+#include "common/rng.h"
+#include "common/serial.h"
+#include "core/utcq.h"
+#include "network/generator.h"
+#include "traj/generator.h"
+#include "traj/profiles.h"
+
+namespace utcq::archive {
+namespace {
+
+/// A small compressed corpus + StIU index, the write side of every test.
+struct ArchiveFixture {
+  ArchiveFixture() {
+    const auto profile = traj::ChengduProfile();
+    common::Rng net_rng(100);
+    network::CityParams small = profile.city;
+    small.rows = 14;
+    small.cols = 14;
+    net = network::GenerateCity(net_rng, small);
+    traj::UncertainTrajectoryGenerator gen(net, profile, 7070);
+    corpus = gen.GenerateCorpus(50);
+    grid = std::make_unique<network::GridIndex>(net, 16);
+    core::UtcqParams params;
+    params.default_interval_s = profile.default_interval_s;
+    sys = std::make_unique<core::UtcqSystem>(net, *grid, corpus, params,
+                                             core::StiuParams{16, 900});
+  }
+
+  std::string TempPath(const std::string& name) const {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  network::RoadNetwork net;
+  traj::UncertainCorpus corpus;
+  std::unique_ptr<network::GridIndex> grid;
+  std::unique_ptr<core::UtcqSystem> sys;
+};
+
+TEST(Archive, SaveLoadResaveIsBitExact) {
+  ArchiveFixture fx;
+  const ArchiveWriter writer(fx.sys->compressed(), &fx.sys->index());
+  const std::vector<uint8_t> first = writer.Serialize();
+
+  ArchiveReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.OpenBytes(first, &error)) << error;
+
+  // Re-encoding the loaded payload must reproduce the input byte for byte:
+  // the container has exactly one serialization of any corpus.
+  const std::vector<uint8_t> second = EncodeArchive(reader.payload());
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Archive, FileRoundTripPreservesEveryStreamAndMeta) {
+  ArchiveFixture fx;
+  const std::string path = fx.TempPath("roundtrip.utcq");
+  std::string error;
+  ASSERT_TRUE(ArchiveWriter(fx.sys->compressed(), &fx.sys->index())
+                  .Save(path, &error))
+      << error;
+
+  ArchiveReader reader;
+  ASSERT_TRUE(reader.Open(path, &error)) << error;
+  std::remove(path.c_str());
+
+  const core::CompressedCorpus& cc = fx.sys->compressed();
+  const ArchivePayload& payload = reader.payload();
+  EXPECT_EQ(payload.entry_bits, cc.entry_bits());
+  EXPECT_EQ(payload.params.default_interval_s, cc.params().default_interval_s);
+  EXPECT_EQ(payload.t.size_bits, cc.t_stream().size_bits());
+  EXPECT_EQ(payload.t.bytes, cc.t_stream().bytes());
+  EXPECT_EQ(payload.ref.bytes, cc.ref_stream().bytes());
+  EXPECT_EQ(payload.nref.bytes, cc.nref_stream().bytes());
+  EXPECT_EQ(payload.structure.bytes, cc.structure_stream().bytes());
+  ASSERT_EQ(payload.metas.size(), cc.num_trajectories());
+  for (size_t j = 0; j < payload.metas.size(); ++j) {
+    const core::TrajMeta& a = payload.metas[j];
+    const core::TrajMeta& b = cc.meta(j);
+    EXPECT_EQ(a.t_pos, b.t_pos);
+    EXPECT_EQ(a.n_points, b.n_points);
+    ASSERT_EQ(a.refs.size(), b.refs.size());
+    ASSERT_EQ(a.nrefs.size(), b.nrefs.size());
+    EXPECT_EQ(a.roles, b.roles);
+    for (size_t r = 0; r < a.refs.size(); ++r) {
+      EXPECT_EQ(a.refs[r].offset, b.refs[r].offset);
+      EXPECT_EQ(a.refs[r].d_pos, b.refs[r].d_pos);
+      EXPECT_EQ(a.refs[r].p_quantized, b.refs[r].p_quantized);
+    }
+  }
+}
+
+TEST(Archive, LoadedCorpusDecodesIdenticallyToLiveCorpus) {
+  ArchiveFixture fx;
+  ArchiveReader reader;
+  ASSERT_TRUE(reader.OpenBytes(
+      ArchiveWriter(fx.sys->compressed(), &fx.sys->index()).Serialize()));
+
+  const core::UtcqDecoder live(fx.net, fx.sys->compressed());
+  const core::UtcqDecoder loaded(fx.net, reader.view());
+  const auto live_corpus = live.DecompressAll();
+  const auto loaded_corpus = loaded.DecompressAll();
+  ASSERT_EQ(live_corpus.size(), loaded_corpus.size());
+  for (size_t j = 0; j < live_corpus.size(); ++j) {
+    EXPECT_EQ(live_corpus[j].times, loaded_corpus[j].times);
+    ASSERT_EQ(live_corpus[j].instances.size(),
+              loaded_corpus[j].instances.size());
+    for (size_t w = 0; w < live_corpus[j].instances.size(); ++w) {
+      EXPECT_EQ(live_corpus[j].instances[w].path,
+                loaded_corpus[j].instances[w].path);
+      EXPECT_EQ(live_corpus[j].instances[w].probability,
+                loaded_corpus[j].instances[w].probability);
+    }
+  }
+}
+
+TEST(Archive, LoadedQueriesMatchLiveQueries) {
+  ArchiveFixture fx;
+  const std::string path = fx.TempPath("queries.utcq");
+  ASSERT_TRUE(
+      ArchiveWriter(fx.sys->compressed(), &fx.sys->index()).Save(path));
+
+  // A fresh process: only the network (shared, corpus-independent state)
+  // and the file. The live system's memory is not consulted.
+  ArchiveReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.Open(path, &error)) << error;
+  std::remove(path.c_str());
+  ASSERT_TRUE(reader.has_index());
+  const network::GridIndex grid(fx.net, reader.index_cells_per_side());
+  const auto index = reader.LoadIndex(grid, &error);
+  ASSERT_NE(index, nullptr) << error;
+  const core::UtcqQueryProcessor loaded(fx.net, reader.view(), *index);
+
+  const core::UtcqQueryProcessor& live = fx.sys->queries();
+  size_t where_hits = 0;
+  size_t when_hits = 0;
+  for (size_t j = 0; j < fx.corpus.size(); j += 5) {
+    const auto& tu = fx.corpus[j];
+    const auto t_mid = (tu.times.front() + tu.times.back()) / 2;
+    for (const double alpha : {0.0, 0.2, 0.5}) {
+      const auto a = live.Where(j, t_mid, alpha);
+      const auto b = loaded.Where(j, t_mid, alpha);
+      ASSERT_EQ(a.size(), b.size()) << "traj " << j << " alpha " << alpha;
+      where_hits += a.size();
+      for (size_t k = 0; k < a.size(); ++k) {
+        EXPECT_EQ(a[k].instance, b[k].instance);
+        EXPECT_EQ(a[k].probability, b[k].probability);
+        EXPECT_EQ(a[k].position.edge, b[k].position.edge);
+        EXPECT_EQ(a[k].position.ndist, b[k].position.ndist);
+      }
+    }
+    // when() against the first location of the first instance's path.
+    const auto& inst = tu.instances.front();
+    const auto edge = inst.path[inst.locations.front().path_index];
+    const double rd = inst.locations.front().rd;
+    const auto a = live.When(j, edge, rd, 0.1);
+    const auto b = loaded.When(j, edge, rd, 0.1);
+    ASSERT_EQ(a.size(), b.size()) << "traj " << j;
+    when_hits += a.size();
+    for (size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].instance, b[k].instance);
+      EXPECT_EQ(a[k].t, b[k].t);
+    }
+  }
+  EXPECT_GT(where_hits, 0u);
+  EXPECT_GT(when_hits, 0u);
+
+  // range() over a window around the first trajectory's start.
+  const auto& inst0 = fx.corpus[0].instances.front();
+  const auto& e0 = fx.net.edge(inst0.path.front());
+  const auto& v0 = fx.net.vertex(e0.from);
+  const network::Rect re{v0.x - 800, v0.y - 800, v0.x + 800, v0.y + 800};
+  const auto tq = fx.corpus[0].times.front();
+  for (const double alpha : {0.1, 0.5, 0.9}) {
+    EXPECT_EQ(live.Range(re, tq, alpha), loaded.Range(re, tq, alpha))
+        << "alpha " << alpha;
+  }
+}
+
+TEST(Archive, ReloadedStiuTuplesMatch) {
+  ArchiveFixture fx;
+  ArchiveReader reader;
+  ASSERT_TRUE(reader.OpenBytes(
+      ArchiveWriter(fx.sys->compressed(), &fx.sys->index()).Serialize()));
+  const network::GridIndex grid(fx.net, reader.index_cells_per_side());
+  const auto index = reader.LoadIndex(grid);
+  ASSERT_NE(index, nullptr);
+
+  const core::StiuIndex& live = fx.sys->index();
+  EXPECT_EQ(index->time_partition_s(), live.time_partition_s());
+  for (size_t j = 0; j < fx.corpus.size(); ++j) {
+    const auto& a = live.TemporalOf(j);
+    const auto& b = index->TemporalOf(j);
+    ASSERT_EQ(a.size(), b.size()) << "traj " << j;
+    for (size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].t_start, b[k].t_start);
+      EXPECT_EQ(a[k].t_no, b[k].t_no);
+      EXPECT_EQ(a[k].t_pos, b[k].t_pos);
+    }
+  }
+  for (network::RegionId re = 0; re < grid.num_regions(); ++re) {
+    const auto& ra = live.RefTuplesIn(re);
+    const auto& rb = index->RefTuplesIn(re);
+    ASSERT_EQ(ra.size(), rb.size()) << "region " << re;
+    for (size_t k = 0; k < ra.size(); ++k) {
+      EXPECT_EQ(ra[k].traj, rb[k].traj);
+      EXPECT_EQ(ra[k].ref_idx, rb[k].ref_idx);
+      EXPECT_EQ(ra[k].fv_id, rb[k].fv_id);
+      EXPECT_EQ(ra[k].d_pos, rb[k].d_pos);
+      EXPECT_EQ(ra[k].p_total, rb[k].p_total);
+      EXPECT_EQ(ra[k].p_max, rb[k].p_max);
+      EXPECT_EQ(ra[k].ref_passes, rb[k].ref_passes);
+    }
+    const auto& na = live.NrefTuplesIn(re);
+    const auto& nb = index->NrefTuplesIn(re);
+    ASSERT_EQ(na.size(), nb.size()) << "region " << re;
+    for (size_t k = 0; k < na.size(); ++k) {
+      EXPECT_EQ(na[k].traj, nb[k].traj);
+      EXPECT_EQ(na[k].nref_idx, nb[k].nref_idx);
+      EXPECT_EQ(na[k].ma_pos, nb[k].ma_pos);
+    }
+  }
+}
+
+TEST(Archive, ArchiveWithoutIndexStillDecodes) {
+  ArchiveFixture fx;
+  ArchiveReader reader;
+  ASSERT_TRUE(reader.OpenBytes(
+      ArchiveWriter(fx.sys->compressed()).Serialize()));
+  EXPECT_FALSE(reader.has_index());
+  std::string error;
+  EXPECT_EQ(reader.LoadIndex(*fx.grid, &error), nullptr);
+  const core::UtcqDecoder decoder(fx.net, reader.view());
+  EXPECT_EQ(decoder.DecodeTimes(0), fx.corpus[0].times);
+}
+
+TEST(Archive, RejectsTruncationBadMagicAndBitRot) {
+  ArchiveFixture fx;
+  const std::vector<uint8_t> good =
+      ArchiveWriter(fx.sys->compressed(), &fx.sys->index()).Serialize();
+  ArchiveReader reader;
+  std::string error;
+
+  // Truncated: checksum of the shortened image cannot match.
+  std::vector<uint8_t> truncated(good.begin(), good.end() - 10);
+  EXPECT_FALSE(reader.OpenBytes(truncated, &error));
+  EXPECT_FALSE(reader.is_open());
+
+  // Empty / shorter than any header.
+  EXPECT_FALSE(reader.OpenBytes({}, &error));
+  EXPECT_FALSE(reader.OpenBytes({'U', 'T'}, &error));
+
+  // Bad magic.
+  std::vector<uint8_t> bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(reader.OpenBytes(bad_magic, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+
+  // One flipped payload byte: caught by the checksum.
+  std::vector<uint8_t> bit_rot = good;
+  bit_rot[good.size() / 2] ^= 0x04;
+  EXPECT_FALSE(reader.OpenBytes(bit_rot, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos);
+
+  // Future format version (byte 8 is the version's little-endian low byte);
+  // the footer is re-stamped so the version check, not the checksum, fires.
+  std::vector<uint8_t> future = good;
+  future[8] = 99;
+  const uint32_t crc = common::Crc32(future.data(), future.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    future[future.size() - 4 + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+  EXPECT_FALSE(reader.OpenBytes(future, &error));
+  EXPECT_NE(error.find("version"), std::string::npos);
+
+  // The pristine image still opens after all those copies.
+  EXPECT_TRUE(reader.OpenBytes(good, &error)) << error;
+  EXPECT_TRUE(reader.is_open());
+}
+
+TEST(Archive, RejectsHostileStiuSections) {
+  // CRC-valid archives whose StIU section lies about its shape must fail
+  // LoadIndex cleanly instead of OOMing or leaving an index that queries
+  // out of bounds.
+  ArchiveFixture fx;
+  ArchiveReader reader;
+  ASSERT_TRUE(reader.OpenBytes(
+      ArchiveWriter(fx.sys->compressed(), &fx.sys->index()).Serialize()));
+  ArchivePayload payload = reader.payload();
+  std::string error;
+
+  // Claims zero trajectories while the metas section has 50.
+  {
+    common::ByteWriter stiu;
+    stiu.PutVarint(16);                      // cells_per_side
+    stiu.PutSignedVarint(900);               // time_partition_s
+    stiu.PutVarint(0);                       // num_trajs
+    stiu.PutVarint(0);                       // num_partitions
+    stiu.PutVarint(fx.grid->num_regions());  // num_regions
+    for (uint32_t re = 0; re < 2 * fx.grid->num_regions(); ++re) {
+      stiu.PutVarint(0);  // empty ref + nref tuple lists
+    }
+    payload.stiu = stiu.Release();
+    ArchiveReader hostile;
+    ASSERT_TRUE(hostile.OpenBytes(EncodeArchive(payload), &error)) << error;
+    EXPECT_EQ(hostile.LoadIndex(*fx.grid, &error), nullptr);
+    EXPECT_NE(error.find("trajectory count"), std::string::npos) << error;
+  }
+
+  // Claims an absurd trajectory count (would OOM a naive resize).
+  {
+    common::ByteWriter stiu;
+    stiu.PutVarint(16);
+    stiu.PutSignedVarint(900);
+    stiu.PutVarint(uint64_t{1} << 60);  // num_trajs
+    stiu.PutVarint(0);
+    stiu.PutVarint(fx.grid->num_regions());
+    payload.stiu = stiu.Release();
+    ArchiveReader hostile;
+    ASSERT_TRUE(hostile.OpenBytes(EncodeArchive(payload), &error)) << error;
+    EXPECT_EQ(hostile.LoadIndex(*fx.grid, &error), nullptr);
+  }
+}
+
+TEST(Archive, RejectsMetasWithDuplicateOrigIndex) {
+  // Two metas claiming the same instance slot would leave another slot at
+  // the default role and decode nrefs[0] out of bounds; the reader must
+  // reject the section instead.
+  ArchiveFixture fx;
+  ArchiveReader reader;
+  ASSERT_TRUE(reader.OpenBytes(
+      ArchiveWriter(fx.sys->compressed(), &fx.sys->index()).Serialize()));
+  ArchivePayload payload = reader.payload();
+  core::TrajMeta* victim = nullptr;
+  for (auto& m : payload.metas) {
+    if (!m.refs.empty() && !m.nrefs.empty()) {
+      victim = &m;
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr);
+  victim->nrefs[0].orig_index = victim->refs[0].orig_index;
+  std::string error;
+  ArchiveReader hostile;
+  EXPECT_FALSE(hostile.OpenBytes(EncodeArchive(payload), &error));
+  EXPECT_NE(error.find("metas"), std::string::npos) << error;
+}
+
+TEST(Archive, RejectsStiuTuplePointingOutsideMetas) {
+  ArchiveFixture fx;
+  ArchiveReader reader;
+  ASSERT_TRUE(reader.OpenBytes(
+      ArchiveWriter(fx.sys->compressed(), &fx.sys->index()).Serialize()));
+  ArchivePayload payload = reader.payload();
+
+  // A structurally valid StIU section (right trajectory count, every
+  // trajectory covered) whose one spatial tuple names a ref index that
+  // does not exist in the metas.
+  common::ByteWriter stiu;
+  stiu.PutVarint(16);                      // cells_per_side
+  stiu.PutSignedVarint(900);               // time_partition_s
+  stiu.PutVarint(payload.metas.size());    // num_trajs
+  stiu.PutVarint(0);                       // num_partitions
+  stiu.PutVarint(fx.grid->num_regions());  // num_regions
+  for (size_t j = 0; j < payload.metas.size(); ++j) {
+    stiu.PutVarint(1);  // one temporal tuple
+    stiu.PutVarint(0);  // t_start delta
+    stiu.PutVarint(0);  // t_no
+    stiu.PutVarint(0);  // t_pos
+  }
+  for (uint32_t re = 0; re < fx.grid->num_regions(); ++re) {
+    if (re == 0) {
+      stiu.PutVarint(1);  // one hostile ref tuple
+      stiu.PutVarint(0);  // traj
+      stiu.PutVarint(1u << 20);  // ref_idx: far outside metas[0].refs
+      stiu.PutU32(0);            // fv_id
+      stiu.PutVarint(0);         // fv_no
+      stiu.PutVarint(0);         // d_no
+      stiu.PutVarint(0);         // d_pos
+      stiu.PutF32(0.5f);
+      stiu.PutF32(0.5f);
+      stiu.PutU8(1);
+    } else {
+      stiu.PutVarint(0);
+    }
+  }
+  for (uint32_t re = 0; re < fx.grid->num_regions(); ++re) {
+    stiu.PutVarint(0);  // no nref tuples
+  }
+  payload.stiu = stiu.Release();
+
+  std::string error;
+  ArchiveReader hostile;
+  ASSERT_TRUE(hostile.OpenBytes(EncodeArchive(payload), &error)) << error;
+  EXPECT_EQ(hostile.LoadIndex(*fx.grid, &error), nullptr);
+  EXPECT_NE(error.find("outside the metas"), std::string::npos) << error;
+}
+
+TEST(Archive, OpenMissingFileFails) {
+  ArchiveReader reader;
+  std::string error;
+  EXPECT_FALSE(reader.Open("/nonexistent/dir/archive.utcq", &error));
+  EXPECT_FALSE(reader.is_open());
+}
+
+}  // namespace
+}  // namespace utcq::archive
