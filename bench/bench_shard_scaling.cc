@@ -1,0 +1,146 @@
+// Shard-scaling benchmark: compression-build wall time versus shard/thread
+// count, plus sharded-vs-unsharded query equivalence on the same corpus.
+//
+// Emits BENCH_shard.json (machine-readable, one object) so the perf
+// trajectory of the parallel pipeline has a recorded baseline. Speedups are
+// relative to the 1-shard/1-thread build; near-linear scaling needs as many
+// hardware threads as shards (threads_available is recorded so a 1-core
+// reading is not mistaken for a scaling regression).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/utcq.h"
+#include "shard/sharded.h"
+
+namespace {
+
+using namespace utcq;         // NOLINT
+using namespace utcq::bench;  // NOLINT
+
+struct Run {
+  uint32_t shards = 0;
+  unsigned threads = 0;
+  double seconds = 0.0;
+  uint64_t total_bits = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t trajectories =
+      argc > 1 ? static_cast<size_t>(std::atol(argv[1]))
+               : TrajectoryCount(1200);
+  const auto w = MakeWorkload(traj::HangzhouProfile(), trajectories);
+  const network::GridIndex grid(w->net, 32);
+
+  core::UtcqParams params;
+  params.default_interval_s = w->profile.default_interval_s;
+  params.eta_p = w->profile.eta_p;
+  const core::StiuParams index_params{32, 1800};
+
+  std::vector<Run> runs;
+  for (const uint32_t shards : {1u, 2u, 4u, 8u}) {
+    shard::ShardOptions opts;
+    opts.num_shards = shards;
+    opts.num_threads = shards;  // one worker per shard
+    const shard::ShardedCompressor compressor(w->net, grid, params,
+                                              index_params, opts);
+    // Best of two: the first run also warms allocator and page cache.
+    double best = 0.0;
+    uint64_t bits = 0;
+    for (int rep = 0; rep < 2; ++rep) {
+      common::Stopwatch watch;
+      const shard::ShardedBuild build = compressor.Compress(w->corpus);
+      const double s = watch.ElapsedSeconds();
+      if (rep == 0 || s < best) best = s;
+      bits = build.total_bits();
+    }
+    runs.push_back({shards, shards, best, bits});
+    std::printf("shards=%u threads=%u build=%.3fs total_bits=%llu\n", shards,
+                shards, best, static_cast<unsigned long long>(bits));
+  }
+
+  // Query equivalence spot check: save the 8-shard set, reopen, and compare
+  // a batch of range queries against the unsharded system.
+  size_t checked = 0;
+  size_t mismatches = 0;
+  {
+    const core::UtcqSystem sys(w->net, grid, w->corpus, params, index_params);
+    shard::ShardOptions opts;
+    opts.num_shards = 8;
+    const shard::ShardedCompressor compressor(w->net, grid, params,
+                                              index_params, opts);
+    const shard::ShardedBuild build = compressor.Compress(w->corpus);
+    const char* tmpdir = std::getenv("TMPDIR");
+    const std::string manifest =
+        std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+        "/bench_shard_set.utcq";
+    std::string error;
+    if (!build.Save(manifest, &error)) {
+      std::fprintf(stderr, "save failed: %s\n", error.c_str());
+      return 1;
+    }
+    shard::ShardedCorpus sharded;
+    if (!sharded.Open(w->net, manifest, &error)) {
+      std::fprintf(stderr, "open failed: %s\n", error.c_str());
+      return 1;
+    }
+    common::Rng rng(7);
+    const auto bbox = w->net.bounding_box();
+    for (int q = 0; q < 50; ++q) {
+      const double cx = rng.Uniform(bbox.min_x, bbox.max_x);
+      const double cy = rng.Uniform(bbox.min_y, bbox.max_y);
+      const double half = rng.Uniform(200.0, 800.0);
+      const network::Rect re{cx - half, cy - half, cx + half, cy + half};
+      const auto tq = rng.UniformInt(0, traj::kSecondsPerDay - 1);
+      ++checked;
+      if (sharded.Range(re, tq, 0.3) != sys.queries().Range(re, tq, 0.3)) {
+        ++mismatches;
+      }
+    }
+    for (uint32_t s = 0; s < build.plan.num_shards(); ++s) {
+      std::remove(shard::ShardArchivePath(manifest, s).c_str());
+    }
+    std::remove(manifest.c_str());
+  }
+  std::printf("query equivalence: %zu/%zu range queries identical\n",
+              checked - mismatches, checked);
+
+  const double base = runs.front().seconds;
+  std::FILE* json = std::fopen("BENCH_shard.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_shard.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"shard_scaling\",\n");
+  std::fprintf(json, "  \"trajectories\": %zu,\n", trajectories);
+  std::fprintf(json, "  \"threads_available\": %u,\n",
+               common::DefaultThreads());
+  std::fprintf(json, "  \"query_equivalence_checked\": %zu,\n", checked);
+  std::fprintf(json, "  \"query_equivalence_mismatches\": %zu,\n",
+               mismatches);
+  std::fprintf(json, "  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    std::fprintf(json,
+                 "    {\"shards\": %u, \"threads\": %u, \"seconds\": %.6f, "
+                 "\"speedup_vs_1shard\": %.3f, \"total_bits\": %llu}%s\n",
+                 r.shards, r.threads, r.seconds,
+                 r.seconds > 0.0 ? base / r.seconds : 0.0,
+                 static_cast<unsigned long long>(r.total_bits),
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_shard.json (speedup at 8 shards: %.2fx)\n",
+              base / runs.back().seconds);
+  return mismatches == 0 ? 0 : 1;
+}

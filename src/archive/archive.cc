@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstring>
+#include <functional>
+#include <set>
 
 #ifndef _WIN32
 #include <fcntl.h>
@@ -16,6 +18,12 @@ using common::ByteReader;
 using common::ByteWriter;
 
 namespace {
+
+/// Format bound on the StIU grid resolution. The paper sweeps 8..128 cells
+/// per side; 4096 (16.7M regions) is far beyond any sane configuration,
+/// and readers size per-region structures from this value before any
+/// cross-check can run — it must not be attacker-scale.
+constexpr uint32_t kMaxStiuCellsPerSide = 4096;
 
 bool GetStream(ByteReader& in, ArchivePayload::Stream* stream) {
   stream->size_bits = in.GetVarint();
@@ -201,7 +209,177 @@ std::vector<uint8_t> EncodeArchiveRef(const ArchiveRef& p) {
   return out.Release();
 }
 
+/// Shared container-envelope walk: validates magic, the CRC footer, and a
+/// version within [min_version, kFormatVersion], then iterates the section
+/// table invoking on_section(tag, body, length) — with the spin guard, so a
+/// crafted section count (up to 2^64-1) fails on the first exhausted read
+/// instead of iterating 2^64 times. Both decoders parse through this one
+/// function; envelope fixes land exactly once. `kind` names the container
+/// in error strings. on_section aborts the walk by returning false (having
+/// set *error itself).
+bool ForEachSection(
+    const uint8_t* data, size_t size, uint32_t min_version,
+    const std::string& kind, std::string* error,
+    const std::function<bool(uint64_t, const uint8_t*, uint64_t)>&
+        on_section) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (size < sizeof(kMagic) + sizeof(uint32_t) * 2) {
+    return fail(kind + " truncated: shorter than header + footer");
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad magic: not a UTCQ " + kind);
+  }
+  const uint32_t stored_crc = ByteReader(data + size - 4, 4).GetU32();
+  if (common::Crc32(data, size - 4) != stored_crc) {
+    return fail("checksum mismatch: " + kind + " corrupt or truncated");
+  }
+  ByteReader in(data, size - 4);
+  in.Skip(sizeof(kMagic));
+  const uint32_t version = in.GetU32();
+  if (version < min_version || version > kFormatVersion) {
+    return fail("unsupported " + kind + " format version");
+  }
+  const uint64_t section_count = in.GetVarint();
+  for (uint64_t i = 0; i < section_count; ++i) {
+    if (!in.ok()) return fail(kind + " section table truncated");
+    const uint64_t tag = in.GetVarint();
+    const uint64_t length = in.GetVarint();
+    const uint8_t* body = in.BorrowBytes(length);
+    if (body == nullptr) return fail(kind + " section table truncated");
+    if (!on_section(tag, body, length)) return false;
+  }
+  if (!in.ok()) return fail(kind + " parse overran the buffer");
+  return true;
+}
+
+/// A manifest filename must stay inside the manifest's own directory: plain
+/// relative paths only, no absolute paths, no ".." components, no NULs.
+bool SafeRelativeFilename(const std::string& name) {
+  if (name.empty() || name.front() == '/' || name.front() == '\\') {
+    return false;
+  }
+  if (name.find('\0') != std::string::npos) return false;
+  size_t start = 0;
+  while (start <= name.size()) {
+    const size_t end = name.find_first_of("/\\", start);
+    const std::string part =
+        name.substr(start, end == std::string::npos ? end : end - start);
+    if (part == "..") return false;
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return true;
+}
+
 }  // namespace
+
+size_t ShardManifest::num_trajectories() const {
+  size_t total = 0;
+  for (const Shard& s : shards) total += s.members.size();
+  return total;
+}
+
+std::vector<uint8_t> EncodeShardManifest(const ShardManifest& manifest) {
+  ByteWriter body;
+  body.PutU8(manifest.policy);
+  body.PutSignedVarint(manifest.time_partition_s);
+  body.PutVarint(manifest.shards.size());
+  for (const ShardManifest::Shard& s : manifest.shards) {
+    body.PutBlob(s.file.data(), s.file.size());
+    body.PutVarint(s.members.size());
+    // Members are strictly ascending; delta coding keeps dense assignments
+    // (round-robin, contiguous ranges) at a byte or two per trajectory.
+    uint32_t prev = 0;
+    for (size_t i = 0; i < s.members.size(); ++i) {
+      body.PutVarint(i == 0 ? s.members[0] : s.members[i] - prev);
+      prev = s.members[i];
+    }
+  }
+
+  ByteWriter out;
+  out.PutBytes(kMagic, sizeof(kMagic));
+  out.PutU32(kFormatVersion);
+  out.PutVarint(1);  // section count
+  out.PutVarint(static_cast<uint64_t>(SectionTag::kShardManifest));
+  out.PutBlob(body.bytes().data(), body.size());
+  out.PutU32(common::Crc32(out.bytes().data(), out.size()));
+  return out.Release();
+}
+
+bool DecodeShardManifest(const uint8_t* data, size_t size, ShardManifest* out,
+                         std::string* error) {
+  const auto fail = [error](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+
+  *out = ShardManifest{};
+  bool have_manifest = false;
+  const bool walked = ForEachSection(
+      data, size, /*min_version=*/2, "manifest", error,
+      [&](uint64_t tag, const uint8_t* body, uint64_t length) {
+        if (static_cast<SectionTag>(tag) != SectionTag::kShardManifest) {
+          return true;  // unknown section: skip (forward compatibility)
+        }
+        ByteReader section(body, length);
+        out->policy = section.GetU8();
+        out->time_partition_s = section.GetSignedVarint();
+        const uint64_t num_shards = section.GetVarint();
+        // Every shard costs at least a filename blob and a member count.
+        if (num_shards > section.remaining()) {
+          return fail("manifest shard count exceeds the payload");
+        }
+        out->shards.resize(num_shards);
+        for (ShardManifest::Shard& s : out->shards) {
+          const uint64_t name_len = section.GetVarint();
+          const uint8_t* name = section.BorrowBytes(name_len);
+          if (name == nullptr) return fail("manifest filename truncated");
+          s.file.assign(reinterpret_cast<const char*>(name), name_len);
+          if (!SafeRelativeFilename(s.file)) {
+            return fail("manifest filename escapes the manifest directory");
+          }
+          const uint64_t num_members = section.GetVarint();
+          if (num_members > section.remaining()) {
+            return fail("manifest member count exceeds the payload");
+          }
+          s.members.resize(num_members);
+          uint64_t prev = 0;
+          for (size_t m = 0; m < s.members.size(); ++m) {
+            const uint64_t delta = section.GetVarint();
+            // Deltas must advance and must not wrap prev + delta back
+            // below prev (a crafted delta near 2^64 would otherwise
+            // smuggle a non-ascending list past this check).
+            if (m != 0 && (delta == 0 || delta > UINT32_MAX - prev)) {
+              return fail("manifest member list is not strictly ascending");
+            }
+            const uint64_t value = m == 0 ? delta : prev + delta;
+            if (value > UINT32_MAX) {
+              return fail("manifest member list is not strictly ascending");
+            }
+            s.members[m] = static_cast<uint32_t>(value);
+            prev = value;
+          }
+        }
+        if (!section.ok()) return fail("manifest section failed to parse");
+        have_manifest = true;
+        return true;
+      });
+  if (!walked) return false;
+  if (!have_manifest) return fail("container has no shard-manifest section");
+  // Two entries naming one file would pass the per-shard count checks and
+  // the member-partition check while routing half the global space to the
+  // wrong trajectories; a shard file belongs to exactly one shard.
+  std::set<std::string> names;
+  for (const ShardManifest::Shard& s : out->shards) {
+    if (!names.insert(s.file).second) {
+      return fail("manifest names a shard file twice");
+    }
+  }
+  return true;
+}
 
 std::vector<uint8_t> EncodeArchive(const ArchivePayload& payload) {
   return EncodeArchiveRef({&payload.params, payload.entry_bits,
@@ -218,80 +396,68 @@ bool DecodeArchive(const uint8_t* data, size_t size, ArchivePayload* out,
     return false;
   };
 
-  if (size < sizeof(kMagic) + sizeof(uint32_t) * 2) {
-    return fail("archive truncated: shorter than header + footer");
-  }
-  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
-    return fail("bad magic: not a UTCQ archive");
-  }
-  const uint32_t stored_crc = ByteReader(data + size - 4, 4).GetU32();
-  if (common::Crc32(data, size - 4) != stored_crc) {
-    return fail("checksum mismatch: archive corrupt or truncated");
-  }
-
-  ByteReader in(data, size - 4);
-  in.Skip(sizeof(kMagic));
-  const uint32_t version = in.GetU32();
-  if (version == 0 || version > kFormatVersion) {
-    return fail("unsupported archive format version");
-  }
-
   *out = ArchivePayload{};
   bool have_params = false;
   bool have_metas = false;
   bool have_streams[4] = {false, false, false, false};
-  const uint64_t section_count = in.GetVarint();
-  for (uint64_t i = 0; i < section_count; ++i) {
-    const uint64_t tag = in.GetVarint();
-    const uint64_t length = in.GetVarint();
-    const uint8_t* body = in.BorrowBytes(length);
-    if (body == nullptr) return fail("section table truncated");
-    ByteReader section(body, length);
-    switch (static_cast<SectionTag>(tag)) {
-      case SectionTag::kParams:
-        if (!GetParams(section, out)) return fail("invalid params section");
-        have_params = true;
-        break;
-      case SectionTag::kTStream:
-        if (!GetStream(section, &out->t)) return fail("invalid T stream");
-        have_streams[0] = true;
-        break;
-      case SectionTag::kRefStream:
-        if (!GetStream(section, &out->ref)) return fail("invalid ref stream");
-        have_streams[1] = true;
-        break;
-      case SectionTag::kNrefStream:
-        if (!GetStream(section, &out->nref)) {
-          return fail("invalid nref stream");
+  const bool walked = ForEachSection(
+      data, size, /*min_version=*/1, "archive", error,
+      [&](uint64_t tag, const uint8_t* body, uint64_t length) {
+        ByteReader section(body, length);
+        switch (static_cast<SectionTag>(tag)) {
+          case SectionTag::kParams:
+            if (!GetParams(section, out)) {
+              return fail("invalid params section");
+            }
+            have_params = true;
+            break;
+          case SectionTag::kTStream:
+            if (!GetStream(section, &out->t)) return fail("invalid T stream");
+            have_streams[0] = true;
+            break;
+          case SectionTag::kRefStream:
+            if (!GetStream(section, &out->ref)) {
+              return fail("invalid ref stream");
+            }
+            have_streams[1] = true;
+            break;
+          case SectionTag::kNrefStream:
+            if (!GetStream(section, &out->nref)) {
+              return fail("invalid nref stream");
+            }
+            have_streams[2] = true;
+            break;
+          case SectionTag::kStructure:
+            if (!GetStream(section, &out->structure)) {
+              return fail("invalid structure stream");
+            }
+            have_streams[3] = true;
+            break;
+          case SectionTag::kMetas:
+            if (!GetMetas(section, &out->metas)) {
+              return fail("invalid metas section");
+            }
+            have_metas = true;
+            break;
+          case SectionTag::kStiu: {
+            out->stiu.assign(body, body + length);
+            // Peek the cells_per_side the tuples were built over (first
+            // field of the StIU payload) so callers can rebuild a matching
+            // grid.
+            ByteReader peek(body, length);
+            const uint64_t cells = peek.GetVarint();
+            if (!peek.ok() || cells == 0 || cells > kMaxStiuCellsPerSide) {
+              return fail("invalid StIU section");
+            }
+            out->stiu_cells_per_side = static_cast<uint32_t>(cells);
+            break;
+          }
+          default:
+            break;  // unknown section: skip (forward compatibility)
         }
-        have_streams[2] = true;
-        break;
-      case SectionTag::kStructure:
-        if (!GetStream(section, &out->structure)) {
-          return fail("invalid structure stream");
-        }
-        have_streams[3] = true;
-        break;
-      case SectionTag::kMetas:
-        if (!GetMetas(section, &out->metas)) {
-          return fail("invalid metas section");
-        }
-        have_metas = true;
-        break;
-      case SectionTag::kStiu: {
-        out->stiu.assign(body, body + length);
-        // Peek the cells_per_side the tuples were built over (first field
-        // of the StIU payload) so callers can rebuild a matching grid.
-        ByteReader peek(body, length);
-        out->stiu_cells_per_side = static_cast<uint32_t>(peek.GetVarint());
-        if (!peek.ok()) return fail("invalid StIU section");
-        break;
-      }
-      default:
-        break;  // unknown section: skip (forward compatibility)
-    }
-  }
-  if (!in.ok()) return fail("archive parse overran the buffer");
+        return true;
+      });
+  if (!walked) return false;
   if (!have_params || !have_metas || !have_streams[0] || !have_streams[1] ||
       !have_streams[2] || !have_streams[3]) {
     return fail("archive missing a required section");
@@ -337,7 +503,11 @@ std::vector<uint8_t> ArchiveWriter::Serialize() const {
 }
 
 bool ArchiveWriter::Save(const std::string& path, std::string* error) const {
-  const std::vector<uint8_t> bytes = Serialize();
+  return SaveBytesAtomic(Serialize(), path, error);
+}
+
+bool SaveBytesAtomic(const std::vector<uint8_t>& bytes,
+                     const std::string& path, std::string* error) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
@@ -384,7 +554,8 @@ bool ArchiveWriter::Save(const std::string& path, std::string* error) const {
   return true;
 }
 
-bool ArchiveReader::Open(const std::string& path, std::string* error) {
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* out,
+                   std::string* error) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     if (error != nullptr) *error = "cannot open " + path;
@@ -393,16 +564,22 @@ bool ArchiveReader::Open(const std::string& path, std::string* error) {
   std::fseek(f, 0, SEEK_END);
   const long file_size = std::ftell(f);
   std::fseek(f, 0, SEEK_SET);
-  std::vector<uint8_t> bytes;
+  out->clear();
   if (file_size > 0) {
-    bytes.resize(static_cast<size_t>(file_size));
-    if (std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    out->resize(static_cast<size_t>(file_size));
+    if (std::fread(out->data(), 1, out->size(), f) != out->size()) {
       std::fclose(f);
       if (error != nullptr) *error = "short read from " + path;
       return false;
     }
   }
   std::fclose(f);
+  return true;
+}
+
+bool ArchiveReader::Open(const std::string& path, std::string* error) {
+  std::vector<uint8_t> bytes;
+  if (!ReadFileBytes(path, &bytes, error)) return false;
   return OpenBytes(std::move(bytes), error);
 }
 
@@ -431,8 +608,8 @@ std::unique_ptr<core::StiuIndex> ArchiveReader::LoadIndex(
     if (error != nullptr) *error = "archive carries no StIU section";
     return nullptr;
   }
-  if (grid.num_regions() !=
-      payload_.stiu_cells_per_side * payload_.stiu_cells_per_side) {
+  if (grid.num_regions() != uint64_t{payload_.stiu_cells_per_side} *
+                                payload_.stiu_cells_per_side) {
     if (error != nullptr) {
       *error = "grid resolution does not match the archived StIU tuples";
     }

@@ -35,18 +35,22 @@ namespace utcq::archive {
 /// version) and reject missing required sections, bad magic, newer versions,
 /// truncation, and checksum mismatches.
 inline constexpr char kMagic[8] = {'U', 'T', 'C', 'Q', 'A', 'R', 'C', '\0'};
-inline constexpr uint32_t kFormatVersion = 1;
+/// Version 2 added the shard-manifest tag (§6 append-only rule: new tag,
+/// version bump; the payload shapes of tags 1-7 are unchanged, so version-1
+/// files still open).
+inline constexpr uint32_t kFormatVersion = 2;
 
 /// Section tags. Values are part of the on-disk format: never renumber,
 /// only append.
 enum class SectionTag : uint64_t {
-  kParams = 1,      // UtcqParams + entry_bits + size accounting
-  kTStream = 2,     // SIAR-coded shared time sequences
-  kRefStream = 3,   // reference payloads
-  kNrefStream = 4,  // referential non-reference payloads
-  kStructure = 5,   // per-trajectory role bitmaps
-  kMetas = 6,       // TrajMeta records (bit positions into the streams)
-  kStiu = 7,        // serialized StIU tuple lists (optional)
+  kParams = 1,         // UtcqParams + entry_bits + size accounting
+  kTStream = 2,        // SIAR-coded shared time sequences
+  kRefStream = 3,      // reference payloads
+  kNrefStream = 4,     // referential non-reference payloads
+  kStructure = 5,      // per-trajectory role bitmaps
+  kMetas = 6,          // TrajMeta records (bit positions into the streams)
+  kStiu = 7,           // serialized StIU tuple lists (optional)
+  kShardManifest = 8,  // shard-set manifest (sole section of manifest files)
 };
 
 /// The decoded contents of an archive, owning every buffer a CorpusView
@@ -73,6 +77,31 @@ struct ArchivePayload {
   uint32_t stiu_cells_per_side = 0;
 };
 
+/// Description of a multi-shard archive set (DESIGN.md §8): N per-shard
+/// corpus archives plus this manifest, itself stored in the §6 container
+/// framing as a single kShardManifest section. The manifest records how the
+/// global trajectory space was partitioned so readers can route point
+/// queries and merge fan-out results; `policy` is the shard layer's
+/// ShardPolicy value, opaque to the container format.
+struct ShardManifest {
+  struct Shard {
+    /// Archive filename, relative to the manifest's directory. Decoding
+    /// rejects absolute paths and ".." components (an untrusted manifest
+    /// must not name files outside that directory).
+    std::string file;
+    /// Global trajectory index of each local index, strictly ascending.
+    std::vector<uint32_t> members;
+  };
+
+  uint8_t policy = 0;
+  /// Policy parameter (window seconds for time partitioning; 0 otherwise).
+  int64_t time_partition_s = 0;
+  std::vector<Shard> shards;
+
+  /// Total trajectories across all shards.
+  size_t num_trajectories() const;
+};
+
 /// Serializes a payload into the container format (header + sections +
 /// checksum footer).
 std::vector<uint8_t> EncodeArchive(const ArchivePayload& payload);
@@ -82,6 +111,26 @@ std::vector<uint8_t> EncodeArchive(const ArchivePayload& payload);
 /// mismatch, or a structurally invalid required section.
 bool DecodeArchive(const uint8_t* data, size_t size, ArchivePayload* out,
                    std::string* error);
+
+/// Serializes a shard manifest as a container whose only section is
+/// kShardManifest.
+std::vector<uint8_t> EncodeShardManifest(const ShardManifest& manifest);
+
+/// Parses and validates a manifest container: same header/footer checks as
+/// DecodeArchive, plus manifest-specific structure (safe relative filenames,
+/// strictly ascending member lists, counts bounded by the payload).
+bool DecodeShardManifest(const uint8_t* data, size_t size, ShardManifest* out,
+                         std::string* error);
+
+/// Writes `bytes` to `path` atomically (temp file + fsync + rename), the
+/// §6 durability rule every archive-set file goes through.
+bool SaveBytesAtomic(const std::vector<uint8_t>& bytes,
+                     const std::string& path, std::string* error = nullptr);
+
+/// Reads a whole file into `*out`. Returns false (with a reason) when the
+/// file cannot be opened or read completely.
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* out,
+                   std::string* error = nullptr);
 
 /// Write-side entry point: captures a compressed corpus (and optionally its
 /// StIU index) and saves it as one self-contained file.

@@ -93,6 +93,12 @@ class BitReader {
   size_t remaining() const { return pos_ < size_bits_ ? size_bits_ - pos_ : 0; }
   bool overflow() const { return overflow_; }
 
+  /// Latches overflow() true. Codecs layered on the reader use this to
+  /// reject structurally invalid codes (run lengths or length fields no
+  /// valid encoder produces) through the same channel as reading past the
+  /// end, so callers have one failure signal to check.
+  void MarkOverflow() { overflow_ = true; }
+
  private:
   const uint8_t* data_;
   size_t size_bits_;

@@ -17,6 +17,13 @@ uint64_t GetExpGolomb(BitReader& r, int k) {
   while (!r.GetBit()) {
     ++n;
     if (r.overflow()) return 0;
+    // No valid codeword has a unary prefix longer than 63 zeros (shifted
+    // would not fit in 64 bits); a crafted stream with a longer run must not
+    // reach the 1 << n below.
+    if (n > 63) {
+      r.MarkOverflow();
+      return 0;
+    }
   }
   uint64_t shifted = uint64_t{1} << n;
   shifted |= r.GetBits(n);
@@ -58,7 +65,17 @@ int64_t GetImprovedExpGolomb(BitReader& r) {
   while (r.GetBit()) {
     ++j;
     if (r.overflow()) return 0;
+    // Groups past 62 decode to magnitudes >= 2^63 - 1 that do not fit a
+    // positive int64_t; such runs only occur in crafted streams and would
+    // shift 1 << j out of range below.
+    if (j > 62) {
+      r.MarkOverflow();
+      return 0;
+    }
   }
+  // A truncated stream ends the run with a phantom 0 bit instead of the
+  // in-loop overflow return; don't decode the garbage that follows.
+  if (r.overflow()) return 0;
   if (j == 0) return 0;
   const bool negative = r.GetBit();
   const uint64_t offset = r.GetBits(j);

@@ -44,6 +44,13 @@ void PddpCodec::Encode(BitWriter& w, double value) const {
 
 double PddpCodec::Decode(BitReader& r) const {
   const int length = static_cast<int>(r.GetBits(length_bits_));
+  // The length field is BitsFor(max_bits_) wide, so it can hold values up to
+  // (1 << length_bits_) - 1 > max_bits_; the encoder never emits them, and
+  // decoding one would produce an out-of-contract code. Reject instead.
+  if (length > max_bits_) {
+    r.MarkOverflow();
+    return 0.0;
+  }
   const uint64_t code = r.GetBits(length);
   if (length == 0) return 0.0;
   return static_cast<double>(code) / std::ldexp(1.0, length);

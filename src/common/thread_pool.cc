@@ -1,0 +1,37 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace utcq::common {
+
+unsigned DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ParallelFor(size_t n, unsigned threads,
+                 const std::function<void(size_t)>& fn) {
+  if (threads == 0) threads = DefaultThreads();
+  if (n <= 1 || threads <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  const auto worker = [&] {
+    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      fn(i);
+    }
+  };
+  const unsigned helpers =
+      static_cast<unsigned>(std::min<size_t>(threads, n)) - 1;
+  std::vector<std::thread> pool;
+  pool.reserve(helpers);
+  for (unsigned t = 0; t < helpers; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread pulls its share
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace utcq::common

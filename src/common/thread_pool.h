@@ -1,0 +1,31 @@
+#ifndef UTCQ_COMMON_THREAD_POOL_H_
+#define UTCQ_COMMON_THREAD_POOL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace utcq::common {
+
+/// Number of worker threads to use when the caller passes 0 ("pick for me"):
+/// std::thread::hardware_concurrency(), or 1 when the runtime cannot tell.
+unsigned DefaultThreads();
+
+/// Runs fn(i) for every i in [0, n) across up to `threads` worker threads
+/// (the calling thread is one of them). Work is handed out through a shared
+/// atomic counter, so uneven task costs balance automatically — important
+/// for shards of unequal size. Returns when every index has completed.
+///
+/// Workers are spawned per call and joined before returning — there is no
+/// persistent pool, so each call pays thread start-up. Right for coarse
+/// tasks (shard compression, per-shard query fan-out); wrong for
+/// micro-parallelism inside a hot loop.
+///
+/// With threads <= 1 or n <= 1 everything runs inline on the caller.
+/// `fn` is invoked concurrently and must confine its writes to
+/// per-index state; it must not throw.
+void ParallelFor(size_t n, unsigned threads,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace utcq::common
+
+#endif  // UTCQ_COMMON_THREAD_POOL_H_

@@ -29,10 +29,8 @@ NetworkPosition PositionInBracket(const network::RoadNetwork& net,
   return traj::PositionAtPathOffset(net, inst, d0 + (d1 - d0) * f);
 }
 
-enum class SubpathRelation { kInside, kDisjoint, kPartial };
+}  // namespace
 
-/// Lemma 2 relation of the subpath travelled between locations i and i+1
-/// against RE, using the full bracketing edges as a conservative superset.
 SubpathRelation ClassifySubpath(const network::RoadNetwork& net,
                                 const TrajectoryInstance& inst, size_t i,
                                 const Rect& re) {
@@ -40,6 +38,13 @@ SubpathRelation ClassifySubpath(const network::RoadNetwork& net,
   const uint32_t to = i + 1 < inst.locations.size()
                           ? inst.locations[i + 1].path_index
                           : from;
+  // Degenerate instances (empty path, a path_index past the path, or
+  // non-monotone location ordering) leave the loop below with zero
+  // iterations; all_inside would then report a subpath that touches no
+  // edge as kInside. Nothing travelled means nothing overlaps RE.
+  if (inst.path.empty() || from >= inst.path.size() || to < from) {
+    return SubpathRelation::kDisjoint;
+  }
   bool all_inside = true;
   bool any_intersect = false;
   for (uint32_t k = from; k <= to && k < inst.path.size(); ++k) {
@@ -57,8 +62,6 @@ SubpathRelation ClassifySubpath(const network::RoadNetwork& net,
   if (!any_intersect) return SubpathRelation::kDisjoint;
   return SubpathRelation::kPartial;
 }
-
-}  // namespace
 
 std::vector<std::pair<uint32_t, TrajectoryInstance>>
 UtcqQueryProcessor::DecodeQualifying(size_t j, double alpha,

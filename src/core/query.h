@@ -21,6 +21,17 @@ struct QueryStats {
   uint64_t instances_decoded = 0;
 };
 
+/// Lemma 2 classification of a travelled subpath against a query region.
+enum class SubpathRelation { kInside, kDisjoint, kPartial };
+
+/// Relation of the subpath travelled between locations i and i+1 of `inst`
+/// against `re`, using the full bracketing edges as a conservative superset.
+/// Degenerate instances (empty path, or a location pointing past the path)
+/// classify as kDisjoint: a subpath that touches no edge overlaps nothing.
+SubpathRelation ClassifySubpath(const network::RoadNetwork& net,
+                                const traj::TrajectoryInstance& inst, size_t i,
+                                const network::Rect& re);
+
 /// Probabilistic where / when / range queries over a compressed corpus,
 /// using the StIU index for candidate generation and partial decompression
 /// and Lemmas 1-4 for pruning (Sections 5.3-5.4).

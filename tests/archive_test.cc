@@ -282,6 +282,18 @@ TEST(Archive, RejectsTruncationBadMagicAndBitRot) {
   EXPECT_FALSE(reader.OpenBytes(future, &error));
   EXPECT_NE(error.find("version"), std::string::npos);
 
+  // A version-1 image still opens: v2 only appended the shard-manifest
+  // tag; the payload shapes of tags 1-7 are unchanged (§6 append-only
+  // rule), so pre-shard archives remain readable.
+  std::vector<uint8_t> v1 = good;
+  v1[8] = 1;
+  const uint32_t v1_crc = common::Crc32(v1.data(), v1.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    v1[v1.size() - 4 + i] = static_cast<uint8_t>(v1_crc >> (8 * i));
+  }
+  EXPECT_TRUE(reader.OpenBytes(v1, &error)) << error;
+  EXPECT_TRUE(reader.is_open());
+
   // The pristine image still opens after all those copies.
   EXPECT_TRUE(reader.OpenBytes(good, &error)) << error;
   EXPECT_TRUE(reader.is_open());

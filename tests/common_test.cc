@@ -195,6 +195,101 @@ TEST(ImprovedExpGolomb, RoundTripSweep) {
   for (int64_t d = -300; d <= 300; ++d) EXPECT_EQ(GetImprovedExpGolomb(r), d);
 }
 
+// ------------------------------------------------- adversarial bit streams
+//
+// Decoders face archive bytes that passed the container CRC but can still
+// hold arbitrary bit patterns (crafted or miscompressed). Structurally
+// invalid codes must latch overflow() and return a harmless value instead
+// of shifting out of range or decoding out-of-contract values.
+
+TEST(ExpGolomb, OverlongZeroRunIsRejected) {
+  // 100 zeros then a 1: a "unary prefix" no encoder produces (the shifted
+  // value would need 101 bits). Must not reach the 1 << n shift.
+  BitWriter w;
+  w.PutRun(false, 100);
+  w.PutBit(true);
+  w.PutBits(0xFFFFFFFF, 32);
+  BitReader r(w);
+  EXPECT_EQ(GetExpGolomb(r), 0u);
+  EXPECT_TRUE(r.overflow());
+}
+
+TEST(ExpGolomb, LongestValidPrefixStillDecodes) {
+  // 63 zeros is the longest prefix a valid order-0 code can have; the cap
+  // must not cut into the valid range.
+  BitWriter w;
+  w.PutRun(false, 63);
+  w.PutBits(uint64_t{1} << 63, 64);  // terminator + 63 payload bits
+  BitReader r(w);
+  EXPECT_EQ(GetExpGolomb(r), (uint64_t{1} << 63) - 1);
+  EXPECT_FALSE(r.overflow());
+}
+
+TEST(ExpGolomb, TruncatedPrefixSetsOverflow) {
+  BitWriter w;
+  w.PutRun(false, 5);  // stream ends inside the unary prefix
+  BitReader r(w);
+  EXPECT_EQ(GetExpGolomb(r), 0u);
+  EXPECT_TRUE(r.overflow());
+}
+
+TEST(ImprovedExpGolomb, OverlongOneRunIsRejected) {
+  BitWriter w;
+  w.PutRun(true, 80);
+  w.PutBit(false);
+  w.PutBits(0, 32);
+  BitReader r(w);
+  EXPECT_EQ(GetImprovedExpGolomb(r), 0);
+  EXPECT_TRUE(r.overflow());
+}
+
+TEST(ImprovedExpGolomb, TruncatedGroupSetsOverflow) {
+  BitWriter w;
+  w.PutRun(true, 3);  // stream ends inside the unary group id
+  BitReader r(w);
+  EXPECT_EQ(GetImprovedExpGolomb(r), 0);
+  EXPECT_TRUE(r.overflow());
+}
+
+TEST(Pddp, OversizedLengthFieldIsRejected) {
+  // eta = 1/512: I_max = 9, so the 4-bit length field can express 10..15,
+  // which no encoder emits. Decoding one must fail loudly, not produce a
+  // 15-bit "code".
+  const PddpCodec codec(1.0 / 512);
+  ASSERT_EQ(codec.max_code_bits(), 9);
+  ASSERT_EQ(codec.length_field_bits(), 4);
+  BitWriter w;
+  w.PutBits(15, 4);  // length field > max_bits_
+  w.PutBits(0x7FFF, 15);
+  BitReader r(w);
+  EXPECT_EQ(codec.Decode(r), 0.0);
+  EXPECT_TRUE(r.overflow());
+}
+
+TEST(Pddp, MaxLengthCodeStillDecodes) {
+  const PddpCodec codec(1.0 / 512);
+  BitWriter w;
+  w.PutBits(static_cast<uint64_t>(codec.max_code_bits()),
+            codec.length_field_bits());
+  w.PutBits((uint64_t{1} << codec.max_code_bits()) - 1,
+            codec.max_code_bits());
+  BitReader r(w);
+  const double v = codec.Decode(r);
+  EXPECT_FALSE(r.overflow());
+  EXPECT_GT(v, 0.99);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(Pddp, TruncatedPayloadSetsOverflow) {
+  const PddpCodec codec(1.0 / 512);
+  BitWriter w;
+  w.PutBits(9, 4);  // declares 9 code bits...
+  w.PutBits(0, 3);  // ...but only 3 follow
+  BitReader r(w);
+  codec.Decode(r);
+  EXPECT_TRUE(r.overflow());
+}
+
 // --------------------------------------------------------------------- pddp
 
 class PddpErrorBound : public ::testing::TestWithParam<double> {};

@@ -26,6 +26,41 @@ UtcqParams PaperParams() {
   return p;
 }
 
+TEST(ClassifySubpath, DegenerateInstancesAreDisjoint) {
+  // Regression: with an empty edge loop, all_inside used to survive as true
+  // and a subpath touching no edge classified kInside — over-counting
+  // overlap probability in Range. Degenerate instances only reach this code
+  // via crafted archives, which must not inflate query results.
+  const auto ex = test::MakePaperExample();
+  const auto bbox = ex.net.bounding_box();
+  const network::Rect everywhere{bbox.min_x, bbox.min_y, bbox.max_x,
+                                 bbox.max_y};
+
+  traj::TrajectoryInstance no_path;
+  no_path.locations.push_back({0, 0.0});
+  EXPECT_EQ(ClassifySubpath(ex.net, no_path, 0, everywhere),
+            SubpathRelation::kDisjoint);
+
+  traj::TrajectoryInstance past_path;
+  past_path.path = {ex.corridor[0]};
+  past_path.locations.push_back({5, 0.0});  // path_index beyond the path
+  EXPECT_EQ(ClassifySubpath(ex.net, past_path, 0, everywhere),
+            SubpathRelation::kDisjoint);
+
+  traj::TrajectoryInstance backwards;  // non-monotone location ordering
+  backwards.path = ex.corridor;
+  backwards.locations.push_back({3, 0.0});
+  backwards.locations.push_back({1, 0.0});
+  EXPECT_EQ(ClassifySubpath(ex.net, backwards, 0, everywhere),
+            SubpathRelation::kDisjoint);
+
+  // Sanity: a real subpath inside the all-covering rect still classifies
+  // kInside.
+  const auto& inst = ex.tu.instances[0];
+  EXPECT_EQ(ClassifySubpath(ex.net, inst, 0, everywhere),
+            SubpathRelation::kInside);
+}
+
 TEST(UtcqQuery, PaperExample3WhereQuery) {
   const auto ex = test::MakePaperExample();
   const traj::UncertainCorpus corpus{ex.tu};
