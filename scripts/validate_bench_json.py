@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validates the BENCH_*.json baselines the benches emit.
+
+CI runs this after the bench-smoke job: a baseline that parses but carries
+NaN/inf (a zero-division that slipped through a guard), a missing key, or
+an empty run list would poison every later perf comparison silently.
+
+Usage: validate_bench_json.py FILE [FILE...]
+"""
+
+import json
+import math
+import sys
+
+REQUIRED = {
+    "shard_scaling": {
+        "keys": ["bench", "trajectories", "threads_available",
+                 "query_equivalence_checked", "query_equivalence_mismatches",
+                 "runs"],
+        "list_keys": {"runs": ["shards", "threads", "seconds",
+                               "speedup_vs_1shard", "total_bits"]},
+    },
+    "query_serving": {
+        "keys": ["bench", "trajectories", "threads_available",
+                 "threads_effective_batch", "equivalence_mismatches",
+                 "cold_qps", "warm_qps", "warm_over_cold", "warm_hit_rate",
+                 "p50_latency_us", "p99_latency_us", "batch_runs",
+                 "budget_runs"],
+        "list_keys": {
+            "batch_runs": ["batch_size", "seconds", "qps", "hit_rate"],
+            "budget_runs": ["budget_bytes", "qps", "hit_rate",
+                            "resident_bytes"],
+        },
+    },
+}
+
+
+def check_numbers(path, node, errors):
+    """Every numeric leaf must be finite — NaN/inf means a guard failed."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            check_numbers(f"{path}.{key}", value, errors)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            check_numbers(f"{path}[{i}]", value, errors)
+    elif isinstance(node, float) and not math.isfinite(node):
+        errors.append(f"{path}: non-finite number {node!r}")
+
+
+def validate(filename):
+    errors = []
+    try:
+        with open(filename) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"cannot parse: {e}"]
+
+    bench = doc.get("bench")
+    spec = REQUIRED.get(bench)
+    if spec is None:
+        return [f"unknown or missing bench name: {bench!r}"]
+
+    for key in spec["keys"]:
+        if key not in doc:
+            errors.append(f"missing key: {key}")
+    for list_key, entry_keys in spec["list_keys"].items():
+        entries = doc.get(list_key)
+        if not isinstance(entries, list) or not entries:
+            errors.append(f"{list_key}: missing or empty")
+            continue
+        for i, entry in enumerate(entries):
+            for key in entry_keys:
+                if key not in entry:
+                    errors.append(f"{list_key}[{i}]: missing key {key}")
+
+    check_numbers(bench, doc, errors)
+
+    # Semantic floors: equivalence must hold and throughputs must be real
+    # measurements, not zero-division fallbacks.
+    for key in ("query_equivalence_mismatches", "equivalence_mismatches"):
+        if doc.get(key, 0) != 0:
+            errors.append(f"{key} = {doc[key]} (expected 0)")
+    if bench == "query_serving":
+        for key in ("cold_qps", "warm_qps"):
+            if not doc.get(key, 0) > 0:
+                errors.append(f"{key} = {doc.get(key)} (expected > 0)")
+    if bench == "shard_scaling":
+        for i, run in enumerate(doc.get("runs", [])):
+            if not run.get("seconds", 0) > 0:
+                errors.append(f"runs[{i}].seconds = {run.get('seconds')}"
+                              " (expected > 0)")
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failed = False
+    for filename in sys.argv[1:]:
+        errors = validate(filename)
+        if errors:
+            failed = True
+            print(f"FAIL {filename}")
+            for error in errors:
+                print(f"  {error}")
+        else:
+            print(f"OK   {filename}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

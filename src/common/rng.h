@@ -7,6 +7,16 @@
 
 namespace utcq::common {
 
+/// splitmix64 finalizer: full-avalanche mix of a 64-bit value. The one
+/// integer hash of the codebase — shard assignment and cache-shard
+/// selection both key on it, so sequential ids spread uniformly.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 /// Deterministic random source shared by the synthetic network and workload
 /// generators. All experiments seed it explicitly so every figure is exactly
 /// reproducible.

@@ -12,9 +12,21 @@ unsigned DefaultThreads() {
   return hw == 0 ? 1 : hw;
 }
 
+unsigned EffectiveThreads(size_t n, unsigned threads) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (threads == 0) threads = hw == 0 ? 1 : hw;
+  // Clamp explicit requests only when the hardware width is known: 0 means
+  // "indeterminable", and flattening an explicit 8 to 1 there would
+  // silently serialize a caller that knows its parallelism.
+  if (hw != 0) threads = std::min(threads, hw);
+  threads = static_cast<unsigned>(
+      std::min<size_t>(threads, std::max<size_t>(n, 1)));
+  return std::max(threads, 1u);
+}
+
 void ParallelFor(size_t n, unsigned threads,
                  const std::function<void(size_t)>& fn) {
-  if (threads == 0) threads = DefaultThreads();
+  threads = EffectiveThreads(n, threads);
   if (n <= 1 || threads <= 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
@@ -25,8 +37,7 @@ void ParallelFor(size_t n, unsigned threads,
       fn(i);
     }
   };
-  const unsigned helpers =
-      static_cast<unsigned>(std::min<size_t>(threads, n)) - 1;
+  const unsigned helpers = threads - 1;
   std::vector<std::thread> pool;
   pool.reserve(helpers);
   for (unsigned t = 0; t < helpers; ++t) pool.emplace_back(worker);

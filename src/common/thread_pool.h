@@ -10,10 +10,21 @@ namespace utcq::common {
 /// std::thread::hardware_concurrency(), or 1 when the runtime cannot tell.
 unsigned DefaultThreads();
 
-/// Runs fn(i) for every i in [0, n) across up to `threads` worker threads
-/// (the calling thread is one of them). Work is handed out through a shared
-/// atomic counter, so uneven task costs balance automatically — important
-/// for shards of unequal size. Returns when every index has completed.
+/// The worker count ParallelFor(n, threads, ...) actually runs with:
+/// `threads` (or DefaultThreads() when 0) clamped to the hardware thread
+/// count (when the runtime can tell it — explicit requests pass through
+/// unclamped on an indeterminable box) and to n, never below 1. Benchmarks
+/// must report this — not the requested count — or an 8-shard run on a
+/// 1-core box records "8 threads" and its flat speedup curve reads as a
+/// scaling regression.
+unsigned EffectiveThreads(size_t n, unsigned threads);
+
+/// Runs fn(i) for every i in [0, n) across EffectiveThreads(n, threads)
+/// worker threads (the calling thread is one of them) — requesting more
+/// threads than the hardware offers no longer oversubscribes. Work is
+/// handed out through a shared atomic counter, so uneven task costs balance
+/// automatically — important for shards of unequal size. Returns when every
+/// index has completed.
 ///
 /// Workers are spawned per call and joined before returning — there is no
 /// persistent pool, so each call pays thread start-up. Right for coarse

@@ -53,6 +53,23 @@ std::optional<UtcqDecoder::TimeBracket> UtcqDecoder::BracketTime(
   return std::nullopt;  // t beyond the last timestamp
 }
 
+std::optional<UtcqDecoder::TimeBracket> UtcqDecoder::BracketInTimes(
+    const std::vector<traj::Timestamp>& times, uint32_t n_points,
+    traj::Timestamp t, uint32_t t_no, traj::Timestamp t_start) {
+  if (t < t_start || n_points == 0) return std::nullopt;
+  if (t_no + 1 >= n_points) {
+    return t == t_start ? std::optional<TimeBracket>(
+                              TimeBracket{t_no, t_start, t_start})
+                        : std::nullopt;
+  }
+  // Mirror BracketTime's forward scan exactly (including its behaviour over
+  // a non-monotone sequence) so cached and live brackets never diverge.
+  for (uint32_t i = t_no; i + 1 < n_points && i + 1 < times.size(); ++i) {
+    if (t <= times[i + 1]) return TimeBracket{i, times[i], times[i + 1]};
+  }
+  return std::nullopt;
+}
+
 DecodedInstance UtcqDecoder::DecodeReference(size_t j, uint32_t ref_idx) const {
   const TrajMeta& meta = cc_.meta(j);
   const RefMeta& rm = meta.refs[ref_idx];
@@ -179,6 +196,28 @@ std::optional<traj::TrajectoryInstance> UtcqDecoder::ToInstance(
     const DecodedInstance& d) const {
   const auto full = UntrimTimeFlags(d.tflag_trimmed, d.entries.size());
   return traj::ReconstructInstance(net_, d.sv, d.entries, full, d.rds, d.p);
+}
+
+traj::DecodedTraj UtcqDecoder::DecodeTraj(size_t j) const {
+  const TrajMeta& meta = cc_.meta(j);
+  traj::DecodedTraj dt;
+  dt.times = DecodeTimes(j);
+  dt.ref_insts.resize(meta.refs.size());
+  dt.nref_insts.resize(meta.nrefs.size());
+  // References are kept in decoded (improved-TED) form for the duration of
+  // the walk: every non-reference expands against its reference's entries,
+  // not against the reconstructed instance.
+  std::vector<DecodedInstance> refs(meta.refs.size());
+  for (uint32_t r = 0; r < meta.refs.size(); ++r) {
+    refs[r] = DecodeReference(j, r);
+    dt.ref_insts[r] = ToInstance(refs[r]);
+  }
+  for (uint32_t k = 0; k < meta.nrefs.size(); ++k) {
+    const DecodedInstance d =
+        DecodeNonReference(j, k, refs[meta.nrefs[k].ref_pos]);
+    dt.nref_insts[k] = ToInstance(d);
+  }
+  return dt;
 }
 
 traj::UncertainCorpus UtcqDecoder::DecompressAll() const {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/corpus_view.h"
+#include "traj/decoded.h"
 #include "traj/interpolate.h"
 #include "traj/types.h"
 
@@ -46,6 +47,13 @@ class UtcqDecoder {
                                          traj::Timestamp t_start,
                                          uint64_t t_pos) const;
 
+  /// BracketTime over an already-expanded time sequence: same scan, same
+  /// results, no bitstream walk. `times` must be trajectory j's full
+  /// DecodeTimes output (n_points entries) for the brackets to agree.
+  static std::optional<TimeBracket> BracketInTimes(
+      const std::vector<traj::Timestamp>& times, uint32_t n_points,
+      traj::Timestamp t, uint32_t t_no, traj::Timestamp t_start);
+
   DecodedInstance DecodeReference(size_t j, uint32_t ref_idx) const;
   DecodedInstance DecodeNonReference(size_t j, uint32_t nref_idx,
                                      const DecodedInstance& ref) const;
@@ -57,6 +65,12 @@ class UtcqDecoder {
   /// Rebuilds a TrajectoryInstance (path + locations) from a decoded form.
   std::optional<traj::TrajectoryInstance> ToInstance(
       const DecodedInstance& d) const;
+
+  /// Decodes trajectory `j` in full — shared times plus every reference and
+  /// non-reference expanded to an instance — into the alpha-independent
+  /// handle the serving layer caches (slot layout documented on
+  /// traj::DecodedTraj).
+  traj::DecodedTraj DecodeTraj(size_t j) const;
 
   /// Full corpus decompression (round-trip tests, ablation benches).
   traj::UncertainCorpus DecompressAll() const;

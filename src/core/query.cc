@@ -1,6 +1,8 @@
 #include "core/query.h"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -27,6 +29,20 @@ NetworkPosition PositionInBracket(const network::RoadNetwork& net,
   const double d1 = traj::PathOffsetOfLocation(net, inst, i + 1);
   const double f = static_cast<double>(t - t0) / static_cast<double>(t1 - t0);
   return traj::PositionAtPathOffset(net, inst, d0 + (d1 - d0) * f);
+}
+
+/// A handle is only trusted when its shape matches the trajectory's meta —
+/// anything else (wrong trajectory, stale cache) decodes inline instead of
+/// indexing out of bounds.
+const traj::DecodedTraj* UsableHandle(const TrajMeta& meta,
+                                      const traj::DecodedTraj* dt) {
+  if (dt == nullptr) return nullptr;
+  if (dt->times.size() != meta.n_points ||
+      dt->ref_insts.size() != meta.refs.size() ||
+      dt->nref_insts.size() != meta.nrefs.size()) {
+    return nullptr;
+  }
+  return dt;
 }
 
 }  // namespace
@@ -65,9 +81,27 @@ SubpathRelation ClassifySubpath(const network::RoadNetwork& net,
 
 std::vector<std::pair<uint32_t, TrajectoryInstance>>
 UtcqQueryProcessor::DecodeQualifying(size_t j, double alpha,
+                                     const traj::DecodedTraj* dt,
                                      QueryStats* stats) const {
   std::vector<std::pair<uint32_t, TrajectoryInstance>> result;
   const TrajMeta& meta = cc().meta(j);
+
+  if (dt != nullptr) {
+    // Same instances in the same refs-then-nrefs order as the decode path
+    // below, served from the handle.
+    for (uint32_t r = 0; r < meta.refs.size(); ++r) {
+      if (meta.refs[r].p_quantized >= alpha && dt->ref_insts[r].has_value()) {
+        result.emplace_back(meta.refs[r].orig_index, *dt->ref_insts[r]);
+      }
+    }
+    for (uint32_t k = 0; k < meta.nrefs.size(); ++k) {
+      const NrefMeta& nm = meta.nrefs[k];
+      if (nm.p_quantized >= alpha && dt->nref_insts[k].has_value()) {
+        result.emplace_back(nm.orig_index, *dt->nref_insts[k]);
+      }
+    }
+    return result;
+  }
 
   // Which references must be materialized: their own probability passes, or
   // one of their Rrs members' does.
@@ -104,17 +138,35 @@ UtcqQueryProcessor::DecodeQualifying(size_t j, double alpha,
 
 std::vector<traj::WhereHit> UtcqQueryProcessor::Where(
     size_t traj_idx, Timestamp t, double alpha, QueryStats* stats) const {
+  return WhereImpl(traj_idx, t, alpha, nullptr, stats);
+}
+
+std::vector<traj::WhereHit> UtcqQueryProcessor::Where(
+    size_t traj_idx, Timestamp t, double alpha, const traj::DecodedTraj& dt,
+    QueryStats* stats) const {
+  return WhereImpl(traj_idx, t, alpha, &dt, stats);
+}
+
+std::vector<traj::WhereHit> UtcqQueryProcessor::WhereImpl(
+    size_t traj_idx, Timestamp t, double alpha, const traj::DecodedTraj* dt,
+    QueryStats* stats) const {
   std::vector<traj::WhereHit> hits;
   const TrajMeta& meta = cc().meta(traj_idx);
+  dt = UsableHandle(meta, dt);
   if (t < meta.t_first || t > meta.t_last) return hits;
 
-  // Partial T decompression: start at the temporal tuple for t.
+  // Partial T decompression: start at the temporal tuple for t. With a
+  // handle the expanded sequence replaces the bitstream scan.
   const auto& tuple = index_.TemporalTupleFor(traj_idx, t);
   const auto bracket =
-      decoder_.BracketTime(traj_idx, t, tuple.t_no, tuple.t_start, tuple.t_pos);
+      dt != nullptr
+          ? UtcqDecoder::BracketInTimes(dt->times, meta.n_points, t,
+                                        tuple.t_no, tuple.t_start)
+          : decoder_.BracketTime(traj_idx, t, tuple.t_no, tuple.t_start,
+                                 tuple.t_pos);
   if (!bracket.has_value()) return hits;
 
-  for (const auto& [w, inst] : DecodeQualifying(traj_idx, alpha, stats)) {
+  for (const auto& [w, inst] : DecodeQualifying(traj_idx, alpha, dt, stats)) {
     hits.push_back({w, inst.probability,
                     PositionInBracket(net_, inst, bracket->index, bracket->t0,
                                       bracket->t1, t)});
@@ -122,12 +174,38 @@ std::vector<traj::WhereHit> UtcqQueryProcessor::Where(
   return hits;
 }
 
+bool UtcqQueryProcessor::MayPassEdge(size_t traj_idx,
+                                     network::EdgeId edge) const {
+  // Mirrors WhenImpl's group construction: only reference-group tuples in
+  // the edge's regions can seed candidates, so no tuple here means the
+  // groups below would come up empty.
+  for (const network::RegionId re : index_.grid().RegionsOfEdge(edge)) {
+    for (const auto& rt : index_.RefTuplesIn(re)) {
+      if (rt.traj == traj_idx) return true;
+    }
+  }
+  return false;
+}
+
 std::vector<traj::WhenHit> UtcqQueryProcessor::When(size_t traj_idx,
                                                     network::EdgeId edge,
                                                     double rd, double alpha,
                                                     QueryStats* stats) const {
+  return WhenImpl(traj_idx, edge, rd, alpha, nullptr, stats);
+}
+
+std::vector<traj::WhenHit> UtcqQueryProcessor::When(
+    size_t traj_idx, network::EdgeId edge, double rd, double alpha,
+    const traj::DecodedTraj& dt, QueryStats* stats) const {
+  return WhenImpl(traj_idx, edge, rd, alpha, &dt, stats);
+}
+
+std::vector<traj::WhenHit> UtcqQueryProcessor::WhenImpl(
+    size_t traj_idx, network::EdgeId edge, double rd, double alpha,
+    const traj::DecodedTraj* dt, QueryStats* stats) const {
   std::vector<traj::WhenHit> hits;
   const TrajMeta& meta = cc().meta(traj_idx);
+  dt = UsableHandle(meta, dt);
 
   // Any instance passing <edge, rd> has spatial tuples in the regions the
   // edge overlaps (grid-boundary quantization makes the point's own region
@@ -164,9 +242,14 @@ std::vector<traj::WhenHit> UtcqQueryProcessor::When(size_t traj_idx,
   if (groups.empty()) return hits;  // no instance of Tu^j passes the edge
   if (stats != nullptr) stats->candidates += groups.size();
 
-  std::vector<Timestamp> times;  // decoded lazily
-  auto ensure_times = [&] {
-    if (times.empty()) times = decoder_.DecodeTimes(traj_idx);
+  std::vector<Timestamp> times_storage;  // decoded lazily when no handle
+  const std::vector<Timestamp>* times = dt != nullptr ? &dt->times : nullptr;
+  auto ensure_times = [&]() -> const std::vector<Timestamp>& {
+    if (times == nullptr) {
+      times_storage = decoder_.DecodeTimes(traj_idx);
+      times = &times_storage;
+    }
+    return *times;
   };
 
   for (const auto& tuple : groups) {
@@ -177,18 +260,26 @@ std::vector<traj::WhenHit> UtcqQueryProcessor::When(size_t traj_idx,
         rt->ref_passes && meta.refs[rt->ref_idx].p_quantized >= alpha;
     if (!need_nrefs && !need_ref_eval) continue;  // Lemma 1 full skip
 
-    const DecodedInstance ref = decoder_.DecodeReference(traj_idx, rt->ref_idx);
-    if (stats != nullptr) ++stats->instances_decoded;
+    // The reference's decoded form is only needed on the inline path (its
+    // non-references expand against it); a handle already has everything.
+    std::optional<DecodedInstance> ref;
+    if (dt == nullptr) {
+      ref = decoder_.DecodeReference(traj_idx, rt->ref_idx);
+      if (stats != nullptr) ++stats->instances_decoded;
+    }
     // Quantized relative distances can pull the sampled span slightly off
     // the exact query position; widen by the D error bound.
     const double tol =
         2.0 * cc().params().eta_d * net_.edge(edge).length + 1e-6;
     if (need_ref_eval) {
-      const auto inst = decoder_.ToInstance(ref);
-      if (inst.has_value()) {
-        ensure_times();
-        for (const Timestamp t :
-             traj::TimesAtPosition(net_, *inst, times, edge, rd, tol)) {
+      std::optional<TrajectoryInstance> inst_storage;
+      const TrajectoryInstance* inst =
+          traj::SlotOrDecode(dt, &traj::DecodedTraj::ref_insts, rt->ref_idx,
+                             inst_storage,
+                             [&] { return decoder_.ToInstance(*ref); });
+      if (inst != nullptr) {
+        for (const Timestamp t : traj::TimesAtPosition(
+                 net_, *inst, ensure_times(), edge, rd, tol)) {
           hits.push_back({meta.refs[rt->ref_idx].orig_index,
                           inst->probability, t});
         }
@@ -199,13 +290,17 @@ std::vector<traj::WhenHit> UtcqQueryProcessor::When(size_t traj_idx,
     for (const uint32_t nref_idx : nref_candidates) {
       const NrefMeta& nm = meta.nrefs[nref_idx];
       if (nm.ref_pos != rt->ref_idx || nm.p_quantized < alpha) continue;
-      const auto d = decoder_.DecodeNonReference(traj_idx, nref_idx, ref);
-      if (stats != nullptr) ++stats->instances_decoded;
-      const auto inst = decoder_.ToInstance(d);
-      if (!inst.has_value()) continue;
-      ensure_times();
-      for (const Timestamp t :
-           traj::TimesAtPosition(net_, *inst, times, edge, rd, tol)) {
+      std::optional<TrajectoryInstance> inst_storage;
+      const TrajectoryInstance* inst = traj::SlotOrDecode(
+          dt, &traj::DecodedTraj::nref_insts, nref_idx, inst_storage, [&] {
+            const auto d =
+                decoder_.DecodeNonReference(traj_idx, nref_idx, *ref);
+            if (stats != nullptr) ++stats->instances_decoded;
+            return decoder_.ToInstance(d);
+          });
+      if (inst == nullptr) continue;
+      for (const Timestamp t : traj::TimesAtPosition(
+               net_, *inst, ensure_times(), edge, rd, tol)) {
         hits.push_back({nm.orig_index, inst->probability, t});
       }
     }
@@ -216,6 +311,19 @@ std::vector<traj::WhenHit> UtcqQueryProcessor::When(size_t traj_idx,
 traj::RangeResult UtcqQueryProcessor::Range(const Rect& region, Timestamp tq,
                                             double alpha,
                                             QueryStats* stats) const {
+  return RangeImpl(region, tq, alpha, nullptr, stats);
+}
+
+traj::RangeResult UtcqQueryProcessor::Range(const Rect& region, Timestamp tq,
+                                            double alpha,
+                                            const traj::DecodedProvider& provider,
+                                            QueryStats* stats) const {
+  return RangeImpl(region, tq, alpha, &provider, stats);
+}
+
+traj::RangeResult UtcqQueryProcessor::RangeImpl(
+    const Rect& region, Timestamp tq, double alpha,
+    const traj::DecodedProvider* provider, QueryStats* stats) const {
   traj::RangeResult result;
   const auto retotal = index_.grid().RegionsInRect(region);
 
@@ -272,6 +380,15 @@ traj::RangeResult UtcqQueryProcessor::Range(const Rect& region, Timestamp tq,
         decoder_.BracketTime(j, tq, tuple.t_no, tuple.t_start, tuple.t_pos);
     if (!bracket.has_value()) continue;
 
+    // Pin the trajectory's handle only now that every index/meta-level
+    // rejection has passed: a decode-on-miss provider (the engine's cache)
+    // must never pay a full decode for a candidate the bracket was about
+    // to discard. The shared_ptr guards the member walk against concurrent
+    // eviction.
+    std::shared_ptr<const traj::DecodedTraj> pinned;
+    if (provider != nullptr && *provider) pinned = (*provider)(j);
+    const traj::DecodedTraj* dt = UsableHandle(meta, pinned.get());
+
     // Decode members, references first (reused across their Rrs).
     std::vector<std::pair<uint32_t, DecodedInstance>> ref_cache;
     auto ref_of = [&](uint32_t r) -> const DecodedInstance& {
@@ -289,18 +406,24 @@ traj::RangeResult UtcqQueryProcessor::Range(const Rect& region, Timestamp tq,
       const bool is_ref = (members[k] >> 32) & 1;
       const uint32_t idx = static_cast<uint32_t>(members[k] & 0xFFFFFFFFu);
       double p;
-      std::optional<TrajectoryInstance> inst;
+      std::optional<TrajectoryInstance> inst_storage;
+      const TrajectoryInstance* inst;
       if (is_ref) {
         p = meta.refs[idx].p_quantized;
-        inst = decoder_.ToInstance(ref_of(idx));
+        inst = traj::SlotOrDecode(
+            dt, &traj::DecodedTraj::ref_insts, idx, inst_storage,
+            [&] { return decoder_.ToInstance(ref_of(idx)); });
       } else {
         p = meta.nrefs[idx].p_quantized;
-        const auto d =
-            decoder_.DecodeNonReference(j, idx, ref_of(meta.nrefs[idx].ref_pos));
-        if (stats != nullptr) ++stats->instances_decoded;
-        inst = decoder_.ToInstance(d);
+        inst = traj::SlotOrDecode(
+            dt, &traj::DecodedTraj::nref_insts, idx, inst_storage, [&] {
+              const auto d = decoder_.DecodeNonReference(
+                  j, idx, ref_of(meta.nrefs[idx].ref_pos));
+              if (stats != nullptr) ++stats->instances_decoded;
+              return decoder_.ToInstance(d);
+            });
       }
-      if (!inst.has_value()) continue;
+      if (inst == nullptr) continue;
 
       const SubpathRelation rel =
           ClassifySubpath(net_, *inst, bracket->index, region);

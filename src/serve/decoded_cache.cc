@@ -1,0 +1,102 @@
+#include "serve/decoded_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace utcq::serve {
+
+DecodedTrajCache::DecodedTrajCache(size_t budget_bytes, uint32_t num_shards)
+    : shards_(std::max<uint32_t>(1, num_shards)) {
+  budget_per_shard_ = budget_bytes / shards_.size();
+}
+
+DecodedTrajCache::Shard& DecodedTrajCache::ShardFor(uint64_t key) const {
+  // Mixed so sequential (shard, local) keys spread across the cache shards
+  // instead of clustering on a few mutexes.
+  return shards_[common::SplitMix64(key) % shards_.size()];
+}
+
+void DecodedTrajCache::EvictToBudget(Shard& shard) {
+  while (shard.tracker.current_bytes() > budget_per_shard_ &&
+         !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.tracker.Release(victim.bytes);
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+std::shared_ptr<const traj::DecodedTraj> DecodedTrajCache::GetOrDecode(
+    uint64_t key, const DecodeFn& decode) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->value;
+    }
+    ++shard.misses;
+  }
+
+  // Decode unlocked: a multi-millisecond bitstream walk must not serialize
+  // every other reader mapped to this shard.
+  auto value =
+      std::make_shared<const traj::DecodedTraj>(decode());
+  const size_t bytes = value->ApproxBytes();
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.decoded_bytes += bytes;
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // A concurrent miss inserted first; keep the resident copy so pins
+    // converge on one allocation.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->value;
+  }
+  shard.lru.push_front(Entry{key, value, bytes});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.tracker.Add(bytes);
+  // The fresh entry sits at the front; under a tiny budget it may itself be
+  // evicted (resident set stays empty) — the returned pin keeps it alive
+  // for this caller regardless.
+  EvictToBudget(shard);
+  return value;
+}
+
+std::shared_ptr<const traj::DecodedTraj> DecodedTrajCache::Peek(
+    uint64_t key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  return it != shard.index.end() ? it->second->value : nullptr;
+}
+
+void DecodedTrajCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.tracker.Reset();
+  }
+}
+
+DecodedTrajCache::Stats DecodedTrajCache::stats() const {
+  Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+    total.decoded_bytes += shard.decoded_bytes;
+    total.resident_bytes += shard.tracker.current_bytes();
+    total.resident_entries += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace utcq::serve

@@ -1,0 +1,97 @@
+#ifndef UTCQ_SERVE_DECODED_CACHE_H_
+#define UTCQ_SERVE_DECODED_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "traj/decoded.h"
+
+namespace utcq::serve {
+
+/// Byte-budgeted, sharded LRU cache of decoded trajectories — the
+/// amortization structure of the query-serving layer (DESIGN.md §9).
+///
+/// Keys are opaque 64-bit ids (the engine packs corpus-shard/local-index
+/// pairs). The key space is partitioned across `num_shards` independent
+/// LRU lists, each behind its own mutex, so concurrent readers of distinct
+/// trajectories rarely contend; the decode itself always runs *outside*
+/// the lock, so a slow decode never serializes the shard's hits. Each
+/// cache shard accounts its resident bytes through a common::MemoryTracker
+/// and evicts least-recently-used entries past its slice of the budget.
+///
+/// Values are shared_ptr-pinned: an entry handed to a query stays alive for
+/// as long as the query holds it, even if the cache evicts it concurrently
+/// — eviction drops the cache's reference, never the caller's.
+class DecodedTrajCache {
+ public:
+  /// `budget_bytes` is the total across shards (each shard gets an equal
+  /// slice); 0 disables retention entirely (every lookup decodes).
+  explicit DecodedTrajCache(size_t budget_bytes, uint32_t num_shards = 8);
+
+  DecodedTrajCache(const DecodedTrajCache&) = delete;
+  DecodedTrajCache& operator=(const DecodedTrajCache&) = delete;
+
+  using DecodeFn = std::function<traj::DecodedTraj()>;
+
+  /// Returns the cached entry for `key`, decoding (and inserting) on miss.
+  /// When two threads miss the same key concurrently both decode, and the
+  /// first insert wins — wasted work under a thundering herd, but no lock
+  /// is ever held across a decode.
+  std::shared_ptr<const traj::DecodedTraj> GetOrDecode(uint64_t key,
+                                                       const DecodeFn& decode);
+
+  /// Lookup without decode; nullptr on miss. Does not touch hit/miss
+  /// counters (introspection, tests).
+  std::shared_ptr<const traj::DecodedTraj> Peek(uint64_t key) const;
+
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    /// Total bytes materialized by misses (decode volume, monotone).
+    uint64_t decoded_bytes = 0;
+    /// Currently resident.
+    size_t resident_bytes = 0;
+    size_t resident_entries = 0;
+  };
+  Stats stats() const;
+
+  size_t budget_bytes() const { return budget_per_shard_ * shards_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    std::shared_ptr<const traj::DecodedTraj> value;
+    size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+    common::MemoryTracker tracker;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t decoded_bytes = 0;
+  };
+
+  Shard& ShardFor(uint64_t key) const;
+  /// Evicts from the back of `shard` until it fits its budget slice.
+  /// Caller holds the shard lock.
+  void EvictToBudget(Shard& shard);
+
+  size_t budget_per_shard_ = 0;
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace utcq::serve
+
+#endif  // UTCQ_SERVE_DECODED_CACHE_H_

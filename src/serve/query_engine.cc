@@ -1,0 +1,294 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace utcq::serve {
+
+namespace {
+
+/// Cache key: corpus shard in the high half, local index in the low half.
+uint64_t CacheKey(uint32_t shard, uint32_t local) {
+  return (static_cast<uint64_t>(shard) << 32) | local;
+}
+
+}  // namespace
+
+QueryRequest QueryRequest::MakeWhere(uint32_t traj, traj::Timestamp t,
+                                     double alpha) {
+  QueryRequest req;
+  req.kind = QueryKind::kWhere;
+  req.traj = traj;
+  req.t = t;
+  req.alpha = alpha;
+  return req;
+}
+
+QueryRequest QueryRequest::MakeWhen(uint32_t traj, network::EdgeId edge,
+                                    double rd, double alpha) {
+  QueryRequest req;
+  req.kind = QueryKind::kWhen;
+  req.traj = traj;
+  req.edge = edge;
+  req.rd = rd;
+  req.alpha = alpha;
+  return req;
+}
+
+QueryRequest QueryRequest::MakeRange(const network::Rect& region,
+                                     traj::Timestamp tq, double alpha) {
+  QueryRequest req;
+  req.kind = QueryKind::kRange;
+  req.region = region;
+  req.t = tq;
+  req.alpha = alpha;
+  return req;
+}
+
+QueryEngine::QueryEngine(const core::UtcqQueryProcessor& queries,
+                         EngineOptions opts)
+    : single_(&queries),
+      opts_(opts),
+      cache_(opts.cache_budget_bytes, opts.cache_shards) {
+  latency_us_.reserve(kLatencyWindow);
+}
+
+QueryEngine::QueryEngine(const shard::ShardedCorpus& corpus,
+                         EngineOptions opts)
+    : sharded_(&corpus),
+      opts_(opts),
+      cache_(opts.cache_budget_bytes, opts.cache_shards) {
+  latency_us_.reserve(kLatencyWindow);
+}
+
+size_t QueryEngine::num_trajectories() const {
+  return sharded_ != nullptr
+             ? sharded_->num_trajectories()
+             : single_->decoder().view().num_trajectories();
+}
+
+QueryEngine::Target QueryEngine::Resolve(uint32_t global) const {
+  if (sharded_ != nullptr) {
+    const auto [s, local] = sharded_->Route(global);
+    return {&sharded_->shard_queries(s), s, local};
+  }
+  return {single_, 0, global};
+}
+
+std::shared_ptr<const traj::DecodedTraj> QueryEngine::Pin(
+    const Target& target) {
+  const core::UtcqQueryProcessor* qp = target.qp;
+  const uint32_t local = target.local;
+  return cache_.GetOrDecode(CacheKey(target.shard, local), [qp, local] {
+    return qp->decoder().DecodeTraj(local);
+  });
+}
+
+std::vector<traj::WhereHit> QueryEngine::Where(uint32_t traj_idx,
+                                               traj::Timestamp t,
+                                               double alpha) {
+  return Execute(QueryRequest::MakeWhere(traj_idx, t, alpha)).where;
+}
+
+std::vector<traj::WhenHit> QueryEngine::When(uint32_t traj_idx,
+                                             network::EdgeId edge, double rd,
+                                             double alpha) {
+  return Execute(QueryRequest::MakeWhen(traj_idx, edge, rd, alpha)).when;
+}
+
+traj::RangeResult QueryEngine::Range(const network::Rect& region,
+                                     traj::Timestamp tq, double alpha) {
+  return Execute(QueryRequest::MakeRange(region, tq, alpha)).range;
+}
+
+QueryResult QueryEngine::Execute(const QueryRequest& req) {
+  return ExecuteOne(req, opts_.num_threads);
+}
+
+QueryResult QueryEngine::ExecuteOne(const QueryRequest& req,
+                                    unsigned range_threads) {
+  const common::Stopwatch watch;
+  QueryResult result;
+  result.kind = req.kind;
+  // A server-shaped API sees untrusted trajectory ids: out-of-range point
+  // queries answer empty instead of indexing past the routing table.
+  if (req.kind != QueryKind::kRange && req.traj >= num_trajectories()) {
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    RecordLatency(watch.ElapsedMicros());
+    return result;
+  }
+  switch (req.kind) {
+    case QueryKind::kWhere: {
+      const Target target = Resolve(req.traj);
+      // The uncached path rejects an out-of-window t from meta alone;
+      // pinning first would turn that O(1) rejection into a full decode.
+      const core::TrajMeta& meta =
+          target.qp->decoder().view().meta(target.local);
+      if (req.t < meta.t_first || req.t > meta.t_last) break;
+      const auto dt = Pin(target);
+      result.where = target.qp->Where(target.local, req.t, req.alpha, *dt);
+      break;
+    }
+    case QueryKind::kWhen: {
+      const Target target = Resolve(req.traj);
+      // Same principle as kWhere: the uncached path rejects a trajectory
+      // with no StIU tuples near the edge from the index alone (Lemma 1
+      // full skip) — keep that O(index) rejection ahead of the decode.
+      // Accepted edges re-walk this tuple prefix inside When's group
+      // construction; that duplicate index scan is orders cheaper than
+      // the decode the rejection avoids.
+      if (!target.qp->MayPassEdge(target.local, req.edge)) break;
+      const auto dt = Pin(target);
+      result.when =
+          target.qp->When(target.local, req.edge, req.rd, req.alpha, *dt);
+      break;
+    }
+    case QueryKind::kRange:
+      result.range = RangeInternal(req.region, req.t, req.alpha,
+                                   range_threads);
+      break;
+  }
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  RecordLatency(watch.ElapsedMicros());
+  return result;
+}
+
+traj::RangeResult QueryEngine::RangeInternal(const network::Rect& region,
+                                             traj::Timestamp tq, double alpha,
+                                             unsigned num_threads) {
+  if (sharded_ != nullptr) {
+    return sharded_->Range(
+        region, tq, alpha, nullptr, num_threads,
+        [this](uint32_t s, uint32_t local) {
+          return Pin({&sharded_->shard_queries(s), s, local});
+        });
+  }
+  return single_->Range(region, tq, alpha,
+                        [this](uint32_t j) { return Pin({single_, 0, j}); });
+}
+
+std::vector<QueryResult> QueryEngine::ExecuteBatch(
+    const std::vector<QueryRequest>& requests) {
+  std::vector<QueryResult> results(requests.size());
+
+  // Group point queries by target trajectory so each trajectory's decode
+  // (or cache fetch) happens once per batch regardless of how requests
+  // interleave. Ranges are their own work units.
+  std::vector<std::pair<uint32_t, std::vector<uint32_t>>> groups;
+  std::unordered_map<uint32_t, size_t> group_of;
+  std::vector<uint32_t> ranges;
+  const size_t total = num_trajectories();
+  for (uint32_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].kind == QueryKind::kRange) {
+      ranges.push_back(i);
+      continue;
+    }
+    if (requests[i].traj >= total) {  // untrusted id: answer empty
+      results[i].kind = requests[i].kind;
+      continue;
+    }
+    const auto [it, inserted] =
+        group_of.try_emplace(requests[i].traj, groups.size());
+    if (inserted) groups.push_back({requests[i].traj, {}});
+    groups[it->second].second.push_back(i);
+  }
+
+  // Ranges first: ParallelFor hands out indices in order, and the ranges
+  // are the long units — starting them immediately lets the cheap groups
+  // fill the remaining worker time instead of a late Range gating the
+  // whole batch (longest-processing-time-first). A lone unit cannot
+  // saturate the workers, so only then does the nested fan-out get them.
+  const size_t units = groups.size() + ranges.size();
+  const unsigned range_threads = units <= 1 ? opts_.num_threads : 1;
+  common::ParallelFor(units, opts_.num_threads, [&](size_t u) {
+    if (u >= ranges.size()) {
+      const auto& [traj_idx, members] = groups[u - ranges.size()];
+      const Target target = Resolve(traj_idx);
+      const core::TrajMeta& meta =
+          target.qp->decoder().view().meta(target.local);
+      // Pinned by the first request that survives its cheap rejection —
+      // the decode lands in that request's latency sample, matching
+      // Execute()'s accounting, and a group of all-rejected requests
+      // never decodes at all.
+      std::shared_ptr<const traj::DecodedTraj> dt;
+      const auto pinned = [&]() -> const traj::DecodedTraj& {
+        if (dt == nullptr) dt = Pin(target);
+        return *dt;
+      };
+      for (const uint32_t i : members) {
+        const QueryRequest& req = requests[i];
+        const common::Stopwatch watch;
+        results[i].kind = req.kind;
+        if (req.kind == QueryKind::kWhere) {
+          if (req.t >= meta.t_first && req.t <= meta.t_last) {
+            results[i].where =
+                target.qp->Where(target.local, req.t, req.alpha, pinned());
+          }
+        } else if (target.qp->MayPassEdge(target.local, req.edge)) {
+          results[i].when = target.qp->When(target.local, req.edge, req.rd,
+                                            req.alpha, pinned());
+        }
+        RecordLatency(watch.ElapsedMicros());
+      }
+    } else {
+      const uint32_t i = ranges[u];
+      const QueryRequest& req = requests[i];
+      const common::Stopwatch watch;
+      results[i].kind = req.kind;
+      results[i].range =
+          RangeInternal(req.region, req.t, req.alpha, range_threads);
+      RecordLatency(watch.ElapsedMicros());
+    }
+  });
+
+  queries_.fetch_add(requests.size(), std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  return results;
+}
+
+void QueryEngine::RecordLatency(double micros) {
+  const float sample = static_cast<float>(micros);
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  if (latency_us_.size() < kLatencyWindow) {
+    latency_us_.push_back(sample);
+  } else {
+    latency_us_[latency_pos_] = sample;
+    latency_pos_ = (latency_pos_ + 1) % kLatencyWindow;
+  }
+}
+
+EngineStats QueryEngine::stats() const {
+  EngineStats out;
+  out.queries = queries_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  const DecodedTrajCache::Stats cache = cache_.stats();
+  out.cache_hits = cache.hits;
+  out.cache_misses = cache.misses;
+  out.cache_evictions = cache.evictions;
+  out.bytes_decoded = cache.decoded_bytes;
+  out.cache_resident_bytes = cache.resident_bytes;
+  out.cache_resident_entries = cache.resident_entries;
+
+  std::vector<float> window;
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    window = latency_us_;
+  }
+  if (!window.empty()) {
+    const auto pick = [&window](double q) {
+      const size_t k = static_cast<size_t>(
+          q * static_cast<double>(window.size() - 1) + 0.5);
+      std::nth_element(window.begin(), window.begin() + k, window.end());
+      return static_cast<double>(window[k]);
+    };
+    out.p50_latency_us = pick(0.50);
+    out.p99_latency_us = pick(0.99);
+  }
+  return out;
+}
+
+}  // namespace utcq::serve

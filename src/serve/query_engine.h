@@ -1,0 +1,154 @@
+#ifndef UTCQ_SERVE_QUERY_ENGINE_H_
+#define UTCQ_SERVE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/query.h"
+#include "serve/decoded_cache.h"
+#include "shard/sharded.h"
+#include "traj/query_types.h"
+
+namespace utcq::serve {
+
+/// One request of the batched serving API. `traj` addresses the global
+/// trajectory space (identical to the backing corpus / sharded set).
+enum class QueryKind : uint8_t { kWhere, kWhen, kRange };
+
+struct QueryRequest {
+  QueryKind kind = QueryKind::kWhere;
+  uint32_t traj = 0;         // where/when target
+  traj::Timestamp t = 0;     // where time / range tq
+  network::EdgeId edge = 0;  // when
+  double rd = 0.0;           // when
+  network::Rect region{};    // range
+  double alpha = 0.0;
+
+  static QueryRequest MakeWhere(uint32_t traj, traj::Timestamp t,
+                                double alpha);
+  static QueryRequest MakeWhen(uint32_t traj, network::EdgeId edge, double rd,
+                               double alpha);
+  static QueryRequest MakeRange(const network::Rect& region,
+                                traj::Timestamp tq, double alpha);
+};
+
+/// The slot matching the request's kind is filled; the others stay empty.
+struct QueryResult {
+  QueryKind kind = QueryKind::kWhere;
+  std::vector<traj::WhereHit> where;
+  std::vector<traj::WhenHit> when;
+  traj::RangeResult range;
+};
+
+struct EngineOptions {
+  /// Total decoded-trajectory cache budget. 0 keeps nothing resident
+  /// (every query decodes — the cold path, useful for measurement).
+  size_t cache_budget_bytes = 256ull << 20;
+  uint32_t cache_shards = 8;
+  /// Worker threads for ExecuteBatch grouping and Range fan-out; 0 picks
+  /// common::DefaultThreads().
+  unsigned num_threads = 0;
+};
+
+/// Point-in-time engine counters. Latency percentiles are computed over a
+/// sliding window of the most recent samples (one per served request).
+struct EngineStats {
+  uint64_t queries = 0;
+  uint64_t batches = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t bytes_decoded = 0;
+  size_t cache_resident_bytes = 0;
+  size_t cache_resident_entries = 0;
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+
+  double hit_rate() const {
+    const uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// The query-serving layer (DESIGN.md §9): sits above a single compressed
+/// corpus (CorpusView + StIU via UtcqQueryProcessor) or a sharded archive
+/// set, and amortizes the expensive step of every probabilistic query — the
+/// bitstream decode of the target trajectory — across repeated accesses
+/// through a byte-budgeted, sharded-LRU DecodedTrajCache.
+///
+/// All entry points are safe to call from many threads concurrently: the
+/// underlying processors are immutable, the cache takes per-shard locks,
+/// and engine counters are atomics. Results are pinned-handle exact: every
+/// query returns precisely what the uncached processor returns.
+class QueryEngine {
+ public:
+  /// Serves a single corpus. `queries` (and everything it borrows) must
+  /// outlive the engine.
+  explicit QueryEngine(const core::UtcqQueryProcessor& queries,
+                       EngineOptions opts = {});
+
+  /// Serves an opened sharded archive set; point queries route to the
+  /// owning shard, Range fans out with the cache shared across shards.
+  explicit QueryEngine(const shard::ShardedCorpus& corpus,
+                       EngineOptions opts = {});
+
+  size_t num_trajectories() const;
+
+  /// Single-query API, cached.
+  std::vector<traj::WhereHit> Where(uint32_t traj_idx, traj::Timestamp t,
+                                    double alpha);
+  std::vector<traj::WhenHit> When(uint32_t traj_idx, network::EdgeId edge,
+                                  double rd, double alpha);
+  traj::RangeResult Range(const network::Rect& region, traj::Timestamp tq,
+                          double alpha);
+
+  QueryResult Execute(const QueryRequest& req);
+
+  /// Batched execution: requests are grouped by target trajectory, each
+  /// needed trajectory is decoded (or fetched) once, and groups run on
+  /// ParallelFor. results[i] answers requests[i] and equals Execute
+  /// (requests[i]) exactly — batching reorders work, never results.
+  std::vector<QueryResult> ExecuteBatch(
+      const std::vector<QueryRequest>& requests);
+
+  EngineStats stats() const;
+  void ClearCache() { cache_.Clear(); }
+  const EngineOptions& options() const { return opts_; }
+
+ private:
+  struct Target {
+    const core::UtcqQueryProcessor* qp = nullptr;
+    uint32_t shard = 0;
+    uint32_t local = 0;
+  };
+
+  Target Resolve(uint32_t global) const;
+  std::shared_ptr<const traj::DecodedTraj> Pin(const Target& target);
+  QueryResult ExecuteOne(const QueryRequest& req, unsigned range_threads);
+  traj::RangeResult RangeInternal(const network::Rect& region,
+                                  traj::Timestamp tq, double alpha,
+                                  unsigned num_threads);
+  void RecordLatency(double micros);
+
+  const core::UtcqQueryProcessor* single_ = nullptr;
+  const shard::ShardedCorpus* sharded_ = nullptr;
+  EngineOptions opts_;
+  DecodedTrajCache cache_;
+
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> batches_{0};
+
+  /// Sliding window of per-request latencies (microseconds).
+  static constexpr size_t kLatencyWindow = 8192;
+  mutable std::mutex latency_mu_;
+  std::vector<float> latency_us_;
+  size_t latency_pos_ = 0;
+};
+
+}  // namespace utcq::serve
+
+#endif  // UTCQ_SERVE_QUERY_ENGINE_H_

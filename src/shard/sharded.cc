@@ -5,20 +5,12 @@
 #include <string>
 #include <utility>
 
+#include "common/rng.h"
 #include "common/thread_pool.h"
 
 namespace utcq::shard {
 
 namespace {
-
-/// splitmix64 finalizer: sequential trajectory ids must not all land in the
-/// same few shards, so the id is mixed before the modulo.
-uint64_t Mix64(uint64_t x) {
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
-}
 
 /// Splits a manifest path into (directory prefix incl. trailing '/',
 /// basename). Save records shard filenames relative to the directory and
@@ -59,7 +51,9 @@ ShardPlan MakeShardPlan(const traj::UncertainCorpus& corpus,
     uint32_t s = 0;
     switch (opts.policy) {
       case ShardPolicy::kHash:
-        s = static_cast<uint32_t>(Mix64(corpus[j].id) % n);
+        // Sequential trajectory ids must not all land in the same few
+        // shards, so the id is mixed before the modulo.
+        s = static_cast<uint32_t>(common::SplitMix64(corpus[j].id) % n);
         break;
       case ShardPolicy::kTimePartition: {
         const traj::Timestamp t0 =
@@ -266,12 +260,22 @@ std::vector<traj::WhenHit> ShardedCorpus::When(size_t traj_idx,
 traj::RangeResult ShardedCorpus::Range(const network::Rect& region,
                                        traj::Timestamp tq, double alpha,
                                        core::QueryStats* stats,
-                                       unsigned num_threads) const {
+                                       unsigned num_threads,
+                                       const ShardDecodedProvider& provider) const {
   std::vector<traj::RangeResult> partial(shards_.size());
   std::vector<core::QueryStats> shard_stats(shards_.size());
   common::ParallelFor(shards_.size(), num_threads, [&](size_t s) {
-    partial[s] = shards_[s]->queries->Range(
-        region, tq, alpha, stats != nullptr ? &shard_stats[s] : nullptr);
+    core::QueryStats* sstats = stats != nullptr ? &shard_stats[s] : nullptr;
+    if (provider) {
+      const traj::DecodedProvider local_provider =
+          [&provider, s](uint32_t local) {
+            return provider(static_cast<uint32_t>(s), local);
+          };
+      partial[s] = shards_[s]->queries->Range(region, tq, alpha,
+                                              local_provider, sstats);
+    } else {
+      partial[s] = shards_[s]->queries->Range(region, tq, alpha, sstats);
+    }
   });
 
   traj::RangeResult merged;

@@ -11,9 +11,17 @@
 #include "core/query.h"
 #include "core/stiu_index.h"
 #include "network/grid_index.h"
+#include "traj/decoded.h"
 #include "traj/types.h"
 
 namespace utcq::shard {
+
+/// Decoded-trajectory lookup addressed by (shard, local index) — the
+/// sharded counterpart of traj::DecodedProvider, supplied by the serving
+/// layer so a Range fan-out shares one cache across shards.
+using ShardDecodedProvider =
+    std::function<std::shared_ptr<const traj::DecodedTraj>(uint32_t shard,
+                                                           uint32_t local)>;
 
 /// How trajectories are assigned to shards. Values are persisted in the
 /// shard manifest (archive::ShardManifest::policy): append-only, never
@@ -144,6 +152,12 @@ class ShardedCorpus {
   /// Shard and local index owning global trajectory `j`.
   std::pair<uint32_t, uint32_t> Route(size_t j) const { return route_[j]; }
 
+  /// Shard `s`'s query processor, for callers (the serving layer) that
+  /// route point queries themselves and pass decoded handles through.
+  const core::UtcqQueryProcessor& shard_queries(uint32_t s) const {
+    return *shards_[s]->queries;
+  }
+
   std::vector<traj::WhereHit> Where(size_t traj_idx, traj::Timestamp t,
                                     double alpha,
                                     core::QueryStats* stats = nullptr) const;
@@ -153,10 +167,12 @@ class ShardedCorpus {
 
   /// Fan-out range query; trajectory ids in the result are global. With
   /// num_threads == 0 the manifest's shard count and DefaultThreads()
-  /// bound the parallelism.
+  /// bound the parallelism. A non-empty `provider` serves per-shard decoded
+  /// handles (from the engine's cache) to every shard's member walk.
   traj::RangeResult Range(const network::Rect& region, traj::Timestamp tq,
                           double alpha, core::QueryStats* stats = nullptr,
-                          unsigned num_threads = 0) const;
+                          unsigned num_threads = 0,
+                          const ShardDecodedProvider& provider = nullptr) const;
 
  private:
   struct Shard {

@@ -1,0 +1,25 @@
+#include "traj/decoded.h"
+
+namespace utcq::traj {
+
+namespace {
+
+size_t InstanceBytes(const std::optional<TrajectoryInstance>& slot) {
+  size_t bytes = sizeof(slot);
+  if (!slot.has_value()) return bytes;
+  bytes += slot->path.capacity() * sizeof(network::EdgeId);
+  bytes += slot->locations.capacity() * sizeof(MappedLocation);
+  return bytes;
+}
+
+}  // namespace
+
+size_t DecodedTraj::ApproxBytes() const {
+  size_t bytes = sizeof(DecodedTraj);
+  bytes += times.capacity() * sizeof(Timestamp);
+  for (const auto& slot : ref_insts) bytes += InstanceBytes(slot);
+  for (const auto& slot : nref_insts) bytes += InstanceBytes(slot);
+  return bytes;
+}
+
+}  // namespace utcq::traj

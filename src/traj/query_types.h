@@ -16,6 +16,8 @@ struct WhereHit {
   uint32_t instance = 0;
   double probability = 0.0;
   NetworkPosition position;
+
+  bool operator==(const WhereHit&) const = default;
 };
 
 /// One timestamp returned by a probabilistic when query (Definition 11).
@@ -23,6 +25,8 @@ struct WhenHit {
   uint32_t instance = 0;
   double probability = 0.0;
   Timestamp t = 0;
+
+  bool operator==(const WhenHit&) const = default;
 };
 
 /// Probabilistic range query result (Definition 12): ids of qualifying

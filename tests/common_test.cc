@@ -1,4 +1,6 @@
+#include <atomic>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -7,6 +9,7 @@
 #include "common/exp_golomb.h"
 #include "common/pddp.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/varint.h"
 #include "common/wah_bitmap.h"
 
@@ -406,6 +409,29 @@ TEST(Rng, WeightedRespectsZeroWeights) {
   Rng rng(9);
   const std::vector<double> weights = {0.0, 1.0, 0.0};
   for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Weighted(weights), 1u);
+}
+
+TEST(EffectiveThreads, ClampsToHardwareAndTaskCount) {
+  const unsigned hw = DefaultThreads();
+  // Requesting more threads than the hardware offers must not report (or
+  // spawn) phantom parallelism — the BENCH_shard.json "threads: 8 on a
+  // 1-core box" bug. (The clamp only applies when the hardware width is
+  // determinable; DefaultThreads() == hardware_concurrency() then.)
+  if (std::thread::hardware_concurrency() != 0) {
+    EXPECT_EQ(EffectiveThreads(8, 8 * hw), std::min(hw, 8u));
+  }
+  EXPECT_LE(EffectiveThreads(1000, 0), hw);
+  EXPECT_EQ(EffectiveThreads(1, 16), 1u);   // one task, one worker
+  EXPECT_EQ(EffectiveThreads(0, 16), 1u);   // degenerate n stays sane
+  EXPECT_GE(EffectiveThreads(4, 2), 1u);
+  EXPECT_LE(EffectiveThreads(4, 2), 2u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> counts(257);
+  for (auto& c : counts) c = 0;
+  ParallelFor(counts.size(), 8, [&](size_t i) { ++counts[i]; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
 }
 
 }  // namespace
