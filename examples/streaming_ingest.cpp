@@ -1,0 +1,157 @@
+// Streaming ingestion scenario: GPS points arrive per vehicle as a live
+// stream — no corpus exists up front. The StreamingService matches them
+// online (incremental Viterbi with bounded lag), seals finished sessions
+// into the in-memory live shard, and periodically flushes generations into
+// a crash-consistent on-disk archive set; a serve::QueryEngine over the
+// tier answers where/when/range across sealed + live the whole time. At
+// the end the process "restarts": a fresh service reopens the manifest and
+// must answer exactly what the original answered.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ingest/streaming_service.h"
+#include "network/generator.h"
+#include "serve/query_engine.h"
+#include "shard/sharded.h"
+#include "traj/generator.h"
+#include "traj/profiles.h"
+
+int main() {
+  using namespace utcq;  // NOLINT
+
+  common::Rng rng(31);
+  auto profile = traj::ChengduProfile();
+  profile.gps_noise_m = 12.0;
+  network::CityParams city = profile.city;
+  city.rows = 18;
+  city.cols = 18;
+  const network::RoadNetwork net = network::GenerateCity(rng, city);
+  const network::GridIndex grid(net, 20);
+  traj::UncertainTrajectoryGenerator gen(net, profile, 3);
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string manifest =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") + "/stream_fleet.utcq";
+  std::remove(manifest.c_str());
+
+  ingest::StreamingOptions opts;
+  opts.match.match.gps_sigma_m = 15.0;
+  opts.match.max_pending_steps = 24;  // bounded matching lag
+  opts.limits.max_points = 256;
+  opts.limits.idle_timeout_s = 300;
+  opts.params.default_interval_s = profile.default_interval_s;
+  opts.index_params = core::StiuParams{20, 1800};
+
+  ingest::StreamingService service(net, grid, manifest, opts);
+  std::string error;
+  if (!service.Open(&error)) {
+    std::fprintf(stderr, "open failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  // --- wave 1: a fleet of vehicles streams in, interleaved ---
+  constexpr size_t kVehicles = 40;
+  std::vector<traj::RawTrajectory> streams;
+  for (size_t v = 0; v < kVehicles; ++v) {
+    streams.push_back(gen.GenerateRaw().raw);
+  }
+  size_t cursor = 0;
+  bool more = true;
+  while (more) {
+    more = false;
+    for (size_t v = 0; v < streams.size(); ++v) {
+      if (cursor < streams[v].size()) {
+        service.Push(v, streams[v][cursor]);
+        more = more || cursor + 1 < streams[v].size();
+      }
+    }
+    ++cursor;
+  }
+  for (size_t v = 0; v < kVehicles / 2; ++v) service.EndSession(v);
+  // The other half go silent; the idle sweeper seals them.
+  traj::Timestamp latest = 0;
+  for (const auto& s : streams) {
+    if (!s.empty()) latest = std::max(latest, s.back().t);
+  }
+  service.AdvanceTime(latest + opts.limits.idle_timeout_s + 1);
+
+  const auto stats = service.stats();
+  std::printf(
+      "ingested %llu points: %llu matched, %llu sealed trajectories "
+      "(%llu breaks, %llu discarded), %llu dropped\n",
+      static_cast<unsigned long long>(stats.points),
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.trajectories_sealed),
+      static_cast<unsigned long long>(stats.segment_breaks),
+      static_cast<unsigned long long>(stats.segments_discarded),
+      static_cast<unsigned long long>(stats.dropped_not_finite +
+                                      stats.dropped_out_of_order +
+                                      stats.dropped_no_candidates));
+
+  // --- query the live tail before anything touched disk ---
+  serve::QueryEngine engine(service);
+  const size_t total = engine.num_trajectories();
+  if (total == 0) return 1;
+  const auto live_probe = service.LiveTrajectories();
+  const auto& probe_tu = live_probe.front();
+  const auto probe_id = static_cast<uint32_t>(probe_tu.id);
+  const auto probe_t = (probe_tu.times.front() + probe_tu.times.back()) / 2;
+  const auto live_hits = engine.Where(probe_id, probe_t, 0.2);
+  std::printf("live: trajectory %u at t=%lld -> %zu positions (of %zu live)\n",
+              probe_id, static_cast<long long>(probe_t), live_hits.size(),
+              service.num_live());
+
+  // --- flush generation 0, keep serving ---
+  if (!service.Flush(&error)) {
+    std::fprintf(stderr, "flush failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("flushed: %zu sealed on disk (%zu generations), %zu live\n",
+              service.num_sealed(), service.num_generations(),
+              service.num_live());
+  const auto sealed_hits = engine.Where(probe_id, probe_t, 0.2);
+  if (sealed_hits != live_hits) {
+    std::fprintf(stderr, "flush changed an answer!\n");
+    return 1;
+  }
+
+  // --- wave 2: more traffic lands in the live tail; queries span tiers ---
+  for (size_t v = 0; v < 10; ++v) {
+    const auto raw = gen.GenerateRaw().raw;
+    for (const auto& p : raw) service.Push(1000 + v, p);
+    service.EndSession(1000 + v);
+  }
+  std::printf("wave 2: %zu sealed + %zu live = %zu served\n",
+              service.num_sealed(), service.num_live(),
+              engine.num_trajectories());
+
+  // --- "restart": a fresh process reopens the archive set ---
+  if (!service.Flush(&error)) {
+    std::fprintf(stderr, "flush failed: %s\n", error.c_str());
+    return 1;
+  }
+  ingest::StreamingService reopened(net, grid, manifest, opts);
+  if (!reopened.Open(&error)) {
+    std::fprintf(stderr, "reopen failed: %s\n", error.c_str());
+    return 1;
+  }
+  serve::QueryEngine engine2(reopened);
+  const auto reopened_hits = engine2.Where(probe_id, probe_t, 0.2);
+  std::printf("restart: %zu trajectories reopened from %zu generations\n",
+              reopened.num_trajectories(), reopened.num_generations());
+  if (reopened_hits != live_hits) {
+    std::fprintf(stderr, "restart changed an answer!\n");
+    return 1;
+  }
+  std::printf("probe answer identical live, post-flush and after restart\n");
+
+  for (uint32_t g = 0; g < reopened.num_generations(); ++g) {
+    std::remove(shard::ShardArchivePath(manifest, g).c_str());
+  }
+  std::remove(manifest.c_str());
+  return live_hits.empty() ? 1 : 0;
+}

@@ -32,6 +32,16 @@ REQUIRED = {
                             "resident_bytes"],
         },
     },
+    "ingest": {
+        "keys": ["bench", "raw_streams", "points", "matched_trajectories",
+                 "threads_available", "equivalence_mismatches",
+                 "ingest_seconds", "points_per_sec", "seal_p50_ms",
+                 "seal_p99_ms", "flush_seconds", "sealed_over_live",
+                 "query_runs"],
+        "list_keys": {
+            "query_runs": ["mode", "seconds", "qps", "queries"],
+        },
+    },
 }
 
 
@@ -88,6 +98,16 @@ def validate(filename):
         for i, run in enumerate(doc.get("runs", [])):
             if not run.get("seconds", 0) > 0:
                 errors.append(f"runs[{i}].seconds = {run.get('seconds')}"
+                              " (expected > 0)")
+    if bench == "ingest":
+        if not doc.get("points_per_sec", 0) > 0:
+            errors.append(f"points_per_sec = {doc.get('points_per_sec')}"
+                          " (expected > 0)")
+        if not doc.get("seal_p99_ms", 0) >= doc.get("seal_p50_ms", 0):
+            errors.append("seal_p99_ms < seal_p50_ms")
+        for i, run in enumerate(doc.get("query_runs", [])):
+            if not run.get("qps", 0) > 0:
+                errors.append(f"query_runs[{i}].qps = {run.get('qps')}"
                               " (expected > 0)")
     return errors
 

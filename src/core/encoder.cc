@@ -74,20 +74,36 @@ void EncodeTflagCom(BitWriter& w, const TflagCom& com,
 
 }  // namespace
 
-CompressedCorpus UtcqCompressor::Compress(
-    const traj::UncertainCorpus& corpus,
-    std::vector<std::vector<NrefFactorLayout>>* layouts) const {
+CompressedCorpus UtcqCompressor::Begin() const {
   CompressedCorpus out;
   out.params_ = params_;
   out.entry_bits_ = BitsFor(std::max<uint32_t>(net_.max_out_degree(), 1));
   out.d_codec_ = common::PddpCodec(params_.eta_d);
   out.p_codec_ = common::PddpCodec(params_.eta_p);
-  if (layouts != nullptr) layouts->clear();
+  return out;
+}
 
+CompressedCorpus UtcqCompressor::Compress(
+    const traj::UncertainCorpus& corpus,
+    std::vector<std::vector<NrefFactorLayout>>* layouts) const {
+  CompressedCorpus out = Begin();
+  if (layouts != nullptr) layouts->clear();
+  for (const traj::UncertainTrajectory& tu : corpus) {
+    std::vector<NrefFactorLayout> traj_layouts;
+    AppendTrajectory(tu, &out, layouts != nullptr ? &traj_layouts : nullptr);
+    if (layouts != nullptr) layouts->push_back(std::move(traj_layouts));
+  }
+  return out;
+}
+
+void UtcqCompressor::AppendTrajectory(
+    const traj::UncertainTrajectory& tu, CompressedCorpus* corpus_out,
+    std::vector<NrefFactorLayout>* layout) const {
+  CompressedCorpus& out = *corpus_out;
   common::MemoryTracker mem;
   auto quantize_d = [&](double v) { return out.d_codec_.Quantize(v); };
 
-  for (const traj::UncertainTrajectory& tu : corpus) {
+  {
     const size_t n_inst = tu.instances.size();
 
     // --- improved TED representations (processed one trajectory at a time,
@@ -226,7 +242,6 @@ CompressedCorpus UtcqCompressor::Compress(
     }
 
     // --- non-references ---
-    std::vector<NrefFactorLayout> traj_layouts;
     for (uint32_t w = 0; w < n_inst; ++w) {
       if (plan.ref_of[w] < 0) continue;
       const uint32_t ref_pos = static_cast<uint32_t>(plan.ref_of[w]);
@@ -239,13 +254,13 @@ CompressedCorpus UtcqCompressor::Compress(
       nm.offset = out.nref_stream_.size_bits();
       nm.e_len = static_cast<uint32_t>(repr.entries.size());
 
-      NrefFactorLayout layout;
+      NrefFactorLayout nref_layout;
       size_t before = out.nref_stream_.size_bits();
       common::PutVarint(out.nref_stream_, repr.entries.size());
       const auto e_factors = FactorizeE(ref.entries, repr.entries);
       EncodeEFactors(out.nref_stream_, e_factors,
                      static_cast<uint32_t>(ref.entries.size()), nm.e_len,
-                     out.entry_bits_, &layout);
+                     out.entry_bits_, &nref_layout);
       out.compressed_bits_.e_bits += out.nref_stream_.size_bits() - before;
 
       before = out.nref_stream_.size_bits();
@@ -273,15 +288,13 @@ CompressedCorpus UtcqCompressor::Compress(
 
       meta.roles[w] = {false, static_cast<uint32_t>(meta.nrefs.size())};
       meta.nrefs.push_back(nm);
-      traj_layouts.push_back(std::move(layout));
+      if (layout != nullptr) layout->push_back(std::move(nref_layout));
     }
 
-    if (layouts != nullptr) layouts->push_back(std::move(traj_layouts));
     out.metas_.push_back(std::move(meta));
   }
 
-  out.peak_memory_ = mem.peak_bytes();
-  return out;
+  out.peak_memory_ = std::max(out.peak_memory_, mem.peak_bytes());
 }
 
 }  // namespace utcq::core

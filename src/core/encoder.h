@@ -98,6 +98,18 @@ class UtcqCompressor {
       const traj::UncertainCorpus& corpus,
       std::vector<std::vector<NrefFactorLayout>>* layouts = nullptr) const;
 
+  /// Incremental entry points for streaming ingestion. Begin initializes an
+  /// empty corpus (params, entry width, codecs); each AppendTrajectory
+  /// encodes one trajectory onto its streams. Compress(corpus) is exactly
+  /// Begin + one AppendTrajectory per trajectory — nothing in the encoding
+  /// of a trajectory depends on its neighbours — so an append-built corpus
+  /// is bit-identical to the batch build of the same trajectory sequence
+  /// (the invariant the live-shard flush path rests on).
+  CompressedCorpus Begin() const;
+  void AppendTrajectory(const traj::UncertainTrajectory& tu,
+                        CompressedCorpus* out,
+                        std::vector<NrefFactorLayout>* layout = nullptr) const;
+
  private:
   const network::RoadNetwork& net_;
   UtcqParams params_;

@@ -1,0 +1,95 @@
+#include "ingest/flusher.h"
+
+#include <filesystem>
+#include <numeric>
+#include <utility>
+
+namespace utcq::ingest {
+
+namespace {
+
+/// Basename of a path — flush generations are recorded in the manifest
+/// relative to its own directory, exactly like ShardedBuild::Save.
+std::string BaseName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+Flusher::Flusher(const network::RoadNetwork& net, std::string manifest_path)
+    : net_(net), manifest_path_(std::move(manifest_path)) {
+  manifest_.policy = static_cast<uint8_t>(shard::ShardPolicy::kAppendLog);
+}
+
+bool Flusher::Open(std::string* error,
+                   std::shared_ptr<const shard::ShardedCorpus>* sealed) {
+  std::error_code ec;
+  if (!std::filesystem::exists(manifest_path_, ec)) {
+    manifest_ = archive::ShardManifest{};
+    manifest_.policy = static_cast<uint8_t>(shard::ShardPolicy::kAppendLog);
+    sealed->reset();
+    return true;
+  }
+  auto corpus = std::make_shared<shard::ShardedCorpus>();
+  if (!corpus->Open(net_, manifest_path_, error)) return false;
+  manifest_ = corpus->manifest();
+  *sealed = std::move(corpus);
+  return true;
+}
+
+bool Flusher::Flush(const LiveSnapshot& live, std::string* error,
+                    std::shared_ptr<const shard::ShardedCorpus>* new_sealed) {
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (live.count() == 0) return fail("refusing to flush an empty live shard");
+  const size_t base = manifest_.num_trajectories();
+  if (live.base() != base) {
+    return fail("live snapshot base disagrees with the sealed set");
+  }
+
+  const uint32_t gen = static_cast<uint32_t>(manifest_.shards.size());
+  // Step 1: the generation's archive, atomically, *before* any publication.
+  // A leftover file from a crashed previous attempt is simply overwritten.
+  const archive::ArchiveWriter writer(live.corpus(), &live.index());
+  if (!writer.Save(shard::ShardArchivePath(manifest_path_, gen), error)) {
+    return false;
+  }
+
+  // Injectable crash between archive write and manifest swap.
+  if (hook_ && !hook_()) {
+    return fail(
+        "flush aborted by pre-publish hook (simulated crash between archive "
+        "write and manifest swap)");
+  }
+
+  // Step 2: the manifest swap is the publication point.
+  archive::ShardManifest next = manifest_;
+  next.policy = static_cast<uint8_t>(shard::ShardPolicy::kAppendLog);
+  next.time_partition_s = 0;
+  archive::ShardManifest::Shard entry;
+  entry.file = shard::ShardArchivePath(BaseName(manifest_path_), gen);
+  entry.members.resize(live.count());
+  std::iota(entry.members.begin(), entry.members.end(),
+            static_cast<uint32_t>(base));
+  next.shards.push_back(std::move(entry));
+  if (!archive::SaveBytesAtomic(archive::EncodeShardManifest(next),
+                                manifest_path_, error)) {
+    return false;
+  }
+
+  // The swap published the generation: record it *before* the reopen, so
+  // even a (freak) reopen failure can never lead to a later flush
+  // overwriting an already-published archive file.
+  manifest_ = std::move(next);
+
+  // Step 3: reopen the published set for the caller to swap in.
+  auto corpus = std::make_shared<shard::ShardedCorpus>();
+  if (!corpus->Open(net_, manifest_path_, error)) return false;
+  *new_sealed = std::move(corpus);
+  return true;
+}
+
+}  // namespace utcq::ingest

@@ -1,0 +1,70 @@
+#ifndef UTCQ_INGEST_FLUSHER_H_
+#define UTCQ_INGEST_FLUSHER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "archive/archive.h"
+#include "ingest/live_shard.h"
+#include "network/road_network.h"
+#include "shard/sharded.h"
+
+namespace utcq::ingest {
+
+/// Durability mechanism of the streaming tier (DESIGN.md §10): freezes a
+/// live-shard snapshot into the next generation of an append-log archive
+/// set — one §6 container per flush next to a §8 manifest whose shard s is
+/// flush generation s, members the contiguous global ids it sealed.
+///
+/// Crash consistency is the write order: the generation's archive is
+/// written (atomically) *first*, the manifest swap (atomic rename) is the
+/// publication point *last*. A crash anywhere in between leaves the old
+/// manifest naming only fully-written archives — a reopen sees exactly the
+/// pre-flush set, never a torn one; the orphaned archive file is simply
+/// overwritten by the retry. The pre-publish hook injects that crash in
+/// tests.
+///
+/// Not internally synchronized: the owning service serializes flushes and
+/// keeps the returned corpus for publication under its own tier lock.
+class Flusher {
+ public:
+  /// `net` must be the network every generation was compressed against and
+  /// must outlive the flusher and every corpus it opens.
+  Flusher(const network::RoadNetwork& net, std::string manifest_path);
+
+  /// Opens the existing archive set. A missing manifest is a fresh, empty
+  /// set (*sealed stays null); a present-but-invalid set fails.
+  bool Open(std::string* error,
+            std::shared_ptr<const shard::ShardedCorpus>* sealed);
+
+  /// Writes `live` as the next generation and swaps the manifest. On
+  /// success *new_sealed holds the reopened post-flush set (the caller
+  /// publishes it together with LiveShard::DropFlushed). On failure —
+  /// including a hook-injected crash — the on-disk set and this object
+  /// still describe the pre-flush state, and nothing was lost from the
+  /// live shard.
+  bool Flush(const LiveSnapshot& live, std::string* error,
+             std::shared_ptr<const shard::ShardedCorpus>* new_sealed);
+
+  /// Crash-injection point for tests: runs between the archive write and
+  /// the manifest swap; returning false aborts the flush right there.
+  void set_pre_publish_hook(std::function<bool()> hook) {
+    hook_ = std::move(hook);
+  }
+
+  const std::string& manifest_path() const { return manifest_path_; }
+  size_t num_generations() const { return manifest_.shards.size(); }
+  /// Trajectories in the published sealed set.
+  size_t num_sealed() const { return manifest_.num_trajectories(); }
+
+ private:
+  const network::RoadNetwork& net_;
+  std::string manifest_path_;
+  archive::ShardManifest manifest_;  // the published set
+  std::function<bool()> hook_;
+};
+
+}  // namespace utcq::ingest
+
+#endif  // UTCQ_INGEST_FLUSHER_H_

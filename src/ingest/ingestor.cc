@@ -1,0 +1,180 @@
+#include "ingest/ingestor.h"
+
+#include <utility>
+#include <vector>
+
+namespace utcq::ingest {
+
+using matching::AppendStatus;
+
+StreamIngestor::StreamIngestor(const network::RoadNetwork& net,
+                               const network::GridIndex& grid,
+                               matching::OnlineMatchParams match,
+                               SessionLimits limits, SealSink sink)
+    : net_(net),
+      grid_(grid),
+      match_(match),
+      limits_(limits),
+      sink_(std::move(sink)) {}
+
+std::shared_ptr<StreamIngestor::Entry> StreamIngestor::GetOrCreate(
+    uint64_t vehicle) {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  auto it = sessions_.find(vehicle);
+  if (it != sessions_.end()) return it->second;
+  auto entry = std::make_shared<Entry>(net_, grid_, match_, vehicle);
+  sessions_.emplace(vehicle, entry);
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  return entry;
+}
+
+size_t StreamIngestor::EmitClosed(std::optional<traj::UncertainTrajectory>&& tu,
+                                  SealReason reason, bool had_segment) {
+  if (tu.has_value()) {
+    trajectories_sealed_.fetch_add(1, std::memory_order_relaxed);
+    sink_(std::move(*tu), reason);
+    return 1;
+  }
+  if (had_segment) {
+    segments_discarded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+AppendStatus StreamIngestor::Push(uint64_t vehicle, const traj::RawPoint& p) {
+  for (;;) {
+    const std::shared_ptr<Entry> entry = GetOrCreate(vehicle);
+    std::optional<traj::UncertainTrajectory> broke;
+    std::optional<traj::UncertainTrajectory> full;
+    bool full_had_segment = false;
+    AppendStatus status;
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      if (entry->closed) continue;  // raced a seal-and-remove; fresh session
+      auto result = entry->session.Push(p);
+      status = result.status;
+      broke = std::move(result.completed);
+      if (entry->session.num_points() >= limits_.max_points) {
+        full_had_segment = entry->session.num_points() > 0;
+        full = entry->session.Seal();
+      }
+    }
+    points_.fetch_add(1, std::memory_order_relaxed);
+    switch (status) {
+      case AppendStatus::kAccepted:
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case AppendStatus::kDroppedNotFinite:
+        dropped_not_finite_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case AppendStatus::kDroppedOutOfOrder:
+        dropped_out_of_order_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case AppendStatus::kDroppedNoCandidates:
+        dropped_no_candidates_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case AppendStatus::kSegmentBreak:
+        segment_breaks_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    // Emission outside the session lock: the sink locks the live shard.
+    if (broke.has_value() || status == AppendStatus::kSegmentBreak) {
+      EmitClosed(std::move(broke), SealReason::kStreamBreak,
+                 /*had_segment=*/true);
+    }
+    if (full.has_value() || full_had_segment) {
+      EmitClosed(std::move(full), SealReason::kMaxLength, full_had_segment);
+    }
+    return status;
+  }
+}
+
+size_t StreamIngestor::CloseEntry(uint64_t vehicle,
+                                  const std::shared_ptr<Entry>& entry,
+                                  SealReason reason) {
+  std::optional<traj::UncertainTrajectory> tu;
+  bool had_segment = false;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (entry->closed) return 0;
+    had_segment = entry->session.num_points() > 0;
+    tu = entry->session.Seal();
+    entry->closed = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    auto it = sessions_.find(vehicle);
+    if (it != sessions_.end() && it->second == entry) sessions_.erase(it);
+  }
+  sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  return EmitClosed(std::move(tu), reason, had_segment);
+}
+
+size_t StreamIngestor::EndSession(uint64_t vehicle) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    auto it = sessions_.find(vehicle);
+    if (it == sessions_.end()) return 0;
+    entry = it->second;
+  }
+  return CloseEntry(vehicle, entry, SealReason::kExplicitEnd);
+}
+
+size_t StreamIngestor::EndAllSessions() {
+  std::vector<std::pair<uint64_t, std::shared_ptr<Entry>>> all;
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    all.assign(sessions_.begin(), sessions_.end());
+  }
+  size_t sealed = 0;
+  for (auto& [vehicle, entry] : all) {
+    sealed += CloseEntry(vehicle, entry, SealReason::kExplicitEnd);
+  }
+  return sealed;
+}
+
+size_t StreamIngestor::AdvanceTime(traj::Timestamp now) {
+  std::vector<std::pair<uint64_t, std::shared_ptr<Entry>>> all;
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    all.assign(sessions_.begin(), sessions_.end());
+  }
+  size_t sealed = 0;
+  for (auto& [vehicle, entry] : all) {
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      idle = !entry->session.has_activity() ||
+             now - entry->session.last_activity() > limits_.idle_timeout_s;
+    }
+    if (idle) sealed += CloseEntry(vehicle, entry, SealReason::kIdleTimeout);
+  }
+  return sealed;
+}
+
+size_t StreamIngestor::open_sessions() const {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  return sessions_.size();
+}
+
+IngestStats StreamIngestor::stats() const {
+  IngestStats out;
+  out.points = points_.load(std::memory_order_relaxed);
+  out.accepted = accepted_.load(std::memory_order_relaxed);
+  out.dropped_not_finite = dropped_not_finite_.load(std::memory_order_relaxed);
+  out.dropped_out_of_order =
+      dropped_out_of_order_.load(std::memory_order_relaxed);
+  out.dropped_no_candidates =
+      dropped_no_candidates_.load(std::memory_order_relaxed);
+  out.segment_breaks = segment_breaks_.load(std::memory_order_relaxed);
+  out.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  out.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
+  out.trajectories_sealed =
+      trajectories_sealed_.load(std::memory_order_relaxed);
+  out.segments_discarded =
+      segments_discarded_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace utcq::ingest

@@ -1,0 +1,118 @@
+#ifndef UTCQ_INGEST_INGESTOR_H_
+#define UTCQ_INGEST_INGESTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "ingest/session.h"
+#include "matching/online_viterbi.h"
+#include "network/grid_index.h"
+#include "network/road_network.h"
+#include "traj/types.h"
+
+namespace utcq::ingest {
+
+/// Point-in-time ingestion counters.
+struct IngestStats {
+  uint64_t points = 0;
+  uint64_t accepted = 0;
+  uint64_t dropped_not_finite = 0;
+  uint64_t dropped_out_of_order = 0;
+  uint64_t dropped_no_candidates = 0;
+  uint64_t segment_breaks = 0;
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_closed = 0;
+  /// Segments emitted to the sink as trajectories.
+  uint64_t trajectories_sealed = 0;
+  /// Segments closed with fewer than two matched points (nothing to emit).
+  uint64_t segments_discarded = 0;
+};
+
+/// The session manager of the streaming tier: routes per-vehicle GPS
+/// points into IngestSessions, applies the seal policy (explicit end /
+/// idle timeout / max length / stream break), and hands every sealed
+/// trajectory to the sink — in the service, the live shard's Append.
+///
+/// Concurrency: the session map is guarded by one mutex, each session by
+/// its own, and every counter is atomic, so producers for different
+/// vehicles ingest in parallel and only same-vehicle pushes serialize.
+/// A session being sealed-and-removed concurrently with a push for the
+/// same vehicle is detected via a closed flag and the push retries into a
+/// fresh session — points are never silently dropped into a dead session.
+class StreamIngestor {
+ public:
+  using SealSink =
+      std::function<void(traj::UncertainTrajectory&&, SealReason)>;
+
+  /// `net`, `grid` and `sink` must outlive the ingestor. The sink is
+  /// invoked without any ingestor lock held (it takes its own).
+  StreamIngestor(const network::RoadNetwork& net,
+                 const network::GridIndex& grid,
+                 matching::OnlineMatchParams match, SessionLimits limits,
+                 SealSink sink);
+
+  /// Feeds one point of `vehicle`'s stream, opening a session on first
+  /// contact. May emit up to two sealed trajectories: one when a stream
+  /// break closes the previous segment, one when the new point fills the
+  /// segment to max_points.
+  matching::AppendStatus Push(uint64_t vehicle, const traj::RawPoint& p);
+
+  /// Seals and closes `vehicle`'s session. Returns trajectories emitted
+  /// (0 or 1).
+  size_t EndSession(uint64_t vehicle);
+  size_t EndAllSessions();
+
+  /// Advances the stream clock: sessions silent since before
+  /// `now - idle_timeout_s` are sealed and closed. Returns trajectories
+  /// emitted.
+  size_t AdvanceTime(traj::Timestamp now);
+
+  size_t open_sessions() const;
+  IngestStats stats() const;
+
+ private:
+  struct Entry {
+    Entry(const network::RoadNetwork& net, const network::GridIndex& grid,
+          const matching::OnlineMatchParams& params, uint64_t vehicle)
+        : session(net, grid, params, vehicle) {}
+    std::mutex mu;
+    IngestSession session;
+    bool closed = false;  // sealed-and-removed; pushes must retry
+  };
+
+  std::shared_ptr<Entry> GetOrCreate(uint64_t vehicle);
+  /// Emits a closed segment (counting discards); `had_segment` is whether
+  /// any matched point was buffered when the close fired.
+  size_t EmitClosed(std::optional<traj::UncertainTrajectory>&& tu,
+                    SealReason reason, bool had_segment);
+  size_t CloseEntry(uint64_t vehicle, const std::shared_ptr<Entry>& entry,
+                    SealReason reason);
+
+  const network::RoadNetwork& net_;
+  const network::GridIndex& grid_;
+  matching::OnlineMatchParams match_;
+  SessionLimits limits_;
+  SealSink sink_;
+
+  mutable std::mutex map_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Entry>> sessions_;
+
+  std::atomic<uint64_t> points_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> dropped_not_finite_{0};
+  std::atomic<uint64_t> dropped_out_of_order_{0};
+  std::atomic<uint64_t> dropped_no_candidates_{0};
+  std::atomic<uint64_t> segment_breaks_{0};
+  std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> sessions_closed_{0};
+  std::atomic<uint64_t> trajectories_sealed_{0};
+  std::atomic<uint64_t> segments_discarded_{0};
+};
+
+}  // namespace utcq::ingest
+
+#endif  // UTCQ_INGEST_INGESTOR_H_

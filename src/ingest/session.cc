@@ -1,0 +1,19 @@
+#include "ingest/session.h"
+
+namespace utcq::ingest {
+
+const char* SealReasonName(SealReason reason) {
+  switch (reason) {
+    case SealReason::kExplicitEnd:
+      return "explicit-end";
+    case SealReason::kIdleTimeout:
+      return "idle-timeout";
+    case SealReason::kMaxLength:
+      return "max-length";
+    case SealReason::kStreamBreak:
+      return "stream-break";
+  }
+  return "unknown";
+}
+
+}  // namespace utcq::ingest

@@ -1,0 +1,77 @@
+#ifndef UTCQ_INGEST_SESSION_H_
+#define UTCQ_INGEST_SESSION_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "matching/online_viterbi.h"
+#include "network/grid_index.h"
+#include "network/road_network.h"
+#include "traj/types.h"
+
+namespace utcq::ingest {
+
+/// Why a session's open segment was sealed into a trajectory (DESIGN.md
+/// §10 state machine).
+enum class SealReason : uint8_t {
+  kExplicitEnd = 0,  // the producer ended the session
+  kIdleTimeout,      // no activity for SessionLimits::idle_timeout_s
+  kMaxLength,        // the segment reached SessionLimits::max_points
+  kStreamBreak,      // a long gap or HMM break inside the stream
+};
+
+const char* SealReasonName(SealReason reason);
+
+/// Seal-policy knobs applied by the ingestor to every session.
+struct SessionLimits {
+  /// Matched points after which a segment is sealed even though the
+  /// session stays open (bounds the size of any one trajectory).
+  size_t max_points = 512;
+  /// Stream-clock seconds of silence after which AdvanceTime seals and
+  /// closes a session.
+  int64_t idle_timeout_s = 300;
+};
+
+/// One vehicle's open ingestion state: the bounded-lag online matcher
+/// buffering the matched prefix, plus the bookkeeping the seal policy
+/// reads. Not thread-safe — the ingestor serializes access per session.
+class IngestSession {
+ public:
+  IngestSession(const network::RoadNetwork& net,
+                const network::GridIndex& grid,
+                const matching::OnlineMatchParams& params, uint64_t vehicle)
+      : vehicle_(vehicle), matcher_(net, grid, params) {}
+
+  uint64_t vehicle() const { return vehicle_; }
+
+  /// Stream time of the last point pushed (whatever its fate); the idle
+  /// timer's anchor. Meaningless until has_activity().
+  traj::Timestamp last_activity() const { return last_activity_; }
+  bool has_activity() const { return has_activity_; }
+
+  /// Matched points buffered in the open segment.
+  size_t num_points() const { return matcher_.num_points(); }
+  size_t pending_steps() const { return matcher_.pending_steps(); }
+
+  /// Feeds one point through the online matcher. `completed` in the result
+  /// carries any segment a stream break just closed.
+  matching::OnlineViterbi::AppendResult Push(const traj::RawPoint& p) {
+    if (!has_activity_ || p.t > last_activity_) last_activity_ = p.t;
+    has_activity_ = true;
+    return matcher_.Append(p);
+  }
+
+  /// Seals the open segment (nullopt when fewer than two points matched);
+  /// the session can keep ingesting afterwards (max-length seals do).
+  std::optional<traj::UncertainTrajectory> Seal() { return matcher_.Finish(); }
+
+ private:
+  uint64_t vehicle_;
+  matching::OnlineViterbi matcher_;
+  traj::Timestamp last_activity_ = 0;
+  bool has_activity_ = false;
+};
+
+}  // namespace utcq::ingest
+
+#endif  // UTCQ_INGEST_SESSION_H_

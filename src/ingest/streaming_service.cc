@@ -1,0 +1,88 @@
+#include "ingest/streaming_service.h"
+
+#include <utility>
+
+namespace utcq::ingest {
+
+StreamingService::StreamingService(const network::RoadNetwork& net,
+                                   const network::GridIndex& grid,
+                                   std::string manifest_path,
+                                   StreamingOptions opts)
+    : live_(net, grid, opts.params, opts.index_params),
+      flusher_(net, std::move(manifest_path)),
+      ingestor_(net, grid, opts.match, opts.limits,
+                [this](traj::UncertainTrajectory&& tu, SealReason) {
+                  live_.Append(std::move(tu));
+                }) {}
+
+bool StreamingService::Open(std::string* error) {
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  std::shared_ptr<const shard::ShardedCorpus> sealed;
+  if (!flusher_.Open(error, &sealed)) return false;
+  std::lock_guard<std::mutex> tier_lock(tier_mu_);
+  sealed_ = std::move(sealed);
+  live_.ResetBase(static_cast<uint32_t>(
+      sealed_ != nullptr ? sealed_->num_trajectories() : 0));
+  return true;
+}
+
+bool StreamingService::Flush(std::string* error) {
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  // Freeze the current tail; seals landing after this go to indices past
+  // the frozen count and survive the trim untouched.
+  const std::shared_ptr<const LiveSnapshot> snap = live_.Snapshot();
+  if (snap == nullptr) return true;  // nothing to flush
+  std::shared_ptr<const shard::ShardedCorpus> fresh;
+  if (!flusher_.Flush(*snap, error, &fresh)) return false;
+  // Publication: swap the sealed set and trim the live shard under the
+  // tier lock, atomically w.r.t. Acquire — a snapshot sees the flushed
+  // trajectories in exactly one of the two parts, never both or neither.
+  std::lock_guard<std::mutex> tier_lock(tier_mu_);
+  sealed_ = std::move(fresh);
+  live_.DropFlushed(snap->count());
+  return true;
+}
+
+std::shared_ptr<const serve::TierSnapshot> StreamingService::Acquire() const {
+  // The live snapshot may need a rebuild (stream copy + StIU), which must
+  // not happen under the tier lock — queries, seals and flush publication
+  // would all serialize behind it. Build optimistically outside, then
+  // validate the sealed/live pairing under the lock; a mismatch means a
+  // flush published in between (rare — flushes gate on disk I/O), so
+  // retrying converges quickly.
+  auto out = std::make_shared<serve::TierSnapshot>();
+  for (;;) {
+    std::shared_ptr<const shard::ShardedCorpus> sealed;
+    {
+      std::lock_guard<std::mutex> tier_lock(tier_mu_);
+      sealed = sealed_;
+    }
+    std::shared_ptr<const LiveSnapshot> live = live_.Snapshot();
+    std::lock_guard<std::mutex> tier_lock(tier_mu_);
+    if (sealed_ != sealed) continue;  // raced a flush publication
+    const size_t sealed_n =
+        sealed != nullptr ? sealed->num_trajectories() : 0;
+    if (live != nullptr && live->base() != sealed_n) continue;  // stale tail
+    out->sealed = std::move(sealed);
+    out->live = std::move(live);
+    return out;
+  }
+}
+
+size_t StreamingService::num_sealed() const {
+  std::lock_guard<std::mutex> tier_lock(tier_mu_);
+  return sealed_ != nullptr ? sealed_->num_trajectories() : 0;
+}
+
+size_t StreamingService::num_trajectories() const {
+  std::lock_guard<std::mutex> tier_lock(tier_mu_);
+  return (sealed_ != nullptr ? sealed_->num_trajectories() : 0) +
+         live_.size();
+}
+
+size_t StreamingService::num_generations() const {
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  return flusher_.num_generations();
+}
+
+}  // namespace utcq::ingest

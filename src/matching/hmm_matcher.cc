@@ -1,225 +1,43 @@
 #include "matching/hmm_matcher.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <map>
+#include <utility>
+
+#include "matching/online_viterbi.h"
 
 namespace utcq::matching {
 
-using network::EdgeId;
-using network::RoadNetwork;
-using traj::MappedLocation;
-using traj::TrajectoryInstance;
 using traj::UncertainTrajectory;
 
-namespace {
-
-/// One surviving joint-path hypothesis ending at a given candidate.
-struct Hypo {
-  double logp = -std::numeric_limits<double>::infinity();
-  int prev_cand = -1;  // candidate index at the previous step
-  int prev_hypo = -1;  // hypothesis index within that candidate
-};
-
-/// Feasible movement between two consecutive candidates: the edges appended
-/// to the path when taking it, and the network distance travelled.
-struct Transition {
-  bool feasible = false;
-  bool same_edge = false;        // stay on the same edge, moving forward
-  std::vector<EdgeId> appended;  // edges appended to the path (incl. target)
-  double route_m = 0.0;
-};
-
-Transition ComputeTransition(const RoadNetwork& net, const Candidate& from,
-                             const Candidate& to, double budget_m) {
-  Transition tr;
-  if (from.edge == to.edge && to.offset >= from.offset) {
-    tr.feasible = true;
-    tr.same_edge = true;
-    tr.route_m = to.offset - from.offset;
-    return tr;
-  }
-  const auto& e1 = net.edge(from.edge);
-  const auto& e2 = net.edge(to.edge);
-  const auto mid = net.ShortestPath(e1.to, e2.from, budget_m);
-  if (!mid.has_value()) return tr;
-  double mid_len = 0.0;
-  for (const EdgeId e : *mid) mid_len += net.edge(e).length;
-  tr.feasible = true;
-  tr.appended = *mid;
-  tr.appended.push_back(to.edge);
-  tr.route_m = (e1.length - from.offset) + mid_len + to.offset;
-  return tr;
-}
-
-}  // namespace
+// Both entry points run through the incremental OnlineViterbi with
+// unbounded lag: feeding every point and finishing is exactly the batch
+// list-Viterbi (no forced decision ever fires), so there is one matcher
+// implementation for the batch and the streaming pipelines.
 
 std::optional<UncertainTrajectory> HmmMatcher::Match(
     const traj::RawTrajectory& raw) const {
-  // --- candidate generation; drop unmatched or non-increasing points ---
-  std::vector<traj::RawPoint> points;
-  std::vector<std::vector<Candidate>> cands;
+  OnlineViterbi viterbi(net_, grid_, {params_, /*max_pending_steps=*/0});
   for (const traj::RawPoint& p : raw) {
-    if (!points.empty() && p.t <= points.back().t) continue;
-    auto c = FindCandidates(grid_, p, params_.candidate_radius_m,
-                            params_.max_candidates);
-    if (c.empty()) continue;
-    points.push_back(p);
-    cands.push_back(std::move(c));
-  }
-  const size_t n = points.size();
-  if (n < 2) return std::nullopt;
-
-  const size_t K = std::max<size_t>(params_.max_instances, 1);
-
-  // hypos[step][cand] = top-K hypotheses; transitions[step][{pc, c}] = move.
-  std::vector<std::vector<std::vector<Hypo>>> hypos(n);
-  std::vector<std::map<std::pair<int, int>, Transition>> transitions(n);
-
-  hypos[0].resize(cands[0].size());
-  for (size_t c = 0; c < cands[0].size(); ++c) {
-    hypos[0][c].push_back(
-        {EmissionLogProb(cands[0][c].distance, params_.gps_sigma_m), -1, -1});
-  }
-
-  for (size_t step = 1; step < n; ++step) {
-    const double straight =
-        network::Distance(points[step - 1].x, points[step - 1].y,
-                          points[step].x, points[step].y);
-    const double budget = straight * params_.route_slack_factor +
-                          params_.route_slack_abs_m;
-    hypos[step].resize(cands[step].size());
-    bool any = false;
-    for (size_t c = 0; c < cands[step].size(); ++c) {
-      const double emit =
-          EmissionLogProb(cands[step][c].distance, params_.gps_sigma_m);
-      std::vector<Hypo> pool;
-      for (size_t pc = 0; pc < cands[step - 1].size(); ++pc) {
-        if (hypos[step - 1][pc].empty()) continue;
-        Transition tr = ComputeTransition(net_, cands[step - 1][pc],
-                                          cands[step][c], budget);
-        if (!tr.feasible) continue;
-        const double trans_logp = -std::abs(tr.route_m - straight) /
-                                  params_.transition_beta_m;
-        transitions[step][{static_cast<int>(pc), static_cast<int>(c)}] =
-            std::move(tr);
-        for (size_t h = 0; h < hypos[step - 1][pc].size(); ++h) {
-          pool.push_back({hypos[step - 1][pc][h].logp + trans_logp + emit,
-                          static_cast<int>(pc), static_cast<int>(h)});
-        }
-      }
-      std::sort(pool.begin(), pool.end(),
-                [](const Hypo& a, const Hypo& b) { return a.logp > b.logp; });
-      if (pool.size() > K) pool.resize(K);
-      hypos[step][c] = std::move(pool);
-      any = any || !hypos[step][c].empty();
-    }
-    if (!any) return std::nullopt;  // HMM break
-  }
-
-  // --- pick global top-K terminal hypotheses ---
-  struct Terminal {
-    double logp;
-    int cand;
-    int hypo;
-  };
-  std::vector<Terminal> terminals;
-  for (size_t c = 0; c < cands[n - 1].size(); ++c) {
-    for (size_t h = 0; h < hypos[n - 1][c].size(); ++h) {
-      terminals.push_back(
-          {hypos[n - 1][c][h].logp, static_cast<int>(c), static_cast<int>(h)});
+    if (viterbi.Append(p).status == AppendStatus::kSegmentBreak) {
+      // A break means the trace is not one continuous trip; a
+      // single-output matcher must not pretend otherwise by stitching or
+      // dropping pieces — and matching the doomed remainder is pure waste.
+      return std::nullopt;
     }
   }
-  if (terminals.empty()) return std::nullopt;
-  std::sort(terminals.begin(), terminals.end(),
-            [](const Terminal& a, const Terminal& b) { return a.logp > b.logp; });
-  if (terminals.size() > K) terminals.resize(K);
+  return viterbi.Finish();
+}
 
-  // --- reconstruct instances ---
-  UncertainTrajectory tu;
-  tu.times.reserve(n);
-  for (const traj::RawPoint& p : points) tu.times.push_back(p.t);
-
-  std::vector<double> logps;
-  for (const Terminal& term : terminals) {
-    // Backtrack the candidate/hypothesis chain.
-    std::vector<int> chain(n);
-    int c = term.cand;
-    int h = term.hypo;
-    for (size_t step = n; step-- > 0;) {
-      chain[step] = c;
-      const Hypo& hy = hypos[step][static_cast<size_t>(c)][static_cast<size_t>(h)];
-      c = hy.prev_cand;
-      h = hy.prev_hypo;
-    }
-
-    TrajectoryInstance inst;
-    inst.path.push_back(cands[0][static_cast<size_t>(chain[0])].edge);
-    inst.locations.push_back(
-        {0, cands[0][static_cast<size_t>(chain[0])].offset /
-                net_.edge(inst.path[0]).length});
-    for (size_t step = 1; step < n; ++step) {
-      const auto key = std::make_pair(chain[step - 1], chain[step]);
-      const Transition& tr = transitions[step].at(key);
-      if (!tr.same_edge) {
-        inst.path.insert(inst.path.end(), tr.appended.begin(),
-                         tr.appended.end());
-      }
-      const Candidate& cd = cands[step][static_cast<size_t>(chain[step])];
-      inst.locations.push_back(
-          {static_cast<uint32_t>(inst.path.size() - 1),
-           cd.offset / net_.edge(cd.edge).length});
-    }
-    // Clamp same-edge rd regressions introduced by noise.
-    for (size_t i = 1; i < inst.locations.size(); ++i) {
-      auto& cur = inst.locations[i];
-      const auto& prev = inst.locations[i - 1];
-      if (cur.path_index == prev.path_index && cur.rd < prev.rd) {
-        cur.rd = prev.rd;
-      }
-    }
-
-    // Merge duplicates (distinct hypothesis chains can induce the same
-    // network-constrained instance).
-    bool duplicate = false;
-    for (size_t i = 0; i < tu.instances.size(); ++i) {
-      if (tu.instances[i].path == inst.path &&
-          tu.instances[i].locations == inst.locations) {
-        logps[i] = std::max(logps[i], term.logp) +
-                   std::log1p(std::exp(-std::abs(logps[i] - term.logp)));
-        duplicate = true;
-        break;
-      }
-    }
-    if (!duplicate) {
-      tu.instances.push_back(std::move(inst));
-      logps.push_back(term.logp);
-    }
+std::vector<UncertainTrajectory> HmmMatcher::MatchSegments(
+    const traj::RawTrajectory& raw) const {
+  OnlineViterbi viterbi(net_, grid_, {params_, /*max_pending_steps=*/0});
+  std::vector<UncertainTrajectory> out;
+  for (const traj::RawPoint& p : raw) {
+    auto r = viterbi.Append(p);
+    if (r.completed.has_value()) out.push_back(std::move(*r.completed));
   }
-
-  // --- normalize probabilities (softmax over log-likelihoods) ---
-  const double max_logp = *std::max_element(logps.begin(), logps.end());
-  double total = 0.0;
-  for (double& lp : logps) {
-    lp = std::exp(lp - max_logp);
-    total += lp;
-  }
-  for (size_t i = 0; i < tu.instances.size(); ++i) {
-    tu.instances[i].probability = logps[i] / total;
-  }
-  // Order instances by decreasing probability (instance 1 = most likely,
-  // which would be the accurate trajectory of classic map matching).
-  std::vector<size_t> order(tu.instances.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return tu.instances[a].probability > tu.instances[b].probability;
-  });
-  UncertainTrajectory sorted;
-  sorted.id = tu.id;
-  sorted.times = std::move(tu.times);
-  for (const size_t i : order) sorted.instances.push_back(std::move(tu.instances[i]));
-  return sorted;
+  auto tail = viterbi.Finish();
+  if (tail.has_value()) out.push_back(std::move(*tail));
+  return out;
 }
 
 }  // namespace utcq::matching

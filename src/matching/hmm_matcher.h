@@ -24,6 +24,13 @@ struct MatchParams {
   /// Route-search budget as a multiple of the straight-line distance.
   double route_slack_factor = 5.0;
   double route_slack_abs_m = 400.0;
+  /// Maximum time gap (seconds) bridged between consecutive kept points.
+  /// A parked or out-of-coverage vehicle must not be matched as if it had
+  /// travelled through the gap (the transition model would happily accept
+  /// a short route for an hour-long silence): a larger gap is a clean
+  /// break instead — Match answers nullopt, MatchSegments splits there.
+  /// 0 disables the check (the pre-gap-aware behaviour).
+  int64_t max_gap_s = 600;
 };
 
 /// HMM-based probabilistic map matching ([2, 15]): instead of committing to
@@ -37,10 +44,18 @@ class HmmMatcher {
              MatchParams params)
       : net_(net), grid_(grid), params_(params) {}
 
-  /// Matches a raw trajectory. Points with no nearby edge are dropped;
-  /// returns nullopt when fewer than two points survive or the HMM breaks
-  /// (no feasible transition anywhere).
+  /// Matches a raw trajectory as a single unbroken trace. Non-finite,
+  /// out-of-order and candidate-less points are dropped; returns nullopt
+  /// when fewer than two points survive, when the HMM breaks (no feasible
+  /// transition anywhere), or when a time gap larger than max_gap_s splits
+  /// the trace (use MatchSegments to keep the pieces).
   std::optional<traj::UncertainTrajectory> Match(
+      const traj::RawTrajectory& raw) const;
+
+  /// Gap/break-tolerant matching: the trace is split at long gaps and HMM
+  /// breaks, and every piece with at least two matched points is returned
+  /// as its own uncertain trajectory, in stream order.
+  std::vector<traj::UncertainTrajectory> MatchSegments(
       const traj::RawTrajectory& raw) const;
 
  private:

@@ -1,0 +1,419 @@
+#include "matching/online_viterbi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace utcq::matching {
+
+using network::EdgeId;
+using traj::TrajectoryInstance;
+using traj::UncertainTrajectory;
+
+void OnlineViterbi::Step::Shrink() {
+  cands.clear();
+  cands.shrink_to_fit();
+  hypos.clear();
+  hypos.shrink_to_fit();
+  transitions.clear();
+}
+
+OnlineViterbi::Transition OnlineViterbi::ComputeTransition(
+    const Candidate& from, const Candidate& to, double budget_m) const {
+  Transition tr;
+  if (from.edge == to.edge && to.offset >= from.offset) {
+    tr.feasible = true;
+    tr.same_edge = true;
+    tr.route_m = to.offset - from.offset;
+    return tr;
+  }
+  const auto& e1 = net_.edge(from.edge);
+  const auto& e2 = net_.edge(to.edge);
+  const auto mid = net_.ShortestPath(e1.to, e2.from, budget_m);
+  if (!mid.has_value()) return tr;
+  double mid_len = 0.0;
+  for (const EdgeId e : *mid) mid_len += net_.edge(e).length;
+  tr.feasible = true;
+  tr.appended = *mid;
+  tr.appended.push_back(to.edge);
+  tr.route_m = (e1.length - from.offset) + mid_len + to.offset;
+  return tr;
+}
+
+OnlineViterbi::AppendResult OnlineViterbi::Append(const traj::RawPoint& p) {
+  AppendResult res;
+  if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+    res.status = AppendStatus::kDroppedNotFinite;
+    return res;
+  }
+  if (has_last_t_ && p.t <= last_t_) {
+    res.status = AppendStatus::kDroppedOutOfOrder;
+    return res;
+  }
+
+  // A gap larger than max_gap_s must not be bridged as if the vehicle had
+  // travelled it: close the segment first, then treat `p` as a fresh start.
+  if (!steps_.empty() && params_.match.max_gap_s > 0 &&
+      p.t - last_t_ > params_.match.max_gap_s) {
+    res.completed = Finish();
+    res.status = AppendStatus::kSegmentBreak;
+  }
+
+  auto cands = FindCandidates(grid_, p, params_.match.candidate_radius_m,
+                              params_.match.max_candidates);
+  if (cands.empty()) {
+    if (res.status != AppendStatus::kSegmentBreak) {
+      res.status = AppendStatus::kDroppedNoCandidates;
+    }
+    return res;
+  }
+
+  if (steps_.empty()) {
+    Seed(p, std::move(cands));
+    last_t_ = p.t;
+    has_last_t_ = true;
+    return res;
+  }
+
+  if (!ExtendTrellis(p, cands)) {
+    // HMM break: no feasible way into this point from any hypothesis.
+    // (A gap break cannot have fired too — it left the trellis empty.)
+    res.completed = Finish();
+    res.status = AppendStatus::kSegmentBreak;
+    Seed(p, std::move(cands));
+    last_t_ = p.t;
+    has_last_t_ = true;
+    return res;
+  }
+  last_t_ = p.t;
+  has_last_t_ = true;
+
+  CommitConverged();
+  if (params_.max_pending_steps > 0) {
+    while (pending_steps() > params_.max_pending_steps &&
+           pending_steps() > 1) {
+      ForceOldestDecision();
+      CommitConverged();
+    }
+  }
+  return res;
+}
+
+void OnlineViterbi::Seed(const traj::RawPoint& p,
+                         std::vector<Candidate> cands) {
+  Step step;
+  step.point = p;
+  step.hypos.resize(cands.size());
+  for (size_t c = 0; c < cands.size(); ++c) {
+    step.hypos[c].push_back(
+        {EmissionLogProb(cands[c].distance, params_.match.gps_sigma_m), -1,
+         -1, false});
+  }
+  step.cands = std::move(cands);
+  steps_.push_back(std::move(step));
+}
+
+bool OnlineViterbi::ExtendTrellis(const traj::RawPoint& p,
+                                  const std::vector<Candidate>& cands) {
+  const Step& prev = steps_.back();
+  const double straight =
+      network::Distance(prev.point.x, prev.point.y, p.x, p.y);
+  const double budget = straight * params_.match.route_slack_factor +
+                        params_.match.route_slack_abs_m;
+  const size_t K = std::max<size_t>(params_.match.max_instances, 1);
+
+  Step step;
+  step.point = p;
+  step.cands = cands;
+  step.hypos.resize(cands.size());
+  bool any = false;
+  for (size_t c = 0; c < cands.size(); ++c) {
+    const double emit =
+        EmissionLogProb(cands[c].distance, params_.match.gps_sigma_m);
+    std::vector<Hypo> pool;
+    for (size_t pc = 0; pc < prev.cands.size(); ++pc) {
+      bool alive = false;
+      for (const Hypo& h : prev.hypos[pc]) {
+        if (!h.dead) {
+          alive = true;
+          break;
+        }
+      }
+      if (!alive) continue;
+      Transition tr = ComputeTransition(prev.cands[pc], cands[c], budget);
+      if (!tr.feasible) continue;
+      const double trans_logp = -std::abs(tr.route_m - straight) /
+                                params_.match.transition_beta_m;
+      step.transitions[{static_cast<int>(pc), static_cast<int>(c)}] =
+          std::move(tr);
+      for (size_t h = 0; h < prev.hypos[pc].size(); ++h) {
+        if (prev.hypos[pc][h].dead) continue;
+        pool.push_back({prev.hypos[pc][h].logp + trans_logp + emit,
+                        static_cast<int>(pc), static_cast<int>(h), false});
+      }
+    }
+    std::sort(pool.begin(), pool.end(),
+              [](const Hypo& a, const Hypo& b) { return a.logp > b.logp; });
+    if (pool.size() > K) pool.resize(K);
+    step.hypos[c] = std::move(pool);
+    any = any || !step.hypos[c].empty();
+  }
+  if (!any) return false;
+  steps_.push_back(std::move(step));
+  return true;
+}
+
+void OnlineViterbi::MaterializeStep(PartialPath& out, size_t s, int cand_idx,
+                                    int prev_cand) const {
+  const Candidate& cd = steps_[s].cands[static_cast<size_t>(cand_idx)];
+  if (out.path.empty()) {  // first matched point of the segment
+    out.path.push_back(cd.edge);
+    out.locations.push_back({0, cd.offset / net_.edge(cd.edge).length});
+    return;
+  }
+  const Transition& tr = steps_[s].transitions.at({prev_cand, cand_idx});
+  if (!tr.same_edge) {
+    out.path.insert(out.path.end(), tr.appended.begin(), tr.appended.end());
+  }
+  double rd = cd.offset / net_.edge(cd.edge).length;
+  const uint32_t pi = static_cast<uint32_t>(out.path.size() - 1);
+  // Clamp same-edge rd regressions introduced by noise (batch rule, applied
+  // sequentially — the previous location is already clamped).
+  const traj::MappedLocation& prev = out.locations.back();
+  if (pi == prev.path_index && rd < prev.rd) rd = prev.rd;
+  out.locations.push_back({pi, rd});
+}
+
+void OnlineViterbi::CommitConverged() {
+  if (steps_.size() < 2) return;
+  const size_t last = steps_.size() - 1;
+
+  // Walk the ancestor sets A_k of the alive terminal hypotheses backwards;
+  // the first k (largest, and always < last so the trellis keeps a column
+  // to extend from) where |A_k| == 1 ends the newly decided prefix.
+  std::vector<std::pair<int, int>> cur;
+  for (size_t c = 0; c < steps_[last].hypos.size(); ++c) {
+    for (size_t h = 0; h < steps_[last].hypos[c].size(); ++h) {
+      if (!steps_[last].hypos[c][h].dead) {
+        cur.push_back({static_cast<int>(c), static_cast<int>(h)});
+      }
+    }
+  }
+  if (cur.empty()) return;
+
+  size_t k = last;
+  bool collapsed = false;
+  while (k > decided_) {
+    std::vector<std::pair<int, int>> prev;
+    prev.reserve(cur.size());
+    for (const auto& [c, h] : cur) {
+      const Hypo& hy =
+          steps_[k].hypos[static_cast<size_t>(c)][static_cast<size_t>(h)];
+      prev.push_back({hy.prev_cand, hy.prev_hypo});
+    }
+    std::sort(prev.begin(), prev.end());
+    prev.erase(std::unique(prev.begin(), prev.end()), prev.end());
+    --k;
+    cur = std::move(prev);
+    if (cur.size() == 1) {
+      collapsed = true;
+      break;
+    }
+  }
+  if (!collapsed) return;
+
+  // Unique chain decided_..k: trace back from the collapse state.
+  const size_t len = k - decided_ + 1;
+  std::vector<int> chain(len);
+  int c = cur[0].first;
+  int h = cur[0].second;
+  for (size_t s = k + 1; s-- > decided_;) {
+    chain[s - decided_] = c;
+    const Hypo& hy =
+        steps_[s].hypos[static_cast<size_t>(c)][static_cast<size_t>(h)];
+    c = hy.prev_cand;
+    h = hy.prev_hypo;
+  }
+  int prev_cand = c;  // committed candidate before the chain (-1 at start)
+  for (size_t i = 0; i < len; ++i) {
+    const size_t s = decided_ + i;
+    MaterializeStep(prefix_, s, chain[i], prev_cand);
+    prev_cand = chain[i];
+    steps_[s].Shrink();
+  }
+  decided_ = k + 1;
+}
+
+void OnlineViterbi::ForceOldestDecision() {
+  const size_t last = steps_.size() - 1;
+  if (last <= decided_) return;  // only the newest column is pending
+
+  // The best alive terminal decides the oldest pending step.
+  double best = -std::numeric_limits<double>::infinity();
+  int bc = -1;
+  int bh = -1;
+  for (size_t c = 0; c < steps_[last].hypos.size(); ++c) {
+    for (size_t h = 0; h < steps_[last].hypos[c].size(); ++h) {
+      const Hypo& hy = steps_[last].hypos[c][h];
+      if (!hy.dead && hy.logp > best) {
+        best = hy.logp;
+        bc = static_cast<int>(c);
+        bh = static_cast<int>(h);
+      }
+    }
+  }
+  if (bc < 0) return;  // no alive terminal (cannot happen)
+
+  int c = bc;
+  int h = bh;
+  for (size_t s = last; s > decided_; --s) {
+    const Hypo& hy =
+        steps_[s].hypos[static_cast<size_t>(c)][static_cast<size_t>(h)];
+    c = hy.prev_cand;
+    h = hy.prev_hypo;
+  }
+
+  // Kill every contradicting hypothesis at the forced step, then sweep the
+  // contradiction forward so later pools and terminals never resurrect it.
+  Step& forced = steps_[decided_];
+  for (size_t cc = 0; cc < forced.hypos.size(); ++cc) {
+    for (size_t hh = 0; hh < forced.hypos[cc].size(); ++hh) {
+      if (static_cast<int>(cc) != c || static_cast<int>(hh) != h) {
+        forced.hypos[cc][hh].dead = true;
+      }
+    }
+  }
+  for (size_t s = decided_ + 1; s <= last; ++s) {
+    for (auto& per_cand : steps_[s].hypos) {
+      for (Hypo& hy : per_cand) {
+        if (hy.dead) continue;
+        const Hypo& prev =
+            steps_[s - 1].hypos[static_cast<size_t>(hy.prev_cand)]
+                              [static_cast<size_t>(hy.prev_hypo)];
+        if (prev.dead) hy.dead = true;
+      }
+    }
+  }
+
+  // Commit the forced step itself.
+  const Hypo& chosen =
+      forced.hypos[static_cast<size_t>(c)][static_cast<size_t>(h)];
+  MaterializeStep(prefix_, decided_, c, chosen.prev_cand);
+  forced.Shrink();
+  ++decided_;
+}
+
+std::optional<UncertainTrajectory> OnlineViterbi::FinishCurrent() const {
+  if (steps_.size() < 2) return std::nullopt;
+  const size_t last = steps_.size() - 1;
+  const size_t K = std::max<size_t>(params_.match.max_instances, 1);
+
+  struct Terminal {
+    double logp;
+    int cand;
+    int hypo;
+  };
+  std::vector<Terminal> terminals;
+  for (size_t c = 0; c < steps_[last].hypos.size(); ++c) {
+    for (size_t h = 0; h < steps_[last].hypos[c].size(); ++h) {
+      const Hypo& hy = steps_[last].hypos[c][h];
+      if (!hy.dead) {
+        terminals.push_back(
+            {hy.logp, static_cast<int>(c), static_cast<int>(h)});
+      }
+    }
+  }
+  if (terminals.empty()) return std::nullopt;
+  std::sort(terminals.begin(), terminals.end(),
+            [](const Terminal& a, const Terminal& b) {
+              return a.logp > b.logp;
+            });
+  if (terminals.size() > K) terminals.resize(K);
+
+  UncertainTrajectory tu;
+  tu.times.reserve(steps_.size());
+  for (const Step& s : steps_) tu.times.push_back(s.point.t);
+
+  std::vector<double> logps;
+  for (const Terminal& term : terminals) {
+    const size_t len = last - decided_ + 1;
+    std::vector<int> chain(len);
+    int c = term.cand;
+    int h = term.hypo;
+    for (size_t s = last + 1; s-- > decided_;) {
+      chain[s - decided_] = c;
+      const Hypo& hy =
+          steps_[s].hypos[static_cast<size_t>(c)][static_cast<size_t>(h)];
+      c = hy.prev_cand;
+      h = hy.prev_hypo;
+    }
+
+    PartialPath pp;
+    pp.path = prefix_.path;
+    pp.locations = prefix_.locations;
+    int prev_cand = c;  // last committed candidate (-1 when none committed)
+    for (size_t i = 0; i < len; ++i) {
+      MaterializeStep(pp, decided_ + i, chain[i], prev_cand);
+      prev_cand = chain[i];
+    }
+
+    TrajectoryInstance inst;
+    inst.path = std::move(pp.path);
+    inst.locations = std::move(pp.locations);
+
+    // Merge duplicates (distinct hypothesis chains can induce the same
+    // network-constrained instance).
+    bool duplicate = false;
+    for (size_t i = 0; i < tu.instances.size(); ++i) {
+      if (tu.instances[i].path == inst.path &&
+          tu.instances[i].locations == inst.locations) {
+        logps[i] = std::max(logps[i], term.logp) +
+                   std::log1p(std::exp(-std::abs(logps[i] - term.logp)));
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      tu.instances.push_back(std::move(inst));
+      logps.push_back(term.logp);
+    }
+  }
+
+  // Normalize probabilities (softmax over log-likelihoods) and order
+  // instances by decreasing probability.
+  const double max_logp = *std::max_element(logps.begin(), logps.end());
+  double total = 0.0;
+  for (double& lp : logps) {
+    lp = std::exp(lp - max_logp);
+    total += lp;
+  }
+  for (size_t i = 0; i < tu.instances.size(); ++i) {
+    tu.instances[i].probability = logps[i] / total;
+  }
+  std::vector<size_t> order(tu.instances.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return tu.instances[a].probability > tu.instances[b].probability;
+  });
+  UncertainTrajectory sorted;
+  sorted.id = tu.id;
+  sorted.times = std::move(tu.times);
+  for (const size_t i : order) {
+    sorted.instances.push_back(std::move(tu.instances[i]));
+  }
+  return sorted;
+}
+
+std::optional<UncertainTrajectory> OnlineViterbi::Finish() {
+  auto out = FinishCurrent();
+  ResetSegment();
+  return out;
+}
+
+void OnlineViterbi::ResetSegment() {
+  steps_.clear();
+  prefix_ = PartialPath{};
+  decided_ = 0;
+}
+
+}  // namespace utcq::matching

@@ -1,0 +1,163 @@
+#ifndef UTCQ_MATCHING_ONLINE_VITERBI_H_
+#define UTCQ_MATCHING_ONLINE_VITERBI_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "matching/candidates.h"
+#include "matching/hmm_matcher.h"
+#include "network/grid_index.h"
+#include "network/road_network.h"
+#include "traj/types.h"
+
+namespace utcq::matching {
+
+/// Tunables of the incremental matcher on top of the batch MatchParams.
+struct OnlineMatchParams {
+  MatchParams match;
+  /// Upper bound on the undecided trellis depth (the matching lag): when
+  /// more than this many accepted points are pending, the oldest pending
+  /// point is force-committed to the most likely hypothesis, so memory and
+  /// emission delay stay bounded no matter how long a session runs.
+  /// 0 = unbounded — the full-trajectory list Viterbi, i.e. exactly the
+  /// batch matcher (HmmMatcher::Match runs through this class that way).
+  size_t max_pending_steps = 48;
+};
+
+/// What Append did with a point.
+enum class AppendStatus : uint8_t {
+  kAccepted = 0,
+  /// NaN/inf coordinates: a poisoned fix must never reach the grid lookup.
+  kDroppedNotFinite,
+  /// t <= the last accepted point's t (out-of-order or duplicate stamp).
+  kDroppedOutOfOrder,
+  /// No edge within candidate_radius_m.
+  kDroppedNoCandidates,
+  /// A long gap or an HMM break closed the open segment; when the point
+  /// itself had candidates it seeded a fresh segment.
+  kSegmentBreak,
+};
+
+/// Incremental list-Viterbi map matching with bounded lag — the streaming
+/// counterpart of HmmMatcher (which now runs through this class with
+/// unbounded lag). Points arrive one at a time; the trellis of candidate
+/// hypotheses is extended per point, and as soon as every surviving
+/// hypothesis traces back through one common (candidate, hypothesis) state,
+/// the prefix up to that state is *committed*: its edges and mapped
+/// locations are materialized once into the shared segment prefix and the
+/// trellis memory behind it is released. When convergence does not happen
+/// within `max_pending_steps`, the oldest pending point is forced to the
+/// most likely hypothesis' choice and contradicting hypotheses are pruned.
+///
+/// Degenerate streams degrade gracefully instead of crashing or forcing a
+/// bogus match: non-finite, out-of-order and candidate-less points are
+/// dropped with a telling status, and a time gap larger than
+/// MatchParams::max_gap_s (or an HMM break — no feasible transition into
+/// any candidate) closes the current segment as its own finished match and
+/// starts a new one.
+class OnlineViterbi {
+ public:
+  OnlineViterbi(const network::RoadNetwork& net,
+                const network::GridIndex& grid, OnlineMatchParams params)
+      : net_(net), grid_(grid), params_(params) {}
+
+  struct AppendResult {
+    AppendStatus status = AppendStatus::kAccepted;
+    /// The finished match of the segment a break closed; empty when that
+    /// segment had fewer than two matched points.
+    std::optional<traj::UncertainTrajectory> completed;
+  };
+
+  /// Feeds one raw GPS fix.
+  AppendResult Append(const traj::RawPoint& p);
+
+  /// Closes the open segment, returning its match (nullopt when fewer than
+  /// two points matched), and resets for the next segment. The time-order
+  /// watermark survives: a session's stream stays monotone across breaks.
+  std::optional<traj::UncertainTrajectory> Finish();
+
+  /// Matched points buffered in the open segment (committed + pending).
+  size_t num_points() const { return steps_.size(); }
+  /// Undecided trellis depth — the current online lag.
+  size_t pending_steps() const { return steps_.size() - decided_; }
+  /// Points already committed to the shared segment prefix.
+  size_t committed_points() const { return decided_; }
+  bool has_open_segment() const { return !steps_.empty(); }
+
+ private:
+  /// One surviving joint-path hypothesis ending at a given candidate.
+  struct Hypo {
+    double logp = 0.0;
+    int prev_cand = -1;  // candidate index at the previous step
+    int prev_hypo = -1;  // hypothesis index within that candidate
+    /// Contradicts a forced decision; kept in place (indices must stay
+    /// stable) but excluded from extension, convergence and terminals.
+    bool dead = false;
+  };
+
+  /// Feasible movement between two consecutive candidates.
+  struct Transition {
+    bool feasible = false;
+    bool same_edge = false;  // stay on the same edge, moving forward
+    std::vector<network::EdgeId> appended;  // edges appended (incl. target)
+    double route_m = 0.0;
+  };
+
+  /// One trellis column. Committed steps are shrunk to just the point (for
+  /// the shared time sequence); the hypothesis state is freed.
+  struct Step {
+    traj::RawPoint point;
+    std::vector<Candidate> cands;
+    std::vector<std::vector<Hypo>> hypos;  // [cand] -> top-K
+    std::map<std::pair<int, int>, Transition> transitions;  // {prev, cand}
+
+    void Shrink();
+  };
+
+  /// Path + locations being grown edge by edge — the committed shared
+  /// prefix, and the per-instance reconstruction buffer at Finish.
+  struct PartialPath {
+    std::vector<network::EdgeId> path;
+    std::vector<traj::MappedLocation> locations;
+  };
+
+  Transition ComputeTransition(const Candidate& from, const Candidate& to,
+                               double budget_m) const;
+  void Seed(const traj::RawPoint& p, std::vector<Candidate> cands);
+  /// Extends the trellis by one column; false = HMM break (no candidate of
+  /// `p` is reachable from any alive hypothesis).
+  bool ExtendTrellis(const traj::RawPoint& p,
+                     const std::vector<Candidate>& cands);
+  /// Appends step `s` taken at candidate `cand_idx` (reached from
+  /// `prev_cand`) to `out` — the one materialization rule shared by prefix
+  /// commits and Finish-time instance reconstruction.
+  void MaterializeStep(PartialPath& out, size_t s, int cand_idx,
+                       int prev_cand) const;
+  /// Commits every step all alive hypotheses agree on (backpointer-chain
+  /// stabilization). The newest step always stays pending so the trellis
+  /// can keep extending.
+  void CommitConverged();
+  /// Bounded-lag forcing: commits the oldest pending step to the best
+  /// terminal hypothesis' choice and prunes contradicting hypotheses.
+  void ForceOldestDecision();
+  std::optional<traj::UncertainTrajectory> FinishCurrent() const;
+  void ResetSegment();
+
+  const network::RoadNetwork& net_;
+  const network::GridIndex& grid_;
+  OnlineMatchParams params_;
+
+  std::vector<Step> steps_;  // open segment; [0, decided_) shrunk
+  size_t decided_ = 0;
+  PartialPath prefix_;
+
+  traj::Timestamp last_t_ = 0;
+  bool has_last_t_ = false;
+};
+
+}  // namespace utcq::matching
+
+#endif  // UTCQ_MATCHING_ONLINE_VITERBI_H_

@@ -16,6 +16,14 @@ uint64_t CacheKey(uint32_t shard, uint32_t local) {
   return (static_cast<uint64_t>(shard) << 32) | local;
 }
 
+/// Pseudo-shard of tier-mode cache keys. In tier mode *every* entry —
+/// sealed or live — is keyed by its global trajectory id: a sealed
+/// trajectory's decoded form never changes, so the very entry warmed while
+/// it was live keeps serving after the flush moves it into the sealed set,
+/// and across live-shard rebuilds. (A sealed archive set never reaches
+/// 2^32 - 1 real shards, so the pseudo-shard cannot collide.)
+constexpr uint32_t kTierKeyShard = 0xFFFFFFFFu;
+
 }  // namespace
 
 QueryRequest QueryRequest::MakeWhere(uint32_t traj, traj::Timestamp t,
@@ -65,25 +73,49 @@ QueryEngine::QueryEngine(const shard::ShardedCorpus& corpus,
   latency_us_.reserve(kLatencyWindow);
 }
 
+QueryEngine::QueryEngine(const TierSource& tier, EngineOptions opts)
+    : tier_(&tier),
+      opts_(opts),
+      cache_(opts.cache_budget_bytes, opts.cache_shards) {
+  latency_us_.reserve(kLatencyWindow);
+}
+
 size_t QueryEngine::num_trajectories() const {
+  if (tier_ != nullptr) return tier_->Acquire()->num_trajectories();
   return sharded_ != nullptr
              ? sharded_->num_trajectories()
              : single_->decoder().view().num_trajectories();
 }
 
-QueryEngine::Target QueryEngine::Resolve(uint32_t global) const {
+size_t QueryEngine::TotalOf(const TierSnapshot* snap) const {
+  return snap != nullptr ? snap->num_trajectories() : num_trajectories();
+}
+
+QueryEngine::Target QueryEngine::Resolve(uint32_t global,
+                                         const TierSnapshot* snap) const {
+  if (snap != nullptr) {
+    const size_t sealed_n = snap->sealed_count();
+    if (global < sealed_n) {
+      const auto [s, local] = snap->sealed->Route(global);
+      return {&snap->sealed->shard_queries(s), s, local,
+              CacheKey(kTierKeyShard, global)};
+    }
+    const uint32_t local = global - static_cast<uint32_t>(sealed_n);
+    return {&snap->live->queries(), kTierKeyShard, local,
+            CacheKey(kTierKeyShard, global)};
+  }
   if (sharded_ != nullptr) {
     const auto [s, local] = sharded_->Route(global);
-    return {&sharded_->shard_queries(s), s, local};
+    return {&sharded_->shard_queries(s), s, local, CacheKey(s, local)};
   }
-  return {single_, 0, global};
+  return {single_, 0, global, CacheKey(0, global)};
 }
 
 std::shared_ptr<const traj::DecodedTraj> QueryEngine::Pin(
     const Target& target) {
   const core::UtcqQueryProcessor* qp = target.qp;
   const uint32_t local = target.local;
-  return cache_.GetOrDecode(CacheKey(target.shard, local), [qp, local] {
+  return cache_.GetOrDecode(target.cache_key, [qp, local] {
     return qp->decoder().DecodeTraj(local);
   });
 }
@@ -106,24 +138,27 @@ traj::RangeResult QueryEngine::Range(const network::Rect& region,
 }
 
 QueryResult QueryEngine::Execute(const QueryRequest& req) {
-  return ExecuteOne(req, opts_.num_threads);
+  std::shared_ptr<const TierSnapshot> snap;
+  if (tier_ != nullptr) snap = tier_->Acquire();
+  return ExecuteOne(req, opts_.num_threads, snap.get());
 }
 
 QueryResult QueryEngine::ExecuteOne(const QueryRequest& req,
-                                    unsigned range_threads) {
+                                    unsigned range_threads,
+                                    const TierSnapshot* snap) {
   const common::Stopwatch watch;
   QueryResult result;
   result.kind = req.kind;
   // A server-shaped API sees untrusted trajectory ids: out-of-range point
   // queries answer empty instead of indexing past the routing table.
-  if (req.kind != QueryKind::kRange && req.traj >= num_trajectories()) {
+  if (req.kind != QueryKind::kRange && req.traj >= TotalOf(snap)) {
     queries_.fetch_add(1, std::memory_order_relaxed);
     RecordLatency(watch.ElapsedMicros());
     return result;
   }
   switch (req.kind) {
     case QueryKind::kWhere: {
-      const Target target = Resolve(req.traj);
+      const Target target = Resolve(req.traj, snap);
       // The uncached path rejects an out-of-window t from meta alone;
       // pinning first would turn that O(1) rejection into a full decode.
       const core::TrajMeta& meta =
@@ -134,7 +169,7 @@ QueryResult QueryEngine::ExecuteOne(const QueryRequest& req,
       break;
     }
     case QueryKind::kWhen: {
-      const Target target = Resolve(req.traj);
+      const Target target = Resolve(req.traj, snap);
       // Same principle as kWhere: the uncached path rejects a trajectory
       // with no StIU tuples near the edge from the index alone (Lemma 1
       // full skip) — keep that O(index) rejection ahead of the decode.
@@ -149,7 +184,7 @@ QueryResult QueryEngine::ExecuteOne(const QueryRequest& req,
     }
     case QueryKind::kRange:
       result.range = RangeInternal(req.region, req.t, req.alpha,
-                                   range_threads);
+                                   range_threads, snap);
       break;
   }
   queries_.fetch_add(1, std::memory_order_relaxed);
@@ -159,21 +194,55 @@ QueryResult QueryEngine::ExecuteOne(const QueryRequest& req,
 
 traj::RangeResult QueryEngine::RangeInternal(const network::Rect& region,
                                              traj::Timestamp tq, double alpha,
-                                             unsigned num_threads) {
+                                             unsigned num_threads,
+                                             const TierSnapshot* snap) {
+  if (snap != nullptr) {
+    // Sealed fan-out first, then the live tail; live hits are offset to
+    // global ids, and since every live id exceeds every sealed id the
+    // concatenation is already globally sorted.
+    traj::RangeResult merged;
+    if (snap->sealed != nullptr) {
+      merged = snap->sealed->Range(
+          region, tq, alpha, nullptr, num_threads,
+          [this, snap](uint32_t s, uint32_t local) {
+            const uint32_t global =
+                snap->sealed->manifest().shards[s].members[local];
+            return Pin({&snap->sealed->shard_queries(s), s, local,
+                        CacheKey(kTierKeyShard, global)});
+          });
+    }
+    if (snap->live != nullptr) {
+      const uint32_t base = static_cast<uint32_t>(snap->sealed_count());
+      const traj::RangeResult live_hits = snap->live->queries().Range(
+          region, tq, alpha, [this, snap, base](uint32_t local) {
+            return Pin({&snap->live->queries(), kTierKeyShard, local,
+                        CacheKey(kTierKeyShard, base + local)});
+          });
+      for (const uint32_t local : live_hits) merged.push_back(base + local);
+    }
+    return merged;
+  }
   if (sharded_ != nullptr) {
     return sharded_->Range(
         region, tq, alpha, nullptr, num_threads,
         [this](uint32_t s, uint32_t local) {
-          return Pin({&sharded_->shard_queries(s), s, local});
+          return Pin({&sharded_->shard_queries(s), s, local,
+                      CacheKey(s, local)});
         });
   }
-  return single_->Range(region, tq, alpha,
-                        [this](uint32_t j) { return Pin({single_, 0, j}); });
+  return single_->Range(region, tq, alpha, [this](uint32_t j) {
+    return Pin({single_, 0, j, CacheKey(0, j)});
+  });
 }
 
 std::vector<QueryResult> QueryEngine::ExecuteBatch(
     const std::vector<QueryRequest>& requests) {
   std::vector<QueryResult> results(requests.size());
+
+  // One snapshot for the whole batch: every request is answered against
+  // the same live+sealed split even while ingestion seals and flushes.
+  std::shared_ptr<const TierSnapshot> snap;
+  if (tier_ != nullptr) snap = tier_->Acquire();
 
   // Group point queries by target trajectory so each trajectory's decode
   // (or cache fetch) happens once per batch regardless of how requests
@@ -181,7 +250,7 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(
   std::vector<std::pair<uint32_t, std::vector<uint32_t>>> groups;
   std::unordered_map<uint32_t, size_t> group_of;
   std::vector<uint32_t> ranges;
-  const size_t total = num_trajectories();
+  const size_t total = TotalOf(snap.get());
   for (uint32_t i = 0; i < requests.size(); ++i) {
     if (requests[i].kind == QueryKind::kRange) {
       ranges.push_back(i);
@@ -207,7 +276,7 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(
   common::ParallelFor(units, opts_.num_threads, [&](size_t u) {
     if (u >= ranges.size()) {
       const auto& [traj_idx, members] = groups[u - ranges.size()];
-      const Target target = Resolve(traj_idx);
+      const Target target = Resolve(traj_idx, snap.get());
       const core::TrajMeta& meta =
           target.qp->decoder().view().meta(target.local);
       // Pinned by the first request that survives its cheap rejection —
@@ -240,7 +309,8 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(
       const common::Stopwatch watch;
       results[i].kind = req.kind;
       results[i].range =
-          RangeInternal(req.region, req.t, req.alpha, range_threads);
+          RangeInternal(req.region, req.t, req.alpha, range_threads,
+                        snap.get());
       RecordLatency(watch.ElapsedMicros());
     }
   });

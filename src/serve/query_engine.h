@@ -9,6 +9,7 @@
 
 #include "core/query.h"
 #include "serve/decoded_cache.h"
+#include "serve/tier.h"
 #include "shard/sharded.h"
 #include "traj/query_types.h"
 
@@ -96,6 +97,18 @@ class QueryEngine {
   explicit QueryEngine(const shard::ShardedCorpus& corpus,
                        EngineOptions opts = {});
 
+  /// Live+sealed mode: serves a streaming tier (DESIGN.md §10). Every
+  /// Execute acquires one TierSnapshot — ExecuteBatch one for the whole
+  /// batch — so each request sees a consistent sealed-set/live-tail split
+  /// while ingestion seals and flushes underneath. Point queries route by
+  /// global id to whichever part currently owns it; Range merges the
+  /// sealed fan-out with the live tail's hits. Every decoded-cache entry
+  /// is keyed by global id in this mode, which stays valid across
+  /// live-shard rebuilds and across the flush that moves a trajectory into
+  /// the sealed set (its decoded form never changes) — flushing never
+  /// cools the cache.
+  explicit QueryEngine(const TierSource& tier, EngineOptions opts = {});
+
   size_t num_trajectories() const;
 
   /// Single-query API, cached.
@@ -124,18 +137,23 @@ class QueryEngine {
     const core::UtcqQueryProcessor* qp = nullptr;
     uint32_t shard = 0;
     uint32_t local = 0;
+    uint64_t cache_key = 0;
   };
 
-  Target Resolve(uint32_t global) const;
+  size_t TotalOf(const TierSnapshot* snap) const;
+  Target Resolve(uint32_t global, const TierSnapshot* snap) const;
   std::shared_ptr<const traj::DecodedTraj> Pin(const Target& target);
-  QueryResult ExecuteOne(const QueryRequest& req, unsigned range_threads);
+  QueryResult ExecuteOne(const QueryRequest& req, unsigned range_threads,
+                         const TierSnapshot* snap);
   traj::RangeResult RangeInternal(const network::Rect& region,
                                   traj::Timestamp tq, double alpha,
-                                  unsigned num_threads);
+                                  unsigned num_threads,
+                                  const TierSnapshot* snap);
   void RecordLatency(double micros);
 
   const core::UtcqQueryProcessor* single_ = nullptr;
   const shard::ShardedCorpus* sharded_ = nullptr;
+  const TierSource* tier_ = nullptr;
   EngineOptions opts_;
   DecodedTrajCache cache_;
 

@@ -50,6 +50,11 @@ ShardPlan MakeShardPlan(const traj::UncertainCorpus& corpus,
   for (uint32_t j = 0; j < corpus.size(); ++j) {
     uint32_t s = 0;
     switch (opts.policy) {
+      case ShardPolicy::kAppendLog:
+        // Not a planner policy — append-log sets are written generation by
+        // generation by ingest::Flusher. A stray request gets the default
+        // hash layout rather than a crash or a skewed single shard.
+        [[fallthrough]];
       case ShardPolicy::kHash:
         // Sequential trajectory ids must not all land in the same few
         // shards, so the id is mixed before the modulo.

@@ -34,6 +34,11 @@ enum class ShardPolicy : uint8_t {
   /// the same `time_window_s` window land in the same shard (modulo the
   /// shard count), so time-bounded scans touch few shards.
   kTimePartition = 1,
+  /// Streaming flush log (DESIGN.md §10): each shard is one flush
+  /// generation, members are the contiguous global ids sealed between two
+  /// flushes, in seal order. Written by ingest::Flusher, never by
+  /// MakeShardPlan.
+  kAppendLog = 2,
 };
 
 struct ShardOptions {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "archive/archive.h"
 #include "common/rng.h"
 #include "common/varint.h"
 #include "core/decoder.h"
@@ -185,6 +186,62 @@ TEST(Encoder, CompressedSmallerThanRaw) {
   // Component accounting matches the stream totals.
   const auto& bits = cc.compressed_bits();
   EXPECT_EQ(bits.total(), cc.total_bits());
+}
+
+TEST(Encoder, IncrementalAppendEqualsBatchBitExactly) {
+  // The streaming live shard grows its corpus one AppendTrajectory at a
+  // time; the whole stream-then-flush == batch guarantee reduces to this:
+  // Begin + Append* produces the very bytes Compress does.
+  common::Rng net_rng(404);
+  const auto profile = traj::ChengduProfile();
+  network::CityParams city = profile.city;
+  city.rows = 10;
+  city.cols = 10;
+  const network::RoadNetwork net = network::GenerateCity(net_rng, city);
+  traj::UncertainTrajectoryGenerator gen(net, profile, 12);
+  const traj::UncertainCorpus corpus = gen.GenerateCorpus(30);
+
+  UtcqParams params = PaperParams();
+  params.default_interval_s = profile.default_interval_s;
+  const UtcqCompressor compressor(net, params);
+
+  std::vector<std::vector<NrefFactorLayout>> batch_layouts;
+  const CompressedCorpus batch = compressor.Compress(corpus, &batch_layouts);
+
+  CompressedCorpus incr = compressor.Begin();
+  std::vector<std::vector<NrefFactorLayout>> incr_layouts;
+  for (const traj::UncertainTrajectory& tu : corpus) {
+    incr_layouts.emplace_back();
+    compressor.AppendTrajectory(tu, &incr, &incr_layouts.back());
+  }
+
+  EXPECT_EQ(batch.t_stream().size_bits(), incr.t_stream().size_bits());
+  EXPECT_EQ(batch.t_stream().bytes(), incr.t_stream().bytes());
+  EXPECT_EQ(batch.ref_stream().size_bits(), incr.ref_stream().size_bits());
+  EXPECT_EQ(batch.ref_stream().bytes(), incr.ref_stream().bytes());
+  EXPECT_EQ(batch.nref_stream().size_bits(), incr.nref_stream().size_bits());
+  EXPECT_EQ(batch.nref_stream().bytes(), incr.nref_stream().bytes());
+  EXPECT_EQ(batch.structure_stream().size_bits(),
+            incr.structure_stream().size_bits());
+  EXPECT_EQ(batch.structure_stream().bytes(),
+            incr.structure_stream().bytes());
+  EXPECT_EQ(batch.num_trajectories(), incr.num_trajectories());
+  EXPECT_EQ(batch.compressed_bits().total(), incr.compressed_bits().total());
+
+  ASSERT_EQ(batch_layouts.size(), incr_layouts.size());
+  for (size_t j = 0; j < batch_layouts.size(); ++j) {
+    ASSERT_EQ(batch_layouts[j].size(), incr_layouts[j].size()) << j;
+    for (size_t k = 0; k < batch_layouts[j].size(); ++k) {
+      EXPECT_EQ(batch_layouts[j][k].factor_entry_start,
+                incr_layouts[j][k].factor_entry_start);
+      EXPECT_EQ(batch_layouts[j][k].factor_bit_offset,
+                incr_layouts[j][k].factor_bit_offset);
+    }
+  }
+
+  // Metas and params included: the serialized archives agree byte for byte.
+  EXPECT_EQ(archive::ArchiveWriter(batch).Serialize(),
+            archive::ArchiveWriter(incr).Serialize());
 }
 
 TEST(Encoder, MorePivotsNeverCrash) {

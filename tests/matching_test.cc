@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <optional>
+
 #include "common/rng.h"
 #include "matching/hmm_matcher.h"
 #include "network/generator.h"
@@ -134,6 +137,136 @@ TEST(HmmMatcher, RejectsDegenerateInput) {
   // Points far outside the network cannot be matched.
   traj::RawTrajectory far{{1e7, 1e7, 0}, {1e7, 1e7, 10}};
   EXPECT_FALSE(matcher.Match(far).has_value());
+}
+
+/// Exact-equality helper: dropped garbage must leave the match *identical*
+/// to matching the cleaned stream, not merely similar.
+bool SameMatch(const std::optional<traj::UncertainTrajectory>& a,
+               const std::optional<traj::UncertainTrajectory>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a.has_value()) return true;
+  if (a->times != b->times || a->instances.size() != b->instances.size()) {
+    return false;
+  }
+  for (size_t w = 0; w < a->instances.size(); ++w) {
+    if (!(a->instances[w] == b->instances[w])) return false;
+  }
+  return true;
+}
+
+TEST(HmmMatcher, LongGapBreaksInsteadOfBogusContinuity) {
+  MatcherFixture fx;
+  auto profile = traj::ChengduProfile();
+  profile.gps_noise_m = 5.0;
+  traj::UncertainTrajectoryGenerator gen(fx.net, profile, 55);
+  const HmmMatcher matcher(fx.net, *fx.grid, {});
+
+  int splits_seen = 0;
+  for (int trial = 0; trial < 8 && splits_seen < 2; ++trial) {
+    auto rt = gen.GenerateRaw();
+    if (rt.raw.size() < 8) continue;
+    if (!matcher.Match(rt.raw).has_value()) continue;
+    // The vehicle goes silent for two hours mid-trip without moving: the
+    // matcher must not stitch the halves into one continuous trajectory.
+    traj::RawTrajectory gapped = rt.raw;
+    for (size_t i = gapped.size() / 2; i < gapped.size(); ++i) {
+      gapped[i].t += 7200;
+    }
+    EXPECT_FALSE(matcher.Match(gapped).has_value());
+
+    const auto segments = matcher.MatchSegments(gapped);
+    ASSERT_GE(segments.size(), 1u);
+    EXPECT_LE(segments.size(), 2u);
+    for (const auto& seg : segments) {
+      EXPECT_EQ(traj::Validate(fx.net, seg), "");
+      // No segment spans the gap.
+      EXPECT_TRUE(seg.times.back() <= gapped[gapped.size() / 2 - 1].t ||
+                  seg.times.front() >= gapped[gapped.size() / 2].t);
+    }
+    if (segments.size() == 2) {
+      EXPECT_LT(segments[0].times.back(), segments[1].times.front());
+      ++splits_seen;
+    }
+
+    // With the gap check disabled the old (bridging) behaviour remains
+    // available explicitly.
+    MatchParams no_gap;
+    no_gap.max_gap_s = 0;
+    const HmmMatcher bridger(fx.net, *fx.grid, no_gap);
+    EXPECT_TRUE(bridger.Match(gapped).has_value());
+  }
+  EXPECT_GE(splits_seen, 1) << "no trial produced an actual two-way split";
+}
+
+TEST(HmmMatcher, NonFinitePointsAreDroppedExactly) {
+  MatcherFixture fx;
+  auto profile = traj::ChengduProfile();
+  profile.gps_noise_m = 5.0;
+  traj::UncertainTrajectoryGenerator gen(fx.net, profile, 61);
+  const HmmMatcher matcher(fx.net, *fx.grid, {});
+  auto rt = gen.GenerateRaw();
+  ASSERT_GE(rt.raw.size(), 4u);
+
+  traj::RawTrajectory poisoned = rt.raw;
+  const auto mid_t = (rt.raw[1].t + rt.raw[2].t) / 2;
+  poisoned.insert(poisoned.begin() + 2,
+                  {std::numeric_limits<double>::quiet_NaN(),
+                   std::numeric_limits<double>::infinity(), mid_t});
+  EXPECT_TRUE(SameMatch(matcher.Match(poisoned), matcher.Match(rt.raw)));
+}
+
+TEST(HmmMatcher, OutOfOrderPointsAreDroppedExactly) {
+  MatcherFixture fx;
+  auto profile = traj::ChengduProfile();
+  profile.gps_noise_m = 5.0;
+  traj::UncertainTrajectoryGenerator gen(fx.net, profile, 67);
+  const HmmMatcher matcher(fx.net, *fx.grid, {});
+  auto rt = gen.GenerateRaw();
+  ASSERT_GE(rt.raw.size(), 5u);
+
+  // A fix stamped *before* its predecessors (clock jump) must be skipped.
+  traj::RawTrajectory jumbled = rt.raw;
+  traj::RawPoint stale = jumbled[3];
+  stale.t = jumbled[0].t - 5;
+  jumbled.insert(jumbled.begin() + 3, stale);
+  EXPECT_TRUE(SameMatch(matcher.Match(jumbled), matcher.Match(rt.raw)));
+}
+
+TEST(HmmMatcher, TeleportedPointIsDroppedExactly) {
+  MatcherFixture fx;
+  auto profile = traj::ChengduProfile();
+  profile.gps_noise_m = 5.0;
+  traj::UncertainTrajectoryGenerator gen(fx.net, profile, 71);
+  const HmmMatcher matcher(fx.net, *fx.grid, {});
+  auto rt = gen.GenerateRaw();
+  ASSERT_GE(rt.raw.size(), 4u);
+
+  // A single fix far outside the network (no candidate within radius) is
+  // skipped; the surrounding stream still matches as before.
+  traj::RawTrajectory teleported = rt.raw;
+  teleported.insert(teleported.begin() + 2,
+                    {1e7, 1e7, (rt.raw[1].t + rt.raw[2].t) / 2});
+  EXPECT_TRUE(SameMatch(matcher.Match(teleported), matcher.Match(rt.raw)));
+}
+
+TEST(HmmMatcher, MatchSegmentsEqualsMatchOnCleanTraces) {
+  MatcherFixture fx;
+  auto profile = traj::ChengduProfile();
+  profile.gps_noise_m = 8.0;
+  traj::UncertainTrajectoryGenerator gen(fx.net, profile, 83);
+  const HmmMatcher matcher(fx.net, *fx.grid, {});
+  int checked = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto rt = gen.GenerateRaw();
+    const auto single = matcher.Match(rt.raw);
+    const auto segments = matcher.MatchSegments(rt.raw);
+    if (!single.has_value()) continue;
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_TRUE(SameMatch(
+        single, std::optional<traj::UncertainTrajectory>(segments.front())));
+    ++checked;
+  }
+  EXPECT_GE(checked, 3);
 }
 
 TEST(HmmMatcher, DropsDuplicateTimestamps) {
