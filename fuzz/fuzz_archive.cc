@@ -1,0 +1,87 @@
+// Fuzz target: the §6 container decoder and everything a hostile archive
+// can reach behind it — header/section/CRC validation, meta bounds, the
+// SIAR / Exp-Golomb / PDDP bitstream walks, referential expansion and
+// instance reconstruction, and the StIU tuple deserialization. An input
+// that opens must decode without crashing, hanging or reading out of
+// bounds; answers are free to be empty.
+//
+// Build flavors (CMake UTCQ_BUILD_FUZZERS): with Clang this links
+// libFuzzer; elsewhere fuzz/standalone_main.cc replays corpus files.
+// Seed corpus: fuzz/make_seed_corpus.cc writes archives from real saves.
+
+#include <cstdint>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "archive/archive.h"
+#include "common/rng.h"
+#include "core/decoder.h"
+#include "core/query.h"
+#include "core/stiu_index.h"
+#include "network/generator.h"
+#include "network/grid_index.h"
+
+namespace {
+
+/// The network every archive is opened against (corpus-independent state a
+/// real caller provides). Deterministic and built once.
+const utcq::network::RoadNetwork& Net() {
+  static const utcq::network::RoadNetwork* net = [] {
+    utcq::common::Rng rng(100);
+    utcq::network::CityParams params;
+    params.rows = 8;
+    params.cols = 8;
+    return new utcq::network::RoadNetwork(
+        utcq::network::GenerateCity(rng, params));
+  }();
+  return *net;
+}
+
+/// Bounds keeping a single input's work proportional to its size: crafted
+/// counts are either rejected by the decoder or clamped here, never a
+/// timeout.
+constexpr size_t kMaxTrajDecodes = 64;
+constexpr uint32_t kMaxIndexCells = 64;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  utcq::archive::ArchivePayload payload;
+  std::string error;
+  utcq::archive::DecodeArchive(data, size, &payload, &error);
+
+  utcq::archive::ArchiveReader reader;
+  if (!reader.OpenBytes(std::vector<uint8_t>(data, data + size), &error)) {
+    return 0;
+  }
+
+  // The archive passed validation: everything reachable from it must now
+  // be total. Decode a bounded number of trajectories in full.
+  const utcq::core::CorpusView view = reader.view();
+  const utcq::core::UtcqDecoder decoder(Net(), view);
+  const size_t n = std::min(view.num_trajectories(), kMaxTrajDecodes);
+  for (size_t j = 0; j < n; ++j) {
+    (void)decoder.DecodeTimes(j);
+    (void)decoder.DecodeTraj(j);
+  }
+
+  // Reload the StIU tuples and push a query through the full stack.
+  if (reader.has_index() && reader.index_cells_per_side() > 0 &&
+      reader.index_cells_per_side() <= kMaxIndexCells) {
+    const utcq::network::GridIndex grid(Net(), reader.index_cells_per_side());
+    const auto index = reader.LoadIndex(grid, &error);
+    if (index != nullptr) {
+      const utcq::core::UtcqQueryProcessor qp(Net(), view, *index);
+      for (size_t j = 0; j < n; ++j) {
+        (void)qp.Where(j, 43200, 0.25);
+        (void)qp.When(j, 0, 0.5, 0.25);
+      }
+      const auto bbox = Net().bounding_box();
+      (void)qp.Range({bbox.min_x, bbox.min_y, bbox.max_x, bbox.max_y}, 43200,
+                     0.25);
+    }
+  }
+  return 0;
+}

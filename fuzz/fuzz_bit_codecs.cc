@@ -1,0 +1,55 @@
+// Fuzz target: the bit-level codecs every compressed stream is built from —
+// order-k Exp-Golomb, the paper's improved (signed) Exp-Golomb, and the
+// PDDP lossy [0,1] codec. A reader over arbitrary bytes must terminate
+// (bounded unary runs latch MarkOverflow, they never shift out of range)
+// and PDDP reconstructions must stay inside [0, 1); violations trap.
+
+#include <cstdint>
+#include <cstddef>
+
+#include "common/bitstream.h"
+#include "common/exp_golomb.h"
+#include "common/pddp.h"
+
+namespace {
+
+constexpr int kMaxDecodes = 4096;
+
+void DrainExpGolomb(const uint8_t* data, size_t size, int k) {
+  utcq::common::BitReader r(data, size * 8);
+  for (int i = 0; i < kMaxDecodes && !r.overflow(); ++i) {
+    (void)utcq::common::GetExpGolomb(r, k);
+  }
+}
+
+void DrainImproved(const uint8_t* data, size_t size) {
+  utcq::common::BitReader r(data, size * 8);
+  for (int i = 0; i < kMaxDecodes && !r.overflow(); ++i) {
+    (void)utcq::common::GetImprovedExpGolomb(r);
+  }
+}
+
+void DrainPddp(const uint8_t* data, size_t size, double eta) {
+  const utcq::common::PddpCodec codec(eta);
+  utcq::common::BitReader r(data, size * 8);
+  for (int i = 0; i < kMaxDecodes && !r.overflow(); ++i) {
+    const double v = codec.Decode(r);
+    // PDDP codes are binary expansions with weights 2^-1..2^-I: any
+    // successful decode lies in [0, 1). Out-of-range output would corrupt
+    // probabilities and relative distances downstream.
+    if (!r.overflow() && !(v >= 0.0 && v < 1.0)) __builtin_trap();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  DrainExpGolomb(data, size, 0);
+  DrainExpGolomb(data, size, 1);
+  DrainExpGolomb(data, size, 3);
+  DrainImproved(data, size);
+  DrainPddp(data, size, 1.0 / 128.0);
+  DrainPddp(data, size, 1.0 / 512.0);
+  DrainPddp(data, size, 1.0 / 2048.0);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fuzz target: the shard-manifest decoder (§8). Manifests are the smallest
+// archive-set file yet the most security-sensitive — they name other files
+// on disk — so decoding must reject absolute paths, ".." traversal,
+// overlapping or descending member lists and crafted counts without ever
+// crashing. A decoded manifest must satisfy the documented invariants;
+// violating them is a finding, enforced here with a trap so the fuzzer
+// flags it.
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+#include "archive/archive.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  utcq::archive::ShardManifest manifest;
+  std::string error;
+  if (!utcq::archive::DecodeShardManifest(data, size, &manifest, &error)) {
+    return 0;
+  }
+  for (const auto& shard : manifest.shards) {
+    // Relative, traversal-free filenames: no absolute paths, no ".." as a
+    // path component (".." inside a name like "a..b" is harmless), no NULs
+    // — mirroring SafeRelativeFilename in archive.cc.
+    if (!shard.file.empty() && shard.file.front() == '/') __builtin_trap();
+    if (shard.file.find('\0') != std::string::npos) __builtin_trap();
+    std::string part;
+    for (size_t i = 0; i <= shard.file.size(); ++i) {
+      if (i == shard.file.size() || shard.file[i] == '/') {
+        if (part == "..") __builtin_trap();
+        part.clear();
+      } else {
+        part.push_back(shard.file[i]);
+      }
+    }
+    // Strictly ascending member lists.
+    for (size_t i = 1; i < shard.members.size(); ++i) {
+      if (shard.members[i] <= shard.members[i - 1]) __builtin_trap();
+    }
+  }
+  // Round trip: a decoded manifest must re-encode and re-decode cleanly.
+  const auto bytes = utcq::archive::EncodeShardManifest(manifest);
+  utcq::archive::ShardManifest again;
+  if (!utcq::archive::DecodeShardManifest(bytes.data(), bytes.size(), &again,
+                                          &error)) {
+    __builtin_trap();
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Gate CI on the line coverage of src/.
+
+Reads an lcov tracefile (as emitted by `llvm-cov export -format=lcov` or by
+lcov/gcov tooling), aggregates DA: line records for files under src/, and
+fails when the covered-line percentage drops below the floor recorded in
+scripts/coverage_floor.txt.
+
+The floor is a ratchet: it holds the value measured when the coverage gate
+was merged (minus a small cross-tool margin — gcov and llvm-cov count
+slightly different line sets), and maintainers bump it as real coverage
+grows. It must never be lowered to make a red build green.
+
+Usage: check_coverage.py <tracefile.lcov> [--floor-file scripts/coverage_floor.txt]
+"""
+
+import argparse
+import os
+import sys
+from collections import defaultdict
+
+
+def parse_lcov(path):
+    """Returns {source_file: {line: max_hit_count}}."""
+    files = defaultdict(dict)
+    current = None
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if line.startswith("SF:"):
+                current = line[3:]
+            elif line.startswith("DA:") and current is not None:
+                parts = line[3:].split(",")
+                if len(parts) < 2:
+                    continue
+                try:
+                    lineno, hits = int(parts[0]), int(parts[1])
+                except ValueError:
+                    continue
+                prev = files[current].get(lineno, 0)
+                files[current][lineno] = max(prev, hits)
+            elif line == "end_of_record":
+                current = None
+    return files
+
+
+def src_key(path, repo_root):
+    """Repo-relative key for files under <repo_root>/src/, else None.
+
+    Anchored to the repo checkout, not a bare "/src/" substring: coverage
+    builds may compile third-party sources from paths like
+    /usr/src/googletest, which must never count toward the gate.
+    """
+    normalized = os.path.abspath(path).replace("\\", "/")
+    anchor = repo_root.rstrip("/") + "/src/"
+    if normalized.startswith(anchor):
+        return "src/" + normalized[len(anchor):]
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("tracefile")
+    parser.add_argument(
+        "--floor-file",
+        default=os.path.join(os.path.dirname(__file__), "coverage_floor.txt"),
+    )
+    parser.add_argument(
+        "--repo-root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="checkout root; only files under <root>/src/ are counted",
+    )
+    args = parser.parse_args()
+    repo_root = os.path.abspath(args.repo_root).replace("\\", "/")
+
+    with open(args.floor_file, "r", encoding="utf-8") as fh:
+        floor = None
+        for line in fh:
+            line = line.split("#", 1)[0].strip()
+            if line:
+                floor = float(line)
+                break
+    if floor is None:
+        print(f"no floor value found in {args.floor_file}", file=sys.stderr)
+        return 2
+
+    per_file = defaultdict(lambda: [0, 0])  # key -> [covered, instrumented]
+    for path, lines in parse_lcov(args.tracefile).items():
+        key = src_key(path, repo_root)
+        if key is None:
+            continue
+        per_file[key][1] += len(lines)
+        per_file[key][0] += sum(1 for hits in lines.values() if hits > 0)
+
+    total_covered = sum(v[0] for v in per_file.values())
+    total_lines = sum(v[1] for v in per_file.values())
+    if total_lines == 0:
+        print("tracefile contains no src/ lines — wrong file?", file=sys.stderr)
+        return 2
+
+    percent = 100.0 * total_covered / total_lines
+    print(f"src/ line coverage: {total_covered}/{total_lines} = {percent:.2f}%"
+          f" (floor {floor:.2f}%)")
+    for key in sorted(per_file, key=lambda k: per_file[k][0] / max(1, per_file[k][1])):
+        covered, lines = per_file[key]
+        pct = 100.0 * covered / max(1, lines)
+        if pct < 100.0:
+            print(f"  {pct:6.2f}%  {key} ({covered}/{lines})")
+
+    if percent < floor:
+        print(f"FAIL: coverage {percent:.2f}% is below the floor {floor:.2f}%",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

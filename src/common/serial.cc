@@ -107,6 +107,10 @@ uint64_t ByteReader::GetVarint() {
 int64_t ByteReader::GetSignedVarint() { return ZigZagDecode(GetVarint()); }
 
 bool ByteReader::GetBytes(void* out, size_t size) {
+  // Zero-length reads succeed without touching `out`: empty vectors hand in
+  // data() == nullptr, and memcpy/memset with a null pointer is UB even at
+  // size 0 (an empty-corpus archive's stream sections hit exactly this).
+  if (size == 0) return true;
   const uint8_t* p = BorrowBytes(size);
   if (p == nullptr) {
     std::memset(out, 0, size);

@@ -130,7 +130,12 @@ DecodedInstance UtcqDecoder::DecodeNonReference(
   }
 
   // --- T' ---
-  const size_t trimmed_len = e_len >= 2 ? e_len - 2 : 0;
+  // Sized from the entries actually materialized, not the raw e_len: a
+  // crafted length field whose E block the loop above cut short must not
+  // become a giant tflag allocation (each literal bit below costs one
+  // stream bit, but resize/reserve would pay up front).
+  const size_t trimmed_len =
+      d.entries.size() >= 2 ? d.entries.size() - 2 : 0;
   const auto mode = static_cast<TflagMode>(r.GetBits(2));
   switch (mode) {
     case TflagMode::kIdentical:

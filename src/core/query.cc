@@ -151,6 +151,7 @@ std::vector<traj::WhereHit> UtcqQueryProcessor::WhereImpl(
     size_t traj_idx, Timestamp t, double alpha, const traj::DecodedTraj* dt,
     QueryStats* stats) const {
   std::vector<traj::WhereHit> hits;
+  if (traj_idx >= cc().num_trajectories()) return hits;  // untrusted id
   const TrajMeta& meta = cc().meta(traj_idx);
   dt = UsableHandle(meta, dt);
   if (t < meta.t_first || t > meta.t_last) return hits;
@@ -204,6 +205,7 @@ std::vector<traj::WhenHit> UtcqQueryProcessor::WhenImpl(
     size_t traj_idx, network::EdgeId edge, double rd, double alpha,
     const traj::DecodedTraj* dt, QueryStats* stats) const {
   std::vector<traj::WhenHit> hits;
+  if (traj_idx >= cc().num_trajectories()) return hits;  // untrusted id
   const TrajMeta& meta = cc().meta(traj_idx);
   dt = UsableHandle(meta, dt);
 

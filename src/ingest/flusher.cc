@@ -17,6 +17,20 @@ std::string BaseName(const std::string& path) {
 
 }  // namespace
 
+const char* FlushStepName(FlushStep step) {
+  switch (step) {
+    case FlushStep::kBeforeArchiveWrite:
+      return "before-archive-write";
+    case FlushStep::kAfterArchiveWrite:
+      return "after-archive-write";
+    case FlushStep::kAfterManifestSwap:
+      return "after-manifest-swap";
+    case FlushStep::kBeforeHandoff:
+      return "before-handoff";
+  }
+  return "unknown-step";
+}
+
 Flusher::Flusher(const network::RoadNetwork& net, std::string manifest_path)
     : net_(net), manifest_path_(std::move(manifest_path)) {
   manifest_.policy = static_cast<uint8_t>(shard::ShardPolicy::kAppendLog);
@@ -50,6 +64,18 @@ bool Flusher::Flush(const LiveSnapshot& live, std::string* error,
     return fail("live snapshot base disagrees with the sealed set");
   }
 
+  // Crash matrix: the hook simulates a process crash at the given step.
+  const auto crash = [&](FlushStep step) {
+    return hook_ && !hook_(step);
+  };
+  const auto crashed = [&fail](FlushStep step) {
+    return fail(std::string("flush aborted by crash hook at step ") +
+                FlushStepName(step));
+  };
+  if (crash(FlushStep::kBeforeArchiveWrite)) {
+    return crashed(FlushStep::kBeforeArchiveWrite);
+  }
+
   const uint32_t gen = static_cast<uint32_t>(manifest_.shards.size());
   // Step 1: the generation's archive, atomically, *before* any publication.
   // A leftover file from a crashed previous attempt is simply overwritten.
@@ -59,10 +85,8 @@ bool Flusher::Flush(const LiveSnapshot& live, std::string* error,
   }
 
   // Injectable crash between archive write and manifest swap.
-  if (hook_ && !hook_()) {
-    return fail(
-        "flush aborted by pre-publish hook (simulated crash between archive "
-        "write and manifest swap)");
+  if (crash(FlushStep::kAfterArchiveWrite)) {
+    return crashed(FlushStep::kAfterArchiveWrite);
   }
 
   // Step 2: the manifest swap is the publication point.
@@ -80,14 +104,22 @@ bool Flusher::Flush(const LiveSnapshot& live, std::string* error,
     return false;
   }
 
-  // The swap published the generation: record it *before* the reopen, so
-  // even a (freak) reopen failure can never lead to a later flush
-  // overwriting an already-published archive file.
+  // The swap published the generation: record it *before* the reopen (and
+  // before any injected crash), so even a (freak) reopen failure can never
+  // lead to a later flush overwriting an already-published archive file.
   manifest_ = std::move(next);
+
+  if (crash(FlushStep::kAfterManifestSwap)) {
+    return crashed(FlushStep::kAfterManifestSwap);
+  }
 
   // Step 3: reopen the published set for the caller to swap in.
   auto corpus = std::make_shared<shard::ShardedCorpus>();
   if (!corpus->Open(net_, manifest_path_, error)) return false;
+
+  if (crash(FlushStep::kBeforeHandoff)) {
+    return crashed(FlushStep::kBeforeHandoff);
+  }
   *new_sealed = std::move(corpus);
   return true;
 }

@@ -12,6 +12,33 @@
 
 namespace utcq::ingest {
 
+/// Publication steps of one Flush, in execution order. The declarative
+/// crash matrix (tests/ingest_test.cc, DESIGN.md §11) injects a simulated
+/// crash before/after each transition and asserts the on-disk invariant:
+/// a reopen after a crash at any step sees either exactly the pre-flush
+/// set (steps before the manifest swap) or exactly the post-flush set
+/// (steps at or after it) — never a torn one.
+enum class FlushStep : uint8_t {
+  /// Nothing written yet; the generation archive is about to be saved.
+  kBeforeArchiveWrite = 0,
+  /// Generation archive on disk (atomically), manifest not yet swapped —
+  /// the orphan-archive window; a retry simply overwrites the file.
+  kAfterArchiveWrite = 1,
+  /// Manifest swapped (the publication point) and the flusher's in-memory
+  /// manifest committed to match; the set is not yet reopened.
+  kAfterManifestSwap = 2,
+  /// Post-flush set reopened; the corpus is about to be handed to the
+  /// caller for tier publication (sealed-swap + live-trim).
+  kBeforeHandoff = 3,
+};
+
+inline constexpr FlushStep kAllFlushSteps[] = {
+    FlushStep::kBeforeArchiveWrite, FlushStep::kAfterArchiveWrite,
+    FlushStep::kAfterManifestSwap, FlushStep::kBeforeHandoff};
+
+/// Human-readable step name (crash-matrix failure messages).
+const char* FlushStepName(FlushStep step);
+
 /// Durability mechanism of the streaming tier (DESIGN.md §10): freezes a
 /// live-shard snapshot into the next generation of an append-log archive
 /// set — one §6 container per flush next to a §8 manifest whose shard s is
@@ -47,10 +74,27 @@ class Flusher {
   bool Flush(const LiveSnapshot& live, std::string* error,
              std::shared_ptr<const shard::ShardedCorpus>* new_sealed);
 
-  /// Crash-injection point for tests: runs between the archive write and
-  /// the manifest swap; returning false aborts the flush right there.
+  /// Crash-injection matrix for tests: invoked at every FlushStep in
+  /// order; returning false aborts the flush right there, simulating a
+  /// process crash at that publication step. Steps at or after
+  /// kAfterManifestSwap abort *after* the on-disk swap, so the flush
+  /// "fails" yet the generation is durably published — exactly the state
+  /// a real crash leaves, and this object's manifest stays committed to
+  /// match the disk (a later flush can never overwrite the published
+  /// archive).
+  using CrashHook = std::function<bool(FlushStep)>;
+  void set_crash_hook(CrashHook hook) { hook_ = std::move(hook); }
+
+  /// Back-compat single-point hook: fires at kAfterArchiveWrite only (the
+  /// original archive-written/manifest-not-swapped crash window).
   void set_pre_publish_hook(std::function<bool()> hook) {
-    hook_ = std::move(hook);
+    if (!hook) {
+      hook_ = nullptr;
+      return;
+    }
+    hook_ = [hook = std::move(hook)](FlushStep step) {
+      return step != FlushStep::kAfterArchiveWrite || hook();
+    };
   }
 
   const std::string& manifest_path() const { return manifest_path_; }
@@ -62,7 +106,7 @@ class Flusher {
   const network::RoadNetwork& net_;
   std::string manifest_path_;
   archive::ShardManifest manifest_;  // the published set
-  std::function<bool()> hook_;
+  CrashHook hook_;
 };
 
 }  // namespace utcq::ingest

@@ -81,6 +81,10 @@ class StreamingService final : public serve::TierSource {
   void set_flush_hook(std::function<bool()> hook) {
     flusher_.set_pre_publish_hook(std::move(hook));
   }
+  /// Full crash matrix (every FlushStep); see Flusher::set_crash_hook.
+  void set_flush_crash_hook(Flusher::CrashHook hook) {
+    flusher_.set_crash_hook(std::move(hook));
+  }
 
   // --- serving (serve::TierSource) ---
   std::shared_ptr<const serve::TierSnapshot> Acquire() const override;

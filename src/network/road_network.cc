@@ -40,6 +40,9 @@ EdgeId RoadNetwork::AddEdge(VertexId from, VertexId to, double length) {
 }
 
 EdgeId RoadNetwork::OutEdge(VertexId v, uint32_t no) const {
+  // Decoders resolve vertices from untrusted streams through this lookup;
+  // an out-of-range vertex is "no such edge", not an out-of-bounds read.
+  if (v >= out_edges_.size()) return kInvalidEdge;
   if (no == 0 || no > out_edges_[v].size()) return kInvalidEdge;
   return out_edges_[v][no - 1];
 }

@@ -250,6 +250,9 @@ bool ShardedCorpus::Open(const network::RoadNetwork& net,
 std::vector<traj::WhereHit> ShardedCorpus::Where(
     size_t traj_idx, traj::Timestamp t, double alpha,
     core::QueryStats* stats) const {
+  // Untrusted / out-of-range ids (and the unopened corpus, whose routing
+  // table is empty) answer empty instead of walking off the table.
+  if (traj_idx >= route_.size()) return {};
   const auto [s, local] = route_[traj_idx];
   return shards_[s]->queries->Where(local, t, alpha, stats);
 }
@@ -258,6 +261,7 @@ std::vector<traj::WhenHit> ShardedCorpus::When(size_t traj_idx,
                                                network::EdgeId edge, double rd,
                                                double alpha,
                                                core::QueryStats* stats) const {
+  if (traj_idx >= route_.size()) return {};
   const auto [s, local] = route_[traj_idx];
   return shards_[s]->queries->When(local, edge, rd, alpha, stats);
 }

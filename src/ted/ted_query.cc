@@ -56,6 +56,7 @@ std::vector<traj::WhereHit> TedQueryProcessor::WhereImpl(
     size_t traj_idx, Timestamp t, double alpha,
     const traj::DecodedTraj* dt) const {
   std::vector<traj::WhereHit> hits;
+  if (traj_idx >= compressed_.num_trajectories()) return hits;
   const TedTrajMeta& meta = compressed_.meta(traj_idx);
   dt = UsableHandle(meta, dt);
   if (t < meta.t_first || t > meta.t_last) return hits;
@@ -97,6 +98,7 @@ std::vector<traj::WhenHit> TedQueryProcessor::WhenImpl(
     size_t traj_idx, network::EdgeId edge, double rd, double alpha,
     const traj::DecodedTraj* dt) const {
   std::vector<traj::WhenHit> hits;
+  if (traj_idx >= compressed_.num_trajectories()) return hits;
   const TedTrajMeta& meta = compressed_.meta(traj_idx);
   dt = UsableHandle(meta, dt);
   const std::vector<Timestamp> times_storage =

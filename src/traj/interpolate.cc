@@ -119,6 +119,9 @@ std::optional<TrajectoryInstance> ReconstructInstance(
     const std::vector<uint32_t>& entries, const std::vector<uint8_t>& tflag,
     const std::vector<double>& rds, double probability) {
   if (entries.size() != tflag.size()) return std::nullopt;
+  // The start vertex arrives as a raw 32-bit field from a possibly
+  // untrusted stream; everything after it is derived from real edges.
+  if (sv >= net.num_vertices()) return std::nullopt;
   TrajectoryInstance inst;
   inst.probability = probability;
   network::VertexId cursor = sv;

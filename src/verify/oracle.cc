@@ -1,0 +1,129 @@
+#include "verify/oracle.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "traj/interpolate.h"
+
+namespace utcq::verify {
+
+using network::Rect;
+using traj::NetworkPosition;
+using traj::Timestamp;
+using traj::TrajectoryInstance;
+
+namespace {
+
+struct Bracket {
+  size_t index = 0;
+  Timestamp t0 = 0;
+  Timestamp t1 = 0;
+};
+
+/// Naive forward scan for the bracketing samples i, i+1 with
+/// times[i] <= t <= times[i+1]: the first i satisfying t <= times[i+1],
+/// starting from the very beginning — the semantics the engines' partial
+/// T decompression (UtcqDecoder::BracketTime seeded from a temporal tuple)
+/// must agree with on any strictly increasing time sequence.
+std::optional<Bracket> FindBracket(const std::vector<Timestamp>& times,
+                                   Timestamp t) {
+  if (times.empty() || t < times.front() || t > times.back()) {
+    return std::nullopt;
+  }
+  if (times.size() == 1) return Bracket{0, times[0], times[0]};
+  for (size_t i = 0; i + 1 < times.size(); ++i) {
+    if (t <= times[i + 1]) return Bracket{i, times[i], times[i + 1]};
+  }
+  return std::nullopt;
+}
+
+/// Constant-speed interpolation between the bracketing locations — the same
+/// arithmetic, in the same order, as the engines' PositionInBracket, built
+/// on the shared traj:: helpers so positions agree to floating-point noise.
+NetworkPosition PositionInBracket(const network::RoadNetwork& net,
+                                  const TrajectoryInstance& inst,
+                                  const Bracket& b, Timestamp t) {
+  if (b.index + 1 >= inst.locations.size() || b.t1 <= b.t0) {
+    const auto& loc =
+        inst.locations[std::min(b.index, inst.locations.size() - 1)];
+    return {inst.path[loc.path_index],
+            loc.rd * net.edge(inst.path[loc.path_index]).length};
+  }
+  const double d0 = traj::PathOffsetOfLocation(net, inst, b.index);
+  const double d1 = traj::PathOffsetOfLocation(net, inst, b.index + 1);
+  const double f =
+      static_cast<double>(t - b.t0) / static_cast<double>(b.t1 - b.t0);
+  return traj::PositionAtPathOffset(net, inst, d0 + (d1 - d0) * f);
+}
+
+}  // namespace
+
+Oracle::Oracle(const network::RoadNetwork& net,
+               const traj::UncertainCorpus& corpus, double eta_d)
+    : net_(net), corpus_(corpus), eta_d_(eta_d) {}
+
+std::vector<traj::WhereHit> Oracle::Where(size_t traj_idx, Timestamp t,
+                                          double alpha) const {
+  std::vector<traj::WhereHit> hits;
+  if (traj_idx >= corpus_.size()) return hits;
+  const traj::UncertainTrajectory& tu = corpus_[traj_idx];
+  const auto bracket = FindBracket(tu.times, t);
+  if (!bracket.has_value()) return hits;
+  for (size_t w = 0; w < tu.instances.size(); ++w) {
+    const TrajectoryInstance& inst = tu.instances[w];
+    if (inst.probability < alpha) continue;
+    if (inst.locations.empty() || inst.path.empty()) continue;
+    hits.push_back({static_cast<uint32_t>(w), inst.probability,
+                    PositionInBracket(net_, inst, *bracket, t)});
+  }
+  return hits;
+}
+
+std::vector<traj::WhenHit> Oracle::When(size_t traj_idx, network::EdgeId edge,
+                                        double rd, double alpha) const {
+  std::vector<traj::WhenHit> hits;
+  if (traj_idx >= corpus_.size()) return hits;
+  const traj::UncertainTrajectory& tu = corpus_[traj_idx];
+  // The engines evaluate lossily-coded relative distances, so they widen
+  // the sampled span by the D quantization bound; apply the identical
+  // widening to admit the identical borderline traversals.
+  const double tol = 2.0 * eta_d_ * net_.edge(edge).length + 1e-6;
+  for (size_t w = 0; w < tu.instances.size(); ++w) {
+    const TrajectoryInstance& inst = tu.instances[w];
+    if (inst.probability < alpha) continue;
+    for (const Timestamp t :
+         traj::TimesAtPosition(net_, inst, tu.times, edge, rd, tol)) {
+      hits.push_back({static_cast<uint32_t>(w), inst.probability, t});
+    }
+  }
+  return hits;
+}
+
+double Oracle::OverlapMass(size_t traj_idx, const Rect& region,
+                           Timestamp tq) const {
+  if (traj_idx >= corpus_.size()) return 0.0;
+  const traj::UncertainTrajectory& tu = corpus_[traj_idx];
+  const auto bracket = FindBracket(tu.times, tq);
+  if (!bracket.has_value()) return 0.0;
+  double mass = 0.0;
+  for (const TrajectoryInstance& inst : tu.instances) {
+    if (inst.locations.empty() || inst.path.empty()) continue;
+    const NetworkPosition pos = PositionInBracket(net_, inst, *bracket, tq);
+    const network::Vertex xy = net_.PointOnEdge(pos.edge, pos.ndist);
+    if (region.Contains(xy.x, xy.y)) mass += inst.probability;
+  }
+  return mass;
+}
+
+traj::RangeResult Oracle::Range(const Rect& region, Timestamp tq,
+                                double alpha) const {
+  traj::RangeResult result;
+  for (size_t j = 0; j < corpus_.size(); ++j) {
+    if (OverlapMass(j, region, tq) >= alpha) {
+      result.push_back(static_cast<uint32_t>(j));
+    }
+  }
+  return result;
+}
+
+}  // namespace utcq::verify

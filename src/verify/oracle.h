@@ -1,0 +1,73 @@
+#ifndef UTCQ_VERIFY_ORACLE_H_
+#define UTCQ_VERIFY_ORACLE_H_
+
+#include <vector>
+
+#include "network/geometry.h"
+#include "network/road_network.h"
+#include "traj/query_types.h"
+#include "traj/types.h"
+
+namespace utcq::verify {
+
+/// Brute-force reference implementations of the three probabilistic queries
+/// (Definitions 10-12), the ground truth of the differential harness
+/// (DESIGN.md §11). Deliberately naive: every query scans the raw
+/// trajectory data front to back with no index, no pruning lemma, no cache
+/// and no decoded-handle reuse, allocating fresh scratch per call. Being
+/// slow and obvious is the point — there is nothing here that can share a
+/// bug with the engines under test.
+///
+/// Hit-for-hit equality with the compressed engines holds when the oracle
+/// scans the *decompressed* corpus (UtcqDecoder::DecompressAll output, or
+/// the TED equivalent): compression quantizes probabilities and relative
+/// distances, so the oracle must see the same post-quantization data the
+/// engines reconstruct. What the differential harness then proves is that
+/// the StIU index, the four pruning lemmas, partial decompression,
+/// sharding, caching, batching and the live/sealed tier never change an
+/// answer relative to a full scan of identical data.
+class Oracle {
+ public:
+  /// `corpus` is scanned by reference and must outlive the oracle. `eta_d`
+  /// is the relative-distance error bound of the engine under test
+  /// (UtcqParams::eta_d / TedParams::eta_d): When widens its sampled span
+  /// by the same quantization tolerance the engines apply, so borderline
+  /// traversals are admitted identically on both sides.
+  Oracle(const network::RoadNetwork& net, const traj::UncertainCorpus& corpus,
+         double eta_d);
+
+  /// where(Tu^j, t, alpha): one hit per instance with probability >= alpha,
+  /// in original instance order. Out-of-range `traj_idx` answers empty —
+  /// the contract every public query API is held to.
+  std::vector<traj::WhereHit> Where(size_t traj_idx, traj::Timestamp t,
+                                    double alpha) const;
+
+  /// when(Tu^j, <edge, rd>, alpha): every traversal timestamp of every
+  /// instance with probability >= alpha, in original instance order.
+  std::vector<traj::WhenHit> When(size_t traj_idx, network::EdgeId edge,
+                                  double rd, double alpha) const;
+
+  /// range(Tu, RE, tq, alpha): trajectory ids (ascending) whose overlap
+  /// probability mass at tq reaches alpha.
+  traj::RangeResult Range(const network::Rect& region, traj::Timestamp tq,
+                          double alpha) const;
+
+  /// Overlap probability mass of trajectory `traj_idx` with `region` at
+  /// `tq` — the quantity Range thresholds against alpha. Exposed so the
+  /// differential driver can recognize borderline workloads where
+  /// floating-point summation order legitimately decides the comparison.
+  double OverlapMass(size_t traj_idx, const network::Rect& region,
+                     traj::Timestamp tq) const;
+
+  const traj::UncertainCorpus& corpus() const { return corpus_; }
+  double eta_d() const { return eta_d_; }
+
+ private:
+  const network::RoadNetwork& net_;
+  const traj::UncertainCorpus& corpus_;
+  double eta_d_;
+};
+
+}  // namespace utcq::verify
+
+#endif  // UTCQ_VERIFY_ORACLE_H_

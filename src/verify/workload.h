@@ -1,0 +1,85 @@
+#ifndef UTCQ_VERIFY_WORKLOAD_H_
+#define UTCQ_VERIFY_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/corpus_meta.h"
+#include "network/road_network.h"
+#include "traj/profiles.h"
+#include "traj/types.h"
+
+namespace utcq::verify {
+
+/// One query of a generated mix, in the union layout the serving layer uses
+/// (the slot matching `kind` is meaningful, the rest stay default).
+struct QueryCase {
+  enum class Kind : uint8_t { kWhere, kWhen, kRange };
+
+  Kind kind = Kind::kWhere;
+  uint32_t traj = 0;         // where/when target (may be out of range!)
+  traj::Timestamp t = 0;     // where time / range tq
+  network::EdgeId edge = 0;  // when
+  double rd = 0.0;           // when
+  network::Rect region{};    // range
+  double alpha = 0.0;
+};
+
+/// Everything one differential round runs on: a random road network, a
+/// corpus mixing generator output with hand-built degenerate shapes, the
+/// compression parameters, and a query mix that deliberately includes
+/// boundary times, alpha extremes and out-of-range trajectory ids.
+struct Workload {
+  uint64_t seed = 0;
+  network::RoadNetwork net;
+  traj::DatasetProfile profile;
+  core::UtcqParams params;
+  /// Structurally valid trajectories (traj::Validate returns "") — the set
+  /// every engine compresses and serves.
+  traj::UncertainCorpus corpus;
+  /// Degenerate trajectories Validate must reject (duplicate timestamps,
+  /// unordered locations); the harness asserts the rejection and keeps
+  /// them out of the compressed paths.
+  traj::UncertainCorpus invalid;
+  std::vector<QueryCase> queries;
+};
+
+struct WorkloadOptions {
+  uint32_t min_city_side = 8;
+  uint32_t max_city_side = 12;
+  /// Generator-produced trajectories; the degenerate shapes are appended on
+  /// top of these.
+  uint32_t num_trajectories = 16;
+  uint32_t num_point_queries = 10;  // one where + one when each
+  uint32_t num_range_queries = 8;
+  /// Point count of the max-length degenerate trajectory.
+  uint32_t max_length_points = 120;
+};
+
+/// Seeded generator of complete differential workloads. Every random draw
+/// routes through one common::Rng seeded once, so a workload is a pure
+/// function of (seed, options) — the failure seed printed by the harness
+/// reproduces the exact network, corpus and query mix.
+class WorkloadGen {
+ public:
+  explicit WorkloadGen(uint64_t seed, WorkloadOptions opts = {});
+
+  Workload Generate();
+
+ private:
+  /// Single-edge / zero-duration / max-length valid shapes plus the
+  /// invalid ones; appended to the workload by Generate.
+  void AppendDegenerates(Workload& w);
+  traj::UncertainTrajectory SingleEdge(const network::RoadNetwork& net);
+  traj::UncertainTrajectory ZeroDuration(const network::RoadNetwork& net);
+  void MakeQueries(Workload& w);
+
+  uint64_t seed_;
+  WorkloadOptions opts_;
+  common::Rng rng_;
+};
+
+}  // namespace utcq::verify
+
+#endif  // UTCQ_VERIFY_WORKLOAD_H_

@@ -12,6 +12,7 @@
 #include "network/generator.h"
 #include "traj/generator.h"
 #include "traj/profiles.h"
+#include "test_fixtures.h"
 
 namespace utcq::archive {
 namespace {
@@ -20,11 +21,7 @@ namespace {
 struct ArchiveFixture {
   ArchiveFixture() {
     const auto profile = traj::ChengduProfile();
-    common::Rng net_rng(100);
-    network::CityParams small = profile.city;
-    small.rows = 14;
-    small.cols = 14;
-    net = network::GenerateCity(net_rng, small);
+    net = test::MakeSmallCity(profile, 14);
     traj::UncertainTrajectoryGenerator gen(net, profile, 7070);
     corpus = gen.GenerateCorpus(50);
     grid = std::make_unique<network::GridIndex>(net, 16);

@@ -9,6 +9,7 @@
 #include "paper_example.h"
 #include "traj/generator.h"
 #include "traj/profiles.h"
+#include "test_fixtures.h"
 
 namespace utcq::core {
 namespace {
@@ -125,11 +126,7 @@ class EncoderProfileRoundTrip : public ::testing::TestWithParam<int> {};
 TEST_P(EncoderProfileRoundTrip, LosslessButForQuantization) {
   const auto profiles = traj::AllProfiles();
   const auto& profile = profiles[static_cast<size_t>(GetParam())];
-  common::Rng net_rng(100);
-  network::CityParams small = profile.city;
-  small.rows = 16;
-  small.cols = 16;
-  const auto net = network::GenerateCity(net_rng, small);
+  const auto net = test::MakeSmallCity(profile, 16);
   traj::UncertainTrajectoryGenerator gen(net, profile, 51);
   const auto corpus = gen.GenerateCorpus(60);
 

@@ -29,6 +29,7 @@
 #include "shard/sharded.h"
 #include "traj/generator.h"
 #include "traj/profiles.h"
+#include "test_fixtures.h"
 
 namespace utcq::ingest {
 namespace {
@@ -36,11 +37,7 @@ namespace {
 struct IngestFixture {
   IngestFixture() {
     const auto profile = traj::ChengduProfile();
-    common::Rng net_rng(100);
-    network::CityParams small = profile.city;
-    small.rows = 14;
-    small.cols = 14;
-    net = network::GenerateCity(net_rng, small);
+    net = test::MakeSmallCity(profile, 14);
     grid = std::make_unique<network::GridIndex>(net, 16);
 
     auto gen_profile = profile;
@@ -391,7 +388,7 @@ TEST(StreamingService, CrashBetweenArchiveWriteAndManifestSwapIsNeverTorn) {
   // Kill the flush between archive write and manifest swap.
   svc.set_flush_hook([] { return false; });
   EXPECT_FALSE(svc.Flush(&error));
-  EXPECT_NE(error.find("pre-publish hook"), std::string::npos) << error;
+  EXPECT_NE(error.find("after-archive-write"), std::string::npos) << error;
 
   // In-process: nothing was lost or published.
   EXPECT_EQ(svc.num_generations(), 1u);
@@ -511,6 +508,121 @@ TEST(StreamingService, EmptyServiceAnswersEmpty) {
   EXPECT_TRUE(svc.Flush(&error)) << error;
   EXPECT_EQ(svc.num_generations(), 0u);
 }
+
+// ---------------------------------------------------------- crash matrix
+//
+// The declarative crash/fault matrix (DESIGN.md §11): a simulated process
+// crash is injected at *every* publication step of a flush, on both a
+// fresh set and one with an already-published generation, and each case
+// asserts the single durability invariant — a reopen from disk sees either
+// exactly the pre-flush set or exactly the post-flush set, never a torn
+// one — plus loss-freedom: whatever the reopen is missing is still
+// recoverable (pre-publication crashes retry; post-publication crashes
+// already persisted everything).
+
+class FlushCrashMatrix
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FlushCrashMatrix, EveryReopenIsFullyPreOrFullyPostFlush) {
+  const auto step = static_cast<FlushStep>(std::get<0>(GetParam()));
+  const bool with_prior_generation = std::get<1>(GetParam()) == 1;
+  IngestFixture& f = Fixture();
+  SCOPED_TRACE(std::string("crash at ") + FlushStepName(step) +
+               (with_prior_generation ? " on generation 1"
+                                      : " on generation 0"));
+
+  const std::string path =
+      f.TempPath("crash_matrix_" + std::to_string(std::get<0>(GetParam())) +
+                 "_" + std::to_string(std::get<1>(GetParam())) + ".utcq");
+  traj::UncertainTrajectoryGenerator gen(f.net, traj::ChengduProfile(), 555);
+  const auto corpus = gen.GenerateCorpus(8);
+
+  core::StiuParams iparams = f.opts.index_params;
+  iparams.cells_per_side = f.grid->cells_per_side();
+  LiveShard live(f.net, *f.grid, f.opts.params, iparams);
+  Flusher flusher(f.net, path);
+  std::string error;
+  std::shared_ptr<const shard::ShardedCorpus> sealed;
+  ASSERT_TRUE(flusher.Open(&error, &sealed)) << error;
+
+  size_t base_count = 0;
+  if (with_prior_generation) {
+    for (size_t j = 0; j < 3; ++j) live.Append(corpus[j]);
+    const auto snap = live.Snapshot();
+    ASSERT_TRUE(flusher.Flush(*snap, &error, &sealed)) << error;
+    live.DropFlushed(snap->count());
+    base_count = 3;
+  }
+  for (size_t j = base_count; j < corpus.size(); ++j) live.Append(corpus[j]);
+  const size_t tail_count = corpus.size() - base_count;
+  const auto snap = live.Snapshot();
+  ASSERT_NE(snap, nullptr);
+
+  // Crash exactly at the parameterized step.
+  flusher.set_crash_hook([step](FlushStep s) { return s != step; });
+  std::shared_ptr<const shard::ShardedCorpus> unused;
+  EXPECT_FALSE(flusher.Flush(*snap, &error, &unused));
+  EXPECT_NE(error.find(FlushStepName(step)), std::string::npos) << error;
+  EXPECT_EQ(unused, nullptr);
+
+  // Steps strictly before the manifest swap leave the pre-flush set; steps
+  // at or after it have durably published the generation.
+  const bool published = step >= FlushStep::kAfterManifestSwap;
+
+  // Simulated restart: a fresh flusher reads only the disk.
+  {
+    Flusher restarted(f.net, path);
+    std::shared_ptr<const shard::ShardedCorpus> reopened;
+    ASSERT_TRUE(restarted.Open(&error, &reopened)) << error;
+    const size_t want =
+        published ? base_count + tail_count : base_count;
+    EXPECT_EQ(restarted.num_sealed(), want);
+    EXPECT_EQ(restarted.num_generations(),
+              (with_prior_generation ? 1u : 0u) + (published ? 1u : 0u));
+    ASSERT_EQ(reopened != nullptr, want > 0);
+    if (reopened != nullptr) {
+      EXPECT_EQ(reopened->num_trajectories(), want);
+    }
+
+    // Loss-freedom: after a pre-publication crash the recovered process
+    // retries the flush (the live shard still holds the tail) and ends up
+    // with everything published; after a post-publication crash everything
+    // already is.
+    if (!published) {
+      std::shared_ptr<const shard::ShardedCorpus> retried;
+      ASSERT_TRUE(restarted.Flush(*snap, &error, &retried)) << error;
+      ASSERT_NE(retried, nullptr);
+      EXPECT_EQ(retried->num_trajectories(), corpus.size());
+    }
+  }
+
+  // Whatever the path, the final on-disk set now holds the full corpus and
+  // its point queries answer from every generation.
+  {
+    Flusher final_open(f.net, path);
+    std::shared_ptr<const shard::ShardedCorpus> full;
+    ASSERT_TRUE(final_open.Open(&error, &full)) << error;
+    ASSERT_NE(full, nullptr);
+    ASSERT_EQ(full->num_trajectories(), corpus.size());
+    for (size_t j = 0; j < corpus.size(); ++j) {
+      EXPECT_FALSE(
+          full->Where(j, corpus[j].times.front(), 0.0).empty())
+          << "trajectory " << j;
+    }
+  }
+
+  IngestFixture::Cleanup(path, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSteps, FlushCrashMatrix,
+    ::testing::Combine(
+        ::testing::Values(
+            static_cast<int>(FlushStep::kBeforeArchiveWrite),
+            static_cast<int>(FlushStep::kAfterArchiveWrite),
+            static_cast<int>(FlushStep::kAfterManifestSwap),
+            static_cast<int>(FlushStep::kBeforeHandoff)),
+        ::testing::Values(0, 1)));
 
 }  // namespace
 }  // namespace utcq::ingest

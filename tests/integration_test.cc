@@ -9,6 +9,7 @@
 #include "traj/generator.h"
 #include "traj/profiles.h"
 #include "traj/statistics.h"
+#include "test_fixtures.h"
 
 namespace utcq {
 namespace {
@@ -16,11 +17,7 @@ namespace {
 struct ProfileFixture {
   explicit ProfileFixture(const traj::DatasetProfile& p, size_t trajectories)
       : profile(p) {
-    common::Rng net_rng(100);
-    network::CityParams small = profile.city;
-    small.rows = 18;
-    small.cols = 18;
-    net = network::GenerateCity(net_rng, small);
+    net = test::MakeSmallCity(profile, 18);
     traj::UncertainTrajectoryGenerator gen(net, profile, 2024);
     corpus = gen.GenerateCorpus(trajectories);
   }

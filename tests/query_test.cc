@@ -10,6 +10,7 @@
 #include "paper_example.h"
 #include "traj/generator.h"
 #include "traj/profiles.h"
+#include "test_fixtures.h"
 
 namespace utcq::core {
 namespace {
@@ -147,11 +148,7 @@ class QueryAgreement : public ::testing::TestWithParam<int> {};
 TEST_P(QueryAgreement, CompressedEnginesMatchGroundTruth) {
   const auto profiles = traj::AllProfiles();
   const auto& profile = profiles[static_cast<size_t>(GetParam())];
-  common::Rng net_rng(100);
-  network::CityParams small = profile.city;
-  small.rows = 14;
-  small.cols = 14;
-  const auto net = network::GenerateCity(net_rng, small);
+  const auto net = test::MakeSmallCity(profile, 14);
   traj::UncertainTrajectoryGenerator gen(net, profile, 333);
   const auto corpus = gen.GenerateCorpus(80);
 
@@ -236,11 +233,7 @@ INSTANTIATE_TEST_SUITE_P(Profiles, QueryAgreement, ::testing::Values(0, 1, 2));
 
 TEST(RangeAgreement, CompressedMatchesPlain) {
   const auto profile = traj::ChengduProfile();
-  common::Rng net_rng(100);
-  network::CityParams small = profile.city;
-  small.rows = 14;
-  small.cols = 14;
-  const auto net = network::GenerateCity(net_rng, small);
+  const auto net = test::MakeSmallCity(profile, 14);
   traj::UncertainTrajectoryGenerator gen(net, profile, 444);
   const auto corpus = gen.GenerateCorpus(80);
 
@@ -298,11 +291,7 @@ TEST(RangeAgreement, CompressedMatchesPlain) {
 
 TEST(QueryStatsAccounting, LemmasActuallyFire) {
   const auto profile = traj::HangzhouProfile();
-  common::Rng net_rng(100);
-  network::CityParams small = profile.city;
-  small.rows = 14;
-  small.cols = 14;
-  const auto net = network::GenerateCity(net_rng, small);
+  const auto net = test::MakeSmallCity(profile, 14);
   traj::UncertainTrajectoryGenerator gen(net, profile, 555);
   const auto corpus = gen.GenerateCorpus(60);
   UtcqParams params;

@@ -24,6 +24,7 @@
 #include "ted/ted_query.h"
 #include "traj/generator.h"
 #include "traj/profiles.h"
+#include "test_fixtures.h"
 
 namespace utcq::serve {
 namespace {
@@ -31,11 +32,7 @@ namespace {
 struct ServeFixture {
   ServeFixture() {
     const auto profile = traj::ChengduProfile();
-    common::Rng net_rng(100);
-    network::CityParams small = profile.city;
-    small.rows = 14;
-    small.cols = 14;
-    net = network::GenerateCity(net_rng, small);
+    net = test::MakeSmallCity(profile, 14);
     traj::UncertainTrajectoryGenerator gen(net, profile, 777);
     corpus = gen.GenerateCorpus(50);
     grid = std::make_unique<network::GridIndex>(net, 16);

@@ -14,6 +14,7 @@
 #include "shard/sharded.h"
 #include "traj/generator.h"
 #include "traj/profiles.h"
+#include "test_fixtures.h"
 
 namespace utcq::shard {
 namespace {
@@ -23,11 +24,7 @@ namespace {
 struct ShardFixture {
   ShardFixture() {
     const auto profile = traj::ChengduProfile();
-    common::Rng net_rng(100);
-    network::CityParams small = profile.city;
-    small.rows = 14;
-    small.cols = 14;
-    net = network::GenerateCity(net_rng, small);
+    net = test::MakeSmallCity(profile, 14);
     traj::UncertainTrajectoryGenerator gen(net, profile, 4242);
     corpus = gen.GenerateCorpus(60);
     grid = std::make_unique<network::GridIndex>(net, 16);

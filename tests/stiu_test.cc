@@ -8,6 +8,7 @@
 #include "paper_example.h"
 #include "traj/generator.h"
 #include "traj/profiles.h"
+#include "test_fixtures.h"
 
 namespace utcq::core {
 namespace {
@@ -15,11 +16,7 @@ namespace {
 struct StiuFixture {
   StiuFixture() {
     const auto profile = traj::ChengduProfile();
-    common::Rng net_rng(100);
-    network::CityParams small = profile.city;
-    small.rows = 14;
-    small.cols = 14;
-    net = network::GenerateCity(net_rng, small);
+    net = test::MakeSmallCity(profile, 14);
     traj::UncertainTrajectoryGenerator gen(net, profile, 606);
     corpus = gen.GenerateCorpus(60);
     grid = std::make_unique<network::GridIndex>(net, 16);

@@ -7,6 +7,7 @@
 #include "traj/interpolate.h"
 #include "traj/statistics.h"
 #include "traj/types.h"
+#include "test_fixtures.h"
 
 namespace utcq::traj {
 namespace {
@@ -33,6 +34,18 @@ TEST(Types, PaperTimeFlagBits) {
   int ones = 0;
   for (const auto b : t1) ones += b;
   EXPECT_EQ(ones, 7);
+}
+
+TEST(Types, ReconstructInstanceRejectsOutOfRangeStartVertex) {
+  // Regression (found by fuzz_archive): a crafted valid-CRC archive can
+  // carry any 32-bit start vertex; reconstruction must refuse it instead
+  // of indexing past the adjacency table.
+  const auto ex = test::MakePaperExample();
+  const auto bad_sv =
+      static_cast<network::VertexId>(ex.net.num_vertices()) + 7;
+  EXPECT_EQ(ReconstructInstance(ex.net, bad_sv, {1}, {1}, {0.5}, 1.0),
+            std::nullopt);
+  EXPECT_EQ(ex.net.OutEdge(bad_sv, 1), network::kInvalidEdge);
 }
 
 TEST(Types, StartVertexAndValidate) {
@@ -99,11 +112,7 @@ class GeneratorPerProfile : public ::testing::TestWithParam<int> {};
 TEST_P(GeneratorPerProfile, ProducesValidTrajectories) {
   const auto profiles = AllProfiles();
   const DatasetProfile& profile = profiles[static_cast<size_t>(GetParam())];
-  common::Rng net_rng(100);
-  network::CityParams small = profile.city;
-  small.rows = 16;
-  small.cols = 16;
-  const auto net = network::GenerateCity(net_rng, small);
+  const auto net = test::MakeSmallCity(profile, 16);
   UncertainTrajectoryGenerator gen(net, profile, 7);
   const auto corpus = gen.GenerateCorpus(40);
   ASSERT_EQ(corpus.size(), 40u);
@@ -117,11 +126,7 @@ TEST_P(GeneratorPerProfile, ProducesValidTrajectories) {
 TEST_P(GeneratorPerProfile, IntervalMixTracksProfile) {
   const auto profiles = AllProfiles();
   const DatasetProfile& profile = profiles[static_cast<size_t>(GetParam())];
-  common::Rng net_rng(100);
-  network::CityParams small = profile.city;
-  small.rows = 16;
-  small.cols = 16;
-  const auto net = network::GenerateCity(net_rng, small);
+  const auto net = test::MakeSmallCity(profile, 16);
   UncertainTrajectoryGenerator gen(net, profile, 13);
   const auto corpus = gen.GenerateCorpus(250);
   const IntervalHistogram h =
@@ -135,11 +140,7 @@ TEST_P(GeneratorPerProfile, IntervalMixTracksProfile) {
 TEST_P(GeneratorPerProfile, InstancesSimilarWithinTrajectory) {
   const auto profiles = AllProfiles();
   const DatasetProfile& profile = profiles[static_cast<size_t>(GetParam())];
-  common::Rng net_rng(100);
-  network::CityParams small = profile.city;
-  small.rows = 16;
-  small.cols = 16;
-  const auto net = network::GenerateCity(net_rng, small);
+  const auto net = test::MakeSmallCity(profile, 16);
   UncertainTrajectoryGenerator gen(net, profile, 23);
   const auto corpus = gen.GenerateCorpus(150);
   common::Rng rng(5);
