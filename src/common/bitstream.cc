@@ -1,5 +1,7 @@
 #include "common/bitstream.h"
 
+#include <cstring>
+
 namespace utcq::common {
 
 void BitWriter::PutBit(bool bit) {
@@ -30,24 +32,6 @@ bool BitWriter::BitAt(size_t pos) const {
 void BitWriter::Clear() {
   bytes_.clear();
   size_bits_ = 0;
-}
-
-bool BitReader::GetBit() {
-  if (pos_ >= size_bits_) {
-    overflow_ = true;
-    return false;
-  }
-  const bool bit = (data_[pos_ / 8] >> (7 - pos_ % 8)) & 1u;
-  ++pos_;
-  return bit;
-}
-
-uint64_t BitReader::GetBits(int width) {
-  uint64_t v = 0;
-  for (int i = 0; i < width; ++i) {
-    v = (v << 1) | static_cast<uint64_t>(GetBit());
-  }
-  return v;
 }
 
 int BitsFor(uint64_t n) {

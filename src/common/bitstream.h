@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 namespace utcq::common {
@@ -79,14 +80,127 @@ class BitReader {
   explicit BitReader(const BitSpan& span)
       : BitReader(span.data, span.size_bits) {}
 
+  // The four read primitives are defined in-class and force-inlined: they
+  // are the innermost ops of every decode kernel, and a call per bit/field
+  // would dominate at these sizes. always_inline also keeps each strategy
+  // TU's copy compiled under that TU's own ISA flags with no out-of-line
+  // body a linker could merge across differently-flagged TUs (the ODR
+  // hazard documented in strategies/word_kernels.h).
+#define UTCQ_BITSTREAM_INLINE inline __attribute__((always_inline))
+
   /// Reads one bit. Reading past the end returns 0 and sets overflow().
-  bool GetBit();
+  UTCQ_BITSTREAM_INLINE bool GetBit() {
+    if (pos_ >= size_bits_) {
+      overflow_ = true;
+      return false;
+    }
+    const bool bit = (data_[pos_ / 8] >> (7 - pos_ % 8)) & 1u;
+    ++pos_;
+    return bit;
+  }
 
   /// Reads `width` (<= 64) bits MSB-first into the low bits of the result.
-  uint64_t GetBits(int width);
+  /// Word-at-a-time: the field's bytes are loaded in one shot and
+  /// shifted/masked into place (a read that crosses the end of the stream
+  /// falls back to the bit loop so past-the-end bits stay phantom zeros and
+  /// overflow() latches, exactly as repeated GetBit() would behave).
+  UTCQ_BITSTREAM_INLINE uint64_t GetBits(int width) {
+    if (width <= 0) return 0;
+    const size_t uw = static_cast<size_t>(width);
+    if (pos_ + uw > size_bits_) {
+      // Crosses the end: keep the bit-loop semantics (in-range bits
+      // followed by phantom zeros, overflow latched, cursor saturated).
+      uint64_t v = 0;
+      for (int i = 0; i < width; ++i) {
+        v = (v << 1) | static_cast<uint64_t>(GetBit());
+      }
+      return v;
+    }
+    const size_t first = pos_ >> 3;
+    const int lead = static_cast<int>(pos_ & 7);
+    const int need = lead + width;  // bits spanned from the first byte; <= 71
+    pos_ += uw;
+    const uint64_t mask =
+        width == 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+    const size_t total_bytes = (size_bits_ + 7) >> 3;
+    if (first + 8 <= total_bytes) {
+      uint64_t word;
+      std::memcpy(&word, data_ + first, 8);
+      word = __builtin_bswap64(word);
+      if (need <= 64) return (word >> (64 - need)) & mask;
+      // The field runs into a ninth byte (lead > 0 and width near 64); that
+      // byte exists because pos_ + width <= size_bits_.
+      const int rem = need - 64;  // 1..7
+      return ((word << rem) | (data_[first + 8] >> (8 - rem))) & mask;
+    }
+    // Tail of the buffer: assemble exactly the spanned bytes.
+    uint64_t word = 0;
+    int loaded = 0;
+    const uint8_t* p = data_ + first;
+    while (loaded < need) {
+      word = (word << 8) | *p++;
+      loaded += 8;
+    }
+    return (word >> (loaded - need)) & mask;
+  }
+
+  /// The next 64 bits MSB-first without advancing. Bits past the end of the
+  /// stream read as zero *even when the backing buffer's final partial byte
+  /// carries garbage padding* (archives are untrusted), and overflow() is
+  /// not touched. Strategy kernels build unary-run scans on this.
+  UTCQ_BITSTREAM_INLINE uint64_t PeekBits64() const {
+    if (pos_ >= size_bits_) return 0;
+    const size_t avail = size_bits_ - pos_;
+    const size_t total_bytes = (size_bits_ + 7) >> 3;
+    const size_t first = pos_ >> 3;
+    const int lead = static_cast<int>(pos_ & 7);
+    uint64_t word;
+    if (first + 8 <= total_bytes) {
+      std::memcpy(&word, data_ + first, 8);
+      word = __builtin_bswap64(word);
+      word <<= lead;
+      if (lead != 0 && first + 8 < total_bytes) {
+        word |= static_cast<uint64_t>(data_[first + 8]) >> (8 - lead);
+      }
+    } else {
+      word = 0;
+      int loaded = 0;
+      for (size_t b = first; b < total_bytes; ++b) {
+        word = (word << 8) | data_[b];
+        loaded += 8;
+      }
+      word <<= 64 - loaded;  // left-justify (loaded is in [8, 56] here)
+      word <<= lead;         // drop the already-consumed bits
+    }
+    if (avail < 64) {
+      // Bits past size_bits() read as zero regardless of what the buffer's
+      // padding holds — an untrusted archive's final byte is not trusted
+      // to be canonically zero-padded.
+      word &= ~uint64_t{0} << (64 - avail);
+    }
+    return word;
+  }
+
+  /// Advances the cursor by `count` bits. Advancing past the end saturates
+  /// at size_bits() and latches overflow(), mirroring GetBit's behaviour.
+  UTCQ_BITSTREAM_INLINE void Advance(size_t count) {
+    const size_t rem = pos_ < size_bits_ ? size_bits_ - pos_ : 0;
+    if (count > rem) {
+      pos_ = size_bits_;
+      overflow_ = true;
+    } else {
+      pos_ += count;
+    }
+  }
+
+#undef UTCQ_BITSTREAM_INLINE
 
   /// Repositions the cursor to absolute bit `pos`.
   void Seek(size_t pos) { pos_ = pos; }
+
+  /// Backing bytes (for strategy kernels that assemble words themselves;
+  /// (size_bits() + 7) / 8 bytes are readable).
+  const uint8_t* data() const { return data_; }
 
   size_t position() const { return pos_; }
   size_t size_bits() const { return size_bits_; }

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "strategies/strategies.h"
+
 namespace utcq::common {
 
 void PutExpGolomb(BitWriter& w, uint64_t value, int k) {
@@ -13,22 +15,19 @@ void PutExpGolomb(BitWriter& w, uint64_t value, int k) {
 }
 
 uint64_t GetExpGolomb(BitReader& r, int k) {
-  int n = 0;
-  while (!r.GetBit()) {
-    ++n;
-    if (r.overflow()) return 0;
-    // No valid codeword has a unary prefix longer than 63 zeros (shifted
-    // would not fit in 64 bits); a crafted stream with a longer run must not
-    // reach the 1 << n below.
-    if (n > 63) {
-      r.MarkOverflow();
-      return 0;
-    }
-  }
+  return GetExpGolomb(r, strategies::Active(), k);
+}
+
+uint64_t GetExpGolomb(BitReader& r, const strategies::Kernels& ks, int k) {
+  // No valid codeword has a unary prefix longer than 63 zeros (shifted
+  // would not fit in 64 bits); the scan rejects longer runs — and runs
+  // truncated by the end of the stream — by latching overflow.
+  const int n = ks.scan_zero_run(r, 63);
+  if (n < 0) return 0;
   uint64_t shifted = uint64_t{1} << n;
-  shifted |= r.GetBits(n);
+  shifted |= ks.get_bits(r, n);
   uint64_t value = (shifted - 1) << k;
-  if (k > 0) value |= r.GetBits(k);
+  if (k > 0) value |= ks.get_bits(r, k);
   return value;
 }
 
@@ -61,24 +60,17 @@ void PutImprovedExpGolomb(BitWriter& w, int64_t delta) {
 }
 
 int64_t GetImprovedExpGolomb(BitReader& r) {
-  int j = 0;
-  while (r.GetBit()) {
-    ++j;
-    if (r.overflow()) return 0;
-    // Groups past 62 decode to magnitudes >= 2^63 - 1 that do not fit a
-    // positive int64_t; such runs only occur in crafted streams and would
-    // shift 1 << j out of range below.
-    if (j > 62) {
-      r.MarkOverflow();
-      return 0;
-    }
-  }
-  // A truncated stream ends the run with a phantom 0 bit instead of the
-  // in-loop overflow return; don't decode the garbage that follows.
-  if (r.overflow()) return 0;
-  if (j == 0) return 0;
-  const bool negative = r.GetBit();
-  const uint64_t offset = r.GetBits(j);
+  return GetImprovedExpGolomb(r, strategies::Active());
+}
+
+int64_t GetImprovedExpGolomb(BitReader& r, const strategies::Kernels& ks) {
+  // Groups past 62 decode to magnitudes >= 2^63 - 1 that do not fit a
+  // positive int64_t; the scan rejects such runs — and runs a truncated
+  // stream ends with a phantom 0 bit — by latching overflow.
+  const int j = ks.scan_one_run(r, 62);
+  if (j <= 0) return 0;  // group 0 holds only delta == 0
+  const bool negative = ks.get_bits(r, 1) != 0;
+  const uint64_t offset = ks.get_bits(r, j);
   const int64_t magnitude =
       static_cast<int64_t>(offset + ((uint64_t{1} << j) - 1));
   return negative ? -magnitude : magnitude;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "strategies/strategies.h"
+
 namespace utcq::common {
 
 PddpCodec::PddpCodec(double eta) : eta_(eta) {
@@ -43,17 +45,12 @@ void PddpCodec::Encode(BitWriter& w, double value) const {
 }
 
 double PddpCodec::Decode(BitReader& r) const {
-  const int length = static_cast<int>(r.GetBits(length_bits_));
-  // The length field is BitsFor(max_bits_) wide, so it can hold values up to
-  // (1 << length_bits_) - 1 > max_bits_; the encoder never emits them, and
-  // decoding one would produce an out-of-contract code. Reject instead.
-  if (length > max_bits_) {
-    r.MarkOverflow();
-    return 0.0;
-  }
-  const uint64_t code = r.GetBits(length);
-  if (length == 0) return 0.0;
-  return static_cast<double>(code) / std::ldexp(1.0, length);
+  // The kernel reads the BitsFor(max_bits_)-wide length field and the
+  // length code bits in one windowed extraction. Length fields above
+  // max_bits_ — which the encoder never emits, but the field is wide
+  // enough to hold — are rejected via MarkOverflow after consuming only
+  // the length field.
+  return strategies::Active().pddp_decode(r, length_bits_, max_bits_);
 }
 
 int PddpCodec::CodeLength(double value) const {

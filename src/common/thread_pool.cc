@@ -2,10 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
-#include <thread>
-#include <vector>
+#include <utility>
 
 namespace utcq::common {
+
+namespace {
+
+// Which pool (if any) the current thread is a worker of, and its index
+// there. Lets Submit route a worker's own submissions to its local queue,
+// and makes nested ParallelFor calls cheap to detect.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker_index = 0;
+
+}  // namespace
 
 unsigned DefaultThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -24,25 +33,163 @@ unsigned EffectiveThreads(size_t n, unsigned threads) {
   return std::max(threads, 1u);
 }
 
-void ParallelFor(size_t n, unsigned threads,
-                 const std::function<void(size_t)>& fn) {
+ThreadPool::ThreadPool(unsigned num_workers) {
+  queues_.reserve(num_workers);
+  for (unsigned i = 0; i < num_workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_workers);
+  for (unsigned i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // no one else to run it; degrade to inline execution
+    return;
+  }
+  // Count before publishing: a worker that wakes on pending_ > 0 but loses
+  // the race to the push simply rescans — transient, and the reverse order
+  // would let pending_ dip below zero.
+  pending_.fetch_add(1, std::memory_order_release);
+  if (tls_pool == this) {
+    WorkerQueue& q = *queues_[tls_worker_index];
+    std::lock_guard<std::mutex> lk(q.mu);
+    q.tasks.push_front(std::move(task));
+  } else {
+    std::lock_guard<std::mutex> lk(global_mu_);
+    global_.push_back(std::move(task));
+  }
+  {
+    // Empty critical section: pairs with the predicate check in WorkerLoop
+    // so a worker between "saw no work" and "asleep" cannot miss the wake.
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::FindTask(std::function<void()>* out, size_t self) {
+  if (self != kNotAWorker) {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.tasks.empty()) {
+      *out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(global_mu_);
+    if (!global_.empty()) {
+      *out = std::move(global_.front());
+      global_.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    if (i == self) continue;
+    WorkerQueue& q = *queues_[i];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.tasks.empty()) {
+      *out = std::move(q.tasks.back());  // steal the victim's oldest work
+      q.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  tls_pool = this;
+  tls_worker_index = self;
+  std::function<void()> task;
+  for (;;) {
+    if (FindTask(&task, self)) {
+      task();
+      task = nullptr;  // release captures before sleeping
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    if (stop_) return;  // nothing findable and shutting down: drained
+    cv_.wait(lk, [this] {
+      return stop_ || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_ && pending_.load(std::memory_order_acquire) == 0) return;
+  }
+}
+
+struct ThreadPool::ForState {
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  size_t n = 0;
+  const std::function<void(size_t)>* fn = nullptr;
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+void ThreadPool::DrainFor(ForState& s) {
+  for (size_t i = s.next.fetch_add(1, std::memory_order_relaxed); i < s.n;
+       i = s.next.fetch_add(1, std::memory_order_relaxed)) {
+    // Claiming i < n proves the loop is unfinished, so the caller — who
+    // owns `fn` — is still blocked in its completion wait: the pointer is
+    // safe to chase. A helper task that starts after completion claims
+    // i >= n and never touches it.
+    (*s.fn)(i);
+    if (s.done.fetch_add(1, std::memory_order_acq_rel) + 1 == s.n) {
+      std::lock_guard<std::mutex> lk(s.mu);
+      s.cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, unsigned threads,
+                             const std::function<void(size_t)>& fn) {
   threads = EffectiveThreads(n, threads);
-  if (n <= 1 || threads <= 1) {
+  if (n <= 1 || threads <= 1 || workers_.empty()) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::atomic<size_t> next{0};
-  const auto worker = [&] {
-    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-      fn(i);
-    }
-  };
-  const unsigned helpers = threads - 1;
-  std::vector<std::thread> pool;
-  pool.reserve(helpers);
-  for (unsigned t = 0; t < helpers; ++t) pool.emplace_back(worker);
-  worker();  // the calling thread pulls its share
-  for (std::thread& t : pool) t.join();
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->fn = &fn;
+  // The caller is participant #1; enlist at most the whole pool besides.
+  const unsigned helpers =
+      std::min(threads - 1, static_cast<unsigned>(workers_.size()));
+  for (unsigned h = 0; h < helpers; ++h) {
+    Submit([state] { DrainFor(*state); });
+  }
+  // Self-draining is what makes nesting deadlock-free: even if every
+  // worker is busy (perhaps blocked in an outer ParallelFor), the loop
+  // completes on the calling thread alone and the helper tasks become
+  // no-ops whenever they eventually run.
+  DrainFor(*state);
+  std::unique_lock<std::mutex> lk(state->mu);
+  state->cv.wait(lk, [&] {
+    return state->done.load(std::memory_order_acquire) >= state->n;
+  });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(DefaultThreads() - 1);
+  return pool;
+}
+
+void ParallelFor(size_t n, unsigned threads,
+                 const std::function<void(size_t)>& fn) {
+  ThreadPool::Shared().ParallelFor(n, threads, fn);
 }
 
 }  // namespace utcq::common

@@ -1,8 +1,14 @@
 #ifndef UTCQ_COMMON_THREAD_POOL_H_
 #define UTCQ_COMMON_THREAD_POOL_H_
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace utcq::common {
 
@@ -19,21 +25,98 @@ unsigned DefaultThreads();
 /// scaling regression.
 unsigned EffectiveThreads(size_t n, unsigned threads);
 
-/// Runs fn(i) for every i in [0, n) across EffectiveThreads(n, threads)
-/// worker threads (the calling thread is one of them) — requesting more
-/// threads than the hardware offers no longer oversubscribes. Work is
-/// handed out through a shared atomic counter, so uneven task costs balance
-/// automatically — important for shards of unequal size. Returns when every
-/// index has completed.
+/// Persistent work-stealing thread pool.
 ///
-/// Workers are spawned per call and joined before returning — there is no
-/// persistent pool, so each call pays thread start-up. Right for coarse
-/// tasks (shard compression, per-shard query fan-out); wrong for
-/// micro-parallelism inside a hot loop.
+/// Workers are spawned once, at construction, and live until destruction —
+/// ParallelFor fan-outs (shard compression, sealed-corpus builds, query
+/// batches) stopped paying per-call thread start-up when they moved onto
+/// this. Each worker owns a deque: it pushes and pops its own front (LIFO,
+/// for cache locality and so nested fan-outs drain depth-first) and steals
+/// from other workers' backs; tasks submitted from outside the pool land on
+/// a shared injection queue that every worker also drains.
 ///
-/// With threads <= 1 or n <= 1 everything runs inline on the caller.
-/// `fn` is invoked concurrently and must confine its writes to
-/// per-index state; it must not throw.
+/// Lifecycle / shutdown ordering (DESIGN.md §12): the destructor latches
+/// stop, wakes every worker, and joins. A worker only exits once it finds
+/// no runnable task with stop latched, so everything submitted *before*
+/// destruction began still runs; submitting concurrently with destruction
+/// is a caller bug. The process-wide Shared() pool is a function-local
+/// static, so it is torn down after main() returns, behind every static
+/// consumer that could still fan out.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` workers. Zero is valid and degrades gracefully:
+  /// Submit runs the task inline and ParallelFor runs entirely on the
+  /// caller — the shape single-core boxes and UTCQ_* test overrides get.
+  explicit ThreadPool(unsigned num_workers);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for some worker. Called from inside a worker of this
+  /// pool, the task goes to that worker's own queue (front); otherwise to
+  /// the shared injection queue. `task` must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(i) for every i in [0, n) across EffectiveThreads(n, threads)
+  /// participants — the calling thread always one of them, joined by up to
+  /// EffectiveThreads - 1 pool workers. Work is handed out through a shared
+  /// atomic counter, so uneven task costs balance automatically — important
+  /// for shards of unequal size. Returns when every index has completed.
+  ///
+  /// Safe to nest (a worker running a ParallelFor task may issue its own):
+  /// the inner caller participates in its own loop, so completion never
+  /// waits on a worker that is not already committed to the loop. With
+  /// threads <= 1 or n <= 1 everything runs inline on the caller.
+  /// `fn` is invoked concurrently and must confine its writes to
+  /// per-index state; it must not throw.
+  void ParallelFor(size_t n, unsigned threads,
+                   const std::function<void(size_t)>& fn);
+
+  unsigned num_workers() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// The process-wide pool: DefaultThreads() - 1 workers, so a saturating
+  /// ParallelFor (caller + workers) matches the hardware width. Built on
+  /// first use, destroyed after main() exits.
+  static ThreadPool& Shared();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+  struct ForState;
+
+  static constexpr size_t kNotAWorker = static_cast<size_t>(-1);
+
+  /// Worker `self`'s scavenging order: own front, injection queue, steal
+  /// another's back. External threads pass kNotAWorker.
+  bool FindTask(std::function<void()>* out, size_t self);
+  void WorkerLoop(size_t self);
+  static void DrainFor(ForState& s);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::mutex global_mu_;
+  std::deque<std::function<void()>> global_;
+
+  // Sleep bookkeeping: pending_ counts queued-but-unclaimed tasks; workers
+  // sleep on cv_ when a scavenge comes up empty.
+  std::mutex sleep_mu_;
+  std::condition_variable cv_;
+  std::atomic<size_t> pending_{0};
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn over [0, n) on the shared pool; see ThreadPool::ParallelFor.
+/// This is the entry point ShardedCompressor, ShardedCorpus and
+/// QueryEngine::ExecuteBatch all fan out through, which is what makes one
+/// process-wide set of workers serve every layer.
 void ParallelFor(size_t n, unsigned threads,
                  const std::function<void(size_t)>& fn);
 

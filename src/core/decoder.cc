@@ -1,11 +1,13 @@
 #include "core/decoder.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/exp_golomb.h"
 #include "common/varint.h"
 #include "core/improved_ted.h"
 #include "core/referential.h"
+#include "strategies/strategies.h"
 
 namespace utcq::core {
 
@@ -13,21 +15,49 @@ using common::BitReader;
 using common::BitsFor;
 
 std::vector<traj::Timestamp> UtcqDecoder::DecodeTimes(size_t j) const {
+  std::vector<traj::Timestamp> times;
+  DecodeTimesInto(j, &times);
+  return times;
+}
+
+void UtcqDecoder::DecodeTimesInto(size_t j,
+                                  std::vector<traj::Timestamp>* out) const {
+  out->clear();
   const TrajMeta& meta = cc_.meta(j);
   BitReader r = cc_.t_reader();
   r.Seek(meta.t_pos);
+  const strategies::Kernels& ks = strategies::Active();
   const uint64_t n = common::GetVarint(r);
-  const auto t0 = static_cast<traj::Timestamp>(r.GetBits(17));
+  const auto t0 = static_cast<traj::Timestamp>(ks.get_bits(r, 17));
   // Streams may come from an untrusted archive: every delta costs at least
   // one bit, so a count beyond the remaining bits is corrupt, not large.
-  if (n > 0 && n - 1 > r.remaining()) return {};
-  std::vector<int64_t> deltas;
-  deltas.reserve(n > 0 ? n - 1 : 0);
-  for (uint64_t i = 1; i < n; ++i) {
-    deltas.push_back(common::GetImprovedExpGolomb(r));
-    if (r.overflow()) return {};
+  if (n > 0 && n - 1 > r.remaining()) return;
+  // SIAR expansion fused into the decode loop: accumulating each timestamp
+  // as its delta comes off the stream skips the intermediate delta vector
+  // an explicit SiarExpand call would allocate per trajectory.
+  out->reserve(std::max<uint64_t>(n, 1));
+  out->push_back(t0);  // SiarExpand emitted t0 even for an empty delta list
+  traj::Timestamp t = t0;
+  const int64_t interval = cc_.params().default_interval_s;
+  // Deltas come off the stream through the batched kernel, a chunk per
+  // call; a short chunk means overflow latched mid-stream, which discards
+  // the whole sequence exactly as the per-symbol loop did.
+  int64_t deltas[128];
+  uint64_t left = n > 0 ? n - 1 : 0;
+  while (left > 0) {
+    const size_t chunk =
+        static_cast<size_t>(std::min<uint64_t>(left, std::size(deltas)));
+    const size_t got = ks.decode_ieg(r, deltas, chunk);
+    for (size_t i = 0; i < got; ++i) {
+      t += interval + deltas[i];
+      out->push_back(t);
+    }
+    if (got < chunk) {
+      out->clear();
+      return;
+    }
+    left -= chunk;
   }
-  return SiarExpand(t0, deltas, cc_.params().default_interval_s);
 }
 
 std::optional<UtcqDecoder::TimeBracket> UtcqDecoder::BracketTime(
@@ -42,9 +72,10 @@ std::optional<UtcqDecoder::TimeBracket> UtcqDecoder::BracketTime(
   }
   BitReader r = cc_.t_reader();
   r.Seek(t_pos);
+  const strategies::Kernels& ks = strategies::Active();
   traj::Timestamp cur = t_start;
   for (uint32_t i = t_no; i + 1 < meta.n_points; ++i) {
-    const int64_t delta = common::GetImprovedExpGolomb(r);
+    const int64_t delta = common::GetImprovedExpGolomb(r, ks);
     const traj::Timestamp next =
         cur + cc_.params().default_interval_s + delta;
     if (t <= next) return TimeBracket{i, cur, next};
@@ -71,37 +102,74 @@ std::optional<UtcqDecoder::TimeBracket> UtcqDecoder::BracketInTimes(
 }
 
 DecodedInstance UtcqDecoder::DecodeReference(size_t j, uint32_t ref_idx) const {
+  DecodedInstance d;
+  DecodeReferenceInto(j, ref_idx, &d);
+  return d;
+}
+
+void UtcqDecoder::DecodeReferenceInto(size_t j, uint32_t ref_idx,
+                                      DecodedInstance* out) const {
   const TrajMeta& meta = cc_.meta(j);
   const RefMeta& rm = meta.refs[ref_idx];
-  DecodedInstance d;
+  // Reset, keeping the vectors' capacity: a decode loop that threads one
+  // DecodedInstance through many instances allocates only while the
+  // buffers are still growing toward the corpus maximum.
+  DecodedInstance& d = *out;
+  d.entries.clear();
+  d.tflag_trimmed.clear();
+  d.rds.clear();
+  d.p = 0.0;
   BitReader r = cc_.ref_reader();
   r.Seek(rm.offset);
-  d.sv = static_cast<network::VertexId>(r.GetBits(32));
+  const strategies::Kernels& ks = strategies::Active();
+  d.sv = static_cast<network::VertexId>(ks.get_bits(r, 32));
   const uint64_t e_len = common::GetVarint(r);
   // Untrusted-stream guard: each entry costs >= 1 bit (entry_bits >= 1).
-  if (e_len > r.remaining()) return d;
+  if (e_len > r.remaining()) return;
   d.entries.resize(e_len);
-  for (auto& e : d.entries) {
-    e = static_cast<uint32_t>(r.GetBits(cc_.entry_bits()));
-  }
+  ks.read_fields(r, cc_.entry_bits(), d.entries.data(), d.entries.size());
   const size_t trimmed = e_len >= 2 ? e_len - 2 : 0;
   d.tflag_trimmed.resize(trimmed);
-  for (auto& b : d.tflag_trimmed) b = r.GetBit() ? 1 : 0;
+  ks.unpack_bits(r, d.tflag_trimmed.data(), d.tflag_trimmed.size());
+  // Per-point PDDP decodes call the kernel directly: routing each point
+  // through PddpCodec::Decode would redo the active-table load and an
+  // out-of-line call per point, pure overhead at this loop's trip count.
+  const common::PddpCodec& dc = cc_.d_codec();
   d.rds.resize(meta.n_points);
-  for (auto& rd : d.rds) rd = cc_.d_codec().Decode(r);
-  d.p = cc_.p_codec().Decode(r);
-  return d;
+  ks.pddp_run(r, dc.length_field_bits(), dc.max_code_bits(), d.rds.data(),
+              d.rds.size());
+  const common::PddpCodec& pc = cc_.p_codec();
+  d.p = ks.pddp_decode(r, pc.length_field_bits(), pc.max_code_bits());
 }
 
 DecodedInstance UtcqDecoder::DecodeNonReference(
     size_t j, uint32_t nref_idx, const DecodedInstance& ref) const {
+  DecodedInstance d;
+  DecodeNonReferenceInto(j, nref_idx, ref, &d);
+  return d;
+}
+
+void UtcqDecoder::DecodeNonReferenceInto(size_t j, uint32_t nref_idx,
+                                         const DecodedInstance& ref,
+                                         DecodedInstance* out) const {
   const TrajMeta& meta = cc_.meta(j);
   const NrefMeta& nm = meta.nrefs[nref_idx];
-  DecodedInstance d;
+  // Same capacity-preserving reset as DecodeReferenceInto; `ref` must not
+  // alias `out` (the expansion reads ref's entries while writing out's).
+  DecodedInstance& d = *out;
+  d.entries.clear();
+  d.tflag_trimmed.clear();
+  d.rds.clear();
+  d.p = 0.0;
   d.sv = ref.sv;  // SV(Nref) is omitted: identical to the reference's
 
   BitReader r = cc_.nref_reader();
   r.Seek(nm.offset);
+  // Every fixed-width read below goes through the active kernel table:
+  // these factor loops are the hottest part of non-reference decode, and
+  // the kBitloop tier must replicate the pre-dispatch bit-at-a-time cost
+  // to stay an honest benchmark baseline.
+  const strategies::Kernels& ks = strategies::Active();
 
   // --- E factors ---
   // Factor operands come straight off a possibly untrusted stream, so every
@@ -114,18 +182,20 @@ DecodedInstance UtcqDecoder::DecodeNonReference(
   const int l_bits = BitsFor(ref_e_len > 0 ? ref_e_len - 1 : 0);
   d.entries.reserve(std::min<uint64_t>(e_len, r.remaining()));
   while (d.entries.size() < e_len && !r.overflow()) {
-    const uint32_t s = static_cast<uint32_t>(r.GetBits(s_bits));
+    const uint32_t s = static_cast<uint32_t>(ks.get_bits(r, s_bits));
     if (s == ref_e_len) {  // case B
-      d.entries.push_back(static_cast<uint32_t>(r.GetBits(cc_.entry_bits())));
+      d.entries.push_back(
+          static_cast<uint32_t>(ks.get_bits(r, cc_.entry_bits())));
       continue;
     }
     if (s > ref_e_len) break;  // corrupt factor start
-    const uint32_t l = static_cast<uint32_t>(r.GetBits(l_bits)) + 1;
+    const uint32_t l = static_cast<uint32_t>(ks.get_bits(r, l_bits)) + 1;
     if (l > ref_e_len - s) break;  // corrupt copy length
     d.entries.insert(d.entries.end(), ref.entries.begin() + s,
                      ref.entries.begin() + s + l);
     if (d.entries.size() < e_len) {
-      d.entries.push_back(static_cast<uint32_t>(r.GetBits(cc_.entry_bits())));
+      d.entries.push_back(
+          static_cast<uint32_t>(ks.get_bits(r, cc_.entry_bits())));
     }
   }
 
@@ -136,14 +206,14 @@ DecodedInstance UtcqDecoder::DecodeNonReference(
   // stream bit, but resize/reserve would pay up front).
   const size_t trimmed_len =
       d.entries.size() >= 2 ? d.entries.size() - 2 : 0;
-  const auto mode = static_cast<TflagMode>(r.GetBits(2));
+  const auto mode = static_cast<TflagMode>(ks.get_bits(r, 2));
   switch (mode) {
     case TflagMode::kIdentical:
       d.tflag_trimmed = ref.tflag_trimmed;
       break;
     case TflagMode::kLiteral:
       d.tflag_trimmed.resize(trimmed_len);
-      for (auto& b : d.tflag_trimmed) b = r.GetBit() ? 1 : 0;
+      ks.unpack_bits(r, d.tflag_trimmed.data(), d.tflag_trimmed.size());
       break;
     case TflagMode::kFactors: {
       const uint32_t rtl = static_cast<uint32_t>(ref.tflag_trimmed.size());
@@ -154,8 +224,8 @@ DecodedInstance UtcqDecoder::DecodeNonReference(
       if (h > r.remaining() + trimmed_len + 1) break;
       d.tflag_trimmed.reserve(trimmed_len);
       for (uint64_t k = 0; k < h && !r.overflow(); ++k) {
-        const uint32_t s = static_cast<uint32_t>(r.GetBits(ts_bits));
-        const uint32_t l = static_cast<uint32_t>(r.GetBits(tl_bits));
+        const uint32_t s = static_cast<uint32_t>(ks.get_bits(r, ts_bits));
+        const uint32_t l = static_cast<uint32_t>(ks.get_bits(r, tl_bits));
         if (s > rtl || l > rtl - s) break;  // corrupt factor
         d.tflag_trimmed.insert(d.tflag_trimmed.end(),
                                ref.tflag_trimmed.begin() + s,
@@ -167,7 +237,7 @@ DecodedInstance UtcqDecoder::DecodeNonReference(
         }
       }
       if (d.tflag_trimmed.size() < trimmed_len) {
-        d.tflag_trimmed.push_back(r.GetBit() ? 1 : 0);  // explicit final M
+        d.tflag_trimmed.push_back(ks.get_bits(r, 1) != 0 ? 1 : 0);  // final M
       }
       break;
     }
@@ -175,17 +245,19 @@ DecodedInstance UtcqDecoder::DecodeNonReference(
 
   // --- D diffs ---
   const uint64_t h_d = common::GetVarint(r);
-  if (h_d > r.remaining()) return d;  // each diff costs >= 1 bit
+  if (h_d > r.remaining()) return;  // each diff costs >= 1 bit
   const int pos_bits = BitsFor(meta.n_points > 0 ? meta.n_points - 1 : 0);
+  const common::PddpCodec& dc = cc_.d_codec();
   d.rds = ref.rds;
   for (uint64_t k = 0; k < h_d && !r.overflow(); ++k) {
-    const uint32_t pos = static_cast<uint32_t>(r.GetBits(pos_bits));
-    const double rd = cc_.d_codec().Decode(r);
+    const uint32_t pos = static_cast<uint32_t>(ks.get_bits(r, pos_bits));
+    const double rd =
+        ks.pddp_decode(r, dc.length_field_bits(), dc.max_code_bits());
     if (pos < d.rds.size()) d.rds[pos] = rd;
   }
 
-  d.p = cc_.p_codec().Decode(r);
-  return d;
+  const common::PddpCodec& pc = cc_.p_codec();
+  d.p = ks.pddp_decode(r, pc.length_field_bits(), pc.max_code_bits());
 }
 
 DecodedInstance UtcqDecoder::DecodeByOriginal(size_t j, uint32_t w) const {
@@ -228,6 +300,11 @@ traj::DecodedTraj UtcqDecoder::DecodeTraj(size_t j) const {
 traj::UncertainCorpus UtcqDecoder::DecompressAll() const {
   traj::UncertainCorpus corpus;
   corpus.reserve(cc_.num_trajectories());
+  // Decoded improved-TED forms are transient here (only the reconstructed
+  // instances survive), so one set of scratch buffers serves the whole
+  // corpus; `refs` only ever grows, keeping each slot's capacity.
+  std::vector<DecodedInstance> refs;
+  DecodedInstance scratch;
   for (size_t j = 0; j < cc_.num_trajectories(); ++j) {
     const TrajMeta& meta = cc_.meta(j);
     traj::UncertainTrajectory tu;
@@ -235,18 +312,17 @@ traj::UncertainCorpus UtcqDecoder::DecompressAll() const {
     tu.times = DecodeTimes(j);
     tu.instances.resize(meta.roles.size());
     // Decode references once, then expand their non-references.
-    std::vector<DecodedInstance> refs(meta.refs.size());
+    if (refs.size() < meta.refs.size()) refs.resize(meta.refs.size());
     for (uint32_t r = 0; r < meta.refs.size(); ++r) {
-      refs[r] = DecodeReference(j, r);
+      DecodeReferenceInto(j, r, &refs[r]);
       const auto inst = ToInstance(refs[r]);
       if (inst.has_value()) {
         tu.instances[meta.refs[r].orig_index] = *inst;
       }
     }
     for (uint32_t k = 0; k < meta.nrefs.size(); ++k) {
-      const DecodedInstance d =
-          DecodeNonReference(j, k, refs[meta.nrefs[k].ref_pos]);
-      const auto inst = ToInstance(d);
+      DecodeNonReferenceInto(j, k, refs[meta.nrefs[k].ref_pos], &scratch);
+      const auto inst = ToInstance(scratch);
       if (inst.has_value()) {
         tu.instances[meta.nrefs[k].orig_index] = *inst;
       }

@@ -34,6 +34,11 @@ class UtcqDecoder {
   /// Decodes the full shared time sequence of trajectory `j`.
   std::vector<traj::Timestamp> DecodeTimes(size_t j) const;
 
+  /// DecodeTimes into a caller-owned buffer (cleared first). Decode-heavy
+  /// loops reuse one buffer across trajectories so the per-call allocation
+  /// disappears once its capacity has grown to the corpus maximum.
+  void DecodeTimesInto(size_t j, std::vector<traj::Timestamp>* out) const;
+
   /// Partial T decompression: starting from a temporal-index tuple
   /// (t_no, t_start, t_pos), finds i with t_i <= t <= t_{i+1}. Returns
   /// (i, t_i, t_{i+1}); nullopt when t falls outside the remaining span.
@@ -57,6 +62,16 @@ class UtcqDecoder {
   DecodedInstance DecodeReference(size_t j, uint32_t ref_idx) const;
   DecodedInstance DecodeNonReference(size_t j, uint32_t nref_idx,
                                      const DecodedInstance& ref) const;
+
+  /// Scratch-buffer variants of the two instance decoders: `d`'s vectors
+  /// are cleared (capacity kept) and refilled, so a loop that decodes many
+  /// instances through one DecodedInstance stops paying an allocation per
+  /// instance. Results are identical to the by-value overloads.
+  void DecodeReferenceInto(size_t j, uint32_t ref_idx,
+                           DecodedInstance* d) const;
+  void DecodeNonReferenceInto(size_t j, uint32_t nref_idx,
+                              const DecodedInstance& ref,
+                              DecodedInstance* d) const;
 
   /// Decodes the instance at original position `w` of trajectory `j`
   /// (resolving its reference first when needed).

@@ -1,6 +1,7 @@
 #include "core/query.h"
 
 #include <algorithm>
+#include <array>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -14,22 +15,6 @@ using traj::Timestamp;
 using traj::TrajectoryInstance;
 
 namespace {
-
-/// Position of `inst` at time t given the bracketing samples (i, t0, t1);
-/// constant-speed interpolation along the path (Example 3 semantics).
-NetworkPosition PositionInBracket(const network::RoadNetwork& net,
-                                  const TrajectoryInstance& inst, size_t i,
-                                  Timestamp t0, Timestamp t1, Timestamp t) {
-  if (i + 1 >= inst.locations.size() || t1 <= t0) {
-    const auto& loc = inst.locations[std::min(i, inst.locations.size() - 1)];
-    return {inst.path[loc.path_index],
-            loc.rd * net.edge(inst.path[loc.path_index]).length};
-  }
-  const double d0 = traj::PathOffsetOfLocation(net, inst, i);
-  const double d1 = traj::PathOffsetOfLocation(net, inst, i + 1);
-  const double f = static_cast<double>(t - t0) / static_cast<double>(t1 - t0);
-  return traj::PositionAtPathOffset(net, inst, d0 + (d1 - d0) * f);
-}
 
 /// A handle is only trusted when its shape matches the trajectory's meta —
 /// anything else (wrong trajectory, stale cache) decodes inline instead of
@@ -167,10 +152,18 @@ std::vector<traj::WhereHit> UtcqQueryProcessor::WhereImpl(
                                  tuple.t_pos);
   if (!bracket.has_value()) return hits;
 
-  for (const auto& [w, inst] : DecodeQualifying(traj_idx, alpha, dt, stats)) {
-    hits.push_back({w, inst.probability,
-                    PositionInBracket(net_, inst, bracket->index, bracket->t0,
-                                      bracket->t1, t)});
+  // All qualifying instances share the bracket, so their positions batch
+  // through the strategy layer's multi-instance interpolation.
+  const auto qualifying = DecodeQualifying(traj_idx, alpha, dt, stats);
+  std::vector<const TrajectoryInstance*> insts;
+  insts.reserve(qualifying.size());
+  for (const auto& [w, inst] : qualifying) insts.push_back(&inst);
+  const auto positions = traj::PositionsInBracket(
+      net_, insts, bracket->index, bracket->t0, bracket->t1, t);
+  hits.reserve(qualifying.size());
+  for (size_t k = 0; k < qualifying.size(); ++k) {
+    hits.push_back(
+        {qualifying[k].first, qualifying[k].second.probability, positions[k]});
   }
   return hits;
 }
@@ -402,48 +395,82 @@ traj::RangeResult UtcqQueryProcessor::RangeImpl(
       return ref_cache.back().second;
     };
 
+    // Members are processed in chunks of 8: decode + classify the chunk,
+    // batch the kPartial positions through the strategy interpolation
+    // kernel, then fold probabilities back in strict member order — the
+    // overlap_p summation order (and so any floating-point tie against
+    // alpha) is exactly the one-at-a-time walk's. Lemma 3's early accept
+    // still stops the walk; it merely lands at chunk granularity, so up to
+    // seven members past the accepting one get decoded (counted in stats)
+    // without affecting the result.
+    constexpr size_t kChunk = 8;
     double overlap_p = 0.0;
     bool accepted = false;
-    for (size_t k = begin; k < hi; ++k) {
-      const bool is_ref = (members[k] >> 32) & 1;
-      const uint32_t idx = static_cast<uint32_t>(members[k] & 0xFFFFFFFFu);
-      double p;
-      std::optional<TrajectoryInstance> inst_storage;
-      const TrajectoryInstance* inst;
-      if (is_ref) {
-        p = meta.refs[idx].p_quantized;
-        inst = traj::SlotOrDecode(
-            dt, &traj::DecodedTraj::ref_insts, idx, inst_storage,
-            [&] { return decoder_.ToInstance(ref_of(idx)); });
-      } else {
-        p = meta.nrefs[idx].p_quantized;
-        inst = traj::SlotOrDecode(
-            dt, &traj::DecodedTraj::nref_insts, idx, inst_storage, [&] {
-              const auto d = decoder_.DecodeNonReference(
-                  j, idx, ref_of(meta.nrefs[idx].ref_pos));
-              if (stats != nullptr) ++stats->instances_decoded;
-              return decoder_.ToInstance(d);
-            });
+    for (size_t cb = begin; cb < hi && !accepted; cb += kChunk) {
+      const size_t ce = std::min(cb + kChunk, hi);
+      const size_t cn = ce - cb;
+      double pvals[kChunk];
+      const TrajectoryInstance* insts[kChunk];
+      SubpathRelation rels[kChunk];
+      std::array<std::optional<TrajectoryInstance>, kChunk> storage;
+      for (size_t k = cb; k < ce; ++k) {
+        const size_t c = k - cb;
+        const bool is_ref = (members[k] >> 32) & 1;
+        const uint32_t idx = static_cast<uint32_t>(members[k] & 0xFFFFFFFFu);
+        if (is_ref) {
+          pvals[c] = meta.refs[idx].p_quantized;
+          insts[c] = traj::SlotOrDecode(
+              dt, &traj::DecodedTraj::ref_insts, idx, storage[c],
+              [&] { return decoder_.ToInstance(ref_of(idx)); });
+        } else {
+          pvals[c] = meta.nrefs[idx].p_quantized;
+          insts[c] = traj::SlotOrDecode(
+              dt, &traj::DecodedTraj::nref_insts, idx, storage[c], [&] {
+                const auto d = decoder_.DecodeNonReference(
+                    j, idx, ref_of(meta.nrefs[idx].ref_pos));
+                if (stats != nullptr) ++stats->instances_decoded;
+                return decoder_.ToInstance(d);
+              });
+        }
+        if (insts[c] == nullptr) {
+          rels[c] = SubpathRelation::kDisjoint;
+          continue;
+        }
+        rels[c] = ClassifySubpath(net_, *insts[c], bracket->index, region);
+        if (stats != nullptr && rels[c] != SubpathRelation::kPartial) {
+          ++stats->pruned_lemma2;
+        }
       }
-      if (inst == nullptr) continue;
 
-      const SubpathRelation rel =
-          ClassifySubpath(net_, *inst, bracket->index, region);
-      if (rel == SubpathRelation::kInside) {
-        overlap_p += p;
-        if (stats != nullptr) ++stats->pruned_lemma2;
-      } else if (rel == SubpathRelation::kDisjoint) {
-        if (stats != nullptr) ++stats->pruned_lemma2;
-      } else {
-        const NetworkPosition pos = PositionInBracket(
-            net_, *inst, bracket->index, bracket->t0, bracket->t1, tq);
-        const network::Vertex xy = net_.PointOnEdge(pos.edge, pos.ndist);
-        if (region.Contains(xy.x, xy.y)) overlap_p += p;
+      // Only kPartial members need an interpolated point-in-region test.
+      std::vector<const TrajectoryInstance*> partial_insts;
+      std::vector<size_t> partial_slots;
+      for (size_t c = 0; c < cn; ++c) {
+        if (insts[c] != nullptr && rels[c] == SubpathRelation::kPartial) {
+          partial_insts.push_back(insts[c]);
+          partial_slots.push_back(c);
+        }
       }
-      if (overlap_p >= alpha) {  // Lemma 3 early accept
-        if (stats != nullptr) ++stats->accepted_lemma3;
-        accepted = true;
-        break;
+      const auto positions = traj::PositionsInBracket(
+          net_, partial_insts, bracket->index, bracket->t0, bracket->t1, tq);
+      bool in_region[kChunk] = {};
+      for (size_t v = 0; v < partial_slots.size(); ++v) {
+        const network::Vertex xy =
+            net_.PointOnEdge(positions[v].edge, positions[v].ndist);
+        in_region[partial_slots[v]] = region.Contains(xy.x, xy.y);
+      }
+
+      for (size_t c = 0; c < cn; ++c) {
+        if (insts[c] == nullptr) continue;
+        if (rels[c] == SubpathRelation::kInside ||
+            (rels[c] == SubpathRelation::kPartial && in_region[c])) {
+          overlap_p += pvals[c];
+        }
+        if (overlap_p >= alpha) {  // Lemma 3 early accept
+          if (stats != nullptr) ++stats->accepted_lemma3;
+          accepted = true;
+          break;
+        }
       }
     }
     if (accepted) result.push_back(j);

@@ -49,8 +49,10 @@ struct EngineOptions {
   /// (every query decodes — the cold path, useful for measurement).
   size_t cache_budget_bytes = 256ull << 20;
   uint32_t cache_shards = 8;
-  /// Worker threads for ExecuteBatch grouping and Range fan-out; 0 picks
-  /// common::DefaultThreads().
+  /// Fan-out width for ExecuteBatch grouping and Range. 0 picks
+  /// common::DefaultThreads(). Work runs on the process-wide persistent
+  /// ThreadPool::Shared() (no per-batch thread spawning); this caps how
+  /// many of its workers one batch enlists.
   unsigned num_threads = 0;
 };
 
@@ -123,8 +125,9 @@ class QueryEngine {
 
   /// Batched execution: requests are grouped by target trajectory, each
   /// needed trajectory is decoded (or fetched) once, and groups run on
-  /// ParallelFor. results[i] answers requests[i] and equals Execute
-  /// (requests[i]) exactly — batching reorders work, never results.
+  /// the shared persistent pool via ParallelFor. results[i] answers
+  /// requests[i] and equals Execute(requests[i]) exactly — batching
+  /// reorders work, never results.
   std::vector<QueryResult> ExecuteBatch(
       const std::vector<QueryRequest>& requests);
 

@@ -143,7 +143,9 @@ ShardedBuild ShardedCompressor::Compress(
   // immutable inputs (network, grid, params); the only cross-thread writes
   // are to each worker's own build.shards slot. The shard's trajectories
   // are copied worker-locally just in time, bounding the extra working set
-  // to the shards in flight rather than the whole corpus.
+  // to the shards in flight rather than the whole corpus. ParallelFor runs
+  // this on the persistent shared pool — the same workers that serve query
+  // fan-out — so repeated builds pay no thread start-up.
   common::ParallelFor(n, opts_.num_threads, [&](size_t s) {
     traj::UncertainCorpus sub;
     sub.reserve(build.plan.members[s].size());

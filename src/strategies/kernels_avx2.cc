@@ -1,0 +1,158 @@
+// AVX2 tier. Compiled with -mavx2 -mbmi -mbmi2 -mlzcnt -mpopcnt (this file
+// only; never -mfma — FMA contraction would change the interpolation
+// doubles and break cross-tier bit-exactness; the _mm256_mul_pd/_mm256_add_pd
+// intrinsics below never contract). On top of the shared word kernels —
+// whose clz-based run scans compile to LZCNT here — this tier adds batched
+// 256-bit kernels:
+//
+//  - read_fields: four fixed-width fields extracted per iteration from one
+//    byte-swapped 64-bit window via VPSRLVQ variable shifts,
+//  - unpack_bits: 32 flag bits exploded to 0/1 bytes per iteration with a
+//    byte-replicating VPSHUFB + per-byte bit masks,
+//  - lerp / mul_add: 4-wide double interpolation.
+
+#include "strategies/tier_tables.h"
+
+#if defined(UTCQ_HAVE_AVX2_KERNELS)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "strategies/word_kernels.h"
+
+namespace utcq::strategies {
+namespace {
+
+// read_fields widths are node-id widths (BitsFor over counts), comfortably
+// within 14 bits for every corpus the bench or tests build; 4 fields plus a
+// 7-bit byte-alignment lead then fit one 64-bit window: 7 + 4*14 <= 63.
+constexpr int kMaxSimdFieldWidth = 14;
+
+void Avx2ReadFields(common::BitReader& r, int width, uint32_t* out, size_t n) {
+  if (width <= 0) {
+    for (size_t i = 0; i < n; ++i) out[i] = 0;
+    return;
+  }
+  // The SIMD path reads raw 8-byte windows, so require the whole batch plus
+  // a 64-bit cushion to be in-range; the tail (or any odd-shaped call)
+  // drops to the word kernel, which carries the overflow semantics.
+  const uint64_t total = static_cast<uint64_t>(width) * n;
+  if (width > kMaxSimdFieldWidth || r.remaining() < total + 64) {
+    WordReadFields(r, width, out, n);
+    return;
+  }
+  const uint8_t* data = r.data();
+  size_t pos = r.position();
+  const __m256i vmask = _mm256_set1_epi64x(
+      static_cast<long long>((uint64_t{1} << width) - 1));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const size_t byte = pos >> 3;
+    const int lead = static_cast<int>(pos & 7);
+    uint64_t w;
+    std::memcpy(&w, data + byte, 8);
+    w = __builtin_bswap64(w);
+    const int base = 64 - lead;
+    const __m256i shifts = _mm256_set_epi64x(base - 4 * width, base - 3 * width,
+                                             base - 2 * width, base - width);
+    const __m256i fields = _mm256_and_si256(
+        _mm256_srlv_epi64(_mm256_set1_epi64x(static_cast<long long>(w)),
+                          shifts),
+        vmask);
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), fields);
+    out[i] = static_cast<uint32_t>(lanes[0]);
+    out[i + 1] = static_cast<uint32_t>(lanes[1]);
+    out[i + 2] = static_cast<uint32_t>(lanes[2]);
+    out[i + 3] = static_cast<uint32_t>(lanes[3]);
+    pos += static_cast<size_t>(4 * width);
+  }
+  r.Seek(pos);
+  for (; i < n; ++i) {
+    out[i] = static_cast<uint32_t>(r.GetBits(width));
+  }
+}
+
+void Avx2UnpackBits(common::BitReader& r, uint8_t* out, size_t n) {
+  // Per 128-bit lane, VPSHUFB replicates each source byte across the eight
+  // output bytes whose bits it holds; AND with descending bit weights and
+  // a compare-to-self turn "bit set" into 0xFF, masked down to 0/1.
+  const __m256i sel =
+      _mm256_setr_epi8(3, 3, 3, 3, 3, 3, 3, 3, 2, 2, 2, 2, 2, 2, 2, 2, 1, 1,
+                       1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0);
+  const __m256i weights = _mm256_setr_epi8(
+      static_cast<char>(0x80), 0x40, 0x20, 0x10, 8, 4, 2, 1,
+      static_cast<char>(0x80), 0x40, 0x20, 0x10, 8, 4, 2, 1,
+      static_cast<char>(0x80), 0x40, 0x20, 0x10, 8, 4, 2, 1,
+      static_cast<char>(0x80), 0x40, 0x20, 0x10, 8, 4, 2, 1);
+  const __m256i ones = _mm256_set1_epi8(1);
+  size_t i = 0;
+  while (n - i >= 32 && r.remaining() >= 64) {
+    const uint32_t hi = static_cast<uint32_t>(r.PeekBits64() >> 32);
+    __m256i v = _mm256_shuffle_epi8(_mm256_set1_epi32(static_cast<int>(hi)),
+                                    sel);
+    v = _mm256_and_si256(v, weights);
+    v = _mm256_and_si256(_mm256_cmpeq_epi8(v, weights), ones);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+    r.Advance(32);
+    i += 32;
+  }
+  if (i < n) WordUnpackBits(r, out + i, n - i);
+}
+
+void Avx2Lerp(const double* d0, const double* d1, double f, double* out,
+              size_t n) {
+  const __m256d vf = _mm256_set1_pd(f);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d a = _mm256_loadu_pd(d0 + i);
+    const __m256d b = _mm256_loadu_pd(d1 + i);
+    _mm256_storeu_pd(
+        out + i, _mm256_add_pd(a, _mm256_mul_pd(_mm256_sub_pd(b, a), vf)));
+  }
+  for (; i < n; ++i) {
+    out[i] = d0[i] + (d1[i] - d0[i]) * f;
+  }
+}
+
+void Avx2MulAdd(const double* base, const double* x, const double* scale,
+                double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i,
+                     _mm256_add_pd(_mm256_loadu_pd(base + i),
+                                   _mm256_mul_pd(_mm256_loadu_pd(x + i),
+                                                 _mm256_loadu_pd(scale + i))));
+  }
+  for (; i < n; ++i) {
+    out[i] = base[i] + x[i] * scale[i];
+  }
+}
+
+}  // namespace
+}  // namespace utcq::strategies
+
+#endif  // UTCQ_HAVE_AVX2_KERNELS
+
+namespace utcq::strategies::detail {
+
+#if defined(UTCQ_HAVE_AVX2_KERNELS)
+
+const Kernels* Avx2Kernels() {
+  static const Kernels k = {
+      &WordGetBits,    &WordScanZeroRun, &WordScanOneRun,
+      &Avx2ReadFields, &Avx2UnpackBits,  &WordPddpDecode,
+      &WordDecodeIeg,  &WordPddpRun,     &Avx2Lerp,
+      &Avx2MulAdd,     Tier::kAvx2,      "avx2",
+  };
+  return &k;
+}
+
+#else
+
+const Kernels* Avx2Kernels() { return nullptr; }
+
+#endif
+
+}  // namespace utcq::strategies::detail

@@ -1,0 +1,31 @@
+// The two tiers every build ships: the bit-at-a-time reference (kBitloop)
+// and the portable word-at-a-time kernels (kScalar). This TU is compiled
+// with the project's baseline flags only — no ISA extensions — so the
+// scalar table is safe on any x86-64 (or non-x86) host.
+
+#include "strategies/tier_tables.h"
+#include "strategies/word_kernels.h"
+
+namespace utcq::strategies::detail {
+
+const Kernels* BitloopKernels() {
+  static const Kernels k = {
+      &BitloopGetBits,    &BitloopScanZeroRun, &BitloopScanOneRun,
+      &BitloopReadFields, &BitloopUnpackBits,  &BitloopPddpDecode,
+      &BitloopDecodeIeg,  &BitloopPddpRun,     &ScalarLerp,
+      &ScalarMulAdd,      Tier::kBitloop,      "bitloop",
+  };
+  return &k;
+}
+
+const Kernels* ScalarKernels() {
+  static const Kernels k = {
+      &WordGetBits,    &WordScanZeroRun, &WordScanOneRun,
+      &WordReadFields, &WordUnpackBits,  &WordPddpDecode,
+      &WordDecodeIeg,  &WordPddpRun,     &ScalarLerp,
+      &ScalarMulAdd,   Tier::kScalar,    "scalar",
+  };
+  return &k;
+}
+
+}  // namespace utcq::strategies::detail

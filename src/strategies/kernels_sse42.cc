@@ -1,0 +1,38 @@
+// SSE4.2 tier: the shared word kernels recompiled with -msse4.2 -mpopcnt
+// (CMake sets the flags on this file only). The bit-manipulation kernels
+// are word-level scalar code either way; what this tier buys is the
+// compiler scheduling them with POPCNT/SSE4.2 available, and a dispatch
+// rung between "any x86-64" and "AVX2 + BMI2" that the strategy-matrix
+// tests exercise on hardware too old for the top tier.
+//
+// When CMake can't get the flags through the toolchain it omits
+// UTCQ_HAVE_SSE42_KERNELS and this TU collapses to a stub returning
+// nullptr, which TierSupported reports as "not compiled in".
+
+#include "strategies/tier_tables.h"
+
+#if defined(UTCQ_HAVE_SSE42_KERNELS)
+#include "strategies/word_kernels.h"
+#endif
+
+namespace utcq::strategies::detail {
+
+#if defined(UTCQ_HAVE_SSE42_KERNELS)
+
+const Kernels* Sse42Kernels() {
+  static const Kernels k = {
+      &WordGetBits,    &WordScanZeroRun, &WordScanOneRun,
+      &WordReadFields, &WordUnpackBits,  &WordPddpDecode,
+      &WordDecodeIeg,  &WordPddpRun,     &ScalarLerp,
+      &ScalarMulAdd,   Tier::kSse42,     "sse42",
+  };
+  return &k;
+}
+
+#else
+
+const Kernels* Sse42Kernels() { return nullptr; }
+
+#endif
+
+}  // namespace utcq::strategies::detail

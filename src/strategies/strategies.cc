@@ -1,0 +1,132 @@
+#include "strategies/strategies.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "strategies/tier_tables.h"
+
+namespace utcq::strategies {
+namespace {
+
+// Runtime CPUID checks, gated so non-x86 builds fall through to scalar.
+// The compiled-in check (table != nullptr) is separate: a build whose
+// toolchain lacked the ISA flags reports the tier unsupported even on
+// capable hardware.
+
+bool CpuHasSse42() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("sse4.2") && __builtin_cpu_supports("popcnt");
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  // LZCNT (ABM) has shipped on every AVX2+BMI part ever made, and the
+  // kernels guard the clz-of-zero case anyway, so it isn't probed.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("bmi") &&
+         __builtin_cpu_supports("bmi2") && __builtin_cpu_supports("popcnt");
+#else
+  return false;
+#endif
+}
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+const Kernels* ResolveStartupTier() {
+  Tier tier = BestSupportedTier();
+  if (const char* env = std::getenv("UTCQ_STRATEGY")) {
+    Tier forced;
+    if (ParseTier(env, &forced) && TierSupported(forced)) tier = forced;
+  }
+  return KernelsFor(tier);
+}
+
+}  // namespace
+
+bool TierSupported(Tier tier) {
+  switch (tier) {
+    case Tier::kBitloop:
+    case Tier::kScalar:
+      return true;
+    case Tier::kSse42:
+      return detail::Sse42Kernels() != nullptr && CpuHasSse42();
+    case Tier::kAvx2:
+      return detail::Avx2Kernels() != nullptr && CpuHasAvx2();
+  }
+  return false;
+}
+
+Tier BestSupportedTier() {
+  if (TierSupported(Tier::kAvx2)) return Tier::kAvx2;
+  if (TierSupported(Tier::kSse42)) return Tier::kSse42;
+  return Tier::kScalar;
+}
+
+const Kernels* KernelsFor(Tier tier) {
+  if (!TierSupported(tier)) return nullptr;
+  switch (tier) {
+    case Tier::kBitloop:
+      return detail::BitloopKernels();
+    case Tier::kScalar:
+      return detail::ScalarKernels();
+    case Tier::kSse42:
+      return detail::Sse42Kernels();
+    case Tier::kAvx2:
+      return detail::Avx2Kernels();
+  }
+  return nullptr;
+}
+
+const Kernels& Active() {
+  const Kernels* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    static std::once_flag resolve_once;
+    std::call_once(resolve_once, [] {
+      g_active.store(ResolveStartupTier(), std::memory_order_release);
+    });
+    k = g_active.load(std::memory_order_acquire);
+  }
+  return *k;
+}
+
+bool SetActive(Tier tier) {
+  const Kernels* k = KernelsFor(tier);
+  if (k == nullptr) return false;
+  Active();  // force startup resolution first so it can't overwrite this
+  g_active.store(k, std::memory_order_release);
+  return true;
+}
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kBitloop:
+      return "bitloop";
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSse42:
+      return "sse42";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseTier(std::string_view name, Tier* out) {
+  if (name == "bitloop") {
+    *out = Tier::kBitloop;
+  } else if (name == "scalar") {
+    *out = Tier::kScalar;
+  } else if (name == "sse42") {
+    *out = Tier::kSse42;
+  } else if (name == "avx2") {
+    *out = Tier::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace utcq::strategies

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "strategies/strategies.h"
+
 namespace utcq::traj {
 
 using network::EdgeId;
@@ -30,6 +32,30 @@ double PathOffsetOfLocation(const RoadNetwork& net,
     offset += net.edge(inst.path[i]).length;
   }
   return offset + loc.rd * net.edge(inst.path[loc.path_index]).length;
+}
+
+void OffsetPairOfLocations(const RoadNetwork& net,
+                           const TrajectoryInstance& inst, size_t loc_idx,
+                           double* d0, double* d1) {
+  const MappedLocation& a = inst.locations[loc_idx];
+  const MappedLocation& b = inst.locations[loc_idx + 1];
+  // One walk, two prefix snapshots. `offset` takes the exact same sequence
+  // of additions PathOffsetOfLocation performs, so the snapshots equal its
+  // partial sums bit-for-bit (b.path_index >= a.path_index on any real
+  // instance, but the snapshots don't care either way).
+  const uint32_t stop = std::max(a.path_index, b.path_index);
+  double offset = 0.0;
+  double pa = 0.0;
+  double pb = 0.0;
+  for (uint32_t k = 0; k < stop; ++k) {
+    if (k == a.path_index) pa = offset;
+    if (k == b.path_index) pb = offset;
+    offset += net.edge(inst.path[k]).length;
+  }
+  if (a.path_index == stop) pa = offset;
+  if (b.path_index == stop) pb = offset;
+  *d0 = pa + a.rd * net.edge(inst.path[a.path_index]).length;
+  *d1 = pb + b.rd * net.edge(inst.path[b.path_index]).length;
 }
 
 NetworkPosition PositionAtPathOffset(const RoadNetwork& net,
@@ -79,12 +105,26 @@ std::vector<Timestamp> TimesAtPosition(const RoadNetwork& net,
   if (times.size() != inst.locations.size() || times.empty()) return result;
   const std::vector<double> prefix = PrefixLengths(net, inst);
 
-  // Path offsets of all mapped locations (monotone non-decreasing).
-  std::vector<double> loc_offsets(inst.locations.size());
-  for (size_t i = 0; i < inst.locations.size(); ++i) {
-    const MappedLocation& loc = inst.locations[i];
-    loc_offsets[i] =
-        prefix[loc.path_index] + loc.rd * net.edge(inst.path[loc.path_index]).length;
+  // Path offsets of all mapped locations (monotone non-decreasing),
+  // expanded 8 at a time through the strategy mul_add kernel: gather
+  // (prefix, rd, edge length) into stack chunks, then
+  // loc_offsets[i] = prefix[pi] + rd * length elementwise.
+  const size_t n_loc = inst.locations.size();
+  std::vector<double> loc_offsets(n_loc);
+  const strategies::Kernels& ks = strategies::Active();
+  constexpr size_t kChunk = 8;
+  double bases[kChunk];
+  double rds[kChunk];
+  double lengths[kChunk];
+  for (size_t base = 0; base < n_loc; base += kChunk) {
+    const size_t m = std::min(kChunk, n_loc - base);
+    for (size_t v = 0; v < m; ++v) {
+      const MappedLocation& loc = inst.locations[base + v];
+      bases[v] = prefix[loc.path_index];
+      rds[v] = loc.rd;
+      lengths[v] = net.edge(inst.path[loc.path_index]).length;
+    }
+    ks.mul_add(bases, rds, lengths, loc_offsets.data() + base, m);
   }
 
   for (size_t k = 0; k < inst.path.size(); ++k) {
@@ -112,6 +152,62 @@ std::vector<Timestamp> TimesAtPosition(const RoadNetwork& net,
     result.push_back(t);
   }
   return result;
+}
+
+NetworkPosition PositionInBracket(const RoadNetwork& net,
+                                  const TrajectoryInstance& inst, size_t i,
+                                  Timestamp t0, Timestamp t1, Timestamp t) {
+  if (i + 1 >= inst.locations.size() || t1 <= t0) {
+    const auto& loc = inst.locations[std::min(i, inst.locations.size() - 1)];
+    return {inst.path[loc.path_index],
+            loc.rd * net.edge(inst.path[loc.path_index]).length};
+  }
+  const double d0 = PathOffsetOfLocation(net, inst, i);
+  const double d1 = PathOffsetOfLocation(net, inst, i + 1);
+  const double f = static_cast<double>(t - t0) / static_cast<double>(t1 - t0);
+  return PositionAtPathOffset(net, inst, d0 + (d1 - d0) * f);
+}
+
+std::vector<NetworkPosition> PositionsInBracket(
+    const RoadNetwork& net,
+    const std::vector<const TrajectoryInstance*>& insts, size_t i,
+    Timestamp t0, Timestamp t1, Timestamp t) {
+  std::vector<NetworkPosition> out(insts.size());
+  if (t1 <= t0) {
+    // Degenerate bracket for every instance; nothing to interpolate.
+    for (size_t k = 0; k < insts.size(); ++k) {
+      out[k] = PositionInBracket(net, *insts[k], i, t0, t1, t);
+    }
+    return out;
+  }
+  // One fraction for the whole batch: the scalar path recomputes this per
+  // instance from the same three integers, giving the same double.
+  const double f = static_cast<double>(t - t0) / static_cast<double>(t1 - t0);
+  const strategies::Kernels& ks = strategies::Active();
+  constexpr size_t kChunk = 8;
+  double d0[kChunk];
+  double d1[kChunk];
+  double offsets[kChunk];
+  size_t slots[kChunk];
+  for (size_t base = 0; base < insts.size(); base += kChunk) {
+    const size_t end = std::min(base + kChunk, insts.size());
+    size_t m = 0;
+    for (size_t k = base; k < end; ++k) {
+      const TrajectoryInstance& inst = *insts[k];
+      if (i + 1 >= inst.locations.size()) {
+        out[k] = PositionInBracket(net, inst, i, t0, t1, t);
+        continue;
+      }
+      OffsetPairOfLocations(net, inst, i, &d0[m], &d1[m]);
+      slots[m] = k;
+      ++m;
+    }
+    ks.lerp(d0, d1, f, offsets, m);
+    for (size_t v = 0; v < m; ++v) {
+      out[slots[v]] = PositionAtPathOffset(net, *insts[slots[v]], offsets[v]);
+    }
+  }
+  return out;
 }
 
 std::optional<TrajectoryInstance> ReconstructInstance(

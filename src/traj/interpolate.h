@@ -26,6 +26,34 @@ struct NetworkPosition {
 double PathOffsetOfLocation(const network::RoadNetwork& net,
                             const TrajectoryInstance& inst, size_t loc_idx);
 
+/// Path offsets of locations `loc_idx` and `loc_idx + 1` in a single path
+/// walk. The accumulation visits edge lengths in the same left-to-right
+/// order as two PathOffsetOfLocation calls, so the results are bit-for-bit
+/// the doubles those calls would produce — just without walking the shared
+/// path prefix twice.
+void OffsetPairOfLocations(const network::RoadNetwork& net,
+                           const TrajectoryInstance& inst, size_t loc_idx,
+                           double* d0, double* d1);
+
+/// Position of `inst` at time t given the bracketing samples (i, t0, t1);
+/// constant-speed interpolation along the path (Example 3 semantics). With
+/// a degenerate bracket (i past the penultimate location, or t1 <= t0) the
+/// object sits at location min(i, last).
+NetworkPosition PositionInBracket(const network::RoadNetwork& net,
+                                  const TrajectoryInstance& inst, size_t i,
+                                  Timestamp t0, Timestamp t1, Timestamp t);
+
+/// PositionInBracket over many instances sharing one time bracket — the
+/// shape of a Where hit list or a Range candidate chunk, where one (t, t0,
+/// t1) is evaluated against every qualifying instance. Offsets are gathered
+/// per instance and interpolated through the strategy layer's batched lerp
+/// kernel, 8 instances per round; out[k] is bit-for-bit what
+/// PositionInBracket(net, *insts[k], i, t0, t1, t) returns.
+std::vector<NetworkPosition> PositionsInBracket(
+    const network::RoadNetwork& net,
+    const std::vector<const TrajectoryInstance*>& insts, size_t i,
+    Timestamp t0, Timestamp t1, Timestamp t);
+
 /// Network position of the instance at time `t`, or nullopt when t lies
 /// outside [times.front(), times.back()].
 std::optional<NetworkPosition> PositionAtTime(

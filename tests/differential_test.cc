@@ -8,6 +8,8 @@
 // a single workload with:
 //   differential_test --seed=<seed> --gtest_filter='*Workloads*/0'
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -243,7 +245,11 @@ void RunBatch(const network::RoadNetwork& net, const verify::Oracle& oracle,
 // ----------------------------------------------------------- tier plumbing
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  // Seed-keyed names alone collide when the strategy matrix runs several
+  // tier variants of this binary concurrently under ctest -j; the pid keeps
+  // each process's archives (and any debris from an aborted run) private.
+  return ::testing::TempDir() + "/pid" + std::to_string(::getpid()) + "_" +
+         name;
 }
 
 // ------------------------------------------------------------ the harness

@@ -1,0 +1,35 @@
+// Strategy-matrix launcher: forces one kernel tier via UTCQ_STRATEGY and
+// execs a test binary under it. The ctest matrix wraps the codec-heavy
+// suites with this for every tier; a tier the build or CPU cannot run
+// exits 77 — ctest's SKIP_RETURN_CODE — so unsupported tiers report as
+// SKIPPED rather than silently passing without testing anything.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "strategies/strategies.h"
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <tier> <binary> [args...]\n", argv[0]);
+    return 2;
+  }
+  utcq::strategies::Tier tier;
+  if (!utcq::strategies::ParseTier(argv[1], &tier)) {
+    std::fprintf(stderr, "strategy_runner: unknown tier '%s'\n", argv[1]);
+    return 2;
+  }
+  if (!utcq::strategies::TierSupported(tier)) {
+    std::fprintf(stderr,
+                 "strategy_runner: tier '%s' is not supported by this "
+                 "build/CPU; skipping\n",
+                 argv[1]);
+    return 77;
+  }
+  setenv("UTCQ_STRATEGY", argv[1], 1);
+  execvp(argv[2], argv + 2);
+  std::perror("strategy_runner: execvp");
+  return 2;
+}
