@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint pass (DESIGN.md §13).
+
+Enforces the structural concurrency/performance invariants that neither the
+compiler nor clang-tidy can express, by scanning first-party sources:
+
+  R1 thread-outside-pool     std::thread only in src/common/thread_pool.{h,cc}
+                             — all parallelism goes through the shared pool.
+  R2 mutex-outside-common    std::mutex / lock_guard / unique_lock /
+                             scoped_lock / condition_variable / call_once /
+                             once_flag (and the <mutex> / <condition_variable>
+                             / <shared_mutex> headers) only in
+                             src/common/mutex.h — everything else uses the
+                             annotated common::Mutex so -Wthread-safety sees
+                             every acquisition.
+  R3 raw-rng                 std::mt19937 / random_device /
+                             default_random_engine only in
+                             src/common/rng.{h,cc} — seeds stay controlled
+                             and reproducible.
+  R4 alloc-in-kernel         no allocation in src/strategies/ — decode
+                             kernels run per-point on the query path; any
+                             new/push_back/resize/reserve there is a design
+                             regression.
+  R5 alloc-in-decode-into    no *fresh container construction* inside
+                             Decode*Into bodies (src/core/decoder.cc). The
+                             *Into contract reuses caller scratch —
+                             clear/reserve/push_back on parameters is the
+                             point and stays legal; declaring a new local
+                             container (or new/make_unique/malloc) defeats it.
+  R6 wall-clock-in-hot-path  no clock reads in src/core, src/strategies,
+                             src/ted, src/traj — decode/query results must
+                             be time-independent; timing belongs to callers
+                             (common/stopwatch.h) and the bench/serve layers.
+
+A finding can be waived inline with `// repo-lint: allow(<rule>)` on the
+offending line, but every waiver should carry a justification comment.
+
+Usage: python3 scripts/repo_lint.py  (exits nonzero with findings)
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SCAN_DIRS = ("src", "tools")
+SOURCE_EXTS = (".h", ".cc")
+
+ALLOW_RE = re.compile(r"//\s*repo-lint:\s*allow\(([a-z0-9-]+)\)")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+def repo_files():
+    for top in SCAN_DIRS:
+        for dirpath, _dirnames, filenames in os.walk(
+            os.path.join(REPO_ROOT, top)
+        ):
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.join(dirpath, name)
+
+
+def rel(path):
+    return os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+
+
+class Finding:
+    def __init__(self, rule, path, lineno, line, message):
+        self.rule = rule
+        self.path = path
+        self.lineno = lineno
+        self.line = line.strip()
+        self.message = message
+
+    def __str__(self):
+        return (
+            f"{rel(self.path)}:{self.lineno}: [{self.rule}] {self.message}\n"
+            f"    {self.line}"
+        )
+
+
+def strip_comment(line):
+    """Drop a trailing // comment so commented-out code can't trip rules."""
+    return LINE_COMMENT_RE.sub("", line)
+
+
+def scan_lines(path, lines, rule, pattern, message, findings):
+    for lineno, raw in enumerate(lines, start=1):
+        if pattern.search(strip_comment(raw)):
+            allow = ALLOW_RE.search(raw)
+            if allow and allow.group(1) == rule:
+                continue
+            findings.append(Finding(rule, path, lineno, raw, message))
+
+
+# --- R1/R2/R3: symbol confinement rules -------------------------------------
+
+R1_PATTERN = re.compile(r"\bstd::thread\b|#include\s*<thread>")
+R1_ALLOWED = {"src/common/thread_pool.h", "src/common/thread_pool.cc"}
+
+R2_PATTERN = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|condition_variable|"
+    r"condition_variable_any|once_flag|call_once)\b"
+    r"|#include\s*<(mutex|condition_variable|shared_mutex)>"
+)
+R2_ALLOWED = {"src/common/mutex.h"}
+
+R3_PATTERN = re.compile(
+    r"\bstd::(mt19937(_64)?|random_device|default_random_engine|minstd_rand0?)\b"
+)
+R3_ALLOWED = {"src/common/rng.h", "src/common/rng.cc"}
+
+# --- R4: allocation tokens banned wholesale in the kernel TUs ---------------
+
+R4_PATTERN = re.compile(
+    r"\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\bmake_unique\b|\bmake_shared\b"
+    r"|\.push_back\s*\(|\.emplace_back\s*\(|\.resize\s*\(|\.reserve\s*\("
+    r"|\bstd::(vector|string|deque|map|unordered_map|set|unordered_set)\s*<"
+)
+
+# --- R5: fresh containers inside Decode*Into bodies -------------------------
+
+DECODE_INTO_RE = re.compile(r"\bDecode\w*Into\s*\(")
+R5_PATTERN = re.compile(
+    r"\bstd::(vector|string|deque|map|unordered_map|set|unordered_set)\s*<"
+    r"[^;]*\b\w+\s*[;{(=]"  # a *declaration* of a local container
+    r"|\bnew\b|\bmake_unique\b|\bmake_shared\b|\bmalloc\s*\("
+)
+
+# --- R6: wall-clock reads in decode/query layers ----------------------------
+
+R6_PATTERN = re.compile(
+    r"\bstd::chrono\b|\bsteady_clock\b|\bsystem_clock\b"
+    r"|\bhigh_resolution_clock\b|\bgettimeofday\s*\(|\bclock_gettime\s*\("
+    r"|[^\w.]time\s*\(\s*(NULL|nullptr|0)?\s*\)"
+)
+R6_DIRS = ("src/core/", "src/strategies/", "src/ted/", "src/traj/")
+
+
+def decode_into_bodies(lines):
+    """Yield (start_lineno, body_lines) for each Decode*Into definition,
+    found by brace matching from the signature line. Body lines start after
+    the line holding the opening brace, so parameter declarations in the
+    signature (themselves container types) never trip the rule."""
+    text_lines = [strip_comment(l) for l in lines]
+    i = 0
+    n = len(text_lines)
+    while i < n:
+        if DECODE_INTO_RE.search(text_lines[i]):
+            # Find the opening brace of the definition (skip declarations,
+            # which hit ';' first).
+            depth = 0
+            j = i
+            opened = False
+            open_line = None
+            while j < n:
+                for ch in text_lines[j]:
+                    if not opened:
+                        if ch == ";":
+                            j = None
+                            break
+                        if ch == "{":
+                            opened = True
+                            open_line = j
+                            depth = 1
+                    else:
+                        if ch == "{":
+                            depth += 1
+                        elif ch == "}":
+                            depth -= 1
+                            if depth == 0:
+                                break
+                if j is None or (opened and depth == 0):
+                    break
+                j += 1
+            if j is not None and opened:
+                yield i + 1, list(range(open_line + 1, min(j + 1, n)))
+                i = j
+        i += 1
+
+
+def check(findings):
+    for path in repo_files():
+        r = rel(path)
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+
+        if r not in R1_ALLOWED:
+            scan_lines(
+                path, lines, "thread-outside-pool", R1_PATTERN,
+                "raw std::thread outside common/thread_pool — use the shared "
+                "ThreadPool", findings,
+            )
+        if r not in R2_ALLOWED:
+            scan_lines(
+                path, lines, "mutex-outside-common", R2_PATTERN,
+                "raw std synchronization outside common/mutex.h — use the "
+                "annotated common::Mutex/MutexLock/CondVar", findings,
+            )
+        if r not in R3_ALLOWED:
+            scan_lines(
+                path, lines, "raw-rng", R3_PATTERN,
+                "raw std random engine outside common/rng — use common::Rng",
+                findings,
+            )
+        if r.startswith("src/strategies/"):
+            scan_lines(
+                path, lines, "alloc-in-kernel", R4_PATTERN,
+                "allocation in a decode-kernel TU — kernels must stay "
+                "allocation-free", findings,
+            )
+        if r == "src/core/decoder.cc":
+            body_linenos = set()
+            for _start, linenos in decode_into_bodies(lines):
+                body_linenos.update(linenos)
+            for idx in sorted(body_linenos):
+                raw = lines[idx]
+                if R5_PATTERN.search(strip_comment(raw)):
+                    allow = ALLOW_RE.search(raw)
+                    if allow and allow.group(1) == "alloc-in-decode-into":
+                        continue
+                    findings.append(Finding(
+                        "alloc-in-decode-into", path, idx + 1, raw,
+                        "fresh container construction inside a Decode*Into "
+                        "body — reuse caller scratch (DESIGN.md §12)",
+                    ))
+        if any(r.startswith(d) for d in R6_DIRS):
+            scan_lines(
+                path, lines, "wall-clock-in-hot-path", R6_PATTERN,
+                "clock read in a decode/query layer — results must be "
+                "time-independent; time in callers via common/stopwatch",
+                findings,
+            )
+
+
+def main():
+    findings = []
+    check(findings)
+    if findings:
+        for f in findings:
+            print(f)
+        print(f"\nrepo_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("repo_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

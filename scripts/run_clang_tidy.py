@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Run the repo's curated clang-tidy profile over compile_commands.json.
+
+Drives clang-tidy (tools/lint/clang-tidy.yml, WarningsAsErrors: '*') over
+every first-party translation unit recorded in the build's
+compile_commands.json — src/ sources only; tests, benches, fuzzers and
+third-party TUs are out of scope for the lint gate. Exits nonzero if any
+TU produces a diagnostic, printing each offender's output.
+
+Usage:
+    cmake -B build -S .          # CMAKE_EXPORT_COMPILE_COMMANDS is ON
+    python3 scripts/run_clang_tidy.py -p build [-j N] [--clang-tidy BIN]
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CONFIG_FILE = os.path.join(REPO_ROOT, "tools", "lint", "clang-tidy.yml")
+
+
+def find_clang_tidy(explicit):
+    """Resolve the clang-tidy binary, tolerating versioned names."""
+    candidates = [explicit] if explicit else []
+    candidates += ["clang-tidy"]
+    # CI images often ship only a versioned binary; prefer newest.
+    candidates += [f"clang-tidy-{v}" for v in range(21, 11, -1)]
+    for name in candidates:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def first_party_sources(build_dir):
+    """src/ TUs from compile_commands.json, deduplicated and sorted."""
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        sys.exit(
+            f"error: {db_path} not found — configure with "
+            "`cmake -B build -S .` first (compile-command export is on "
+            "by default)"
+        )
+    with open(db_path, encoding="utf-8") as f:
+        db = json.load(f)
+    src_prefix = os.path.join(REPO_ROOT, "src") + os.sep
+    files = set()
+    for entry in db:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"])
+        )
+        if path.startswith(src_prefix):
+            files.add(path)
+    return sorted(files)
+
+
+def run_one(clang_tidy, build_dir, path):
+    proc = subprocess.run(
+        [
+            clang_tidy,
+            f"--config-file={CONFIG_FILE}",
+            "-p",
+            build_dir,
+            "--quiet",
+            path,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    return path, proc.returncode, proc.stdout, proc.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-p",
+        "--build-dir",
+        default=os.path.join(REPO_ROOT, "build"),
+        help="build directory holding compile_commands.json (default: build)",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=os.cpu_count() or 1,
+        help="parallel clang-tidy processes (default: all cores)",
+    )
+    parser.add_argument(
+        "--clang-tidy",
+        default=None,
+        help="clang-tidy binary (default: first of clang-tidy, clang-tidy-N)",
+    )
+    args = parser.parse_args()
+
+    clang_tidy = find_clang_tidy(args.clang_tidy)
+    if clang_tidy is None:
+        sys.exit(
+            "error: no clang-tidy binary found on PATH "
+            "(looked for clang-tidy and clang-tidy-12..21)"
+        )
+
+    files = first_party_sources(os.path.abspath(args.build_dir))
+    if not files:
+        sys.exit("error: compile_commands.json lists no src/ sources")
+
+    print(f"{os.path.basename(clang_tidy)}: {len(files)} TUs, "
+          f"config {os.path.relpath(CONFIG_FILE, REPO_ROOT)}")
+
+    failed = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as ex:
+        futures = [
+            ex.submit(run_one, clang_tidy, os.path.abspath(args.build_dir), f)
+            for f in files
+        ]
+        for fut in concurrent.futures.as_completed(futures):
+            path, rc, out, err = fut.result()
+            rel = os.path.relpath(path, REPO_ROOT)
+            if rc != 0:
+                failed.append(rel)
+                print(f"\n--- {rel} ---")
+                if out.strip():
+                    print(out.strip())
+                if err.strip():
+                    print(err.strip(), file=sys.stderr)
+            else:
+                print(f"  ok {rel}")
+
+    if failed:
+        print(
+            f"\nclang-tidy: {len(failed)}/{len(files)} TUs with findings: "
+            + ", ".join(sorted(failed)),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"clang-tidy: all {len(files)} TUs clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+#ifndef UTCQ_COMMON_MUTEX_H_
+#define UTCQ_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace utcq::common {
+
+/// The repo's one mutex type: std::mutex wrapped as an annotated Clang
+/// capability (DESIGN.md §13). Every lock in src/ is a common::Mutex and
+/// every guarded field names it in UTCQ_GUARDED_BY, which is what lets
+/// -Wthread-safety prove the locking discipline at compile time;
+/// scripts/repo_lint.py rejects raw std::mutex outside this header so no
+/// lock can silently opt out of the analysis.
+class UTCQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() UTCQ_ACQUIRE() { mu_.lock(); }
+  void Unlock() UTCQ_RELEASE() { mu_.unlock(); }
+  bool TryLock() UTCQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock over a Mutex — the only way code outside this header takes
+/// a lock. Deliberately minimal: no deferred/adopt modes, no early
+/// unlock; a scope that wants to drop the lock ends the scope. That
+/// keeps every acquire/release pair visible to the analysis (and to the
+/// reader) as a brace pair.
+class UTCQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) UTCQ_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() UTCQ_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with common::Mutex.
+///
+/// Wait() is annotated UTCQ_REQUIRES(mu), not release+reacquire: the lock
+/// is held on entry and held again on return, and the window where wait()
+/// internally drops it is invisible to callers — exactly the capability
+/// state the analysis should track. Spurious wakeups happen; callers loop:
+///
+///   common::MutexLock lk(mu_);
+///   while (!predicate_over_guarded_fields()) cv_.Wait(mu_);
+///
+/// (An explicit while-loop instead of a predicate lambda, so the guarded
+/// reads stay inside a scope the analysis can see the lock in.)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) UTCQ_REQUIRES(mu) {
+    // Adopt the already-held lock for the wait, then release ownership
+    // back to the caller's MutexLock without unlocking.
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace utcq::common
+
+#endif  // UTCQ_COMMON_MUTEX_H_

@@ -1,0 +1,76 @@
+#ifndef UTCQ_COMMON_THREAD_ANNOTATIONS_H_
+#define UTCQ_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attributes (DESIGN.md §13), absl-style.
+//
+// These make the repo's locking invariants machine-checked at compile
+// time: a field declared UTCQ_GUARDED_BY(mu) read without `mu` held, or a
+// UTCQ_REQUIRES(mu) method called unlocked, is a -Wthread-safety
+// diagnostic — and Clang builds promote that group to an error
+// (CMakeLists.txt), so a missed guard fails the build instead of waiting
+// for a lucky TSan interleaving on a 1-core box. Off-Clang every macro
+// expands to nothing; the annotations carry zero runtime cost everywhere.
+//
+// Only common::Mutex / common::MutexLock / common::CondVar (common/mutex.h)
+// may define capabilities; everything else consumes these macros on fields
+// and methods. scripts/repo_lint.py enforces that no raw std::mutex
+// appears outside common/, which is what keeps the analysis load-bearing:
+// an unannotated mutex is invisible to it.
+#if defined(__clang__)
+#define UTCQ_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define UTCQ_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off-Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define UTCQ_CAPABILITY(x) UTCQ_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define UTCQ_SCOPED_CAPABILITY UTCQ_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Field may only be accessed with capability `x` held.
+#define UTCQ_GUARDED_BY(x) UTCQ_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed with `x` held.
+#define UTCQ_PT_GUARDED_BY(x) UTCQ_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Declared lock-acquisition order (checked under -Wthread-safety-beta).
+#define UTCQ_ACQUIRED_BEFORE(...) \
+  UTCQ_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define UTCQ_ACQUIRED_AFTER(...) \
+  UTCQ_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held on entry (and does not release).
+#define UTCQ_REQUIRES(...) \
+  UTCQ_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define UTCQ_REQUIRES_SHARED(...) \
+  UTCQ_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the capability.
+#define UTCQ_ACQUIRE(...) \
+  UTCQ_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define UTCQ_RELEASE(...) \
+  UTCQ_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function acquires only when it returns `b` (true for std try_lock).
+#define UTCQ_TRY_ACQUIRE(b, ...) \
+  UTCQ_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define UTCQ_EXCLUDES(...) \
+  UTCQ_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at analysis level) that the capability is held.
+#define UTCQ_ASSERT_CAPABILITY(x) \
+  UTCQ_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define UTCQ_RETURN_CAPABILITY(x) \
+  UTCQ_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch — every use needs a comment explaining why the analysis
+/// cannot see the invariant (none in src/ today; keep it that way).
+#define UTCQ_NO_THREAD_SAFETY_ANALYSIS \
+  UTCQ_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // UTCQ_COMMON_THREAD_ANNOTATIONS_H_

@@ -46,10 +46,10 @@ ThreadPool::ThreadPool(unsigned num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(sleep_mu_);
+    MutexLock lk(sleep_mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -64,24 +64,24 @@ void ThreadPool::Submit(std::function<void()> task) {
   pending_.fetch_add(1, std::memory_order_release);
   if (tls_pool == this) {
     WorkerQueue& q = *queues_[tls_worker_index];
-    std::lock_guard<std::mutex> lk(q.mu);
+    MutexLock lk(q.mu);
     q.tasks.push_front(std::move(task));
   } else {
-    std::lock_guard<std::mutex> lk(global_mu_);
+    MutexLock lk(global_mu_);
     global_.push_back(std::move(task));
   }
   {
-    // Empty critical section: pairs with the predicate check in WorkerLoop
+    // Empty critical section: pairs with the wait-loop check in WorkerLoop
     // so a worker between "saw no work" and "asleep" cannot miss the wake.
-    std::lock_guard<std::mutex> lk(sleep_mu_);
+    MutexLock lk(sleep_mu_);
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool ThreadPool::FindTask(std::function<void()>* out, size_t self) {
   if (self != kNotAWorker) {
     WorkerQueue& q = *queues_[self];
-    std::lock_guard<std::mutex> lk(q.mu);
+    MutexLock lk(q.mu);
     if (!q.tasks.empty()) {
       *out = std::move(q.tasks.front());
       q.tasks.pop_front();
@@ -90,7 +90,7 @@ bool ThreadPool::FindTask(std::function<void()>* out, size_t self) {
     }
   }
   {
-    std::lock_guard<std::mutex> lk(global_mu_);
+    MutexLock lk(global_mu_);
     if (!global_.empty()) {
       *out = std::move(global_.front());
       global_.pop_front();
@@ -101,7 +101,7 @@ bool ThreadPool::FindTask(std::function<void()>* out, size_t self) {
   for (size_t i = 0; i < queues_.size(); ++i) {
     if (i == self) continue;
     WorkerQueue& q = *queues_[i];
-    std::lock_guard<std::mutex> lk(q.mu);
+    MutexLock lk(q.mu);
     if (!q.tasks.empty()) {
       *out = std::move(q.tasks.back());  // steal the victim's oldest work
       q.tasks.pop_back();
@@ -122,11 +122,13 @@ void ThreadPool::WorkerLoop(size_t self) {
       task = nullptr;  // release captures before sleeping
       continue;
     }
-    std::unique_lock<std::mutex> lk(sleep_mu_);
+    MutexLock lk(sleep_mu_);
     if (stop_) return;  // nothing findable and shutting down: drained
-    cv_.wait(lk, [this] {
-      return stop_ || pending_.load(std::memory_order_acquire) > 0;
-    });
+    // Explicit wait loop (not a predicate lambda) so the stop_ reads sit
+    // in a scope the thread-safety analysis can see sleep_mu_ held in.
+    while (!stop_ && pending_.load(std::memory_order_acquire) == 0) {
+      cv_.Wait(sleep_mu_);
+    }
     if (stop_ && pending_.load(std::memory_order_acquire) == 0) return;
   }
 }
@@ -134,10 +136,13 @@ void ThreadPool::WorkerLoop(size_t self) {
 struct ThreadPool::ForState {
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
+  // n and fn are deliberately unguarded: both are written once, before
+  // the first helper task is published (Submit's queue push is the
+  // release point), and never after — see DESIGN.md §13.
   size_t n = 0;
   const std::function<void(size_t)>* fn = nullptr;
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
 };
 
 void ThreadPool::DrainFor(ForState& s) {
@@ -149,8 +154,8 @@ void ThreadPool::DrainFor(ForState& s) {
     // i >= n and never touches it.
     (*s.fn)(i);
     if (s.done.fetch_add(1, std::memory_order_acq_rel) + 1 == s.n) {
-      std::lock_guard<std::mutex> lk(s.mu);
-      s.cv.notify_all();
+      MutexLock lk(s.mu);
+      s.cv.NotifyAll();
     }
   }
 }
@@ -176,10 +181,10 @@ void ThreadPool::ParallelFor(size_t n, unsigned threads,
   // completes on the calling thread alone and the helper tasks become
   // no-ops whenever they eventually run.
   DrainFor(*state);
-  std::unique_lock<std::mutex> lk(state->mu);
-  state->cv.wait(lk, [&] {
-    return state->done.load(std::memory_order_acquire) >= state->n;
-  });
+  MutexLock lk(state->mu);
+  while (state->done.load(std::memory_order_acquire) < state->n) {
+    state->cv.Wait(state->mu);
+  }
 }
 
 ThreadPool& ThreadPool::Shared() {

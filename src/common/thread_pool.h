@@ -1,14 +1,16 @@
 #ifndef UTCQ_COMMON_THREAD_POOL_H_
 #define UTCQ_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace utcq::common {
 
@@ -86,8 +88,8 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks UTCQ_GUARDED_BY(mu);
   };
   struct ForState;
 
@@ -100,15 +102,15 @@ class ThreadPool {
   static void DrainFor(ForState& s);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
-  std::mutex global_mu_;
-  std::deque<std::function<void()>> global_;
+  Mutex global_mu_;
+  std::deque<std::function<void()>> global_ UTCQ_GUARDED_BY(global_mu_);
 
   // Sleep bookkeeping: pending_ counts queued-but-unclaimed tasks; workers
   // sleep on cv_ when a scavenge comes up empty.
-  std::mutex sleep_mu_;
-  std::condition_variable cv_;
+  Mutex sleep_mu_;
+  CondVar cv_;
   std::atomic<size_t> pending_{0};
-  bool stop_ = false;
+  bool stop_ UTCQ_GUARDED_BY(sleep_mu_) = false;
 
   std::vector<std::thread> workers_;
 };

@@ -19,7 +19,7 @@ StreamIngestor::StreamIngestor(const network::RoadNetwork& net,
 
 std::shared_ptr<StreamIngestor::Entry> StreamIngestor::GetOrCreate(
     uint64_t vehicle) {
-  std::lock_guard<std::mutex> lock(map_mu_);
+  common::MutexLock lock(map_mu_);
   auto it = sessions_.find(vehicle);
   if (it != sessions_.end()) return it->second;
   auto entry = std::make_shared<Entry>(net_, grid_, match_, vehicle);
@@ -49,7 +49,7 @@ AppendStatus StreamIngestor::Push(uint64_t vehicle, const traj::RawPoint& p) {
     bool full_had_segment = false;
     AppendStatus status;
     {
-      std::lock_guard<std::mutex> lock(entry->mu);
+      common::MutexLock lock(entry->mu);
       if (entry->closed) continue;  // raced a seal-and-remove; fresh session
       auto result = entry->session.Push(p);
       status = result.status;
@@ -95,14 +95,14 @@ size_t StreamIngestor::CloseEntry(uint64_t vehicle,
   std::optional<traj::UncertainTrajectory> tu;
   bool had_segment = false;
   {
-    std::lock_guard<std::mutex> lock(entry->mu);
+    common::MutexLock lock(entry->mu);
     if (entry->closed) return 0;
     had_segment = entry->session.num_points() > 0;
     tu = entry->session.Seal();
     entry->closed = true;
   }
   {
-    std::lock_guard<std::mutex> lock(map_mu_);
+    common::MutexLock lock(map_mu_);
     auto it = sessions_.find(vehicle);
     if (it != sessions_.end() && it->second == entry) sessions_.erase(it);
   }
@@ -113,7 +113,7 @@ size_t StreamIngestor::CloseEntry(uint64_t vehicle,
 size_t StreamIngestor::EndSession(uint64_t vehicle) {
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(map_mu_);
+    common::MutexLock lock(map_mu_);
     auto it = sessions_.find(vehicle);
     if (it == sessions_.end()) return 0;
     entry = it->second;
@@ -124,7 +124,7 @@ size_t StreamIngestor::EndSession(uint64_t vehicle) {
 size_t StreamIngestor::EndAllSessions() {
   std::vector<std::pair<uint64_t, std::shared_ptr<Entry>>> all;
   {
-    std::lock_guard<std::mutex> lock(map_mu_);
+    common::MutexLock lock(map_mu_);
     all.assign(sessions_.begin(), sessions_.end());
   }
   size_t sealed = 0;
@@ -137,14 +137,14 @@ size_t StreamIngestor::EndAllSessions() {
 size_t StreamIngestor::AdvanceTime(traj::Timestamp now) {
   std::vector<std::pair<uint64_t, std::shared_ptr<Entry>>> all;
   {
-    std::lock_guard<std::mutex> lock(map_mu_);
+    common::MutexLock lock(map_mu_);
     all.assign(sessions_.begin(), sessions_.end());
   }
   size_t sealed = 0;
   for (auto& [vehicle, entry] : all) {
     bool idle;
     {
-      std::lock_guard<std::mutex> lock(entry->mu);
+      common::MutexLock lock(entry->mu);
       idle = !entry->session.has_activity() ||
              now - entry->session.last_activity() > limits_.idle_timeout_s;
     }
@@ -154,7 +154,7 @@ size_t StreamIngestor::AdvanceTime(traj::Timestamp now) {
 }
 
 size_t StreamIngestor::open_sessions() const {
-  std::lock_guard<std::mutex> lock(map_mu_);
+  common::MutexLock lock(map_mu_);
   return sessions_.size();
 }
 

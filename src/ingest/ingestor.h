@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "ingest/session.h"
 #include "matching/online_viterbi.h"
 #include "network/grid_index.h"
@@ -79,9 +80,10 @@ class StreamIngestor {
     Entry(const network::RoadNetwork& net, const network::GridIndex& grid,
           const matching::OnlineMatchParams& params, uint64_t vehicle)
         : session(net, grid, params, vehicle) {}
-    std::mutex mu;
-    IngestSession session;
-    bool closed = false;  // sealed-and-removed; pushes must retry
+    common::Mutex mu;
+    IngestSession session UTCQ_GUARDED_BY(mu);
+    /// sealed-and-removed; pushes must retry
+    bool closed UTCQ_GUARDED_BY(mu) = false;
   };
 
   std::shared_ptr<Entry> GetOrCreate(uint64_t vehicle);
@@ -98,8 +100,9 @@ class StreamIngestor {
   SessionLimits limits_;
   SealSink sink_;
 
-  mutable std::mutex map_mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<Entry>> sessions_;
+  mutable common::Mutex map_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Entry>> sessions_
+      UTCQ_GUARDED_BY(map_mu_);
 
   std::atomic<uint64_t> points_{0};
   std::atomic<uint64_t> accepted_{0};

@@ -16,17 +16,17 @@ LiveShard::LiveShard(const network::RoadNetwork& net,
 }
 
 uint32_t LiveShard::base() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return base_;
 }
 
 size_t LiveShard::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return trajs_.size();
 }
 
 uint32_t LiveShard::Append(traj::UncertainTrajectory tu) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   const uint32_t id = base_ + static_cast<uint32_t>(trajs_.size());
   tu.id = id;
   layouts_.emplace_back();
@@ -63,7 +63,7 @@ std::shared_ptr<const LiveSnapshot> LiveShard::Snapshot() const {
     traj::UncertainCorpus trajs;
     std::vector<std::vector<core::NrefFactorLayout>> layouts;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       if (trajs_.empty()) return nullptr;
       if (cached_ != nullptr) return cached_;
       version = version_;
@@ -77,7 +77,7 @@ std::shared_ptr<const LiveSnapshot> LiveShard::Snapshot() const {
         net_, grid_, trajs, snap->cc_.view(), layouts, index_params_);
     snap->qp_ = std::make_unique<core::UtcqQueryProcessor>(
         net_, snap->cc_.view(), *snap->index_);
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     if (version_ == version) {
       cached_ = snap;
       return cached_;
@@ -85,14 +85,14 @@ std::shared_ptr<const LiveSnapshot> LiveShard::Snapshot() const {
     // Stale build; a concurrent builder may have installed a fresh one.
     if (cached_ != nullptr) return cached_;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (trajs_.empty()) return nullptr;
   if (cached_ == nullptr) cached_ = BuildLocked();
   return cached_;
 }
 
 void LiveShard::DropFlushed(size_t count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (count == 0) return;
   if (count > trajs_.size()) count = trajs_.size();
   trajs_.erase(trajs_.begin(),
@@ -116,7 +116,7 @@ void LiveShard::DropFlushed(size_t count) {
 }
 
 void LiveShard::ResetBase(uint32_t base) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (!trajs_.empty()) return;  // ids already handed out; never renumber
   base_ = base;
   ++version_;
@@ -124,7 +124,7 @@ void LiveShard::ResetBase(uint32_t base) {
 }
 
 std::vector<traj::UncertainTrajectory> LiveShard::Trajectories() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return trajs_;
 }
 

@@ -3,9 +3,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/encoder.h"
 #include "core/query.h"
 #include "core/stiu_index.h"
@@ -90,23 +91,26 @@ class LiveShard {
   std::vector<traj::UncertainTrajectory> Trajectories() const;
 
  private:
-  /// Builds a snapshot from the members directly; mu_ must be held.
-  std::shared_ptr<const LiveSnapshot> BuildLocked() const;
+  /// Builds a snapshot from the members directly.
+  std::shared_ptr<const LiveSnapshot> BuildLocked() const UTCQ_REQUIRES(mu_);
 
   const network::RoadNetwork& net_;
   const network::GridIndex& grid_;
   core::StiuParams index_params_;
-  core::UtcqCompressor compressor_;
+  /// The incremental encoder: AppendTrajectory mutates its reference
+  /// bookkeeping, so it moves only under mu_ (constructor use aside).
+  core::UtcqCompressor compressor_ UTCQ_GUARDED_BY(mu_);
 
-  mutable std::mutex mu_;
-  uint32_t base_ = 0;
+  mutable common::Mutex mu_;
+  uint32_t base_ UTCQ_GUARDED_BY(mu_) = 0;
   /// Bumped by every mutation; Snapshot's optimistic build re-validates
   /// against it before installing.
-  uint64_t version_ = 0;
-  std::vector<traj::UncertainTrajectory> trajs_;
-  std::vector<std::vector<core::NrefFactorLayout>> layouts_;
-  core::CompressedCorpus cc_;
-  mutable std::shared_ptr<const LiveSnapshot> cached_;
+  uint64_t version_ UTCQ_GUARDED_BY(mu_) = 0;
+  std::vector<traj::UncertainTrajectory> trajs_ UTCQ_GUARDED_BY(mu_);
+  std::vector<std::vector<core::NrefFactorLayout>> layouts_
+      UTCQ_GUARDED_BY(mu_);
+  core::CompressedCorpus cc_ UTCQ_GUARDED_BY(mu_);
+  mutable std::shared_ptr<const LiveSnapshot> cached_ UTCQ_GUARDED_BY(mu_);
 };
 
 }  // namespace utcq::ingest

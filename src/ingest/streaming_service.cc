@@ -16,10 +16,10 @@ StreamingService::StreamingService(const network::RoadNetwork& net,
                 }) {}
 
 bool StreamingService::Open(std::string* error) {
-  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  common::MutexLock flush_lock(flush_mu_);
   std::shared_ptr<const shard::ShardedCorpus> sealed;
   if (!flusher_.Open(error, &sealed)) return false;
-  std::lock_guard<std::mutex> tier_lock(tier_mu_);
+  common::MutexLock tier_lock(tier_mu_);
   sealed_ = std::move(sealed);
   live_.ResetBase(static_cast<uint32_t>(
       sealed_ != nullptr ? sealed_->num_trajectories() : 0));
@@ -27,7 +27,7 @@ bool StreamingService::Open(std::string* error) {
 }
 
 bool StreamingService::Flush(std::string* error) {
-  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  common::MutexLock flush_lock(flush_mu_);
   // Freeze the current tail; seals landing after this go to indices past
   // the frozen count and survive the trim untouched.
   const std::shared_ptr<const LiveSnapshot> snap = live_.Snapshot();
@@ -37,7 +37,7 @@ bool StreamingService::Flush(std::string* error) {
   // Publication: swap the sealed set and trim the live shard under the
   // tier lock, atomically w.r.t. Acquire — a snapshot sees the flushed
   // trajectories in exactly one of the two parts, never both or neither.
-  std::lock_guard<std::mutex> tier_lock(tier_mu_);
+  common::MutexLock tier_lock(tier_mu_);
   sealed_ = std::move(fresh);
   live_.DropFlushed(snap->count());
   return true;
@@ -54,11 +54,11 @@ std::shared_ptr<const serve::TierSnapshot> StreamingService::Acquire() const {
   for (;;) {
     std::shared_ptr<const shard::ShardedCorpus> sealed;
     {
-      std::lock_guard<std::mutex> tier_lock(tier_mu_);
+      common::MutexLock tier_lock(tier_mu_);
       sealed = sealed_;
     }
     std::shared_ptr<const LiveSnapshot> live = live_.Snapshot();
-    std::lock_guard<std::mutex> tier_lock(tier_mu_);
+    common::MutexLock tier_lock(tier_mu_);
     if (sealed_ != sealed) continue;  // raced a flush publication
     const size_t sealed_n =
         sealed != nullptr ? sealed->num_trajectories() : 0;
@@ -70,18 +70,18 @@ std::shared_ptr<const serve::TierSnapshot> StreamingService::Acquire() const {
 }
 
 size_t StreamingService::num_sealed() const {
-  std::lock_guard<std::mutex> tier_lock(tier_mu_);
+  common::MutexLock tier_lock(tier_mu_);
   return sealed_ != nullptr ? sealed_->num_trajectories() : 0;
 }
 
 size_t StreamingService::num_trajectories() const {
-  std::lock_guard<std::mutex> tier_lock(tier_mu_);
+  common::MutexLock tier_lock(tier_mu_);
   return (sealed_ != nullptr ? sealed_->num_trajectories() : 0) +
          live_.size();
 }
 
 size_t StreamingService::num_generations() const {
-  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  common::MutexLock flush_lock(flush_mu_);
   return flusher_.num_generations();
 }
 

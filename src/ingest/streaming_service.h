@@ -3,10 +3,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "ingest/flusher.h"
 #include "ingest/ingestor.h"
 #include "ingest/live_shard.h"
@@ -79,10 +80,12 @@ class StreamingService final : public serve::TierSource {
   bool Flush(std::string* error = nullptr);
   /// Crash-injection for tests; see Flusher::set_pre_publish_hook.
   void set_flush_hook(std::function<bool()> hook) {
+    common::MutexLock flush_lock(flush_mu_);
     flusher_.set_pre_publish_hook(std::move(hook));
   }
   /// Full crash matrix (every FlushStep); see Flusher::set_crash_hook.
   void set_flush_crash_hook(Flusher::CrashHook hook) {
+    common::MutexLock flush_lock(flush_mu_);
     flusher_.set_crash_hook(std::move(hook));
   }
 
@@ -96,7 +99,8 @@ class StreamingService final : public serve::TierSource {
   size_t num_live() const { return live_.size(); }
   size_t num_trajectories() const;
   size_t num_generations() const;
-  const std::string& manifest_path() const {
+  std::string manifest_path() const {
+    common::MutexLock flush_lock(flush_mu_);
     return flusher_.manifest_path();
   }
   /// Copy of the unflushed trajectories (tests pin stream==batch with it).
@@ -106,17 +110,21 @@ class StreamingService final : public serve::TierSource {
 
  private:
   LiveShard live_;
-  Flusher flusher_;
+  /// Not internally synchronized (see Flusher docs) — every touch,
+  /// including the inline hook setters above, holds flush_mu_.
+  Flusher flusher_ UTCQ_GUARDED_BY(flush_mu_);
   StreamIngestor ingestor_;  // declared last: its sink appends into live_
 
   /// Guards the published tier (sealed_ + live_'s base/trim) against
   /// Acquire, so every snapshot sees sealed and live agreeing on the id
-  /// split. Always taken before the live shard's internal lock.
-  mutable std::mutex tier_mu_;
-  std::shared_ptr<const shard::ShardedCorpus> sealed_;
+  /// split. Always taken before the live shard's internal lock — the
+  /// flush publication point depends on this order (DESIGN.md §13).
+  mutable common::Mutex tier_mu_;
+  std::shared_ptr<const shard::ShardedCorpus> sealed_
+      UTCQ_GUARDED_BY(tier_mu_);
 
   /// Serializes flushes (and Open) against each other only.
-  mutable std::mutex flush_mu_;
+  mutable common::Mutex flush_mu_;
 };
 
 }  // namespace utcq::ingest

@@ -33,7 +33,7 @@ std::shared_ptr<const traj::DecodedTraj> DecodedTrajCache::GetOrDecode(
     uint64_t key, const DecodeFn& decode) {
   Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(shard.mu);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       ++shard.hits;
@@ -49,7 +49,7 @@ std::shared_ptr<const traj::DecodedTraj> DecodedTrajCache::GetOrDecode(
       std::make_shared<const traj::DecodedTraj>(decode());
   const size_t bytes = value->ApproxBytes();
 
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   shard.decoded_bytes += bytes;
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
@@ -71,14 +71,14 @@ std::shared_ptr<const traj::DecodedTraj> DecodedTrajCache::GetOrDecode(
 std::shared_ptr<const traj::DecodedTraj> DecodedTrajCache::Peek(
     uint64_t key) const {
   const Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   const auto it = shard.index.find(key);
   return it != shard.index.end() ? it->second->value : nullptr;
 }
 
 void DecodedTrajCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(shard.mu);
     shard.lru.clear();
     shard.index.clear();
     shard.tracker.Reset();
@@ -88,7 +88,7 @@ void DecodedTrajCache::Clear() {
 DecodedTrajCache::Stats DecodedTrajCache::stats() const {
   Stats total;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(shard.mu);
     total.hits += shard.hits;
     total.misses += shard.misses;
     total.evictions += shard.evictions;

@@ -5,11 +5,12 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/memory_tracker.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "traj/decoded.h"
 
 namespace utcq::serve {
@@ -73,20 +74,23 @@ class DecodedTrajCache {
     size_t bytes = 0;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
-    common::MemoryTracker tracker;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
-    uint64_t decoded_bytes = 0;
+    mutable common::Mutex mu;
+    /// front = most recently used
+    std::list<Entry> lru UTCQ_GUARDED_BY(mu);
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index
+        UTCQ_GUARDED_BY(mu);
+    /// Byte accounting moves strictly with lru/index mutations, so it
+    /// shares their guard — stats() reads it under the same lock.
+    common::MemoryTracker tracker UTCQ_GUARDED_BY(mu);
+    uint64_t hits UTCQ_GUARDED_BY(mu) = 0;
+    uint64_t misses UTCQ_GUARDED_BY(mu) = 0;
+    uint64_t evictions UTCQ_GUARDED_BY(mu) = 0;
+    uint64_t decoded_bytes UTCQ_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(uint64_t key) const;
   /// Evicts from the back of `shard` until it fits its budget slice.
-  /// Caller holds the shard lock.
-  void EvictToBudget(Shard& shard);
+  void EvictToBudget(Shard& shard) UTCQ_REQUIRES(shard.mu);
 
   size_t budget_per_shard_ = 0;
   mutable std::vector<Shard> shards_;

@@ -322,7 +322,7 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(
 
 void QueryEngine::RecordLatency(double micros) {
   const float sample = static_cast<float>(micros);
-  std::lock_guard<std::mutex> lock(latency_mu_);
+  common::MutexLock lock(latency_mu_);
   if (latency_us_.size() < kLatencyWindow) {
     latency_us_.push_back(sample);
   } else {
@@ -345,7 +345,7 @@ EngineStats QueryEngine::stats() const {
 
   std::vector<float> window;
   {
-    std::lock_guard<std::mutex> lock(latency_mu_);
+    common::MutexLock lock(latency_mu_);
     window = latency_us_;
   }
   if (!window.empty()) {

@@ -4,9 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/query.h"
 #include "serve/decoded_cache.h"
 #include "serve/tier.h"
@@ -165,9 +166,9 @@ class QueryEngine {
 
   /// Sliding window of per-request latencies (microseconds).
   static constexpr size_t kLatencyWindow = 8192;
-  mutable std::mutex latency_mu_;
-  std::vector<float> latency_us_;
-  size_t latency_pos_ = 0;
+  mutable common::Mutex latency_mu_;
+  std::vector<float> latency_us_ UTCQ_GUARDED_BY(latency_mu_);
+  size_t latency_pos_ UTCQ_GUARDED_BY(latency_mu_) = 0;
 };
 
 }  // namespace utcq::serve

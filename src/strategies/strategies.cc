@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
 
 #include "strategies/tier_tables.h"
 
@@ -37,7 +36,9 @@ std::atomic<const Kernels*> g_active{nullptr};
 
 const Kernels* ResolveStartupTier() {
   Tier tier = BestSupportedTier();
-  if (const char* env = std::getenv("UTCQ_STRATEGY")) {
+  // getenv is only mt-unsafe against a concurrent setenv; nothing in this
+  // process mutates the environment, and this runs once at first decode.
+  if (const char* env = std::getenv("UTCQ_STRATEGY")) {  // NOLINT(concurrency-mt-unsafe)
     Tier forced;
     if (ParseTier(env, &forced) && TierSupported(forced)) tier = forced;
   }
@@ -83,11 +84,21 @@ const Kernels* KernelsFor(Tier tier) {
 const Kernels& Active() {
   const Kernels* k = g_active.load(std::memory_order_acquire);
   if (k == nullptr) {
-    static std::once_flag resolve_once;
-    std::call_once(resolve_once, [] {
-      g_active.store(ResolveStartupTier(), std::memory_order_release);
-    });
-    k = g_active.load(std::memory_order_acquire);
+    // Install-if-still-null: racing first callers may each resolve the
+    // startup tier (idempotent — CPUID + env are stable), and a CAS loser
+    // adopts whatever won, including a concurrent SetActive. Never
+    // overwriting a non-null value is what makes SetActive safe to call
+    // without forcing resolution first, and it keeps this TU free of
+    // locks (no std::mutex outside common/ — scripts/repo_lint.py).
+    const Kernels* resolved = ResolveStartupTier();
+    const Kernels* expected = nullptr;
+    if (g_active.compare_exchange_strong(expected, resolved,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      k = resolved;
+    } else {
+      k = expected;
+    }
   }
   return *k;
 }
@@ -95,7 +106,6 @@ const Kernels& Active() {
 bool SetActive(Tier tier) {
   const Kernels* k = KernelsFor(tier);
   if (k == nullptr) return false;
-  Active();  // force startup resolution first so it can't overwrite this
   g_active.store(k, std::memory_order_release);
   return true;
 }

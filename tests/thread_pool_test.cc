@@ -124,6 +124,76 @@ TEST(ThreadPool, SubmitFromWorkerUsesOwnQueue) {
   EXPECT_EQ(ran.load(), 8);
 }
 
+TEST(ThreadPool, TaskSubmittedDuringDestructorDrainStillRuns) {
+  // The dtor drains before joining, and a draining task may legally submit
+  // a follow-up (it was "submitted before destruction" transitively — the
+  // worker that runs it is still in its scavenging loop). Both generations
+  // must have run by the time the dtor returns.
+  std::atomic<int> first{0};
+  std::atomic<int> followup{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] {
+        first.fetch_add(1, std::memory_order_relaxed);
+        pool.Submit(
+            [&] { followup.fetch_add(1, std::memory_order_relaxed); });
+      });
+    }
+    // Destruction begins here, very likely while tasks are still queued.
+  }
+  EXPECT_EQ(first.load(), 50);
+  EXPECT_EQ(followup.load(), 50);
+}
+
+TEST(ThreadPool, ReentrantSubmitChainFromWorkerCompletes) {
+  // A task submitted from a worker may itself submit from that worker, and
+  // so on: the chain lands on the worker's own deque (LIFO) and the whole
+  // depth must drain before the dtor joins.
+  constexpr int kDepth = 64;
+  std::atomic<int> ran{0};
+  {
+    // Declared before the pool: the dtor drains tasks that call back into
+    // chain, so chain must outlive the pool.
+    std::function<void(ThreadPool&, int)> chain = [&](ThreadPool& pool,
+                                                      int depth) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (depth + 1 < kDepth) {
+        pool.Submit([&chain, &pool, depth] { chain(pool, depth + 1); });
+      }
+    };
+    ThreadPool pool(2);
+    pool.Submit([&chain, &pool] { chain(pool, 0); });
+  }
+  EXPECT_EQ(ran.load(), kDepth);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolHandlesReentrancyAndNesting) {
+  // The inline degradation path must survive the same shapes the threaded
+  // path does: re-entrant Submit (runs inline, depth-first) and nested
+  // ParallelFor, all on the caller's thread.
+  ThreadPool pool(0);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> ran{0};
+  std::function<void(int)> chain = [&](int depth) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ran.fetch_add(1, std::memory_order_relaxed);
+    if (depth + 1 < 16) {
+      pool.Submit([&, depth] { chain(depth + 1); });
+    }
+  };
+  pool.Submit([&] { chain(0); });
+  EXPECT_EQ(ran.load(), 16);  // inline: whole chain done before return
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(8, 4, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    pool.ParallelFor(8, 4, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64u);
+}
+
 TEST(ThreadPool, EffectiveThreadsNeverBelowOneAndClampsToN) {
   // Hardware width varies across hosts; only the host-independent clamps
   // are pinned here.
