@@ -1,0 +1,365 @@
+// Network-serving benchmark: the TCP tier (DESIGN.md §14) measured
+// end-to-end over loopback — per-request latency for a closed-loop client,
+// pipelining leverage (one burst folding into ExecuteBatch vs one
+// round-trip per query), concurrent-connection scaling, and an open-loop
+// arrival sweep that pushes past saturation to expose the p50/p99/p999
+// tail under overload.
+//
+// Emits BENCH_net.json (machine-readable, one object) — the recorded
+// baseline for the serving tier's wire path, the counterpart of
+// BENCH_query.json for the in-process engine. Every division is guarded
+// (SafeRate/SafeRatio) so a sub-resolution timer produces 0, never
+// NaN/inf, and the JSON stays schema-valid for CI.
+//
+// Usage: bench_serve_net [trajectories > 0] [queries-per-run > 0]
+// Defaults: 400 trajectories (UTCQ_BENCH_TRAJ respected), 2000 queries.
+// bench-smoke runs it as `bench_serve_net 60 200`.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "core/utcq.h"
+#include "net/client.h"
+#include "net/tcp_server.h"
+#include "serve/query_engine.h"
+
+namespace {
+
+using namespace utcq;         // NOLINT
+using namespace utcq::bench;  // NOLINT
+
+double SafeRate(double count, double seconds) {
+  return seconds > 0.0 ? count / seconds : 0.0;
+}
+
+double SafeRatio(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+
+/// Percentile over a latency sample (microseconds). Sorts a copy; fine at
+/// benchmark sizes.
+double PercentileUs(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const double rank = p * static_cast<double>(sample.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sample[lo] + frac * (sample[hi] - sample[lo]);
+}
+
+struct OpenLoopRun {
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+};
+
+struct ConnRun {
+  size_t connections = 0;
+  double total_qps = 0.0;
+};
+
+std::vector<serve::QueryRequest> MakeMixedWorkload(const Workload& w,
+                                                   size_t count,
+                                                   uint64_t seed) {
+  std::vector<serve::QueryRequest> reqs;
+  common::Rng rng(seed);
+  const auto bbox = w.net.bounding_box();
+  for (size_t i = 0; i < count; ++i) {
+    const auto j =
+        static_cast<uint32_t>(rng.UniformInt(0, w.corpus.size() - 1));
+    const auto& tu = w.corpus[j];
+    const double alpha = rng.Uniform(0.1, 0.6);
+    switch (rng.UniformInt(0, 2)) {
+      case 0:
+        reqs.push_back(serve::QueryRequest::MakeWhere(
+            j, rng.UniformInt(tu.times.front(), tu.times.back()), alpha));
+        break;
+      case 1: {
+        const auto& path = tu.instances.front().path;
+        reqs.push_back(serve::QueryRequest::MakeWhen(
+            j, path[rng.UniformInt(0, path.size() - 1)],
+            rng.Uniform(0.0, 1.0), alpha));
+        break;
+      }
+      default: {
+        const double cx = rng.Uniform(bbox.min_x, bbox.max_x);
+        const double cy = rng.Uniform(bbox.min_y, bbox.max_y);
+        const double half = rng.Uniform(200.0, 900.0);
+        reqs.push_back(serve::QueryRequest::MakeRange(
+            {cx - half, cy - half, cx + half, cy + half},
+            rng.UniformInt(tu.times.front(), tu.times.back()), alpha));
+        break;
+      }
+    }
+  }
+  return reqs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long arg_traj = argc > 1 ? std::atol(argv[1]) : 0;
+  const long arg_queries = argc > 2 ? std::atol(argv[2]) : 0;
+  if ((argc > 1 && arg_traj <= 0) || (argc > 2 && arg_queries <= 0)) {
+    std::fprintf(stderr, "usage: %s [trajectories > 0] [queries > 0]\n",
+                 argv[0]);
+    return 2;
+  }
+  const size_t trajectories =
+      argc > 1 ? static_cast<size_t>(arg_traj) : TrajectoryCount(400);
+  const size_t queries =
+      argc > 2 ? static_cast<size_t>(arg_queries) : size_t{2000};
+
+  const auto w = MakeWorkload(traj::HangzhouProfile(), trajectories);
+  const network::GridIndex grid(w->net, 32);
+  core::UtcqParams params;
+  params.default_interval_s = w->profile.default_interval_s;
+  params.eta_p = w->profile.eta_p;
+  const core::UtcqSystem sys(w->net, grid, w->corpus, params,
+                             core::StiuParams{32, 1800});
+  serve::QueryEngine engine(sys.queries());
+
+  net::TcpServer server(&engine, nullptr);
+  if (!server.Start()) {
+    std::fprintf(stderr, "server failed to start\n");
+    return 1;
+  }
+  std::printf("server on 127.0.0.1:%d, %zu trajectories, %zu queries/run\n",
+              server.port(), trajectories, queries);
+
+  const auto workload = MakeMixedWorkload(*w, queries, 7117);
+
+  // --- correctness gate: every networked answer must be hit-for-hit
+  // identical to in-process execution before any number below means
+  // anything.
+  size_t mismatches = 0;
+  {
+    net::Client client;
+    if (!client.Connect("127.0.0.1", server.port())) {
+      std::fprintf(stderr, "client failed to connect: %s\n",
+                   client.last_status().message.c_str());
+      return 1;
+    }
+    const size_t check = std::min<size_t>(workload.size(), 200);
+    for (size_t i = 0; i < check; ++i) {
+      serve::QueryResult got;
+      if (!client.Query(workload[i], &got).ok) {
+        ++mismatches;
+        continue;
+      }
+      const serve::QueryResult want = engine.Execute(workload[i]);
+      if (!(got.where == want.where && got.when == want.when &&
+            got.range == want.range)) {
+        ++mismatches;
+      }
+    }
+    client.Close();
+  }
+  std::printf("equivalence: %zu mismatches (expected 0)\n", mismatches);
+
+  common::Stopwatch watch;
+
+  // --- closed loop: one request in flight, full round trip per query ----
+  double closed_qps = 0.0;
+  double closed_p50_us = 0.0;
+  double closed_p99_us = 0.0;
+  {
+    net::Client client;
+    client.Connect("127.0.0.1", server.port());
+    std::vector<double> lat_us;
+    lat_us.reserve(workload.size());
+    common::Stopwatch per;
+    watch.Restart();
+    for (const auto& req : workload) {
+      serve::QueryResult got;
+      per.Restart();
+      if (!client.Query(req, &got).ok) ++mismatches;
+      lat_us.push_back(per.ElapsedMicros());
+    }
+    const double seconds = watch.ElapsedSeconds();
+    closed_qps = SafeRate(static_cast<double>(workload.size()), seconds);
+    closed_p50_us = PercentileUs(lat_us, 0.50);
+    closed_p99_us = PercentileUs(lat_us, 0.99);
+    client.Close();
+  }
+  std::printf("closed loop: %.0f qps, p50 %.0fus, p99 %.0fus\n", closed_qps,
+              closed_p50_us, closed_p99_us);
+
+  // --- pipelined: the whole workload in one burst; the receiver folds the
+  // run into ExecuteBatch, so this is the wire ceiling ---------------------
+  double pipelined_qps = 0.0;
+  {
+    net::Client client;
+    client.Connect("127.0.0.1", server.port());
+    watch.Restart();
+    for (const auto& req : workload) client.SendQuery(req);
+    bool ok = client.Flush();
+    for (size_t i = 0; ok && i < workload.size(); ++i) {
+      uint64_t id = 0;
+      serve::QueryResult got;
+      ok = client.Receive(&id, &got).ok;
+    }
+    const double seconds = watch.ElapsedSeconds();
+    if (!ok) ++mismatches;
+    pipelined_qps = SafeRate(static_cast<double>(workload.size()), seconds);
+    client.Close();
+  }
+  std::printf("pipelined: %.0f qps (%.1fx closed loop)\n", pipelined_qps,
+              SafeRatio(pipelined_qps, closed_qps));
+
+  // --- concurrent connections: closed-loop clients in parallel ------------
+  std::vector<ConnRun> conn_runs;
+  for (const size_t conns : {size_t{1}, size_t{2}, size_t{4}}) {
+    const size_t per_client = std::max<size_t>(workload.size() / conns, 1);
+    std::atomic<size_t> errors{0};
+    std::vector<std::thread> threads;
+    watch.Restart();
+    for (size_t c = 0; c < conns; ++c) {
+      threads.emplace_back([&, c] {
+        net::Client client;
+        if (!client.Connect("127.0.0.1", server.port())) {
+          errors.fetch_add(per_client);
+          return;
+        }
+        for (size_t i = 0; i < per_client; ++i) {
+          serve::QueryResult got;
+          if (!client.Query(workload[(c * per_client + i) % workload.size()],
+                            &got)
+                   .ok) {
+            errors.fetch_add(1);
+          }
+        }
+        client.Close();
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double seconds = watch.ElapsedSeconds();
+    mismatches += errors.load();
+    conn_runs.push_back(
+        {conns, SafeRate(static_cast<double>(per_client * conns), seconds)});
+    std::printf("connections=%zu: %.0f qps total\n", conns,
+                conn_runs.back().total_qps);
+  }
+
+  // --- open loop: offered load independent of completions. Requests are
+  // stamped on a fixed arrival schedule and sent pipelined as they come
+  // due; latency is measured arrival-to-response, so queueing delay under
+  // overload lands in the tail exactly as a client would feel it. The
+  // sweep runs at 0.5x / 1x / 2x the measured pipelined capacity — the
+  // last rate is deliberately past saturation.
+  std::vector<OpenLoopRun> open_runs;
+  const double capacity = std::max(pipelined_qps, 1.0);
+  for (const double factor : {0.5, 1.0, 2.0}) {
+    const double offered = capacity * factor;
+    net::Client client;
+    client.Connect("127.0.0.1", server.port());
+    std::vector<double> arrive_s(workload.size());
+    for (size_t i = 0; i < workload.size(); ++i) {
+      arrive_s[i] = static_cast<double>(i) / offered;
+    }
+    std::vector<double> lat_us(workload.size(), 0.0);
+    size_t sent = 0;
+    size_t received = 0;
+    bool ok = true;
+    watch.Restart();
+    while (ok && received < workload.size()) {
+      const double now = watch.ElapsedSeconds();
+      // Send everything that has arrived by now in one pipelined burst.
+      bool flushed = false;
+      while (sent < workload.size() && arrive_s[sent] <= now) {
+        client.SendQuery(workload[sent]);
+        ++sent;
+        flushed = true;
+      }
+      if (flushed) ok = client.Flush();
+      if (!ok) break;
+      if (received < sent) {
+        // Drain one response, then loop back to keep the arrival schedule.
+        // Responses come back strictly in request order, so the i-th
+        // response answers the i-th arrival.
+        uint64_t id = 0;
+        serve::QueryResult got;
+        ok = client.Receive(&id, &got).ok;
+        if (ok) {
+          lat_us[received] =
+              (watch.ElapsedSeconds() - arrive_s[received]) * 1e6;
+          ++received;
+        }
+      } else if (sent < workload.size()) {
+        // Idle until the next arrival.
+        const double wait = arrive_s[sent] - watch.ElapsedSeconds();
+        if (wait > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(std::min(wait, 0.01)));
+        }
+      }
+    }
+    const double seconds = watch.ElapsedSeconds();
+    if (!ok) ++mismatches;
+    open_runs.push_back({offered,
+                         SafeRate(static_cast<double>(received), seconds),
+                         PercentileUs(lat_us, 0.50),
+                         PercentileUs(lat_us, 0.99),
+                         PercentileUs(lat_us, 0.999)});
+    std::printf(
+        "open loop %.1fx: offered %.0f qps, achieved %.0f qps, "
+        "p50 %.0fus, p99 %.0fus, p999 %.0fus\n",
+        factor, offered, open_runs.back().achieved_qps,
+        open_runs.back().p50_us, open_runs.back().p99_us,
+        open_runs.back().p999_us);
+    client.Close();
+  }
+
+  const auto counters = server.counters();
+  server.Shutdown();
+
+  std::FILE* json = std::fopen("BENCH_net.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_net.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"serve_net\",\n");
+  std::fprintf(json, "  \"trajectories\": %zu,\n", trajectories);
+  std::fprintf(json, "  \"queries_per_run\": %zu,\n", workload.size());
+  std::fprintf(json, "  \"equivalence_mismatches\": %zu,\n", mismatches);
+  std::fprintf(json, "  \"connections_accepted\": %llu,\n",
+               static_cast<unsigned long long>(counters.connections_accepted));
+  std::fprintf(json, "  \"frames_handled\": %llu,\n",
+               static_cast<unsigned long long>(counters.frames_handled));
+  std::fprintf(json, "  \"closed_loop_qps\": %.3f,\n", closed_qps);
+  std::fprintf(json, "  \"closed_loop_p50_us\": %.2f,\n", closed_p50_us);
+  std::fprintf(json, "  \"closed_loop_p99_us\": %.2f,\n", closed_p99_us);
+  std::fprintf(json, "  \"pipelined_qps\": %.3f,\n", pipelined_qps);
+  std::fprintf(json, "  \"pipelined_over_closed\": %.3f,\n",
+               SafeRatio(pipelined_qps, closed_qps));
+  std::fprintf(json, "  \"connection_runs\": [\n");
+  for (size_t i = 0; i < conn_runs.size(); ++i) {
+    std::fprintf(json,
+                 "    {\"connections\": %zu, \"total_qps\": %.3f}%s\n",
+                 conn_runs[i].connections, conn_runs[i].total_qps,
+                 i + 1 < conn_runs.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"open_loop_runs\": [\n");
+  for (size_t i = 0; i < open_runs.size(); ++i) {
+    const OpenLoopRun& r = open_runs[i];
+    std::fprintf(json,
+                 "    {\"offered_qps\": %.3f, \"achieved_qps\": %.3f, "
+                 "\"p50_us\": %.2f, \"p99_us\": %.2f, \"p999_us\": %.2f}%s\n",
+                 r.offered_qps, r.achieved_qps, r.p50_us, r.p99_us, r.p999_us,
+                 i + 1 < open_runs.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_net.json\n");
+  return mismatches == 0 ? 0 : 1;
+}

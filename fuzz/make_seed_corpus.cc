@@ -21,9 +21,13 @@
 #include "common/pddp.h"
 #include "common/rng.h"
 #include "core/encoder.h"
+#include "core/query.h"
 #include "core/stiu_index.h"
+#include "net/tcp_server.h"
+#include "net/wire.h"
 #include "network/generator.h"
 #include "network/grid_index.h"
+#include "serve/query_engine.h"
 #include "traj/generator.h"
 #include "traj/profiles.h"
 
@@ -53,7 +57,7 @@ int main(int argc, char** argv) {
   }
   const std::filesystem::path out = argv[1];
   std::error_code ec;
-  for (const char* sub : {"archive", "manifest", "codecs"}) {
+  for (const char* sub : {"archive", "manifest", "codecs", "wire"}) {
     std::filesystem::create_directories(out / sub, ec);
     if (ec) {
       std::fprintf(stderr, "cannot create %s: %s\n", (out / sub).c_str(),
@@ -144,6 +148,110 @@ int main(int argc, char** argv) {
     }
     ok &= WriteFile((out / "codecs" / "valid_codes.bin").string(),
                     StreamBytes(w));
+  }
+
+  // --- wire: real request/response captures (§14). The protocol encoders
+  // build a pipelined request stream, and a socket-free net::Session —
+  // the exact state machine the TCP server runs — answers it over a real
+  // QueryEngine, so the captured response bytes are genuine server output,
+  // not hand-rolled frames.
+  {
+    const utcq::core::UtcqQueryProcessor qp(net, cc.view(), index);
+    utcq::serve::QueryEngine engine(qp);
+
+    auto make_frame = [](utcq::net::Op op, uint64_t id,
+                         const utcq::common::ByteWriter& w) {
+      utcq::net::Frame f;
+      f.op = op;
+      f.request_id = id;
+      f.payload = w.bytes();
+      return f;
+    };
+
+    std::vector<utcq::net::Frame> requests;
+    {
+      utcq::common::ByteWriter w;
+      utcq::net::EncodeHelloRequest(utcq::net::HelloRequest{}, &w);
+      requests.push_back(make_frame(utcq::net::Op::kHello, 1, w));
+    }
+    {
+      utcq::common::ByteWriter w;
+      utcq::net::EncodeQueryRequest(
+          utcq::serve::QueryRequest::MakeWhere(0, 450, 0.3), &w);
+      requests.push_back(make_frame(utcq::net::Op::kQuery, 2, w));
+    }
+    {
+      utcq::common::ByteWriter w;
+      utcq::net::EncodeQueryRequest(
+          utcq::serve::QueryRequest::MakeWhen(1, 0, 0.5, 0.2), &w);
+      requests.push_back(make_frame(utcq::net::Op::kQuery, 3, w));
+    }
+    {
+      utcq::common::ByteWriter w;
+      utcq::net::EncodeQueryRequest(
+          utcq::serve::QueryRequest::MakeRange(
+              utcq::network::Rect{-1e9, -1e9, 1e9, 1e9}, 450, 0.2),
+          &w);
+      requests.push_back(make_frame(utcq::net::Op::kQuery, 4, w));
+    }
+    {
+      utcq::common::ByteWriter w;
+      utcq::net::EncodeBatchRequest(
+          {utcq::serve::QueryRequest::MakeWhere(2, 300, 0.4),
+           utcq::serve::QueryRequest::MakeWhen(3, 2, 0.25, 0.3)},
+          &w);
+      requests.push_back(make_frame(utcq::net::Op::kBatch, 5, w));
+    }
+    requests.push_back(
+        make_frame(utcq::net::Op::kStats, 6, utcq::common::ByteWriter{}));
+    requests.push_back(
+        make_frame(utcq::net::Op::kGoodbye, 7, utcq::common::ByteWriter{}));
+
+    std::vector<uint8_t> request_stream;
+    for (const auto& f : requests) {
+      utcq::net::AppendFrame(f, &request_stream);
+    }
+    ok &= WriteFile((out / "wire" / "requests.bin").string(), request_stream);
+
+    utcq::net::Session session(&engine, nullptr, 64);
+    std::vector<uint8_t> response_stream;
+    session.HandleFrames(requests, &response_stream);
+    ok &= WriteFile((out / "wire" / "responses.bin").string(),
+                    response_stream);
+
+    // Each response frame as its own seed, so the fuzzer also starts from
+    // single well-formed frames of every response type.
+    utcq::net::FrameAssembler splitter;
+    splitter.Push(response_stream.data(), response_stream.size());
+    utcq::net::Frame frame;
+    utcq::net::ErrorCode err;
+    int n = 0;
+    while (splitter.Next(&frame, &err) ==
+           utcq::net::FrameAssembler::Status::kFrame) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "response_%02d.bin", n++);
+      ok &= WriteFile((out / "wire" / name).string(),
+                      utcq::net::EncodeFrame(frame));
+    }
+
+    // Error captures: a request before hello, then (on a fresh session)
+    // an unknown opcode and a rejected version — the kError frames the
+    // server actually emits.
+    {
+      utcq::net::Session strict(&engine, nullptr, 64);
+      std::vector<uint8_t> error_stream;
+      strict.HandleFrames({requests[1]}, &error_stream);  // no hello first
+      utcq::net::Session strict2(&engine, nullptr, 64);
+      std::vector<utcq::net::Frame> bad;
+      bad.push_back(requests[0]);
+      bad.push_back(make_frame(static_cast<utcq::net::Op>(0x42), 8,
+                               utcq::common::ByteWriter{}));
+      utcq::net::Frame wrong_version = requests[1];
+      wrong_version.version = 9;
+      bad.push_back(wrong_version);
+      strict2.HandleFrames(bad, &error_stream);
+      ok &= WriteFile((out / "wire" / "errors.bin").string(), error_stream);
+    }
   }
 
   if (!ok) return 1;

@@ -31,6 +31,11 @@ compiler nor clang-tidy can express, by scanning first-party sources:
                              src/ted, src/traj — decode/query results must
                              be time-independent; timing belongs to callers
                              (common/stopwatch.h) and the bench/serve layers.
+  R7 socket-outside-net      socket/poll syscalls and the networking headers
+                             (<sys/socket.h>, <netinet/*>, <arpa/inet.h>,
+                             <poll.h>) only under src/net/ — every other
+                             layer stays socket-free so it can be tested,
+                             fuzzed and reused in-process (DESIGN.md §14).
 
 A finding can be waived inline with `// repo-lint: allow(<rule>)` on the
 offending line, but every waiver should carry a justification comment.
@@ -138,6 +143,16 @@ R6_PATTERN = re.compile(
 )
 R6_DIRS = ("src/core/", "src/strategies/", "src/ted/", "src/traj/")
 
+# --- R7: socket/poll syscalls confined to the serving tier ------------------
+
+R7_PATTERN = re.compile(
+    r"#include\s*<(sys/socket\.h|netinet/[\w/]+\.h|arpa/inet\.h|poll\.h"
+    r"|sys/epoll\.h)>"
+    r"|::(socket|bind|listen|accept4?|connect|recv|recvfrom|send|sendto"
+    r"|poll|epoll_create1?|shutdown|getsockname|setsockopt|inet_pton)\s*\("
+)
+R7_DIR = "src/net/"
+
 
 def decode_into_bodies(lines):
     """Yield (start_lineno, body_lines) for each Decode*Into definition,
@@ -231,6 +246,13 @@ def check(findings):
                 path, lines, "wall-clock-in-hot-path", R6_PATTERN,
                 "clock read in a decode/query layer — results must be "
                 "time-independent; time in callers via common/stopwatch",
+                findings,
+            )
+        if not r.startswith(R7_DIR):
+            scan_lines(
+                path, lines, "socket-outside-net", R7_PATTERN,
+                "socket/poll syscall or networking header outside src/net/ "
+                "— the serving tier owns all sockets (DESIGN.md §14)",
                 findings,
             )
 

@@ -52,6 +52,19 @@ REQUIRED = {
             "query_runs": ["mode", "seconds", "qps", "queries"],
         },
     },
+    "serve_net": {
+        "keys": ["bench", "trajectories", "queries_per_run",
+                 "equivalence_mismatches", "connections_accepted",
+                 "frames_handled", "closed_loop_qps", "closed_loop_p50_us",
+                 "closed_loop_p99_us", "pipelined_qps",
+                 "pipelined_over_closed", "connection_runs",
+                 "open_loop_runs"],
+        "list_keys": {
+            "connection_runs": ["connections", "total_qps"],
+            "open_loop_runs": ["offered_qps", "achieved_qps", "p50_us",
+                               "p99_us", "p999_us"],
+        },
+    },
 }
 
 
@@ -131,6 +144,27 @@ def validate(filename):
             if not run.get("qps", 0) > 0:
                 errors.append(f"query_runs[{i}].qps = {run.get('qps')}"
                               " (expected > 0)")
+    if bench == "serve_net":
+        for key in ("closed_loop_qps", "pipelined_qps"):
+            if not doc.get(key, 0) > 0:
+                errors.append(f"{key} = {doc.get(key)} (expected > 0)")
+        # Latency percentiles must be ordered within every open-loop run,
+        # and an open-loop run never achieves more than it was offered
+        # (small timer slack allowed).
+        for i, run in enumerate(doc.get("open_loop_runs", [])):
+            p50 = run.get("p50_us", 0)
+            p99 = run.get("p99_us", 0)
+            p999 = run.get("p999_us", 0)
+            if not (p50 <= p99 <= p999):
+                errors.append(f"open_loop_runs[{i}]: percentiles not"
+                              f" ordered ({p50}, {p99}, {p999})")
+            if run.get("achieved_qps", 0) > 1.10 * run.get("offered_qps", 0):
+                errors.append(f"open_loop_runs[{i}]: achieved_qps exceeds"
+                              " offered_qps by more than 10%")
+        for i, run in enumerate(doc.get("connection_runs", [])):
+            if not run.get("total_qps", 0) > 0:
+                errors.append(f"connection_runs[{i}].total_qps ="
+                              f" {run.get('total_qps')} (expected > 0)")
     return errors
 
 

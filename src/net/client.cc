@@ -1,0 +1,310 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace utcq::net {
+
+namespace {
+
+bool SendAll(int fd, const uint8_t* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Client::Status Client::TransportError(std::string message) {
+  Status status;
+  status.ok = false;
+  status.server_error = false;
+  status.message = std::move(message);
+  last_status_ = status;
+  return status;
+}
+
+bool Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    TransportError("socket() failed");
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    TransportError("bad host address (IPv4 literal required)");
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Close();
+    TransportError("connect() failed");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  Frame request;
+  request.op = Op::kHello;
+  request.request_id = next_request_id_++;
+  common::ByteWriter w;
+  EncodeHelloRequest(HelloRequest{}, &w);
+  request.payload = w.Release();
+
+  Frame reply;
+  const Status status = Exchange(request, Op::kHelloOk, &reply);
+  if (!status.ok) {
+    Close();
+    return false;
+  }
+  common::ByteReader r(reply.payload);
+  if (!DecodeHelloResponse(&r, &hello_)) {
+    Close();
+    TransportError("bad hello response payload");
+    return false;
+  }
+  last_status_ = Status{.ok = true, .server_error = false, .code = ErrorCode::kInternal, .message = {}};
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    // Best-effort goodbye; the server closes either way on EOF.
+    Frame goodbye;
+    goodbye.op = Op::kGoodbye;
+    goodbye.request_id = next_request_id_++;
+    const std::vector<uint8_t> bytes = EncodeFrame(goodbye);
+    SendAll(fd_, bytes.data(), bytes.size());
+    ::close(fd_);
+    fd_ = -1;
+  }
+  hello_ = HelloResponse{};
+  assembler_ = FrameAssembler{};
+  outbox_.clear();
+}
+
+bool Client::SendFrame(const Frame& frame) {
+  if (fd_ < 0) return false;
+  const std::vector<uint8_t> bytes = EncodeFrame(frame);
+  if (!SendAll(fd_, bytes.data(), bytes.size())) {
+    TransportError("send() failed");
+    return false;
+  }
+  return true;
+}
+
+bool Client::ReceiveFrame(Frame* out) {
+  if (fd_ < 0) return false;
+  std::vector<uint8_t> buf(16 * 1024);
+  for (;;) {
+    ErrorCode err = ErrorCode::kMalformed;
+    const FrameAssembler::Status status = assembler_.Next(out, &err);
+    if (status == FrameAssembler::Status::kFrame) return true;
+    if (status == FrameAssembler::Status::kBad) {
+      TransportError("broken frame stream from server");
+      return false;
+    }
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      TransportError("connection closed by server");
+      return false;
+    }
+    assembler_.Push(buf.data(), static_cast<size_t>(n));
+  }
+}
+
+Client::Status Client::Exchange(const Frame& request, Op expected,
+                                Frame* reply) {
+  if (fd_ < 0) return TransportError("not connected");
+  if (!SendFrame(request)) return last_status_;
+  if (!ReceiveFrame(reply)) return last_status_;
+  if (reply->op == Op::kError) {
+    Status status;
+    status.server_error = true;
+    common::ByteReader r(reply->payload);
+    ErrorBody body;
+    if (DecodeErrorBody(&r, &body)) {
+      status.code = body.code;
+      status.message = std::move(body.message);
+    } else {
+      status.message = "undecodable error frame";
+    }
+    last_status_ = status;
+    return status;
+  }
+  if (reply->op != expected || reply->request_id != request.request_id) {
+    return TransportError("response opcode or id mismatch");
+  }
+  last_status_ = Status{.ok = true, .server_error = false, .code = ErrorCode::kInternal, .message = {}};
+  return last_status_;
+}
+
+Client::Status Client::Query(const serve::QueryRequest& req,
+                             serve::QueryResult* out) {
+  Frame request;
+  request.op = Op::kQuery;
+  request.request_id = next_request_id_++;
+  common::ByteWriter w;
+  EncodeQueryRequest(req, &w);
+  request.payload = w.Release();
+  Frame reply;
+  Status status = Exchange(request, Op::kResult, &reply);
+  if (!status.ok) return status;
+  common::ByteReader r(reply.payload);
+  if (!DecodeQueryResult(&r, out) || !FinishPayload(r)) {
+    return TransportError("bad result payload");
+  }
+  return status;
+}
+
+Client::Status Client::Batch(const std::vector<serve::QueryRequest>& reqs,
+                             std::vector<serve::QueryResult>* out) {
+  Frame request;
+  request.op = Op::kBatch;
+  request.request_id = next_request_id_++;
+  common::ByteWriter w;
+  EncodeBatchRequest(reqs, &w);
+  request.payload = w.Release();
+  Frame reply;
+  Status status = Exchange(request, Op::kBatchResult, &reply);
+  if (!status.ok) return status;
+  common::ByteReader r(reply.payload);
+  if (!DecodeBatchResult(&r, out) || !FinishPayload(r) ||
+      out->size() != reqs.size()) {
+    return TransportError("bad batch result payload");
+  }
+  return status;
+}
+
+Client::Status Client::IngestPoint(uint64_t vehicle,
+                                   const traj::RawPoint& point,
+                                   IngestAck* out) {
+  Frame request;
+  request.op = Op::kIngestPoint;
+  request.request_id = next_request_id_++;
+  common::ByteWriter w;
+  EncodeIngestPoint(IngestPointRequest{vehicle, point}, &w);
+  request.payload = w.Release();
+  Frame reply;
+  Status status = Exchange(request, Op::kIngestAck, &reply);
+  if (!status.ok) return status;
+  common::ByteReader r(reply.payload);
+  if (!DecodeIngestAck(&r, out)) return TransportError("bad ingest ack");
+  return status;
+}
+
+Client::Status Client::IngestEnd(uint64_t vehicle, IngestAck* out) {
+  Frame request;
+  request.op = Op::kIngestEnd;
+  request.request_id = next_request_id_++;
+  common::ByteWriter w;
+  EncodeIngestEnd(IngestEndRequest{vehicle}, &w);
+  request.payload = w.Release();
+  Frame reply;
+  Status status = Exchange(request, Op::kIngestAck, &reply);
+  if (!status.ok) return status;
+  common::ByteReader r(reply.payload);
+  if (!DecodeIngestAck(&r, out)) return TransportError("bad ingest ack");
+  return status;
+}
+
+Client::Status Client::IngestAdvance(traj::Timestamp now, IngestAck* out) {
+  Frame request;
+  request.op = Op::kIngestAdvanceTime;
+  request.request_id = next_request_id_++;
+  common::ByteWriter w;
+  EncodeIngestAdvance(IngestAdvanceRequest{now}, &w);
+  request.payload = w.Release();
+  Frame reply;
+  Status status = Exchange(request, Op::kIngestAck, &reply);
+  if (!status.ok) return status;
+  common::ByteReader r(reply.payload);
+  if (!DecodeIngestAck(&r, out)) return TransportError("bad ingest ack");
+  return status;
+}
+
+Client::Status Client::Stats(StatsResponse* out) {
+  Frame request;
+  request.op = Op::kStats;
+  request.request_id = next_request_id_++;
+  Frame reply;
+  Status status = Exchange(request, Op::kStatsResult, &reply);
+  if (!status.ok) return status;
+  common::ByteReader r(reply.payload);
+  if (!DecodeStatsResponse(&r, out)) {
+    return TransportError("bad stats payload");
+  }
+  return status;
+}
+
+uint64_t Client::SendQuery(const serve::QueryRequest& req) {
+  Frame request;
+  request.op = Op::kQuery;
+  request.request_id = next_request_id_++;
+  common::ByteWriter w;
+  EncodeQueryRequest(req, &w);
+  request.payload = w.Release();
+  AppendFrame(request, &outbox_);
+  return request.request_id;
+}
+
+bool Client::Flush() {
+  if (fd_ < 0) return false;
+  if (outbox_.empty()) return true;
+  const bool ok = SendAll(fd_, outbox_.data(), outbox_.size());
+  outbox_.clear();
+  if (!ok) TransportError("send() failed");
+  return ok;
+}
+
+Client::Status Client::Receive(uint64_t* request_id,
+                               serve::QueryResult* out) {
+  Frame reply;
+  if (!ReceiveFrame(&reply)) return last_status_;
+  *request_id = reply.request_id;
+  if (reply.op == Op::kError) {
+    Status status;
+    status.server_error = true;
+    common::ByteReader r(reply.payload);
+    ErrorBody body;
+    if (DecodeErrorBody(&r, &body)) {
+      status.code = body.code;
+      status.message = std::move(body.message);
+    } else {
+      status.message = "undecodable error frame";
+    }
+    last_status_ = status;
+    return status;
+  }
+  if (reply.op != Op::kResult) {
+    return TransportError("unexpected response opcode");
+  }
+  common::ByteReader r(reply.payload);
+  if (!DecodeQueryResult(&r, out) || !FinishPayload(r)) {
+    return TransportError("bad result payload");
+  }
+  last_status_ = Status{.ok = true, .server_error = false, .code = ErrorCode::kInternal, .message = {}};
+  return last_status_;
+}
+
+}  // namespace utcq::net

@@ -1,0 +1,105 @@
+#ifndef UTCQ_NET_CLIENT_H_
+#define UTCQ_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "serve/query_engine.h"
+#include "traj/types.h"
+
+/// Client half of the network serving tier (DESIGN.md §14) — the exact
+/// mirror of the server's Session policy, built on the same socket-free
+/// net::wire codecs. Two API layers:
+///
+///   - The sync calls (Query, Batch, Ingest*, Stats) send one request and
+///     block for its response; each returns a Status carrying the typed
+///     ErrorCode when the server answered kError.
+///   - The pipelined half (SendQuery / Flush / Receive) separates the
+///     write and read sides, so a caller can keep many requests in flight
+///     on one connection — this is what the load generator and the
+///     differential harness drive.
+///
+/// Not thread-safe: one Client per thread, like a socket.
+
+namespace utcq::net {
+
+class Client {
+ public:
+  /// The outcome of one request/response exchange.
+  struct Status {
+    /// Transport and protocol both fine; the out-param is filled.
+    bool ok = false;
+    /// True when the server answered a well-formed kError frame; `code`
+    /// and `message` then carry its body. False with !ok means the
+    /// transport failed (connect/send/recv/framing).
+    bool server_error = false;
+    ErrorCode code = ErrorCode::kInternal;
+    std::string message;
+  };
+
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and completes the Hello handshake. False on refusal at
+  /// either level (details in last_status()).
+  bool Connect(const std::string& host, uint16_t port);
+
+  /// Goodbye handshake then close. Safe on a dead connection.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+  /// The server's Hello response (valid while connected()).
+  const HelloResponse& hello() const { return hello_; }
+  const Status& last_status() const { return last_status_; }
+
+  // --- sync API ---
+
+  Status Query(const serve::QueryRequest& req, serve::QueryResult* out);
+  Status Batch(const std::vector<serve::QueryRequest>& reqs,
+               std::vector<serve::QueryResult>* out);
+  Status IngestPoint(uint64_t vehicle, const traj::RawPoint& point,
+                     IngestAck* out);
+  Status IngestEnd(uint64_t vehicle, IngestAck* out);
+  Status IngestAdvance(traj::Timestamp now, IngestAck* out);
+  Status Stats(StatsResponse* out);
+
+  // --- pipelined API ---
+
+  /// Queues one kQuery frame in the local write buffer and returns its
+  /// request id. Nothing hits the socket until Flush().
+  uint64_t SendQuery(const serve::QueryRequest& req);
+  /// Writes the queued frames in one burst (one writev-sized send), which
+  /// is what lets the server fold them into a single ExecuteBatch.
+  bool Flush();
+  /// Blocks for the next response frame. On a kResult, fills request_id +
+  /// out and returns ok. On a kError, returns server_error with the code.
+  Status Receive(uint64_t* request_id, serve::QueryResult* out);
+
+  // --- frame-level access (tests, load generator) ---
+
+  /// Sends one raw frame immediately. Exposed so tests can inject
+  /// malformed, mis-versioned or unknown-opcode frames.
+  bool SendFrame(const Frame& frame);
+  /// Blocks for the next frame off the wire.
+  bool ReceiveFrame(Frame* out);
+
+ private:
+  Status Exchange(const Frame& request, Op expected, Frame* reply);
+  Status TransportError(std::string message);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  HelloResponse hello_;
+  FrameAssembler assembler_;
+  std::vector<uint8_t> outbox_;
+  Status last_status_;
+};
+
+}  // namespace utcq::net
+
+#endif  // UTCQ_NET_CLIENT_H_

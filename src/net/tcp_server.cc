@@ -1,0 +1,541 @@
+#include "net/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace utcq::net {
+
+namespace {
+
+/// Frames a connection thread pulls out of the assembler per Session
+/// hand-off. Bounds the latency between receiving a burst and flushing
+/// its first responses; pipelined runs inside one chunk still fold.
+constexpr size_t kMaxFramesPerChunk = 4096;
+
+void SetSendTimeout(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Blocking best-effort send of a complete buffer; false once the peer is
+/// gone (or SO_SNDTIMEO expired, i.e. the peer stopped reading).
+bool SendAll(int fd, const uint8_t* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n =
+        ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Session
+
+Session::Session(serve::QueryEngine* engine, ingest::StreamIngestor* ingestor,
+                 size_t max_pipeline_batch)
+    : engine_(engine),
+      ingestor_(ingestor),
+      max_pipeline_batch_(max_pipeline_batch == 0 ? 1 : max_pipeline_batch) {}
+
+void Session::AppendError(uint64_t request_id, ErrorCode code,
+                          std::string message, std::vector<uint8_t>* out) {
+  AppendFrame(MakeErrorFrame(request_id, code, std::move(message)), out);
+  ++errors_sent_;
+}
+
+void Session::HandleFramingError(ErrorCode code, std::vector<uint8_t>* out) {
+  AppendError(0, code, "broken frame stream", out);
+}
+
+bool Session::HandleHello(const Frame& frame, std::vector<uint8_t>* out) {
+  if (frame.op != Op::kHello) {
+    AppendError(frame.request_id, ErrorCode::kHelloRequired,
+                "first frame must be hello", out);
+    return false;
+  }
+  common::ByteReader r(frame.payload);
+  HelloRequest req;
+  if (!DecodeHelloRequest(&r, &req)) {
+    AppendError(frame.request_id, ErrorCode::kMalformed, "bad hello payload",
+                out);
+    return false;
+  }
+  if (req.min_version > kProtocolVersion ||
+      req.max_version < kProtocolVersion) {
+    AppendError(frame.request_id, ErrorCode::kBadVersion,
+                "no common protocol version", out);
+    return false;
+  }
+  HelloResponse resp;
+  resp.version = kProtocolVersion;
+  resp.features = 0;  // v1 defines none; requested bits are not granted
+  resp.num_trajectories = engine_ == nullptr ? 0 : engine_->num_trajectories();
+  resp.query_enabled = engine_ != nullptr;
+  resp.ingest_enabled = ingestor_ != nullptr;
+  common::ByteWriter w;
+  EncodeHelloResponse(resp, &w);
+  Frame reply;
+  reply.op = Op::kHelloOk;
+  reply.request_id = frame.request_id;
+  reply.payload = w.Release();
+  AppendFrame(reply, out);
+  helloed_ = true;
+  return true;
+}
+
+void Session::HandleQueryRun(const std::vector<Frame>& frames, size_t begin,
+                             size_t end, std::vector<uint8_t>* out) {
+  // Decode every payload first; a malformed entry is answered kMalformed
+  // in place while the valid ones still fold into one ExecuteBatch call.
+  std::vector<serve::QueryRequest> requests;
+  std::vector<ptrdiff_t> slot(end - begin, -1);
+  for (size_t i = begin; i < end; ++i) {
+    common::ByteReader r(frames[i].payload);
+    serve::QueryRequest req;
+    if (DecodeQueryRequest(&r, &req) && FinishPayload(r)) {
+      slot[i - begin] = static_cast<ptrdiff_t>(requests.size());
+      requests.push_back(req);
+    }
+  }
+  std::vector<serve::QueryResult> results;
+  if (!requests.empty()) {
+    results = requests.size() == 1
+                  ? std::vector<serve::QueryResult>{engine_->Execute(
+                        requests.front())}
+                  : engine_->ExecuteBatch(requests);
+  }
+  for (size_t i = begin; i < end; ++i) {
+    const ptrdiff_t s = slot[i - begin];
+    if (s < 0) {
+      AppendError(frames[i].request_id, ErrorCode::kMalformed,
+                  "bad query payload", out);
+      continue;
+    }
+    common::ByteWriter w;
+    EncodeQueryResult(results[static_cast<size_t>(s)], &w);
+    Frame reply;
+    reply.op = Op::kResult;
+    reply.request_id = frames[i].request_id;
+    reply.payload = w.Release();
+    AppendFrame(reply, out);
+  }
+}
+
+bool Session::HandleOne(const Frame& frame, std::vector<uint8_t>* out) {
+  common::ByteReader r(frame.payload);
+  switch (frame.op) {
+    case Op::kHello:
+      // Renegotiation is not a thing in v1; the stream is still framed,
+      // so answer and stay open.
+      AppendError(frame.request_id, ErrorCode::kBadOpcode,
+                  "hello already completed", out);
+      return true;
+
+    case Op::kQuery: {
+      // Single query outside a run (HandleFrames folds runs itself).
+      if (engine_ == nullptr) {
+        AppendError(frame.request_id, ErrorCode::kNotSupported,
+                    "no query engine on this endpoint", out);
+        return true;
+      }
+      serve::QueryRequest req;
+      if (!DecodeQueryRequest(&r, &req) || !FinishPayload(r)) {
+        AppendError(frame.request_id, ErrorCode::kMalformed,
+                    "bad query payload", out);
+        return true;
+      }
+      common::ByteWriter w;
+      EncodeQueryResult(engine_->Execute(req), &w);
+      Frame reply;
+      reply.op = Op::kResult;
+      reply.request_id = frame.request_id;
+      reply.payload = w.Release();
+      AppendFrame(reply, out);
+      return true;
+    }
+
+    case Op::kBatch: {
+      if (engine_ == nullptr) {
+        AppendError(frame.request_id, ErrorCode::kNotSupported,
+                    "no query engine on this endpoint", out);
+        return true;
+      }
+      std::vector<serve::QueryRequest> requests;
+      if (!DecodeBatchRequest(&r, &requests) || !FinishPayload(r)) {
+        AppendError(frame.request_id, ErrorCode::kMalformed,
+                    "bad batch payload", out);
+        return true;
+      }
+      common::ByteWriter w;
+      EncodeBatchResult(engine_->ExecuteBatch(requests), &w);
+      Frame reply;
+      reply.op = Op::kBatchResult;
+      reply.request_id = frame.request_id;
+      reply.payload = w.Release();
+      AppendFrame(reply, out);
+      return true;
+    }
+
+    case Op::kIngestPoint:
+    case Op::kIngestEnd:
+    case Op::kIngestAdvanceTime: {
+      if (ingestor_ == nullptr) {
+        AppendError(frame.request_id, ErrorCode::kNotSupported,
+                    "no ingestor on this endpoint", out);
+        return true;
+      }
+      IngestAck ack;
+      bool ok = false;
+      if (frame.op == Op::kIngestPoint) {
+        IngestPointRequest req;
+        if ((ok = DecodeIngestPoint(&r, &req))) {
+          ack.status = ingestor_->Push(req.vehicle, req.point);
+          ack.sealed = 0;
+        }
+      } else if (frame.op == Op::kIngestEnd) {
+        IngestEndRequest req;
+        if ((ok = DecodeIngestEnd(&r, &req))) {
+          ack.status = matching::AppendStatus::kAccepted;
+          ack.sealed = ingestor_->EndSession(req.vehicle);
+        }
+      } else {
+        IngestAdvanceRequest req;
+        if ((ok = DecodeIngestAdvance(&r, &req))) {
+          ack.status = matching::AppendStatus::kAccepted;
+          ack.sealed = ingestor_->AdvanceTime(req.now);
+        }
+      }
+      if (!ok) {
+        AppendError(frame.request_id, ErrorCode::kMalformed,
+                    "bad ingest payload", out);
+        return true;
+      }
+      common::ByteWriter w;
+      EncodeIngestAck(ack, &w);
+      Frame reply;
+      reply.op = Op::kIngestAck;
+      reply.request_id = frame.request_id;
+      reply.payload = w.Release();
+      AppendFrame(reply, out);
+      return true;
+    }
+
+    case Op::kStats: {
+      if (!frame.payload.empty()) {
+        AppendError(frame.request_id, ErrorCode::kMalformed,
+                    "stats takes no payload", out);
+        return true;
+      }
+      StatsResponse stats;
+      if (engine_ != nullptr) {
+        const serve::EngineStats es = engine_->stats();
+        stats.has_engine = true;
+        stats.queries = es.queries;
+        stats.batches = es.batches;
+        stats.cache_hits = es.cache_hits;
+        stats.cache_misses = es.cache_misses;
+        stats.bytes_decoded = es.bytes_decoded;
+        stats.p50_latency_us = es.p50_latency_us;
+        stats.p99_latency_us = es.p99_latency_us;
+      }
+      if (ingestor_ != nullptr) {
+        const ingest::IngestStats is = ingestor_->stats();
+        stats.has_ingest = true;
+        stats.points = is.points;
+        stats.accepted = is.accepted;
+        stats.trajectories_sealed = is.trajectories_sealed;
+        stats.open_sessions = ingestor_->open_sessions();
+      }
+      common::ByteWriter w;
+      EncodeStatsResponse(stats, &w);
+      Frame reply;
+      reply.op = Op::kStatsResult;
+      reply.request_id = frame.request_id;
+      reply.payload = w.Release();
+      AppendFrame(reply, out);
+      return true;
+    }
+
+    case Op::kGoodbye: {
+      Frame reply;
+      reply.op = Op::kGoodbyeOk;
+      reply.request_id = frame.request_id;
+      AppendFrame(reply, out);
+      return false;  // clean close after the flush
+    }
+
+    default:
+      // Unknown request opcode, or a response opcode sent as a request.
+      AppendError(frame.request_id, ErrorCode::kBadOpcode, "bad opcode", out);
+      return true;
+  }
+}
+
+bool Session::HandleFrames(const std::vector<Frame>& frames,
+                           std::vector<uint8_t>* out) {
+  size_t i = 0;
+  while (i < frames.size()) {
+    const Frame& frame = frames[i];
+    ++frames_handled_;
+    if (!helloed_) {
+      if (!HandleHello(frame, out)) return false;
+      ++i;
+      continue;
+    }
+    if (frame.version != kProtocolVersion) {
+      AppendError(frame.request_id, ErrorCode::kBadVersion,
+                  "frame version differs from negotiated version", out);
+      return false;
+    }
+    if (frame.op == Op::kQuery && engine_ != nullptr) {
+      // Fold the pipelined run [i, end) into one batched execution.
+      size_t end = i + 1;
+      while (end < frames.size() && frames[end].op == Op::kQuery &&
+             frames[end].version == kProtocolVersion &&
+             end - i < max_pipeline_batch_) {
+        ++end;
+      }
+      frames_handled_ += end - i - 1;
+      HandleQueryRun(frames, i, end, out);
+      i = end;
+      continue;
+    }
+    if (!HandleOne(frame, out)) return false;
+    ++i;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------- Receiver
+
+Receiver::Receiver(int fd, Session session, size_t max_write_buffer_bytes)
+    : fd_(fd),
+      session_(std::move(session)),
+      max_write_buffer_bytes_(
+          max_write_buffer_bytes == 0 ? 1 : max_write_buffer_bytes) {}
+
+bool Receiver::FlushPending() {
+  if (pending_.empty()) return true;
+  const bool ok = SendAll(fd_, pending_.data(), pending_.size());
+  pending_.clear();
+  return ok;
+}
+
+bool Receiver::DrainAssembler() {
+  for (;;) {
+    std::vector<Frame> frames;
+    Frame frame;
+    ErrorCode err = ErrorCode::kMalformed;
+    FrameAssembler::Status status = FrameAssembler::Status::kNeedMore;
+    while (frames.size() < kMaxFramesPerChunk) {
+      status = assembler_.Next(&frame, &err);
+      if (status != FrameAssembler::Status::kFrame) break;
+      frames.push_back(std::move(frame));
+    }
+    if (status == FrameAssembler::Status::kBad) {
+      // Answer the complete frames that preceded the break, then report.
+      if (!frames.empty()) session_.HandleFrames(frames, &pending_);
+      session_.HandleFramingError(err, &pending_);
+      return false;
+    }
+    if (frames.empty()) return true;
+    if (!session_.HandleFrames(frames, &pending_)) return false;
+    // Backpressure: responses beyond the bound are pushed into the socket
+    // (blocking) before any more frames are taken — a client that stops
+    // reading stops being served.
+    if (pending_.size() >= max_write_buffer_bytes_ && !FlushPending()) {
+      return false;
+    }
+  }
+}
+
+uint64_t Receiver::Run() {
+  std::vector<uint8_t> buf(64 * 1024);
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF or shutdown(SHUT_RD): drain then close
+    assembler_.Push(buf.data(), static_cast<size_t>(n));
+    if (!DrainAssembler()) break;
+    if (!FlushPending()) break;
+  }
+  FlushPending();  // drain-then-close: last responses still go out
+  return session_.frames_handled();
+}
+
+// -------------------------------------------------------------- TcpServer
+
+TcpServer::TcpServer(serve::QueryEngine* engine,
+                     ingest::StreamIngestor* ingestor, ServerOptions opts)
+    : engine_(engine), ingestor_(ingestor), opts_(opts) {}
+
+TcpServer::~TcpServer() { Shutdown(); }
+
+bool TcpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opts_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, opts_.listen_backlog) < 0 ||
+      ::pipe2(wake_pipe_, O_CLOEXEC) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  running_.store(true, std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  // Dedicated acceptor; see the threading note in tcp_server.h.
+  accept_thread_ = std::thread([this] { AcceptLoop(); });  // repo-lint: allow(thread-outside-pool)
+  return true;
+}
+
+void TcpServer::ReapFinished() {
+  for (size_t i = 0; i < connections_.size();) {
+    Connection* conn = connections_[i].get();
+    if (conn->done.load(std::memory_order_acquire)) {
+      if (conn->thread.joinable()) conn->thread.join();
+      ::close(conn->fd);
+      connections_.erase(connections_.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, /*timeout_ms=*/250);
+    {
+      common::MutexLock lock(mu_);
+      ReapFinished();
+    }
+    if (ready <= 0 || (fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    SetSendTimeout(fd, opts_.send_timeout_ms);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    common::MutexLock lock(mu_);
+    if (connections_.size() >= opts_.max_connections) {
+      // Answer with a typed error so the client can tell overload from a
+      // network failure, then close. Best effort; the fd is closed either
+      // way and the count never exceeds the bound.
+      const std::vector<uint8_t> bytes = EncodeFrame(
+          MakeErrorFrame(0, ErrorCode::kOverloaded, "connection limit"));
+      SendAll(fd, bytes.data(), bytes.size());
+      ::close(fd);
+      ++rejected_;
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    // Dedicated per-connection thread; see the note in tcp_server.h.
+    conn->thread = std::thread([this, raw] {  // repo-lint: allow(thread-outside-pool)
+      Receiver receiver(raw->fd,
+                        Session(engine_, ingestor_, opts_.max_pipeline_batch),
+                        opts_.max_write_buffer_bytes);
+      const uint64_t frames = receiver.Run();
+      // The fd stays open: the server owns it and closes it after join,
+      // so Shutdown()'s shutdown(SHUT_RD) can never hit a recycled fd.
+      ::shutdown(raw->fd, SHUT_WR);
+      common::MutexLock lock(mu_);
+      frames_handled_ += frames;
+      raw->done.store(true, std::memory_order_release);
+    });
+    ++accepted_;
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void TcpServer::Shutdown() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Wake the acceptor out of poll() via the self-pipe and retire it first,
+  // so no new connection can race the drain below.
+  const char byte = 0;
+  [[maybe_unused]] const ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Wake every connection out of its blocking read. The read side sees
+  // EOF, drains frames already received, flushes its responses and exits
+  // (drain-then-close). SHUT_RD leaves the write side intact for the
+  // flush; a client that stops reading is bounded by SO_SNDTIMEO.
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    common::MutexLock lock(mu_);
+    conns.swap(connections_);
+  }
+  for (const auto& conn : conns) ::shutdown(conn->fd, SHUT_RD);
+  for (const auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
+  }
+
+  ::close(listen_fd_);
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  listen_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+size_t TcpServer::active_connections() const {
+  common::MutexLock lock(mu_);
+  size_t active = 0;
+  for (const auto& conn : connections_) {
+    if (!conn->done.load(std::memory_order_acquire)) ++active;
+  }
+  return active;
+}
+
+ServerCounters TcpServer::counters() const {
+  common::MutexLock lock(mu_);
+  ServerCounters counters;
+  counters.connections_accepted = accepted_;
+  counters.connections_rejected = rejected_;
+  counters.frames_handled = frames_handled_;
+  return counters;
+}
+
+}  // namespace utcq::net

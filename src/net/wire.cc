@@ -1,0 +1,483 @@
+#include "net/wire.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+namespace utcq::net {
+
+namespace {
+
+bool Finite(double v) { return std::isfinite(v); }
+
+/// Reads a varint that must fit `uint32_t` (trajectory ids, edge ids,
+/// instance ids). An oversized value is an encoding violation, not a
+/// truncation, so it fails the decode rather than wrapping.
+bool GetVarint32(common::ByteReader* r, uint32_t* out) {
+  const uint64_t v = r->GetVarint();
+  if (!r->ok() || v > std::numeric_limits<uint32_t>::max()) return false;
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+/// Bounds a decoded element count against the bytes actually present:
+/// `min_bytes_per_entry` is the smallest possible wire size of one entry,
+/// so any count the remaining payload cannot carry is rejected before the
+/// vector resize — the same crafted-count rule the archive decoder follows
+/// (DESIGN.md §6 robustness rules).
+bool BoundedCount(const common::ByteReader& r, uint64_t count,
+                  size_t min_bytes_per_entry, size_t* out) {
+  if (count > r.remaining() / min_bytes_per_entry) return false;
+  *out = static_cast<size_t>(count);
+  return true;
+}
+
+}  // namespace
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kHello: return "hello";
+    case Op::kQuery: return "query";
+    case Op::kBatch: return "batch";
+    case Op::kIngestPoint: return "ingest-point";
+    case Op::kIngestEnd: return "ingest-end";
+    case Op::kIngestAdvanceTime: return "ingest-advance-time";
+    case Op::kStats: return "stats";
+    case Op::kGoodbye: return "goodbye";
+    case Op::kHelloOk: return "hello-ok";
+    case Op::kResult: return "result";
+    case Op::kBatchResult: return "batch-result";
+    case Op::kIngestAck: return "ingest-ack";
+    case Op::kStatsResult: return "stats-result";
+    case Op::kGoodbyeOk: return "goodbye-ok";
+    case Op::kError: return "error";
+  }
+  return "unknown";
+}
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadVersion: return "bad-version";
+    case ErrorCode::kBadOpcode: return "bad-opcode";
+    case ErrorCode::kMalformed: return "malformed";
+    case ErrorCode::kNotSupported: return "not-supported";
+    case ErrorCode::kFrameTooLarge: return "frame-too-large";
+    case ErrorCode::kShuttingDown: return "shutting-down";
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kHelloRequired: return "hello-required";
+    case ErrorCode::kOverloaded: return "overloaded";
+  }
+  return "unknown";
+}
+
+// ----------------------------------------------------------------- framing
+
+void AppendFrame(const Frame& frame, std::vector<uint8_t>* out) {
+  common::ByteWriter w;
+  w.PutU32(kFrameOverheadBytes + static_cast<uint32_t>(frame.payload.size()));
+  w.PutU8(frame.version);
+  w.PutU8(static_cast<uint8_t>(frame.op));
+  w.PutU16(0);  // reserved: zero on send, rejected nonzero on receive
+  w.PutU64(frame.request_id);
+  w.PutBytes(frame.payload.data(), frame.payload.size());
+  const auto& bytes = w.bytes();
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+std::vector<uint8_t> EncodeFrame(const Frame& frame) {
+  std::vector<uint8_t> out;
+  AppendFrame(frame, &out);
+  return out;
+}
+
+void FrameAssembler::Push(const uint8_t* data, size_t size) {
+  if (bad_ || size == 0) return;
+  // Compact the consumed prefix before it dominates the buffer, so a
+  // long-lived pipelining connection never grows the buffer unboundedly.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + size);
+}
+
+FrameAssembler::Status FrameAssembler::Next(Frame* out, ErrorCode* err) {
+  if (bad_) {
+    if (err != nullptr) *err = bad_code_;
+    return Status::kBad;
+  }
+  const size_t avail = buf_.size() - pos_;
+  if (avail < 4) return Status::kNeedMore;
+  common::ByteReader len_reader(buf_.data() + pos_, 4);
+  const uint32_t length = len_reader.GetU32();
+  if (length < kFrameOverheadBytes || length > kMaxFrameBytes) {
+    bad_ = true;
+    bad_code_ = length > kMaxFrameBytes ? ErrorCode::kFrameTooLarge
+                                        : ErrorCode::kMalformed;
+    if (err != nullptr) *err = bad_code_;
+    return Status::kBad;
+  }
+  if (avail < 4u + length) return Status::kNeedMore;
+
+  common::ByteReader r(buf_.data() + pos_ + 4, length);
+  out->version = r.GetU8();
+  out->op = static_cast<Op>(r.GetU8());
+  const uint16_t reserved = r.GetU16();
+  out->request_id = r.GetU64();
+  if (!r.ok() || reserved != 0) {
+    bad_ = true;
+    bad_code_ = ErrorCode::kMalformed;
+    if (err != nullptr) *err = bad_code_;
+    return Status::kBad;
+  }
+  const size_t payload_size = length - kFrameOverheadBytes;
+  const uint8_t* payload = r.BorrowBytes(payload_size);
+  out->payload.assign(payload, payload + payload_size);
+  pos_ += 4u + length;
+  return Status::kFrame;
+}
+
+// ---------------------------------------------------------------- payloads
+
+bool FinishPayload(const common::ByteReader& r) {
+  return r.ok() && r.remaining() == 0;
+}
+
+void EncodeHelloRequest(const HelloRequest& req, common::ByteWriter* w) {
+  w->PutU8(req.min_version);
+  w->PutU8(req.max_version);
+  w->PutVarint(req.features);
+}
+
+bool DecodeHelloRequest(common::ByteReader* r, HelloRequest* out) {
+  out->min_version = r->GetU8();
+  out->max_version = r->GetU8();
+  out->features = r->GetVarint();
+  return FinishPayload(*r) && out->min_version <= out->max_version &&
+         out->min_version >= 1;
+}
+
+void EncodeHelloResponse(const HelloResponse& resp, common::ByteWriter* w) {
+  w->PutU8(resp.version);
+  w->PutVarint(resp.features);
+  w->PutVarint(resp.num_trajectories);
+  w->PutU8(resp.query_enabled ? 1 : 0);
+  w->PutU8(resp.ingest_enabled ? 1 : 0);
+}
+
+bool DecodeHelloResponse(common::ByteReader* r, HelloResponse* out) {
+  out->version = r->GetU8();
+  out->features = r->GetVarint();
+  out->num_trajectories = r->GetVarint();
+  const uint8_t query = r->GetU8();
+  const uint8_t ingest = r->GetU8();
+  if (!FinishPayload(*r) || query > 1 || ingest > 1) return false;
+  out->query_enabled = query == 1;
+  out->ingest_enabled = ingest == 1;
+  return true;
+}
+
+void EncodeQueryRequest(const serve::QueryRequest& req,
+                        common::ByteWriter* w) {
+  w->PutU8(static_cast<uint8_t>(req.kind));
+  switch (req.kind) {
+    case serve::QueryKind::kWhere:
+      w->PutVarint(req.traj);
+      w->PutSignedVarint(req.t);
+      w->PutF64(req.alpha);
+      break;
+    case serve::QueryKind::kWhen:
+      w->PutVarint(req.traj);
+      w->PutVarint(req.edge);
+      w->PutF64(req.rd);
+      w->PutF64(req.alpha);
+      break;
+    case serve::QueryKind::kRange:
+      w->PutF64(req.region.min_x);
+      w->PutF64(req.region.min_y);
+      w->PutF64(req.region.max_x);
+      w->PutF64(req.region.max_y);
+      w->PutSignedVarint(req.t);
+      w->PutF64(req.alpha);
+      break;
+  }
+}
+
+bool DecodeQueryRequest(common::ByteReader* r, serve::QueryRequest* out) {
+  *out = serve::QueryRequest{};
+  const uint8_t kind = r->GetU8();
+  if (!r->ok() || kind > static_cast<uint8_t>(serve::QueryKind::kRange)) {
+    return false;
+  }
+  out->kind = static_cast<serve::QueryKind>(kind);
+  switch (out->kind) {
+    case serve::QueryKind::kWhere:
+      if (!GetVarint32(r, &out->traj)) return false;
+      out->t = r->GetSignedVarint();
+      out->alpha = r->GetF64();
+      break;
+    case serve::QueryKind::kWhen:
+      if (!GetVarint32(r, &out->traj)) return false;
+      if (!GetVarint32(r, &out->edge)) return false;
+      out->rd = r->GetF64();
+      out->alpha = r->GetF64();
+      if (!Finite(out->rd)) return false;
+      break;
+    case serve::QueryKind::kRange:
+      out->region.min_x = r->GetF64();
+      out->region.min_y = r->GetF64();
+      out->region.max_x = r->GetF64();
+      out->region.max_y = r->GetF64();
+      out->t = r->GetSignedVarint();
+      out->alpha = r->GetF64();
+      if (!Finite(out->region.min_x) || !Finite(out->region.min_y) ||
+          !Finite(out->region.max_x) || !Finite(out->region.max_y)) {
+        return false;
+      }
+      break;
+  }
+  return r->ok() && Finite(out->alpha);
+}
+
+void EncodeQueryResult(const serve::QueryResult& result,
+                       common::ByteWriter* w) {
+  w->PutU8(static_cast<uint8_t>(result.kind));
+  switch (result.kind) {
+    case serve::QueryKind::kWhere:
+      w->PutVarint(result.where.size());
+      for (const traj::WhereHit& hit : result.where) {
+        w->PutVarint(hit.instance);
+        w->PutF64(hit.probability);
+        w->PutVarint(hit.position.edge);
+        w->PutF64(hit.position.ndist);
+      }
+      break;
+    case serve::QueryKind::kWhen:
+      w->PutVarint(result.when.size());
+      for (const traj::WhenHit& hit : result.when) {
+        w->PutVarint(hit.instance);
+        w->PutF64(hit.probability);
+        w->PutSignedVarint(hit.t);
+      }
+      break;
+    case serve::QueryKind::kRange:
+      w->PutVarint(result.range.size());
+      for (const uint32_t id : result.range) w->PutVarint(id);
+      break;
+  }
+}
+
+bool DecodeQueryResult(common::ByteReader* r, serve::QueryResult* out) {
+  *out = serve::QueryResult{};
+  const uint8_t kind = r->GetU8();
+  if (!r->ok() || kind > static_cast<uint8_t>(serve::QueryKind::kRange)) {
+    return false;
+  }
+  out->kind = static_cast<serve::QueryKind>(kind);
+  size_t n = 0;
+  switch (out->kind) {
+    case serve::QueryKind::kWhere:
+      // Smallest where-hit: 1 (instance) + 8 (prob) + 1 (edge) + 8 (ndist).
+      if (!BoundedCount(*r, r->GetVarint(), 18, &n)) return false;
+      out->where.resize(n);
+      for (traj::WhereHit& hit : out->where) {
+        if (!GetVarint32(r, &hit.instance)) return false;
+        hit.probability = r->GetF64();
+        if (!GetVarint32(r, &hit.position.edge)) return false;
+        hit.position.ndist = r->GetF64();
+      }
+      break;
+    case serve::QueryKind::kWhen:
+      // Smallest when-hit: 1 (instance) + 8 (prob) + 1 (t).
+      if (!BoundedCount(*r, r->GetVarint(), 10, &n)) return false;
+      out->when.resize(n);
+      for (traj::WhenHit& hit : out->when) {
+        if (!GetVarint32(r, &hit.instance)) return false;
+        hit.probability = r->GetF64();
+        hit.t = r->GetSignedVarint();
+      }
+      break;
+    case serve::QueryKind::kRange:
+      if (!BoundedCount(*r, r->GetVarint(), 1, &n)) return false;
+      out->range.resize(n);
+      for (uint32_t& id : out->range) {
+        if (!GetVarint32(r, &id)) return false;
+      }
+      break;
+  }
+  return r->ok();
+}
+
+void EncodeBatchRequest(const std::vector<serve::QueryRequest>& reqs,
+                        common::ByteWriter* w) {
+  w->PutVarint(reqs.size());
+  for (const serve::QueryRequest& req : reqs) EncodeQueryRequest(req, w);
+}
+
+bool DecodeBatchRequest(common::ByteReader* r,
+                        std::vector<serve::QueryRequest>* out) {
+  size_t n = 0;
+  // Smallest request: kind + traj + t + alpha = 1 + 1 + 1 + 8.
+  if (!BoundedCount(*r, r->GetVarint(), 11, &n)) return false;
+  out->resize(n);
+  for (serve::QueryRequest& req : *out) {
+    if (!DecodeQueryRequest(r, &req)) return false;
+  }
+  return r->ok();
+}
+
+void EncodeBatchResult(const std::vector<serve::QueryResult>& results,
+                       common::ByteWriter* w) {
+  w->PutVarint(results.size());
+  for (const serve::QueryResult& result : results) {
+    EncodeQueryResult(result, w);
+  }
+}
+
+bool DecodeBatchResult(common::ByteReader* r,
+                       std::vector<serve::QueryResult>* out) {
+  size_t n = 0;
+  // Smallest result: kind + zero count = 2 bytes.
+  if (!BoundedCount(*r, r->GetVarint(), 2, &n)) return false;
+  out->resize(n);
+  for (serve::QueryResult& result : *out) {
+    if (!DecodeQueryResult(r, &result)) return false;
+  }
+  return r->ok();
+}
+
+void EncodeIngestPoint(const IngestPointRequest& req, common::ByteWriter* w) {
+  w->PutVarint(req.vehicle);
+  w->PutF64(req.point.x);
+  w->PutF64(req.point.y);
+  w->PutSignedVarint(req.point.t);
+}
+
+bool DecodeIngestPoint(common::ByteReader* r, IngestPointRequest* out) {
+  out->vehicle = r->GetVarint();
+  // Non-finite coordinates pass through deliberately: the ingestor types
+  // that drop as kDroppedNotFinite, which the client should observe.
+  out->point.x = r->GetF64();
+  out->point.y = r->GetF64();
+  out->point.t = r->GetSignedVarint();
+  return FinishPayload(*r);
+}
+
+void EncodeIngestEnd(const IngestEndRequest& req, common::ByteWriter* w) {
+  w->PutVarint(req.vehicle);
+}
+
+bool DecodeIngestEnd(common::ByteReader* r, IngestEndRequest* out) {
+  out->vehicle = r->GetVarint();
+  return FinishPayload(*r);
+}
+
+void EncodeIngestAdvance(const IngestAdvanceRequest& req,
+                         common::ByteWriter* w) {
+  w->PutSignedVarint(req.now);
+}
+
+bool DecodeIngestAdvance(common::ByteReader* r, IngestAdvanceRequest* out) {
+  out->now = r->GetSignedVarint();
+  return FinishPayload(*r);
+}
+
+void EncodeIngestAck(const IngestAck& ack, common::ByteWriter* w) {
+  w->PutU8(static_cast<uint8_t>(ack.status));
+  w->PutVarint(ack.sealed);
+}
+
+bool DecodeIngestAck(common::ByteReader* r, IngestAck* out) {
+  const uint8_t status = r->GetU8();
+  out->sealed = r->GetVarint();
+  if (!FinishPayload(*r) ||
+      status > static_cast<uint8_t>(matching::AppendStatus::kSegmentBreak)) {
+    return false;
+  }
+  out->status = static_cast<matching::AppendStatus>(status);
+  return true;
+}
+
+void EncodeStatsResponse(const StatsResponse& stats, common::ByteWriter* w) {
+  w->PutU8(stats.has_engine ? 1 : 0);
+  if (stats.has_engine) {
+    w->PutVarint(stats.queries);
+    w->PutVarint(stats.batches);
+    w->PutVarint(stats.cache_hits);
+    w->PutVarint(stats.cache_misses);
+    w->PutVarint(stats.bytes_decoded);
+    w->PutF64(stats.p50_latency_us);
+    w->PutF64(stats.p99_latency_us);
+  }
+  w->PutU8(stats.has_ingest ? 1 : 0);
+  if (stats.has_ingest) {
+    w->PutVarint(stats.points);
+    w->PutVarint(stats.accepted);
+    w->PutVarint(stats.trajectories_sealed);
+    w->PutVarint(stats.open_sessions);
+  }
+}
+
+bool DecodeStatsResponse(common::ByteReader* r, StatsResponse* out) {
+  *out = StatsResponse{};
+  const uint8_t has_engine = r->GetU8();
+  if (!r->ok() || has_engine > 1) return false;
+  out->has_engine = has_engine == 1;
+  if (out->has_engine) {
+    out->queries = r->GetVarint();
+    out->batches = r->GetVarint();
+    out->cache_hits = r->GetVarint();
+    out->cache_misses = r->GetVarint();
+    out->bytes_decoded = r->GetVarint();
+    out->p50_latency_us = r->GetF64();
+    out->p99_latency_us = r->GetF64();
+  }
+  const uint8_t has_ingest = r->GetU8();
+  if (!r->ok() || has_ingest > 1) return false;
+  out->has_ingest = has_ingest == 1;
+  if (out->has_ingest) {
+    out->points = r->GetVarint();
+    out->accepted = r->GetVarint();
+    out->trajectories_sealed = r->GetVarint();
+    out->open_sessions = r->GetVarint();
+  }
+  return FinishPayload(*r);
+}
+
+void EncodeErrorBody(const ErrorBody& body, common::ByteWriter* w) {
+  w->PutU16(static_cast<uint16_t>(body.code));
+  const size_t len = std::min(body.message.size(), kMaxErrorMessageBytes);
+  w->PutBlob(body.message.data(), len);
+}
+
+bool DecodeErrorBody(common::ByteReader* r, ErrorBody* out) {
+  const uint16_t code = r->GetU16();
+  const uint64_t len = r->GetVarint();
+  if (!r->ok() || len > kMaxErrorMessageBytes || len > r->remaining()) {
+    return false;
+  }
+  const uint8_t* bytes = r->BorrowBytes(static_cast<size_t>(len));
+  if (bytes == nullptr || !FinishPayload(*r)) return false;
+  if (code < static_cast<uint16_t>(ErrorCode::kBadVersion) ||
+      code > static_cast<uint16_t>(ErrorCode::kOverloaded)) {
+    return false;
+  }
+  out->code = static_cast<ErrorCode>(code);
+  out->message.assign(reinterpret_cast<const char*>(bytes),
+                      static_cast<size_t>(len));
+  return true;
+}
+
+Frame MakeErrorFrame(uint64_t request_id, ErrorCode code,
+                     std::string message) {
+  common::ByteWriter w;
+  EncodeErrorBody({code, std::move(message)}, &w);
+  Frame frame;
+  frame.op = Op::kError;
+  frame.request_id = request_id;
+  frame.payload = w.Release();
+  return frame;
+}
+
+}  // namespace utcq::net

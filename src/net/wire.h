@@ -1,0 +1,298 @@
+#ifndef UTCQ_NET_WIRE_H_
+#define UTCQ_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serial.h"
+#include "ingest/ingestor.h"
+#include "matching/online_viterbi.h"
+#include "serve/query_engine.h"
+#include "traj/types.h"
+
+/// The wire protocol of the network serving tier (DESIGN.md §14).
+///
+/// Naming note: `src/net/` is the *transport* layer — TCP server, client
+/// library and this socket-free framing/codec module. It is distinct from
+/// `src/network/`, which models the *road network* the trajectories live
+/// on. Everything in this directory serializes or moves bytes; nothing in
+/// it knows what an edge or a vertex is beyond the ids it copies.
+///
+/// This header is deliberately socket-free: every frame and message codec
+/// operates on in-memory byte buffers (common::ByteWriter/ByteReader), so
+/// the whole protocol is unit-testable and fuzzable without a network
+/// (tests/net_test.cc, fuzz/fuzz_wire.cc). The TCP layers (tcp_server.h,
+/// client.h) are thin pumps around these functions.
+
+namespace utcq::net {
+
+/// The only protocol version this build speaks. The frame header layout
+/// (length, version, opcode, reserved, request id) is fixed for every
+/// future version — see DESIGN.md §14 "Versioning".
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Upper bound on the frame length field: a frame advertising more than
+/// this is rejected before any allocation (same crafted-count discipline
+/// as the archive decoder, DESIGN.md §6).
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Bytes of header covered by the length field (version + opcode +
+/// reserved + request id); the payload follows.
+inline constexpr uint32_t kFrameOverheadBytes = 12;
+
+/// Opcode space: requests in [0x01, 0x7F], responses in [0x80, 0xFF].
+enum class Op : uint8_t {
+  // --- requests ---
+  kHello = 0x01,
+  kQuery = 0x02,
+  kBatch = 0x03,
+  kIngestPoint = 0x04,
+  kIngestEnd = 0x05,
+  kIngestAdvanceTime = 0x06,
+  kStats = 0x07,
+  kGoodbye = 0x08,
+  // --- responses ---
+  kHelloOk = 0x81,
+  kResult = 0x82,
+  kBatchResult = 0x83,
+  kIngestAck = 0x84,
+  kStatsResult = 0x85,
+  kGoodbyeOk = 0x86,
+  kError = 0xFF,
+};
+
+const char* OpName(Op op);
+
+/// Typed error codes carried by kError frames (DESIGN.md §14 error table).
+enum class ErrorCode : uint16_t {
+  /// No version overlap (Hello) or a frame carried an unsupported version.
+  kBadVersion = 1,
+  /// Opcode unknown to this server, or a response opcode sent as a request.
+  kBadOpcode = 2,
+  /// Frame or payload violates the encoding rules (truncated payload,
+  /// trailing bytes, non-finite double, out-of-range id, nonzero reserved).
+  kMalformed = 3,
+  /// The opcode is valid but this endpoint does not serve it (e.g. ingest
+  /// ops on a query-only server).
+  kNotSupported = 4,
+  /// The length field exceeded kMaxFrameBytes.
+  kFrameTooLarge = 5,
+  /// The server is draining for shutdown and takes no new work.
+  kShuttingDown = 6,
+  /// Unexpected server-side failure.
+  kInternal = 7,
+  /// A non-Hello request arrived before version negotiation completed.
+  kHelloRequired = 8,
+  /// The server is at its connection limit.
+  kOverloaded = 9,
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+/// One decoded frame: the fixed header fields plus the opaque payload the
+/// per-opcode codecs below interpret.
+struct Frame {
+  uint8_t version = kProtocolVersion;
+  Op op = Op::kHello;
+  /// Client-chosen correlation id, echoed verbatim in the response.
+  /// Connection-level errors not tied to a request use id 0.
+  uint64_t request_id = 0;
+  std::vector<uint8_t> payload;
+
+  bool operator==(const Frame&) const = default;
+};
+
+/// Serializes `frame` (header + payload) onto `out`.
+void AppendFrame(const Frame& frame, std::vector<uint8_t>* out);
+std::vector<uint8_t> EncodeFrame(const Frame& frame);
+
+/// Incremental frame splitter: feed raw bytes in whatever chunks the
+/// transport delivers (a pipelined burst, a single byte, a frame split at
+/// any boundary) and pull complete frames out. Framing errors — a length
+/// field out of bounds or a nonzero reserved field — latch the assembler
+/// bad: the byte stream can no longer be trusted and the connection must
+/// close after the error is reported. A frame with an *unsupported
+/// version* is NOT a framing error: the header layout is version-fixed, so
+/// the frame is yielded intact and the session layer answers kBadVersion.
+class FrameAssembler {
+ public:
+  enum class Status : uint8_t {
+    kFrame,     ///< `out` holds the next complete frame.
+    kNeedMore,  ///< No complete frame buffered; feed more bytes.
+    kBad,       ///< Framing violated; `err` says how. Terminal.
+  };
+
+  void Push(const uint8_t* data, size_t size);
+
+  /// Extracts the next complete frame. After kBad, every later call
+  /// returns kBad with the same code.
+  Status Next(Frame* out, ErrorCode* err);
+
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+  bool bad() const { return bad_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;  // consumed prefix; compacted when it grows past half
+  bool bad_ = false;
+  ErrorCode bad_code_ = ErrorCode::kMalformed;
+};
+
+// ---------------------------------------------------------------- payloads
+//
+// Every Decode* returns false on any violation of the encoding rules —
+// truncation, trailing bytes, malformed varint, an id that does not fit
+// its type, a non-finite double in a field that must be finite — without
+// crashing or allocating unbounded memory. Every Encode* writes the
+// canonical form (minimal varints), so decode-then-re-encode of a valid
+// payload is byte-identical.
+
+struct HelloRequest {
+  /// Inclusive version range the client speaks.
+  uint8_t min_version = kProtocolVersion;
+  uint8_t max_version = kProtocolVersion;
+  /// Feature bits requested; none are defined in v1 (must echo back 0).
+  uint64_t features = 0;
+
+  bool operator==(const HelloRequest&) const = default;
+};
+
+struct HelloResponse {
+  /// The version every later frame on this connection must carry.
+  uint8_t version = kProtocolVersion;
+  uint64_t features = 0;
+  /// Global trajectory count of the served engine (0 when ingest-only).
+  uint64_t num_trajectories = 0;
+  bool query_enabled = false;
+  bool ingest_enabled = false;
+
+  bool operator==(const HelloResponse&) const = default;
+};
+
+struct IngestPointRequest {
+  uint64_t vehicle = 0;
+  traj::RawPoint point;
+
+  // Spelled out because traj::RawPoint itself has no operator==. Exact
+  // double comparison is intentional: the codec is bit-exact.
+  bool operator==(const IngestPointRequest& o) const {
+    return vehicle == o.vehicle && point.x == o.point.x &&
+           point.y == o.point.y && point.t == o.point.t;
+  }
+};
+
+/// kIngestEnd carries `vehicle`; kIngestAdvanceTime carries `now`.
+struct IngestEndRequest {
+  uint64_t vehicle = 0;
+
+  bool operator==(const IngestEndRequest&) const = default;
+};
+
+struct IngestAdvanceRequest {
+  traj::Timestamp now = 0;
+
+  bool operator==(const IngestAdvanceRequest&) const = default;
+};
+
+/// Response to every ingest op. For kIngestPoint, `status` is the
+/// matching::AppendStatus of the pushed point and `sealed` is 0 (seals a
+/// push triggers are observable via kStats). For kIngestEnd and
+/// kIngestAdvanceTime, `status` is kAccepted and `sealed` counts the
+/// trajectories the call sealed.
+struct IngestAck {
+  matching::AppendStatus status = matching::AppendStatus::kAccepted;
+  uint64_t sealed = 0;
+
+  bool operator==(const IngestAck&) const = default;
+};
+
+struct StatsResponse {
+  bool has_engine = false;
+  uint64_t queries = 0;
+  uint64_t batches = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t bytes_decoded = 0;
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  bool has_ingest = false;
+  uint64_t points = 0;
+  uint64_t accepted = 0;
+  uint64_t trajectories_sealed = 0;
+  uint64_t open_sessions = 0;
+
+  bool operator==(const StatsResponse&) const = default;
+};
+
+struct ErrorBody {
+  ErrorCode code = ErrorCode::kInternal;
+  /// Human-oriented detail; bounded (kMaxErrorMessageBytes) and never
+  /// required for program logic — the code is the contract.
+  std::string message;
+
+  bool operator==(const ErrorBody&) const = default;
+};
+
+inline constexpr size_t kMaxErrorMessageBytes = 1024;
+
+void EncodeHelloRequest(const HelloRequest& req, common::ByteWriter* w);
+bool DecodeHelloRequest(common::ByteReader* r, HelloRequest* out);
+void EncodeHelloResponse(const HelloResponse& resp, common::ByteWriter* w);
+bool DecodeHelloResponse(common::ByteReader* r, HelloResponse* out);
+
+/// serve::QueryRequest with a leading kind byte (0 where, 1 when,
+/// 2 range); the same encoding serves kQuery payloads and kBatch entries.
+void EncodeQueryRequest(const serve::QueryRequest& req,
+                        common::ByteWriter* w);
+bool DecodeQueryRequest(common::ByteReader* r, serve::QueryRequest* out);
+
+/// serve::QueryResult with a leading kind byte; hit order is preserved
+/// exactly as the engine produced it, so network answers can be compared
+/// hit-for-hit against in-process answers.
+void EncodeQueryResult(const serve::QueryResult& result,
+                       common::ByteWriter* w);
+bool DecodeQueryResult(common::ByteReader* r, serve::QueryResult* out);
+
+/// kBatch payload: varint count then that many QueryRequests.
+void EncodeBatchRequest(const std::vector<serve::QueryRequest>& reqs,
+                        common::ByteWriter* w);
+bool DecodeBatchRequest(common::ByteReader* r,
+                        std::vector<serve::QueryRequest>* out);
+
+/// kBatchResult payload: varint count then that many QueryResults,
+/// results[i] answering requests[i].
+void EncodeBatchResult(const std::vector<serve::QueryResult>& results,
+                       common::ByteWriter* w);
+bool DecodeBatchResult(common::ByteReader* r,
+                       std::vector<serve::QueryResult>* out);
+
+void EncodeIngestPoint(const IngestPointRequest& req, common::ByteWriter* w);
+bool DecodeIngestPoint(common::ByteReader* r, IngestPointRequest* out);
+void EncodeIngestEnd(const IngestEndRequest& req, common::ByteWriter* w);
+bool DecodeIngestEnd(common::ByteReader* r, IngestEndRequest* out);
+void EncodeIngestAdvance(const IngestAdvanceRequest& req,
+                         common::ByteWriter* w);
+bool DecodeIngestAdvance(common::ByteReader* r, IngestAdvanceRequest* out);
+void EncodeIngestAck(const IngestAck& ack, common::ByteWriter* w);
+bool DecodeIngestAck(common::ByteReader* r, IngestAck* out);
+
+void EncodeStatsResponse(const StatsResponse& stats, common::ByteWriter* w);
+bool DecodeStatsResponse(common::ByteReader* r, StatsResponse* out);
+
+void EncodeErrorBody(const ErrorBody& body, common::ByteWriter* w);
+bool DecodeErrorBody(common::ByteReader* r, ErrorBody* out);
+
+/// A payload decode is only complete when the reader consumed exactly the
+/// payload with every read in bounds; the per-type decoders above all
+/// finish through this.
+bool FinishPayload(const common::ByteReader& r);
+
+/// Convenience: a complete kError frame for `request_id`.
+Frame MakeErrorFrame(uint64_t request_id, ErrorCode code,
+                     std::string message);
+
+}  // namespace utcq::net
+
+#endif  // UTCQ_NET_WIRE_H_

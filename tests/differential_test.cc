@@ -2,10 +2,11 @@
 // run through every real query path — the raw UtcqQueryProcessor, a sharded
 // archive set reopened from disk, the serving QueryEngine cold / warm /
 // batched, the live+sealed streaming tier and its reopened append-log set,
-// and the TED baseline — and every answer is checked hit-for-hit against
-// verify::Oracle, a brute-force scan of the decompressed corpus with no
-// index, no pruning and no cache. Failures print the workload seed; rerun
-// a single workload with:
+// the TED baseline, and the network tier (a real TCP round trip through
+// src/net/'s server and client) — and every answer is checked hit-for-hit
+// against verify::Oracle, a brute-force scan of the decompressed corpus
+// with no index, no pruning and no cache. Failures print the workload
+// seed; rerun a single workload with:
 //   differential_test --seed=<seed> --gtest_filter='*Workloads*/0'
 
 #include <unistd.h>
@@ -26,6 +27,8 @@
 #include "core/utcq.h"
 #include "ingest/flusher.h"
 #include "ingest/live_shard.h"
+#include "net/client.h"
+#include "net/tcp_server.h"
 #include "network/grid_index.h"
 #include "serve/query_engine.h"
 #include "serve/tier.h"
@@ -396,6 +399,74 @@ void RunWorkload(uint64_t seed) {
     const verify::Oracle ted_oracle(w.net, ted_decoded, tparams.eta_d);
     RunPath(w.net, ted_oracle, w.queries, PathOf("ted", tq));
   }
+
+  // --- path 7: the network tier — the same engine behind a real TCP
+  // server (src/net/, DESIGN.md §14; distinct from src/network/, the road
+  // graph), answered through the client library. The wire adds a codec
+  // layer but must stay *hit-for-hit byte-identical* to the in-process
+  // engine, so every network answer is compared with operator== against
+  // Execute/ExecuteBatch before the oracle pass — no tolerance, no
+  // reordering. Single queries round-trip one at a time; the whole
+  // workload then rides one pipelined burst. Ephemeral port: the strategy
+  // matrix runs several instances of this binary concurrently.
+  {
+    serve::QueryEngine engine(sys.queries());
+    net::TcpServer server(&engine, nullptr);
+    ASSERT_TRUE(server.Start());
+    net::Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()))
+        << client.last_status().message;
+
+    const auto networked = [&](const serve::QueryRequest& req) {
+      serve::QueryResult got;
+      const net::Client::Status status = client.Query(req, &got);
+      EXPECT_TRUE(status.ok) << status.message;
+      const serve::QueryResult local = engine.Execute(req);
+      EXPECT_TRUE(got.where == local.where && got.when == local.when &&
+                  got.range == local.range)
+          << "network answer differs from in-process answer";
+      return got;
+    };
+    const QueryPath path{
+        "network",
+        [&](uint32_t j, Timestamp t, double a) {
+          return networked(serve::QueryRequest::MakeWhere(j, t, a)).where;
+        },
+        [&](uint32_t j, network::EdgeId e, double rd, double a) {
+          return networked(serve::QueryRequest::MakeWhen(j, e, rd, a)).when;
+        },
+        [&](const network::Rect& re, Timestamp tq, double a) {
+          return networked(serve::QueryRequest::MakeRange(re, tq, a)).range;
+        }};
+    RunPath(w.net, oracle, w.queries, path);
+
+    // Pipelined burst: the server folds the run into ExecuteBatch; the
+    // responses must come back in request order and bit-identical.
+    std::vector<serve::QueryRequest> requests;
+    std::vector<uint64_t> ids;
+    for (const QueryCase& q : w.queries) {
+      requests.push_back(ToRequest(q));
+      ids.push_back(client.SendQuery(requests.back()));
+    }
+    ASSERT_TRUE(client.Flush());
+    const std::vector<serve::QueryResult> local =
+        engine.ExecuteBatch(requests);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      uint64_t id = 0;
+      serve::QueryResult got;
+      const net::Client::Status status = client.Receive(&id, &got);
+      ASSERT_TRUE(status.ok) << status.message;
+      ASSERT_EQ(id, ids[i]) << "pipelined responses out of order";
+      EXPECT_TRUE(got.where == local[i].where && got.when == local[i].when &&
+                  got.range == local[i].range)
+          << "pipelined network answer differs, query #" << i;
+    }
+
+    client.Close();
+    server.Shutdown();
+    EXPECT_EQ(server.active_connections(), 0u) << "leaked sessions";
+  }
+
 
   for (const std::string& f : files) std::remove(f.c_str());
 }
