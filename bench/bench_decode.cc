@@ -15,9 +15,11 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/utcq.h"
+#include "obs/metrics.h"
 #include "strategies/strategies.h"
 
 namespace {
@@ -203,7 +205,9 @@ int main(int argc, char** argv) {
                  r.name, r.decode_seconds, r.decode_mbps, r.qps,
                  r.speedup_vs_bitloop, i + 1 < runs.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json, "  ],\n");
+  AppendMetricsJson(json, obs::MetricRegistry::Global().Snapshot());
+  std::fprintf(json, "\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_decode.json\n");
   return mismatches == 0 ? 0 : 1;

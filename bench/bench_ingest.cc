@@ -16,10 +16,12 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/encoder.h"
 #include "core/query.h"
+#include "obs/metrics.h"
 #include "core/stiu_index.h"
 #include "ingest/streaming_service.h"
 #include "serve/query_engine.h"
@@ -88,7 +90,12 @@ int main(int argc, char** argv) {
     points += raws.back().size();
   }
 
+  // One registry for the whole streaming tier: its snapshot (ingest.*
+  // counters, seal/flush histograms) becomes the baseline's metrics
+  // object.
+  obs::MetricRegistry metrics_registry;
   ingest::StreamingOptions opts;
+  opts.registry = &metrics_registry;
   opts.match.match.gps_sigma_m = 15.0;
   opts.match.max_pending_steps = 32;
   opts.limits.max_points = 512;
@@ -271,7 +278,9 @@ int main(int argc, char** argv) {
                  r.mode.c_str(), r.seconds, r.qps, r.queries,
                  i + 1 < query_runs.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json, "  ],\n");
+  AppendMetricsJson(json, metrics_registry.Snapshot());
+  std::fprintf(json, "\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_ingest.json\n");
 

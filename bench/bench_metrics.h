@@ -1,0 +1,58 @@
+#ifndef UTCQ_BENCH_BENCH_METRICS_H_
+#define UTCQ_BENCH_BENCH_METRICS_H_
+
+// Embeds an obs::RegistrySnapshot into a BENCH_*.json baseline as a
+// `"metrics"` object — counters and gauges verbatim, histograms reduced
+// to {count, sum, p50, p90, p99, p999}. The baselines thereby carry the
+// observability evidence of the run (cache traffic, decode bytes, pool
+// activity) next to the wall-clock numbers, and
+// scripts/validate_bench_json.py cross-checks the two.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace utcq::bench {
+
+/// Appends `  "metrics": {...}` (no trailing comma or newline) to `f`.
+/// The caller is mid-object: emit a comma after the previous key, call
+/// this, then close the object.
+inline void AppendMetricsJson(std::FILE* f,
+                              const obs::RegistrySnapshot& snap) {
+  std::fprintf(f, "  \"metrics\": {\n");
+  std::fprintf(f, "    \"counters\": {");
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    std::fprintf(f, "%s\n      \"%s\": %llu", i == 0 ? "" : ",",
+                 snap.counters[i].first.c_str(),
+                 static_cast<unsigned long long>(snap.counters[i].second));
+  }
+  std::fprintf(f, "%s},\n", snap.counters.empty() ? "" : "\n    ");
+  std::fprintf(f, "    \"gauges\": {");
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    std::fprintf(f, "%s\n      \"%s\": %lld", i == 0 ? "" : ",",
+                 snap.gauges[i].first.c_str(),
+                 static_cast<long long>(snap.gauges[i].second));
+  }
+  std::fprintf(f, "%s},\n", snap.gauges.empty() ? "" : "\n    ");
+  std::fprintf(f, "    \"histograms\": {");
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    const obs::HistogramSnapshot& h = snap.histograms[i].second;
+    std::fprintf(f,
+                 "%s\n      \"%s\": {\"count\": %llu, \"sum\": %llu, "
+                 "\"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f, "
+                 "\"p999\": %.1f}",
+                 i == 0 ? "" : ",", snap.histograms[i].first.c_str(),
+                 static_cast<unsigned long long>(h.count),
+                 static_cast<unsigned long long>(h.sum), h.p50(), h.p90(),
+                 h.p99(), h.p999());
+  }
+  std::fprintf(f, "%s}\n", snap.histograms.empty() ? "" : "\n    ");
+  std::fprintf(f, "  }");
+}
+
+}  // namespace utcq::bench
+
+#endif  // UTCQ_BENCH_BENCH_METRICS_H_

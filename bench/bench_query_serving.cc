@@ -15,9 +15,11 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/utcq.h"
+#include "obs/metrics.h"
 #include "serve/query_engine.h"
 
 namespace {
@@ -119,6 +121,11 @@ int main(int argc, char** argv) {
 
   serve::EngineOptions warm_opts;
   warm_opts.cache_budget_bytes = 128ull << 20;
+  // The warm engine is the instrumented one: its registry becomes the
+  // baseline's "metrics" object (the other engines keep private
+  // registries so their stats stay phase-exact).
+  obs::MetricRegistry metrics_registry;
+  warm_opts.registry = &metrics_registry;
   serve::QueryEngine engine(sys.queries(), warm_opts);
   for (const Point& p : points) {  // untimed fill
     engine.Where(p.traj, p.t, alpha);
@@ -265,7 +272,9 @@ int main(int argc, char** argv) {
                  r.budget_bytes, r.qps, r.hit_rate, r.resident_bytes,
                  i + 1 < budget_runs.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json, "  ],\n");
+  AppendMetricsJson(json, metrics_registry.Snapshot());
+  std::fprintf(json, "\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_query.json\n");
   return mismatches == 0 ? 0 : 1;

@@ -24,10 +24,12 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_metrics.h"
 #include "common/stopwatch.h"
 #include "core/utcq.h"
 #include "net/client.h"
 #include "net/tcp_server.h"
+#include "obs/metrics.h"
 #include "serve/query_engine.h"
 
 namespace {
@@ -125,9 +127,17 @@ int main(int argc, char** argv) {
   params.eta_p = w->profile.eta_p;
   const core::UtcqSystem sys(w->net, grid, w->corpus, params,
                              core::StiuParams{32, 1800});
-  serve::QueryEngine engine(sys.queries());
+  // One registry across engine and server: the kMetrics snapshot then
+  // carries every layer (serve.*, net.*) and reconciles against the
+  // workload this bench issues.
+  obs::MetricRegistry registry;
+  serve::EngineOptions engine_opts;
+  engine_opts.registry = &registry;
+  serve::QueryEngine engine(sys.queries(), engine_opts);
 
-  net::TcpServer server(&engine, nullptr);
+  net::ServerOptions server_opts;
+  server_opts.registry = &registry;
+  net::TcpServer server(&engine, nullptr, server_opts);
   if (!server.Start()) {
     std::fprintf(stderr, "server failed to start\n");
     return 1;
@@ -136,6 +146,9 @@ int main(int argc, char** argv) {
               server.port(), trajectories, queries);
 
   const auto workload = MakeMixedWorkload(*w, queries, 7117);
+  // Every kQuery frame this bench puts on the wire, for the kMetrics
+  // reconciliation at the end.
+  uint64_t wire_queries_sent = 0;
 
   // --- correctness gate: every networked answer must be hit-for-hit
   // identical to in-process execution before any number below means
@@ -149,6 +162,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     const size_t check = std::min<size_t>(workload.size(), 200);
+    wire_queries_sent += check;
     for (size_t i = 0; i < check; ++i) {
       serve::QueryResult got;
       if (!client.Query(workload[i], &got).ok) {
@@ -185,6 +199,7 @@ int main(int argc, char** argv) {
       lat_us.push_back(per.ElapsedMicros());
     }
     const double seconds = watch.ElapsedSeconds();
+    wire_queries_sent += workload.size();
     closed_qps = SafeRate(static_cast<double>(workload.size()), seconds);
     closed_p50_us = PercentileUs(lat_us, 0.50);
     closed_p99_us = PercentileUs(lat_us, 0.99);
@@ -208,6 +223,7 @@ int main(int argc, char** argv) {
       ok = client.Receive(&id, &got).ok;
     }
     const double seconds = watch.ElapsedSeconds();
+    wire_queries_sent += workload.size();
     if (!ok) ++mismatches;
     pipelined_qps = SafeRate(static_cast<double>(workload.size()), seconds);
     client.Close();
@@ -242,6 +258,7 @@ int main(int argc, char** argv) {
     }
     for (auto& t : threads) t.join();
     const double seconds = watch.ElapsedSeconds();
+    wire_queries_sent += per_client * conns;
     mismatches += errors.load();
     conn_runs.push_back(
         {conns, SafeRate(static_cast<double>(per_client * conns), seconds)});
@@ -303,6 +320,7 @@ int main(int argc, char** argv) {
       }
     }
     const double seconds = watch.ElapsedSeconds();
+    wire_queries_sent += sent;
     if (!ok) ++mismatches;
     open_runs.push_back({offered,
                          SafeRate(static_cast<double>(received), seconds),
@@ -318,8 +336,50 @@ int main(int argc, char** argv) {
     client.Close();
   }
 
+  // --- kMetrics reconciliation: fetch the server's snapshot over the
+  // wire and check it accounts for exactly the workload this process
+  // issued — the end-to-end proof that no request escapes the counters.
+  {
+    net::Client client;
+    obs::RegistrySnapshot wire_snap;
+    if (!client.Connect("127.0.0.1", server.port()) ||
+        !client.Metrics(&wire_snap).ok) {
+      std::fprintf(stderr, "kMetrics fetch failed\n");
+      ++mismatches;
+    } else {
+      uint64_t wire_queries = 0;
+      uint64_t cache_hits = 0;
+      uint64_t cache_misses = 0;
+      for (const auto& [name, value] : wire_snap.counters) {
+        if (name == "net.requests.query") wire_queries = value;
+        if (name == "serve.cache.hits") cache_hits = value;
+        if (name == "serve.cache.misses") cache_misses = value;
+      }
+      const auto es = engine.stats();
+      // The in-process equivalence gate also ran `check` queries through
+      // the engine (not the wire), so cache traffic reconciles against
+      // engine stats, and the query counter against frames sent.
+      const bool reconciled =
+          wire_queries == wire_queries_sent &&
+          cache_hits == es.cache_hits && cache_misses == es.cache_misses;
+      std::printf(
+          "kMetrics reconciliation: %s (wire queries %llu vs sent %llu, "
+          "cache %llu+%llu vs engine %llu+%llu)\n",
+          reconciled ? "ok" : "MISMATCH",
+          static_cast<unsigned long long>(wire_queries),
+          static_cast<unsigned long long>(wire_queries_sent),
+          static_cast<unsigned long long>(cache_hits),
+          static_cast<unsigned long long>(cache_misses),
+          static_cast<unsigned long long>(es.cache_hits),
+          static_cast<unsigned long long>(es.cache_misses));
+      if (!reconciled) ++mismatches;
+    }
+    client.Close();
+  }
+
   const auto counters = server.counters();
   server.Shutdown();
+  const obs::RegistrySnapshot metrics_snap = registry.Snapshot();
 
   std::FILE* json = std::fopen("BENCH_net.json", "w");
   if (json == nullptr) {
@@ -358,7 +418,9 @@ int main(int argc, char** argv) {
                  r.offered_qps, r.achieved_qps, r.p50_us, r.p99_us, r.p999_us,
                  i + 1 < open_runs.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json, "  ],\n");
+  AppendMetricsJson(json, metrics_snap);
+  std::fprintf(json, "\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_net.json\n");
   return mismatches == 0 ? 0 : 1;

@@ -14,9 +14,11 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/utcq.h"
+#include "obs/metrics.h"
 #include "shard/sharded.h"
 
 namespace {
@@ -150,7 +152,9 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(r.total_bits),
                  i + 1 < runs.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json, "  ],\n");
+  AppendMetricsJson(json, obs::MetricRegistry::Global().Snapshot());
+  std::fprintf(json, "\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_shard.json (speedup at 8 shards: %.2fx)\n",
               speedup(base, runs.back().seconds));

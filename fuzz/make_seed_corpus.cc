@@ -25,6 +25,7 @@
 #include "core/stiu_index.h"
 #include "net/tcp_server.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "network/generator.h"
 #include "network/grid_index.h"
 #include "serve/query_engine.h"
@@ -157,7 +158,10 @@ int main(int argc, char** argv) {
   // not hand-rolled frames.
   {
     const utcq::core::UtcqQueryProcessor qp(net, cc.view(), index);
-    utcq::serve::QueryEngine engine(qp);
+    utcq::obs::MetricRegistry registry;
+    utcq::serve::EngineOptions engine_opts;
+    engine_opts.registry = &registry;
+    utcq::serve::QueryEngine engine(qp, engine_opts);
 
     auto make_frame = [](utcq::net::Op op, uint64_t id,
                          const utcq::common::ByteWriter& w) {
@@ -204,8 +208,13 @@ int main(int argc, char** argv) {
     }
     requests.push_back(
         make_frame(utcq::net::Op::kStats, 6, utcq::common::ByteWriter{}));
+    // A metrics pull after the workload above, so the captured
+    // metrics-result frame carries a populated registry snapshot
+    // (counters, gauges, and nonempty histogram bucket runs — §15).
     requests.push_back(
-        make_frame(utcq::net::Op::kGoodbye, 7, utcq::common::ByteWriter{}));
+        make_frame(utcq::net::Op::kMetrics, 7, utcq::common::ByteWriter{}));
+    requests.push_back(
+        make_frame(utcq::net::Op::kGoodbye, 8, utcq::common::ByteWriter{}));
 
     std::vector<uint8_t> request_stream;
     for (const auto& f : requests) {
@@ -213,7 +222,7 @@ int main(int argc, char** argv) {
     }
     ok &= WriteFile((out / "wire" / "requests.bin").string(), request_stream);
 
-    utcq::net::Session session(&engine, nullptr, 64);
+    utcq::net::Session session(&engine, nullptr, 64, &registry);
     std::vector<uint8_t> response_stream;
     session.HandleFrames(requests, &response_stream);
     ok &= WriteFile((out / "wire" / "responses.bin").string(),
@@ -249,6 +258,13 @@ int main(int argc, char** argv) {
       utcq::net::Frame wrong_version = requests[1];
       wrong_version.version = 9;
       bad.push_back(wrong_version);
+      // metrics on a registry-less endpoint (not-supported), and metrics
+      // with a nonempty payload (malformed) — the two §15 refusals.
+      bad.push_back(
+          make_frame(utcq::net::Op::kMetrics, 9, utcq::common::ByteWriter{}));
+      utcq::common::ByteWriter junk;
+      junk.PutU8(0x00);
+      bad.push_back(make_frame(utcq::net::Op::kMetrics, 10, junk));
       strict2.HandleFrames(bad, &error_stream);
       ok &= WriteFile((out / "wire" / "errors.bin").string(), error_stream);
     }

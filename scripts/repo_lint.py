@@ -36,11 +36,22 @@ compiler nor clang-tidy can express, by scanning first-party sources:
                              <poll.h>) only under src/net/ — every other
                              layer stays socket-free so it can be tested,
                              fuzzed and reused in-process (DESIGN.md §14).
+  R8 adhoc-atomic-counter    integer std::atomic declarations and
+                             fetch_add/fetch_sub only under src/obs/ and
+                             src/common/ — ad-hoc counter families bypass
+                             the MetricRegistry (no snapshot, no wire
+                             export, no naming discipline; DESIGN.md §15).
+                             Atomic flags (std::atomic<bool>) and atomic
+                             pointers stay legal everywhere.
 
 A finding can be waived inline with `// repo-lint: allow(<rule>)` on the
 offending line, but every waiver should carry a justification comment.
 
-Usage: python3 scripts/repo_lint.py  (exits nonzero with findings)
+Usage: python3 scripts/repo_lint.py              (exits nonzero with findings)
+       python3 scripts/repo_lint.py --self-test  (run the rule regression
+                                                  suite: known-bad snippets
+                                                  must trip, known-good must
+                                                  not)
 """
 
 import os
@@ -153,6 +164,22 @@ R7_PATTERN = re.compile(
 )
 R7_DIR = "src/net/"
 
+# --- R8: ad-hoc atomic counters outside the metrics layer -------------------
+# Integer atomics are how bespoke stats grow: a fetch_add here, a counter
+# struct there, none of it snapshotable or exported. The obs layer owns
+# counting (obs::Counter/Gauge/Histogram); the pool keeps its own atomics
+# because its pending-count is a scheduling mechanism, not a metric.
+# std::atomic<bool> flags and std::atomic<T*> pointers do not match.
+
+R8_PATTERN = re.compile(
+    r"\.fetch_(add|sub)\s*\("
+    r"|\bstd::atomic\s*<\s*(u?int\d+_t|std::u?int\d+_t|size_t|std::size_t"
+    r"|ptrdiff_t|std::ptrdiff_t|unsigned(\s+(int|long|long\s+long|short"
+    r"|char))?|signed(\s+(int|long|long\s+long|short|char))?"
+    r"|int|long(\s+long)?|short|char)\s*>"
+)
+R8_ALLOWED_PREFIXES = ("src/obs/", "src/common/")
+
 
 def decode_into_bodies(lines):
     """Yield (start_lineno, body_lines) for each Decode*Into definition,
@@ -196,68 +223,199 @@ def decode_into_bodies(lines):
         i += 1
 
 
+def check_file(path, r, lines, findings):
+    """Apply every rule to one file (r is the repo-relative path that rule
+    allow-lists match against; path is what findings print)."""
+    if r not in R1_ALLOWED:
+        scan_lines(
+            path, lines, "thread-outside-pool", R1_PATTERN,
+            "raw std::thread outside common/thread_pool — use the shared "
+            "ThreadPool", findings,
+        )
+    if r not in R2_ALLOWED:
+        scan_lines(
+            path, lines, "mutex-outside-common", R2_PATTERN,
+            "raw std synchronization outside common/mutex.h — use the "
+            "annotated common::Mutex/MutexLock/CondVar", findings,
+        )
+    if r not in R3_ALLOWED:
+        scan_lines(
+            path, lines, "raw-rng", R3_PATTERN,
+            "raw std random engine outside common/rng — use common::Rng",
+            findings,
+        )
+    if r.startswith("src/strategies/"):
+        scan_lines(
+            path, lines, "alloc-in-kernel", R4_PATTERN,
+            "allocation in a decode-kernel TU — kernels must stay "
+            "allocation-free", findings,
+        )
+    if r == "src/core/decoder.cc":
+        body_linenos = set()
+        for _start, linenos in decode_into_bodies(lines):
+            body_linenos.update(linenos)
+        for idx in sorted(body_linenos):
+            raw = lines[idx]
+            if R5_PATTERN.search(strip_comment(raw)):
+                allow = ALLOW_RE.search(raw)
+                if allow and allow.group(1) == "alloc-in-decode-into":
+                    continue
+                findings.append(Finding(
+                    "alloc-in-decode-into", path, idx + 1, raw,
+                    "fresh container construction inside a Decode*Into "
+                    "body — reuse caller scratch (DESIGN.md §12)",
+                ))
+    if any(r.startswith(d) for d in R6_DIRS):
+        scan_lines(
+            path, lines, "wall-clock-in-hot-path", R6_PATTERN,
+            "clock read in a decode/query layer — results must be "
+            "time-independent; time in callers via common/stopwatch",
+            findings,
+        )
+    if not r.startswith(R7_DIR):
+        scan_lines(
+            path, lines, "socket-outside-net", R7_PATTERN,
+            "socket/poll syscall or networking header outside src/net/ "
+            "— the serving tier owns all sockets (DESIGN.md §14)",
+            findings,
+        )
+    if not any(r.startswith(p) for p in R8_ALLOWED_PREFIXES):
+        scan_lines(
+            path, lines, "adhoc-atomic-counter", R8_PATTERN,
+            "integer std::atomic / fetch_add outside src/obs/ and "
+            "src/common/ — count through obs::MetricRegistry instruments "
+            "so stats are snapshotable and exported (DESIGN.md §15)",
+            findings,
+        )
+
+
 def check(findings):
     for path in repo_files():
         r = rel(path)
         with open(path, encoding="utf-8") as f:
             lines = f.read().splitlines()
+        check_file(path, r, lines, findings)
 
-        if r not in R1_ALLOWED:
-            scan_lines(
-                path, lines, "thread-outside-pool", R1_PATTERN,
-                "raw std::thread outside common/thread_pool — use the shared "
-                "ThreadPool", findings,
-            )
-        if r not in R2_ALLOWED:
-            scan_lines(
-                path, lines, "mutex-outside-common", R2_PATTERN,
-                "raw std synchronization outside common/mutex.h — use the "
-                "annotated common::Mutex/MutexLock/CondVar", findings,
-            )
-        if r not in R3_ALLOWED:
-            scan_lines(
-                path, lines, "raw-rng", R3_PATTERN,
-                "raw std random engine outside common/rng — use common::Rng",
-                findings,
-            )
-        if r.startswith("src/strategies/"):
-            scan_lines(
-                path, lines, "alloc-in-kernel", R4_PATTERN,
-                "allocation in a decode-kernel TU — kernels must stay "
-                "allocation-free", findings,
-            )
-        if r == "src/core/decoder.cc":
-            body_linenos = set()
-            for _start, linenos in decode_into_bodies(lines):
-                body_linenos.update(linenos)
-            for idx in sorted(body_linenos):
-                raw = lines[idx]
-                if R5_PATTERN.search(strip_comment(raw)):
-                    allow = ALLOW_RE.search(raw)
-                    if allow and allow.group(1) == "alloc-in-decode-into":
-                        continue
-                    findings.append(Finding(
-                        "alloc-in-decode-into", path, idx + 1, raw,
-                        "fresh container construction inside a Decode*Into "
-                        "body — reuse caller scratch (DESIGN.md §12)",
-                    ))
-        if any(r.startswith(d) for d in R6_DIRS):
-            scan_lines(
-                path, lines, "wall-clock-in-hot-path", R6_PATTERN,
-                "clock read in a decode/query layer — results must be "
-                "time-independent; time in callers via common/stopwatch",
-                findings,
-            )
-        if not r.startswith(R7_DIR):
-            scan_lines(
-                path, lines, "socket-outside-net", R7_PATTERN,
-                "socket/poll syscall or networking header outside src/net/ "
-                "— the serving tier owns all sockets (DESIGN.md §14)",
-                findings,
-            )
+
+# --- self-test: the rules themselves are load-bearing -----------------------
+# Each case is (description, repo-relative path, source text, expected rule
+# names). Known-bad snippets must trip exactly the listed rules; known-good
+# snippets (allowed location, waiver, or a benign look-alike) must stay
+# clean. A rule edit that silently stops matching fails here, not in a
+# future PR that reintroduces the banned pattern.
+
+SELF_TEST_CASES = [
+    # R1
+    ("std::thread outside the pool trips",
+     "src/serve/x.cc", "std::thread t(Run);\n", ["thread-outside-pool"]),
+    ("<thread> include outside the pool trips",
+     "src/core/x.cc", "#include <thread>\n", ["thread-outside-pool"]),
+    ("std::thread inside the pool is allowed",
+     "src/common/thread_pool.cc", "std::thread t(Run);\n", []),
+    ("inline waiver suppresses the finding",
+     "src/serve/x.cc",
+     "std::thread t(Run);  // repo-lint: allow(thread-outside-pool)\n", []),
+    # R2
+    ("std::mutex outside common/mutex.h trips",
+     "src/core/x.cc", "std::mutex m_;\n", ["mutex-outside-common"]),
+    ("<mutex> include outside common/mutex.h trips",
+     "src/net/x.cc", "#include <mutex>\n", ["mutex-outside-common"]),
+    ("std::mutex inside common/mutex.h is allowed",
+     "src/common/mutex.h", "std::mutex m_;\n", []),
+    ("the annotated common::Mutex does not trip",
+     "src/core/x.cc", "common::Mutex m_;\n", []),
+    # R3
+    ("std::mt19937 outside common/rng trips",
+     "src/ted/x.cc", "std::mt19937 gen(42);\n", ["raw-rng"]),
+    ("std::mt19937 inside common/rng is allowed",
+     "src/common/rng.cc", "std::mt19937 gen(seed);\n", []),
+    # R4
+    ("push_back in a kernel TU trips",
+     "src/strategies/x.cc", "out.push_back(v);\n", ["alloc-in-kernel"]),
+    ("std::vector declaration in a kernel TU trips",
+     "src/strategies/x.cc", "std::vector<int> tmp;\n", ["alloc-in-kernel"]),
+    ("push_back outside the kernels does not trip R4",
+     "src/core/x.cc", "out.push_back(v);\n", []),
+    # R5
+    ("fresh local container inside a Decode*Into body trips",
+     "src/core/decoder.cc",
+     "void DecodeTimesInto(size_t j, std::vector<int>* out) {\n"
+     "  std::vector<int> tmp;\n"
+     "}\n",
+     ["alloc-in-decode-into"]),
+    ("reusing the caller's scratch inside Decode*Into is allowed",
+     "src/core/decoder.cc",
+     "void DecodeTimesInto(size_t j, std::vector<int>* out) {\n"
+     "  out->clear();\n"
+     "  out->push_back(1);\n"
+     "}\n",
+     []),
+    ("container parameters in the Decode*Into signature do not trip",
+     "src/core/decoder.cc",
+     "void DecodeTimesInto(size_t j, std::vector<int>* out);\n", []),
+    # R6
+    ("steady_clock read in src/core trips",
+     "src/core/x.cc",
+     "const auto t0 = std::chrono::steady_clock::now();\n",
+     ["wall-clock-in-hot-path"]),
+    ("clock reads in the serving tier are fine",
+     "src/serve/x.cc",
+     "const auto t0 = std::chrono::steady_clock::now();\n", []),
+    # R7
+    ("socket header outside src/net trips",
+     "src/serve/x.cc", "#include <sys/socket.h>\n", ["socket-outside-net"]),
+    ("socket syscall inside src/net is allowed",
+     "src/net/x.cc", "const int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n",
+     []),
+    # R8
+    ("integer atomic member outside obs/common trips",
+     "src/serve/x.h", "std::atomic<uint64_t> hits_{0};\n",
+     ["adhoc-atomic-counter"]),
+    ("fetch_add outside obs/common trips",
+     "src/net/x.cc",
+     "hits_.fetch_add(1, std::memory_order_relaxed);\n",
+     ["adhoc-atomic-counter"]),
+    ("atomic size_t outside obs/common trips",
+     "src/ingest/x.h", "std::atomic<size_t> depth_{0};\n",
+     ["adhoc-atomic-counter"]),
+    ("atomic bool flag stays legal everywhere",
+     "src/net/x.h", "std::atomic<bool> stopping_{false};\n", []),
+    ("atomic pointer stays legal everywhere",
+     "src/strategies/x.cc",
+     "std::atomic<const Kernels*> g_active{nullptr};\n", []),
+    ("obs::Counter inside src/obs keeps its atomic",
+     "src/obs/metrics.h",
+     "  void Add(uint64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }\n",
+     []),
+    ("the pool's pending count stays legal",
+     "src/common/thread_pool.cc",
+     "pending_.fetch_add(1, std::memory_order_release);\n", []),
+]
+
+
+def self_test():
+    failures = 0
+    for description, r, source, expected in SELF_TEST_CASES:
+        findings = []
+        check_file(r, r, source.splitlines(), findings)
+        got = sorted({f.rule for f in findings})
+        if got != sorted(expected):
+            failures += 1
+            print(f"FAIL {description}\n"
+                  f"     path {r}: expected {sorted(expected)}, got {got}")
+        else:
+            print(f"ok   {description}")
+    if failures:
+        print(f"\nrepo_lint --self-test: {failures} case(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"repo_lint --self-test: {len(SELF_TEST_CASES)} cases passed")
+    return 0
 
 
 def main():
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
     findings = []
     check(findings)
     if findings:

@@ -68,6 +68,49 @@ REQUIRED = {
 }
 
 
+def check_metrics(doc, errors):
+    """Every baseline embeds its obs::MetricRegistry snapshot: counters,
+    gauges and reduced histograms. Counters are non-negative by type and
+    histogram percentiles must be ordered — a violation means the snapshot
+    or the reduction code regressed, not the workload."""
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append("metrics: missing or not an object")
+        return
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            errors.append(f"metrics.{section}: missing or not an object")
+            return
+    for name, value in metrics["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            errors.append(f"metrics.counters.{name} = {value!r}"
+                          " (expected non-negative integer)")
+    for name, value in metrics["gauges"].items():
+        if not isinstance(value, int):
+            errors.append(f"metrics.gauges.{name} = {value!r}"
+                          " (expected integer)")
+    for name, hist in metrics["histograms"].items():
+        if not isinstance(hist, dict):
+            errors.append(f"metrics.histograms.{name}: not an object")
+            continue
+        for key in ("count", "sum", "p50", "p90", "p99", "p999"):
+            if key not in hist:
+                errors.append(f"metrics.histograms.{name}: missing {key}")
+        count = hist.get("count", 0)
+        if not isinstance(count, int) or count < 0:
+            errors.append(f"metrics.histograms.{name}.count = {count!r}"
+                          " (expected non-negative integer)")
+        quantiles = [hist.get(k, 0) for k in ("p50", "p90", "p99", "p999")]
+        if any(not isinstance(q, (int, float)) for q in quantiles):
+            errors.append(f"metrics.histograms.{name}: non-numeric quantile")
+        elif sorted(quantiles) != quantiles:
+            errors.append(f"metrics.histograms.{name}: percentiles not"
+                          f" ordered {quantiles}")
+        if count == 0 and any(q != 0 for q in quantiles):
+            errors.append(f"metrics.histograms.{name}: zero count with"
+                          " nonzero percentiles")
+
+
 def check_numbers(path, node, errors):
     """Every numeric leaf must be finite — NaN/inf means a guard failed."""
     if isinstance(node, dict):
@@ -107,6 +150,7 @@ def validate(filename):
                     errors.append(f"{list_key}[{i}]: missing key {key}")
 
     check_numbers(bench, doc, errors)
+    check_metrics(doc, errors)
 
     # Semantic floors: equivalence must hold and throughputs must be real
     # measurements, not zero-division fallbacks.

@@ -34,6 +34,10 @@ unsigned EffectiveThreads(size_t n, unsigned threads) {
 }
 
 ThreadPool::ThreadPool(unsigned num_workers) {
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  tasks_submitted_ = &reg.GetCounter("pool.tasks");
+  tasks_stolen_ = &reg.GetCounter("pool.steals");
+  queue_depth_ = &reg.GetGauge("pool.queue_depth");
   queues_.reserve(num_workers);
   for (unsigned i = 0; i < num_workers; ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());
@@ -54,6 +58,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  tasks_submitted_->Increment();
   if (workers_.empty()) {
     task();  // no one else to run it; degrade to inline execution
     return;
@@ -62,6 +67,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   // the race to the push simply rescans — transient, and the reverse order
   // would let pending_ dip below zero.
   pending_.fetch_add(1, std::memory_order_release);
+  queue_depth_->Add(1);
   if (tls_pool == this) {
     WorkerQueue& q = *queues_[tls_worker_index];
     MutexLock lk(q.mu);
@@ -86,6 +92,7 @@ bool ThreadPool::FindTask(std::function<void()>* out, size_t self) {
       *out = std::move(q.tasks.front());
       q.tasks.pop_front();
       pending_.fetch_sub(1, std::memory_order_relaxed);
+      queue_depth_->Sub(1);
       return true;
     }
   }
@@ -95,6 +102,7 @@ bool ThreadPool::FindTask(std::function<void()>* out, size_t self) {
       *out = std::move(global_.front());
       global_.pop_front();
       pending_.fetch_sub(1, std::memory_order_relaxed);
+      queue_depth_->Sub(1);
       return true;
     }
   }
@@ -106,6 +114,8 @@ bool ThreadPool::FindTask(std::function<void()>* out, size_t self) {
       *out = std::move(q.tasks.back());  // steal the victim's oldest work
       q.tasks.pop_back();
       pending_.fetch_sub(1, std::memory_order_relaxed);
+      queue_depth_->Sub(1);
+      tasks_stolen_->Increment();
       return true;
     }
   }

@@ -11,6 +11,7 @@
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "obs/metrics.h"
 
 namespace utcq::common {
 
@@ -111,6 +112,15 @@ class ThreadPool {
   CondVar cv_;
   std::atomic<size_t> pending_{0};
   bool stop_ UTCQ_GUARDED_BY(sleep_mu_) = false;
+
+  // Pool instruments (DESIGN.md §15), always in MetricRegistry::Global():
+  // the pool is a process-wide resource, so its series aggregate across
+  // instances. Resolving Global() in the constructor also sequences the
+  // registry's construction before the Shared() pool's, hence its
+  // destruction after — instrument writes during pool teardown stay valid.
+  obs::Counter* tasks_submitted_ = nullptr;
+  obs::Counter* tasks_stolen_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
 
   std::vector<std::thread> workers_;
 };

@@ -31,9 +31,19 @@ const char* FlushStepName(FlushStep step) {
   return "unknown-step";
 }
 
-Flusher::Flusher(const network::RoadNetwork& net, std::string manifest_path)
+Flusher::Flusher(const network::RoadNetwork& net, std::string manifest_path,
+                 obs::MetricRegistry* registry, const obs::Clock* clock)
     : net_(net), manifest_path_(std::move(manifest_path)) {
   manifest_.policy = static_cast<uint8_t>(shard::ShardPolicy::kAppendLog);
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricRegistry>();
+    registry = owned_registry_.get();
+  }
+  clock_ = clock != nullptr ? clock : &obs::Clock::Real();
+  flush_attempts_ = &registry->GetCounter("ingest.flush.attempts");
+  flush_failures_ = &registry->GetCounter("ingest.flush.failures");
+  flush_retries_ = &registry->GetCounter("ingest.flush.retries");
+  flush_duration_ = &registry->GetHistogram("ingest.flush.duration_ns");
 }
 
 bool Flusher::Open(std::string* error,
@@ -54,6 +64,21 @@ bool Flusher::Open(std::string* error,
 
 bool Flusher::Flush(const LiveSnapshot& live, std::string* error,
                     std::shared_ptr<const shard::ShardedCorpus>* new_sealed) {
+  flush_attempts_->Increment();
+  if (retry_pending_) flush_retries_->Increment();
+  bool ok = false;
+  {
+    const obs::ScopedTimer timer(*flush_duration_, *clock_);
+    ok = FlushInternal(live, error, new_sealed);
+  }
+  if (!ok) flush_failures_->Increment();
+  retry_pending_ = !ok;
+  return ok;
+}
+
+bool Flusher::FlushInternal(
+    const LiveSnapshot& live, std::string* error,
+    std::shared_ptr<const shard::ShardedCorpus>* new_sealed) {
   const auto fail = [error](const std::string& why) {
     if (error != nullptr) *error = why;
     return false;

@@ -8,6 +8,8 @@
 #include "archive/archive.h"
 #include "ingest/live_shard.h"
 #include "network/road_network.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "shard/sharded.h"
 
 namespace utcq::ingest {
@@ -57,8 +59,13 @@ const char* FlushStepName(FlushStep step);
 class Flusher {
  public:
   /// `net` must be the network every generation was compressed against and
-  /// must outlive the flusher and every corpus it opens.
-  Flusher(const network::RoadNetwork& net, std::string manifest_path);
+  /// must outlive the flusher and every corpus it opens. Flush attempts /
+  /// failures / retries and a duration histogram are registered under
+  /// `ingest.flush.*` in `registry` (DESIGN.md §15; nullptr = private
+  /// registry); durations are timed against `clock` (nullptr = real).
+  Flusher(const network::RoadNetwork& net, std::string manifest_path,
+          obs::MetricRegistry* registry = nullptr,
+          const obs::Clock* clock = nullptr);
 
   /// Opens the existing archive set. A missing manifest is a fresh, empty
   /// set (*sealed stays null); a present-but-invalid set fails.
@@ -103,10 +110,25 @@ class Flusher {
   size_t num_sealed() const { return manifest_.num_trajectories(); }
 
  private:
+  bool FlushInternal(const LiveSnapshot& live, std::string* error,
+                     std::shared_ptr<const shard::ShardedCorpus>* new_sealed);
+
   const network::RoadNetwork& net_;
   std::string manifest_path_;
   archive::ShardManifest manifest_;  // the published set
   CrashHook hook_;
+
+  /// Declared before the instrument pointers so they outlive every use.
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;
+  const obs::Clock* clock_ = nullptr;
+  obs::Counter* flush_attempts_ = nullptr;
+  obs::Counter* flush_failures_ = nullptr;
+  obs::Counter* flush_retries_ = nullptr;
+  obs::Histogram* flush_duration_ = nullptr;
+  /// The previous Flush failed; the next attempt counts as a retry (the
+  /// crash-recovery loop the crash matrix exercises). Unsynchronized like
+  /// the rest of the flusher — the owning service serializes flushes.
+  bool retry_pending_ = false;
 };
 
 }  // namespace utcq::ingest

@@ -10,12 +10,34 @@ using matching::AppendStatus;
 StreamIngestor::StreamIngestor(const network::RoadNetwork& net,
                                const network::GridIndex& grid,
                                matching::OnlineMatchParams match,
-                               SessionLimits limits, SealSink sink)
+                               SessionLimits limits, SealSink sink,
+                               obs::MetricRegistry* registry,
+                               const obs::Clock* clock)
     : net_(net),
       grid_(grid),
       match_(match),
       limits_(limits),
-      sink_(std::move(sink)) {}
+      sink_(std::move(sink)) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricRegistry>();
+    registry = owned_registry_.get();
+  }
+  clock_ = clock != nullptr ? clock : &obs::Clock::Real();
+  points_ = &registry->GetCounter("ingest.points");
+  accepted_ = &registry->GetCounter("ingest.accepted");
+  dropped_not_finite_ = &registry->GetCounter("ingest.dropped_not_finite");
+  dropped_out_of_order_ =
+      &registry->GetCounter("ingest.dropped_out_of_order");
+  dropped_no_candidates_ =
+      &registry->GetCounter("ingest.dropped_no_candidates");
+  segment_breaks_ = &registry->GetCounter("ingest.segment_breaks");
+  sessions_opened_ = &registry->GetCounter("ingest.sessions_opened");
+  sessions_closed_ = &registry->GetCounter("ingest.sessions_closed");
+  trajectories_sealed_ = &registry->GetCounter("ingest.trajectories_sealed");
+  segments_discarded_ = &registry->GetCounter("ingest.segments_discarded");
+  sessions_open_ = &registry->GetGauge("ingest.sessions.open");
+  seal_latency_ = &registry->GetHistogram("ingest.seal_latency_ns");
+}
 
 std::shared_ptr<StreamIngestor::Entry> StreamIngestor::GetOrCreate(
     uint64_t vehicle) {
@@ -24,19 +46,23 @@ std::shared_ptr<StreamIngestor::Entry> StreamIngestor::GetOrCreate(
   if (it != sessions_.end()) return it->second;
   auto entry = std::make_shared<Entry>(net_, grid_, match_, vehicle);
   sessions_.emplace(vehicle, entry);
-  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  sessions_opened_->Increment();
+  sessions_open_->Add(1);
   return entry;
 }
 
 size_t StreamIngestor::EmitClosed(std::optional<traj::UncertainTrajectory>&& tu,
                                   SealReason reason, bool had_segment) {
   if (tu.has_value()) {
-    trajectories_sealed_.fetch_add(1, std::memory_order_relaxed);
+    // Seal latency: handing the sealed trajectory to the sink — in the
+    // service, the live shard's incremental compress + index append.
+    const obs::ScopedTimer timer(*seal_latency_, *clock_);
+    trajectories_sealed_->Increment();
     sink_(std::move(*tu), reason);
     return 1;
   }
   if (had_segment) {
-    segments_discarded_.fetch_add(1, std::memory_order_relaxed);
+    segments_discarded_->Increment();
   }
   return 0;
 }
@@ -59,22 +85,22 @@ AppendStatus StreamIngestor::Push(uint64_t vehicle, const traj::RawPoint& p) {
         full = entry->session.Seal();
       }
     }
-    points_.fetch_add(1, std::memory_order_relaxed);
+    points_->Increment();
     switch (status) {
       case AppendStatus::kAccepted:
-        accepted_.fetch_add(1, std::memory_order_relaxed);
+        accepted_->Increment();
         break;
       case AppendStatus::kDroppedNotFinite:
-        dropped_not_finite_.fetch_add(1, std::memory_order_relaxed);
+        dropped_not_finite_->Increment();
         break;
       case AppendStatus::kDroppedOutOfOrder:
-        dropped_out_of_order_.fetch_add(1, std::memory_order_relaxed);
+        dropped_out_of_order_->Increment();
         break;
       case AppendStatus::kDroppedNoCandidates:
-        dropped_no_candidates_.fetch_add(1, std::memory_order_relaxed);
+        dropped_no_candidates_->Increment();
         break;
       case AppendStatus::kSegmentBreak:
-        segment_breaks_.fetch_add(1, std::memory_order_relaxed);
+        segment_breaks_->Increment();
         break;
     }
     // Emission outside the session lock: the sink locks the live shard.
@@ -104,9 +130,12 @@ size_t StreamIngestor::CloseEntry(uint64_t vehicle,
   {
     common::MutexLock lock(map_mu_);
     auto it = sessions_.find(vehicle);
-    if (it != sessions_.end() && it->second == entry) sessions_.erase(it);
+    if (it != sessions_.end() && it->second == entry) {
+      sessions_.erase(it);
+      sessions_open_->Sub(1);
+    }
   }
-  sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  sessions_closed_->Increment();
   return EmitClosed(std::move(tu), reason, had_segment);
 }
 
@@ -160,20 +189,16 @@ size_t StreamIngestor::open_sessions() const {
 
 IngestStats StreamIngestor::stats() const {
   IngestStats out;
-  out.points = points_.load(std::memory_order_relaxed);
-  out.accepted = accepted_.load(std::memory_order_relaxed);
-  out.dropped_not_finite = dropped_not_finite_.load(std::memory_order_relaxed);
-  out.dropped_out_of_order =
-      dropped_out_of_order_.load(std::memory_order_relaxed);
-  out.dropped_no_candidates =
-      dropped_no_candidates_.load(std::memory_order_relaxed);
-  out.segment_breaks = segment_breaks_.load(std::memory_order_relaxed);
-  out.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
-  out.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
-  out.trajectories_sealed =
-      trajectories_sealed_.load(std::memory_order_relaxed);
-  out.segments_discarded =
-      segments_discarded_.load(std::memory_order_relaxed);
+  out.points = points_->value();
+  out.accepted = accepted_->value();
+  out.dropped_not_finite = dropped_not_finite_->value();
+  out.dropped_out_of_order = dropped_out_of_order_->value();
+  out.dropped_no_candidates = dropped_no_candidates_->value();
+  out.segment_breaks = segment_breaks_->value();
+  out.sessions_opened = sessions_opened_->value();
+  out.sessions_closed = sessions_closed_->value();
+  out.trajectories_sealed = trajectories_sealed_->value();
+  out.segments_discarded = segments_discarded_->value();
   return out;
 }
 

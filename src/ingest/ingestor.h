@@ -1,7 +1,6 @@
 #ifndef UTCQ_INGEST_INGESTOR_H_
 #define UTCQ_INGEST_INGESTOR_H_
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -13,6 +12,8 @@
 #include "matching/online_viterbi.h"
 #include "network/grid_index.h"
 #include "network/road_network.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "traj/types.h"
 
 namespace utcq::ingest {
@@ -39,11 +40,16 @@ struct IngestStats {
 /// trajectory to the sink — in the service, the live shard's Append.
 ///
 /// Concurrency: the session map is guarded by one mutex, each session by
-/// its own, and every counter is atomic, so producers for different
-/// vehicles ingest in parallel and only same-vehicle pushes serialize.
-/// A session being sealed-and-removed concurrently with a push for the
-/// same vehicle is detected via a closed flag and the push retries into a
-/// fresh session — points are never silently dropped into a dead session.
+/// its own, and every counter is a lock-free obs instrument, so producers
+/// for different vehicles ingest in parallel and only same-vehicle pushes
+/// serialize. A session being sealed-and-removed concurrently with a push
+/// for the same vehicle is detected via a closed flag and the push retries
+/// into a fresh session — points are never silently dropped into a dead
+/// session.
+///
+/// Instruments live under `ingest.*` in `registry` (DESIGN.md §15;
+/// nullptr = private registry). Seal latency — seal decision to sink
+/// return — is timed against `clock` (nullptr = the real steady clock).
 class StreamIngestor {
  public:
   using SealSink =
@@ -54,7 +60,8 @@ class StreamIngestor {
   StreamIngestor(const network::RoadNetwork& net,
                  const network::GridIndex& grid,
                  matching::OnlineMatchParams match, SessionLimits limits,
-                 SealSink sink);
+                 SealSink sink, obs::MetricRegistry* registry = nullptr,
+                 const obs::Clock* clock = nullptr);
 
   /// Feeds one point of `vehicle`'s stream, opening a session on first
   /// contact. May emit up to two sealed trajectories: one when a stream
@@ -100,20 +107,25 @@ class StreamIngestor {
   SessionLimits limits_;
   SealSink sink_;
 
+  /// Declared before the instrument pointers so they outlive every use.
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;
+  const obs::Clock* clock_ = nullptr;
+  obs::Counter* points_ = nullptr;
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* dropped_not_finite_ = nullptr;
+  obs::Counter* dropped_out_of_order_ = nullptr;
+  obs::Counter* dropped_no_candidates_ = nullptr;
+  obs::Counter* segment_breaks_ = nullptr;
+  obs::Counter* sessions_opened_ = nullptr;
+  obs::Counter* sessions_closed_ = nullptr;
+  obs::Counter* trajectories_sealed_ = nullptr;
+  obs::Counter* segments_discarded_ = nullptr;
+  obs::Gauge* sessions_open_ = nullptr;
+  obs::Histogram* seal_latency_ = nullptr;
+
   mutable common::Mutex map_mu_;
   std::unordered_map<uint64_t, std::shared_ptr<Entry>> sessions_
       UTCQ_GUARDED_BY(map_mu_);
-
-  std::atomic<uint64_t> points_{0};
-  std::atomic<uint64_t> accepted_{0};
-  std::atomic<uint64_t> dropped_not_finite_{0};
-  std::atomic<uint64_t> dropped_out_of_order_{0};
-  std::atomic<uint64_t> dropped_no_candidates_{0};
-  std::atomic<uint64_t> segment_breaks_{0};
-  std::atomic<uint64_t> sessions_opened_{0};
-  std::atomic<uint64_t> sessions_closed_{0};
-  std::atomic<uint64_t> trajectories_sealed_{0};
-  std::atomic<uint64_t> segments_discarded_{0};
 };
 
 }  // namespace utcq::ingest

@@ -9,11 +9,12 @@ StreamingService::StreamingService(const network::RoadNetwork& net,
                                    std::string manifest_path,
                                    StreamingOptions opts)
     : live_(net, grid, opts.params, opts.index_params),
-      flusher_(net, std::move(manifest_path)),
+      flusher_(net, std::move(manifest_path), opts.registry, opts.clock),
       ingestor_(net, grid, opts.match, opts.limits,
                 [this](traj::UncertainTrajectory&& tu, SealReason) {
                   live_.Append(std::move(tu));
-                }) {}
+                },
+                opts.registry, opts.clock) {}
 
 bool StreamingService::Open(std::string* error) {
   common::MutexLock flush_lock(flush_mu_);

@@ -14,6 +14,8 @@
 #include "ingest/session.h"
 #include "network/grid_index.h"
 #include "network/road_network.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "serve/tier.h"
 
 namespace utcq::ingest {
@@ -28,6 +30,13 @@ struct StreamingOptions {
   /// generation (index cells are forced to the grid's resolution).
   core::UtcqParams params;
   core::StiuParams index_params;
+  /// Where the ingest tier's `ingest.*` instruments live (DESIGN.md §15).
+  /// nullptr = each component owns a private registry; a server passes one
+  /// registry (shared with its QueryEngine) for unified export.
+  obs::MetricRegistry* registry = nullptr;
+  /// Time source for seal-latency / flush-duration histograms; nullptr =
+  /// the real steady clock.
+  const obs::Clock* clock = nullptr;
 };
 
 /// The streaming ingestion service (DESIGN.md §10) — the subsystem that

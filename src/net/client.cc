@@ -257,6 +257,20 @@ Client::Status Client::Stats(StatsResponse* out) {
   return status;
 }
 
+Client::Status Client::Metrics(obs::RegistrySnapshot* out) {
+  Frame request;
+  request.op = Op::kMetrics;
+  request.request_id = next_request_id_++;
+  Frame reply;
+  Status status = Exchange(request, Op::kMetricsResult, &reply);
+  if (!status.ok) return status;
+  common::ByteReader r(reply.payload);
+  if (!DecodeMetricsResponse(&r, out)) {
+    return TransportError("bad metrics payload");
+  }
+  return status;
+}
+
 uint64_t Client::SendQuery(const serve::QueryRequest& req) {
   Frame request;
   request.op = Op::kQuery;

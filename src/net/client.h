@@ -67,6 +67,9 @@ class Client {
   Status IngestEnd(uint64_t vehicle, IngestAck* out);
   Status IngestAdvance(traj::Timestamp now, IngestAck* out);
   Status Stats(StatsResponse* out);
+  /// Fetches the server's full instrument snapshot (kMetrics). A server
+  /// without a registry answers kNotSupported (surfaced as server_error).
+  Status Metrics(obs::RegistrySnapshot* out);
 
   // --- pipelined API ---
 

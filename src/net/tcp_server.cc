@@ -10,6 +10,8 @@
 
 #include <cerrno>
 #include <cstring>
+#include <optional>
+#include <string>
 #include <utility>
 
 namespace utcq::net {
@@ -51,15 +53,39 @@ bool SendAll(int fd, const uint8_t* data, size_t size) {
 // ---------------------------------------------------------------- Session
 
 Session::Session(serve::QueryEngine* engine, ingest::StreamIngestor* ingestor,
-                 size_t max_pipeline_batch)
+                 size_t max_pipeline_batch, obs::MetricRegistry* registry,
+                 const obs::Clock* clock)
     : engine_(engine),
       ingestor_(ingestor),
-      max_pipeline_batch_(max_pipeline_batch == 0 ? 1 : max_pipeline_batch) {}
+      max_pipeline_batch_(max_pipeline_batch == 0 ? 1 : max_pipeline_batch),
+      registry_(registry) {
+  if (registry_ == nullptr) return;  // socket-free unit-test construction
+  clock_ = clock != nullptr ? clock : &obs::Clock::Real();
+  for (size_t i = 0; i < kNumRequestOps; ++i) {
+    const Op op = static_cast<Op>(i + 1);
+    request_counters_[i] =
+        &registry_->GetCounter(std::string("net.requests.") + OpName(op));
+  }
+  unknown_requests_ = &registry_->GetCounter("net.requests.unknown");
+  errors_counter_ = &registry_->GetCounter("net.errors");
+  handle_ns_ = &registry_->GetHistogram("net.handle_ns");
+}
+
+void Session::CountRequest(Op op) {
+  if (registry_ == nullptr) return;
+  const size_t raw = static_cast<size_t>(op);
+  if (raw >= 1 && raw <= kNumRequestOps) {
+    request_counters_[raw - 1]->Increment();
+  } else {
+    unknown_requests_->Increment();
+  }
+}
 
 void Session::AppendError(uint64_t request_id, ErrorCode code,
                           std::string message, std::vector<uint8_t>* out) {
   AppendFrame(MakeErrorFrame(request_id, code, std::move(message)), out);
   ++errors_sent_;
+  if (errors_counter_ != nullptr) errors_counter_->Increment();
 }
 
 void Session::HandleFramingError(ErrorCode code, std::vector<uint8_t>* out) {
@@ -275,6 +301,27 @@ bool Session::HandleOne(const Frame& frame, std::vector<uint8_t>* out) {
       return true;
     }
 
+    case Op::kMetrics: {
+      if (!frame.payload.empty()) {
+        AppendError(frame.request_id, ErrorCode::kMalformed,
+                    "metrics takes no payload", out);
+        return true;
+      }
+      if (registry_ == nullptr) {
+        AppendError(frame.request_id, ErrorCode::kNotSupported,
+                    "no metric registry on this endpoint", out);
+        return true;
+      }
+      common::ByteWriter w;
+      EncodeMetricsResponse(registry_->Snapshot(), &w);
+      Frame reply;
+      reply.op = Op::kMetricsResult;
+      reply.request_id = frame.request_id;
+      reply.payload = w.Release();
+      AppendFrame(reply, out);
+      return true;
+    }
+
     case Op::kGoodbye: {
       Frame reply;
       reply.op = Op::kGoodbyeOk;
@@ -292,10 +339,16 @@ bool Session::HandleOne(const Frame& frame, std::vector<uint8_t>* out) {
 
 bool Session::HandleFrames(const std::vector<Frame>& frames,
                            std::vector<uint8_t>* out) {
+  // One timer for the whole hand-off: a folded pipelined run is one
+  // engine execution, so it is deliberately one `net.handle_ns` sample
+  // too (DESIGN.md §15).
+  std::optional<obs::ScopedTimer> timer;
+  if (handle_ns_ != nullptr) timer.emplace(*handle_ns_, *clock_);
   size_t i = 0;
   while (i < frames.size()) {
     const Frame& frame = frames[i];
     ++frames_handled_;
+    CountRequest(frame.op);
     if (!helloed_) {
       if (!HandleHello(frame, out)) return false;
       ++i;
@@ -315,6 +368,7 @@ bool Session::HandleFrames(const std::vector<Frame>& frames,
         ++end;
       }
       frames_handled_ += end - i - 1;
+      for (size_t j = i + 1; j < end; ++j) CountRequest(frames[j].op);
       HandleQueryRun(frames, i, end, out);
       i = end;
       continue;
@@ -327,15 +381,22 @@ bool Session::HandleFrames(const std::vector<Frame>& frames,
 
 // --------------------------------------------------------------- Receiver
 
-Receiver::Receiver(int fd, Session session, size_t max_write_buffer_bytes)
+Receiver::Receiver(int fd, Session session, size_t max_write_buffer_bytes,
+                   obs::MetricRegistry* registry)
     : fd_(fd),
       session_(std::move(session)),
       max_write_buffer_bytes_(
-          max_write_buffer_bytes == 0 ? 1 : max_write_buffer_bytes) {}
+          max_write_buffer_bytes == 0 ? 1 : max_write_buffer_bytes) {
+  if (registry != nullptr) {
+    bytes_in_ = &registry->GetCounter("net.bytes.in");
+    bytes_out_ = &registry->GetCounter("net.bytes.out");
+  }
+}
 
 bool Receiver::FlushPending() {
   if (pending_.empty()) return true;
   const bool ok = SendAll(fd_, pending_.data(), pending_.size());
+  if (ok && bytes_out_ != nullptr) bytes_out_->Add(pending_.size());
   pending_.clear();
   return ok;
 }
@@ -377,6 +438,7 @@ uint64_t Receiver::Run() {
       break;
     }
     if (n == 0) break;  // EOF or shutdown(SHUT_RD): drain then close
+    if (bytes_in_ != nullptr) bytes_in_->Add(static_cast<uint64_t>(n));
     assembler_.Push(buf.data(), static_cast<size_t>(n));
     if (!DrainAssembler()) break;
     if (!FlushPending()) break;
@@ -389,7 +451,17 @@ uint64_t Receiver::Run() {
 
 TcpServer::TcpServer(serve::QueryEngine* engine,
                      ingest::StreamIngestor* ingestor, ServerOptions opts)
-    : engine_(engine), ingestor_(ingestor), opts_(opts) {}
+    : engine_(engine), ingestor_(ingestor), opts_(opts) {
+  registry_ = opts_.registry;
+  if (registry_ == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  clock_ = opts_.clock != nullptr ? opts_.clock : &obs::Clock::Real();
+  conns_accepted_ = &registry_->GetCounter("net.connections.accepted");
+  conns_rejected_ = &registry_->GetCounter("net.connections.rejected");
+  conns_open_ = &registry_->GetGauge("net.connections.open");
+}
 
 TcpServer::~TcpServer() { Shutdown(); }
 
@@ -431,6 +503,7 @@ void TcpServer::ReapFinished() {
     if (conn->done.load(std::memory_order_acquire)) {
       if (conn->thread.joinable()) conn->thread.join();
       ::close(conn->fd);
+      conns_open_->Sub(1);
       connections_.erase(connections_.begin() + static_cast<ptrdiff_t>(i));
     } else {
       ++i;
@@ -467,6 +540,7 @@ void TcpServer::AcceptLoop() {
       SendAll(fd, bytes.data(), bytes.size());
       ::close(fd);
       ++rejected_;
+      conns_rejected_->Increment();
       continue;
     }
     auto conn = std::make_unique<Connection>();
@@ -474,9 +548,11 @@ void TcpServer::AcceptLoop() {
     Connection* raw = conn.get();
     // Dedicated per-connection thread; see the note in tcp_server.h.
     conn->thread = std::thread([this, raw] {  // repo-lint: allow(thread-outside-pool)
-      Receiver receiver(raw->fd,
-                        Session(engine_, ingestor_, opts_.max_pipeline_batch),
-                        opts_.max_write_buffer_bytes);
+      Receiver receiver(
+          raw->fd,
+          Session(engine_, ingestor_, opts_.max_pipeline_batch, registry_,
+                  clock_),
+          opts_.max_write_buffer_bytes, registry_);
       const uint64_t frames = receiver.Run();
       // The fd stays open: the server owns it and closes it after join,
       // so Shutdown()'s shutdown(SHUT_RD) can never hit a recycled fd.
@@ -486,6 +562,8 @@ void TcpServer::AcceptLoop() {
       raw->done.store(true, std::memory_order_release);
     });
     ++accepted_;
+    conns_accepted_->Increment();
+    conns_open_->Add(1);
     connections_.push_back(std::move(conn));
   }
 }
@@ -512,6 +590,7 @@ void TcpServer::Shutdown() {
   for (const auto& conn : conns) {
     if (conn->thread.joinable()) conn->thread.join();
     ::close(conn->fd);
+    conns_open_->Sub(1);
   }
 
   ::close(listen_fd_);

@@ -16,6 +16,8 @@
 #include "common/thread_annotations.h"
 #include "ingest/ingestor.h"
 #include "net/wire.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "serve/query_engine.h"
 
 /// The network serving tier (DESIGN.md §14): a TCP front over the batched
@@ -59,6 +61,14 @@ struct ServerOptions {
   /// reading for this long is treated as dead, which keeps a graceful
   /// shutdown from hanging in a blocked send. 0 disables the timeout.
   int send_timeout_ms = 5000;
+  /// Where the server's `net.*` instruments live and what kMetrics
+  /// exports (DESIGN.md §15). nullptr = the server owns a private
+  /// registry; pass the registry shared with the engine/ingestor for a
+  /// unified export of every layer.
+  obs::MetricRegistry* registry = nullptr;
+  /// Time source for the frame-handling histogram; nullptr = the real
+  /// steady clock.
+  const obs::Clock* clock = nullptr;
 };
 
 /// The protocol state machine for one connection. Socket-free by
@@ -78,9 +88,13 @@ struct ServerOptions {
 class Session {
  public:
   /// Either engine may be null: a query-only or ingest-only endpoint
-  /// answers the other family's requests with kNotSupported.
+  /// answers the other family's requests with kNotSupported. `registry`
+  /// is both what kMetrics snapshots and where the session's own `net.*`
+  /// instruments live; with nullptr the session records nothing and
+  /// answers kMetrics with kNotSupported (a TcpServer always passes one).
   Session(serve::QueryEngine* engine, ingest::StreamIngestor* ingestor,
-          size_t max_pipeline_batch);
+          size_t max_pipeline_batch, obs::MetricRegistry* registry = nullptr,
+          const obs::Clock* clock = nullptr);
 
   /// Processes `frames` in order, appending response bytes to `out`.
   /// Returns false when the connection must close after `out` is flushed
@@ -104,10 +118,28 @@ class Session {
   bool HandleOne(const Frame& frame, std::vector<uint8_t>* out);
   void AppendError(uint64_t request_id, ErrorCode code, std::string message,
                    std::vector<uint8_t>* out);
+  /// Bumps the `net.requests.<opname>` counter for a consumed request
+  /// frame (no-op without a registry). Response opcodes arriving as
+  /// requests land on `net.requests.unknown`.
+  void CountRequest(Op op);
 
   serve::QueryEngine* engine_;
   ingest::StreamIngestor* ingestor_;
   const size_t max_pipeline_batch_;
+  /// What kMetrics exports; nullptr disables the opcode and every
+  /// instrument below. Raw pointers: the registry outlives the session
+  /// (TcpServer owns it or the caller does), and Session stays copyable
+  /// into its Receiver.
+  obs::MetricRegistry* registry_ = nullptr;
+  const obs::Clock* clock_ = nullptr;
+  /// `net.requests.<opname>`, indexed by request opcode - 1; see
+  /// CountRequest.
+  static constexpr size_t kNumRequestOps =
+      static_cast<size_t>(Op::kMetrics);
+  obs::Counter* request_counters_[kNumRequestOps] = {};
+  obs::Counter* unknown_requests_ = nullptr;
+  obs::Counter* errors_counter_ = nullptr;
+  obs::Histogram* handle_ns_ = nullptr;
   bool helloed_ = false;
   uint64_t frames_handled_ = 0;
   uint64_t errors_sent_ = 0;
@@ -120,7 +152,10 @@ class Session {
 /// responses flushed before returning (drain-then-close).
 class Receiver {
  public:
-  Receiver(int fd, Session session, size_t max_write_buffer_bytes);
+  /// `registry` (nullable) receives the connection's `net.bytes.{in,out}`
+  /// traffic counters.
+  Receiver(int fd, Session session, size_t max_write_buffer_bytes,
+           obs::MetricRegistry* registry = nullptr);
 
   /// Blocks until the connection is done. Returns the number of frames
   /// the session handled.
@@ -137,6 +172,8 @@ class Receiver {
   const size_t max_write_buffer_bytes_;
   FrameAssembler assembler_;
   std::vector<uint8_t> pending_;
+  obs::Counter* bytes_in_ = nullptr;
+  obs::Counter* bytes_out_ = nullptr;
 };
 
 /// Counters exposed for tests and the load generator.
@@ -172,6 +209,9 @@ class TcpServer {
   uint16_t port() const { return port_; }
   size_t active_connections() const;
   ServerCounters counters() const;
+  /// The registry this server records into and serves over kMetrics —
+  /// opts.registry, or the server's own when none was passed.
+  obs::MetricRegistry& registry() const { return *registry_; }
 
  private:
   struct Connection {
@@ -187,6 +227,15 @@ class TcpServer {
   serve::QueryEngine* engine_;
   ingest::StreamIngestor* ingestor_;
   const ServerOptions opts_;
+  /// Effective registry (opts_.registry or owned_registry_) and clock,
+  /// handed to every Session/Receiver. Declared before the instrument
+  /// pointers they back.
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;
+  obs::MetricRegistry* registry_ = nullptr;
+  const obs::Clock* clock_ = nullptr;
+  obs::Counter* conns_accepted_ = nullptr;
+  obs::Counter* conns_rejected_ = nullptr;
+  obs::Gauge* conns_open_ = nullptr;
 
   int listen_fd_ = -1;
   /// Self-pipe: Shutdown() writes one byte to wake the accept loop's

@@ -45,12 +45,14 @@ const char* OpName(Op op) {
     case Op::kIngestAdvanceTime: return "ingest-advance-time";
     case Op::kStats: return "stats";
     case Op::kGoodbye: return "goodbye";
+    case Op::kMetrics: return "metrics";
     case Op::kHelloOk: return "hello-ok";
     case Op::kResult: return "result";
     case Op::kBatchResult: return "batch-result";
     case Op::kIngestAck: return "ingest-ack";
     case Op::kStatsResult: return "stats-result";
     case Op::kGoodbyeOk: return "goodbye-ok";
+    case Op::kMetricsResult: return "metrics-result";
     case Op::kError: return "error";
   }
   return "unknown";
@@ -441,6 +443,140 @@ bool DecodeStatsResponse(common::ByteReader* r, StatsResponse* out) {
     out->accepted = r->GetVarint();
     out->trajectories_sealed = r->GetVarint();
     out->open_sessions = r->GetVarint();
+  }
+  return FinishPayload(*r);
+}
+
+namespace {
+
+/// Kind tags of the kMetricsResult instrument stream.
+constexpr uint8_t kMetricCounter = 0;
+constexpr uint8_t kMetricGauge = 1;
+constexpr uint8_t kMetricHistogram = 2;
+
+void PutMetricName(const std::string& name, common::ByteWriter* w) {
+  w->PutBlob(name.data(), name.size());
+}
+
+void PutHistogram(const obs::HistogramSnapshot& h, common::ByteWriter* w) {
+  w->PutVarint(h.sum);
+  w->PutVarint(h.buckets.size());
+  for (const auto& [index, count] : h.buckets) {
+    w->PutVarint(index);
+    w->PutVarint(count);
+  }
+}
+
+}  // namespace
+
+void EncodeMetricsResponse(const obs::RegistrySnapshot& snap,
+                           common::ByteWriter* w) {
+  w->PutU8(kMetricsPayloadVersion);
+  w->PutVarint(snap.counters.size() + snap.gauges.size() +
+               snap.histograms.size());
+  // Three-way merge of the per-kind vectors (each already name-sorted by
+  // MetricRegistry::Snapshot, and names are unique across kinds) into the
+  // single strictly-ascending stream the decoder demands.
+  size_t ci = 0;
+  size_t gi = 0;
+  size_t hi = 0;
+  while (ci < snap.counters.size() || gi < snap.gauges.size() ||
+         hi < snap.histograms.size()) {
+    const std::string* counter_name =
+        ci < snap.counters.size() ? &snap.counters[ci].first : nullptr;
+    const std::string* gauge_name =
+        gi < snap.gauges.size() ? &snap.gauges[gi].first : nullptr;
+    const std::string* histogram_name =
+        hi < snap.histograms.size() ? &snap.histograms[hi].first : nullptr;
+    const std::string* next = counter_name;
+    if (next == nullptr || (gauge_name != nullptr && *gauge_name < *next)) {
+      next = gauge_name;
+    }
+    if (next == nullptr ||
+        (histogram_name != nullptr && *histogram_name < *next)) {
+      next = histogram_name;
+    }
+    if (next == counter_name) {
+      w->PutU8(kMetricCounter);
+      PutMetricName(*counter_name, w);
+      w->PutVarint(snap.counters[ci].second);
+      ++ci;
+    } else if (next == gauge_name) {
+      w->PutU8(kMetricGauge);
+      PutMetricName(*gauge_name, w);
+      w->PutSignedVarint(snap.gauges[gi].second);
+      ++gi;
+    } else {
+      w->PutU8(kMetricHistogram);
+      PutMetricName(*histogram_name, w);
+      PutHistogram(snap.histograms[hi].second, w);
+      ++hi;
+    }
+  }
+}
+
+bool DecodeMetricsResponse(common::ByteReader* r,
+                           obs::RegistrySnapshot* out) {
+  *out = obs::RegistrySnapshot{};
+  const uint8_t version = r->GetU8();
+  if (!r->ok() || version != kMetricsPayloadVersion) return false;
+  size_t n = 0;
+  // Smallest instrument: kind + 1-byte name blob + 1-byte value = 4.
+  if (!BoundedCount(*r, r->GetVarint(), 4, &n)) return false;
+  std::string prev_name;
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t kind = r->GetU8();
+    const uint64_t name_len = r->GetVarint();
+    if (!r->ok() || kind > kMetricHistogram || name_len == 0 ||
+        name_len > kMaxMetricNameBytes || name_len > r->remaining()) {
+      return false;
+    }
+    const uint8_t* name_bytes =
+        r->BorrowBytes(static_cast<size_t>(name_len));
+    if (name_bytes == nullptr) return false;
+    std::string name(reinterpret_cast<const char*>(name_bytes),
+                     static_cast<size_t>(name_len));
+    // The ascending-name rule makes the encoding canonical (one byte
+    // stream per snapshot) and implies cross-kind uniqueness for free.
+    if (i > 0 && name <= prev_name) return false;
+    prev_name = name;
+    switch (kind) {
+      case kMetricCounter: {
+        const uint64_t value = r->GetVarint();
+        if (!r->ok()) return false;
+        out->counters.emplace_back(std::move(name), value);
+        break;
+      }
+      case kMetricGauge: {
+        const int64_t value = r->GetSignedVarint();
+        if (!r->ok()) return false;
+        out->gauges.emplace_back(std::move(name), value);
+        break;
+      }
+      default: {
+        obs::HistogramSnapshot h;
+        h.sum = r->GetVarint();
+        size_t num_buckets = 0;
+        // Smallest bucket entry: varint index + varint count = 2 bytes.
+        if (!BoundedCount(*r, r->GetVarint(), 2, &num_buckets)) return false;
+        h.buckets.reserve(num_buckets);
+        uint32_t prev_index = 0;
+        for (size_t b = 0; b < num_buckets; ++b) {
+          uint32_t index = 0;
+          if (!GetVarint32(r, &index)) return false;
+          const uint64_t count = r->GetVarint();
+          if (!r->ok() || index >= obs::Histogram::kNumBuckets ||
+              count == 0 || (b > 0 && index <= prev_index)) {
+            return false;
+          }
+          prev_index = index;
+          h.count += count;
+          h.buckets.emplace_back(index, count);
+        }
+        out->histograms.emplace_back(std::move(name), std::move(h));
+        break;
+      }
+    }
   }
   return FinishPayload(*r);
 }

@@ -9,6 +9,7 @@
 #include "common/serial.h"
 #include "ingest/ingestor.h"
 #include "matching/online_viterbi.h"
+#include "obs/metrics.h"
 #include "serve/query_engine.h"
 #include "traj/types.h"
 
@@ -53,6 +54,7 @@ enum class Op : uint8_t {
   kIngestAdvanceTime = 0x06,
   kStats = 0x07,
   kGoodbye = 0x08,
+  kMetrics = 0x09,
   // --- responses ---
   kHelloOk = 0x81,
   kResult = 0x82,
@@ -60,6 +62,7 @@ enum class Op : uint8_t {
   kIngestAck = 0x84,
   kStatsResult = 0x85,
   kGoodbyeOk = 0x86,
+  kMetricsResult = 0x87,
   kError = 0xFF,
 };
 
@@ -280,6 +283,29 @@ bool DecodeIngestAck(common::ByteReader* r, IngestAck* out);
 
 void EncodeStatsResponse(const StatsResponse& stats, common::ByteWriter* w);
 bool DecodeStatsResponse(common::ByteReader* r, StatsResponse* out);
+
+/// Payload-format version of kMetricsResult, negotiated independently of
+/// the frame protocol version so the instrument encoding can evolve
+/// without a protocol bump.
+inline constexpr uint8_t kMetricsPayloadVersion = 1;
+
+/// Longest instrument name accepted on the wire; a registry name past
+/// this is a registration bug, not a runtime condition.
+inline constexpr size_t kMaxMetricNameBytes = 256;
+
+/// kMetricsResult payload: u8 payload version, varint instrument count,
+/// then per instrument — in strictly ascending name order, the three
+/// kinds merged into one stream — a u8 kind tag (0 counter, 1 gauge,
+/// 2 histogram), a bounded name blob, and the value: varint (counter),
+/// signed varint (gauge), or `varint sum, varint nonzero-bucket count,
+/// (varint index, varint count) pairs with strictly ascending indices
+/// below obs::Histogram::kNumBuckets and counts > 0` (histogram — the
+/// fixed compile-time bucket layout is what makes bare indices
+/// sufficient; the decoded total count is derived from the pairs).
+/// The kMetrics request itself carries no payload.
+void EncodeMetricsResponse(const obs::RegistrySnapshot& snap,
+                           common::ByteWriter* w);
+bool DecodeMetricsResponse(common::ByteReader* r, obs::RegistrySnapshot* out);
 
 void EncodeErrorBody(const ErrorBody& body, common::ByteWriter* w);
 bool DecodeErrorBody(common::ByteReader* r, ErrorBody* out);

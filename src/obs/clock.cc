@@ -1,0 +1,26 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace utcq::obs {
+
+namespace {
+
+class RealClock final : public Clock {
+ public:
+  uint64_t NowNanos() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+}  // namespace
+
+const Clock& Clock::Real() {
+  static const RealClock clock;
+  return clock;
+}
+
+}  // namespace utcq::obs

@@ -1,0 +1,55 @@
+#ifndef UTCQ_OBS_CLOCK_H_
+#define UTCQ_OBS_CLOCK_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace utcq::obs {
+
+/// Injectable monotonic time source for the timing boundaries.
+///
+/// The clock-injection rule (DESIGN.md §15): src/core, src/strategies,
+/// src/ted and src/traj never read a clock — repo_lint R6 enforces it —
+/// so all timing happens where requests enter the system (serve, ingest,
+/// net, bench). Those layers take a `const Clock*` with nullptr meaning
+/// Real(), which is what lets tests drive latency histograms and the
+/// slow-query log deterministically with a fake clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic nanoseconds since an arbitrary epoch. Latency instruments
+  /// record nanoseconds so sub-microsecond operations still land in
+  /// non-zero buckets; readers convert to µs for reporting.
+  virtual uint64_t NowNanos() const = 0;
+
+  /// The process steady clock.
+  static const Clock& Real();
+};
+
+/// Measures a scope and records the elapsed nanoseconds into a
+/// histogram — the trace-span primitive. Construction and destruction
+/// are two clock reads and one Histogram::Record: no locks, no
+/// allocation.
+class ScopedTimer {
+ public:
+  ScopedTimer(Histogram& histogram, const Clock& clock)
+      : histogram_(histogram), clock_(clock), start_(clock.NowNanos()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { histogram_.Record(ElapsedNanos()); }
+
+  uint64_t ElapsedNanos() const {
+    const uint64_t now = clock_.NowNanos();
+    return now > start_ ? now - start_ : 0;
+  }
+
+ private:
+  Histogram& histogram_;
+  const Clock& clock_;
+  const uint64_t start_;
+};
+
+}  // namespace utcq::obs
+
+#endif  // UTCQ_OBS_CLOCK_H_

@@ -1,0 +1,74 @@
+#include "obs/exposition.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace utcq::obs {
+
+namespace {
+
+std::string SanitizedName(const std::string& name) {
+  std::string out = "utcq_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void AppendI64(std::string& out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = SanitizedName(name);
+    out += "# TYPE " + metric + " counter\n" + metric + " ";
+    AppendU64(out, value);
+    out += "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = SanitizedName(name);
+    out += "# TYPE " + metric + " gauge\n" + metric + " ";
+    AppendI64(out, value);
+    out += "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string metric = SanitizedName(name);
+    out += "# TYPE " + metric + " histogram\n";
+    uint64_t cumulative = 0;
+    for (const auto& [index, count] : hist.buckets) {
+      cumulative += count;
+      const uint64_t le = Histogram::BucketLowerBound(index) +
+                          Histogram::BucketWidth(index) - 1;
+      out += metric + "_bucket{le=\"";
+      AppendU64(out, le);
+      out += "\"} ";
+      AppendU64(out, cumulative);
+      out += "\n";
+    }
+    out += metric + "_bucket{le=\"+Inf\"} ";
+    AppendU64(out, hist.count);
+    out += "\n" + metric + "_sum ";
+    AppendU64(out, hist.sum);
+    out += "\n" + metric + "_count ";
+    AppendU64(out, hist.count);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace utcq::obs

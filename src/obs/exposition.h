@@ -1,0 +1,22 @@
+#ifndef UTCQ_OBS_EXPOSITION_H_
+#define UTCQ_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace utcq::obs {
+
+/// Renders a registry snapshot in the Prometheus text exposition format
+/// (one `# TYPE` line per series; histograms as cumulative `_bucket{le=}`
+/// series plus `_sum`/`_count`). Instrument names are dotted lowercase
+/// internally; here dots become underscores and everything gains a
+/// `utcq_` prefix, e.g. `serve.cache.hits` → `utcq_serve_cache_hits`.
+///
+/// Bucket `le` labels are the largest value the bucket holds (recorded
+/// values are integers, so `le` is exact, not a lossy boundary).
+std::string ToPrometheusText(const RegistrySnapshot& snapshot);
+
+}  // namespace utcq::obs
+
+#endif  // UTCQ_OBS_EXPOSITION_H_

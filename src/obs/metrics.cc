@@ -1,0 +1,148 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace utcq::obs {
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile sample among `count` samples, matching the
+  // nearest-rank-with-interpolation convention the old QueryEngine latency
+  // ring used: rank 0 is the minimum, rank count-1 the maximum.
+  const double rank = q * static_cast<double>(count - 1);
+  uint64_t below = 0;
+  for (const auto& [index, n] : buckets) {
+    const double cumulative = static_cast<double>(below + n);
+    if (cumulative > rank) {
+      const double lower =
+          static_cast<double>(Histogram::BucketLowerBound(index));
+      const uint64_t width = Histogram::BucketWidth(index);
+      if (width <= 1) return lower;  // exact bucket: the value itself
+      // Spread the bucket's samples uniformly over [lower, lower+width-1]
+      // and interpolate to the fractional rank within the bucket.
+      const double within =
+          (rank - static_cast<double>(below)) / static_cast<double>(n);
+      return lower + static_cast<double>(width - 1) * within;
+    }
+    below += n;
+  }
+  // Unreachable when count == sum of bucket counts; keep a sane fallback.
+  return buckets.empty()
+             ? 0.0
+             : static_cast<double>(
+                   Histogram::BucketLowerBound(buckets.back().first));
+}
+
+void HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  std::vector<std::pair<uint32_t, uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < buckets.size() || j < other.buckets.size()) {
+    if (j == other.buckets.size() ||
+        (i < buckets.size() && buckets[i].first < other.buckets[j].first)) {
+      merged.push_back(buckets[i++]);
+    } else if (i == buckets.size() ||
+               other.buckets[j].first < buckets[i].first) {
+      merged.push_back(other.buckets[j++]);
+    } else {
+      merged.emplace_back(buckets[i].first,
+                          buckets[i].second + other.buckets[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  buckets = std::move(merged);
+  count += other.count;
+  sum += other.sum;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  // Read sum first: a Record() racing with the snapshot bumps its bucket
+  // before its sum, so reading in the opposite order keeps the captured
+  // sum from including samples whose buckets we then miss.
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) {
+      snap.buckets.emplace_back(i, n);
+      snap.count += n;
+    }
+  }
+  if (snap.count == 0) snap.sum = 0;
+  return snap;
+}
+
+MetricRegistry::Entry& MetricRegistry::GetEntry(std::string_view name,
+                                                Kind kind) {
+  common::MutexLock lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  } else if (it->second.kind != kind) {
+    std::fprintf(stderr,
+                 "MetricRegistry: instrument '%.*s' registered twice with "
+                 "different kinds\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+  return it->second;
+}
+
+Counter& MetricRegistry::GetCounter(std::string_view name) {
+  return *GetEntry(name, Kind::kCounter).counter;
+}
+
+Gauge& MetricRegistry::GetGauge(std::string_view name) {
+  return *GetEntry(name, Kind::kGauge).gauge;
+}
+
+Histogram& MetricRegistry::GetHistogram(std::string_view name) {
+  return *GetEntry(name, Kind::kHistogram).histogram;
+}
+
+RegistrySnapshot MetricRegistry::Snapshot() const {
+  RegistrySnapshot snap;
+  common::MutexLock lock(mu_);
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.counters.emplace_back(name, entry.counter->value());
+        break;
+      case Kind::kGauge:
+        snap.gauges.emplace_back(name, entry.gauge->value());
+        break;
+      case Kind::kHistogram:
+        snap.histograms.emplace_back(name, entry.histogram->Snapshot());
+        break;
+    }
+  }
+  return snap;
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  // Function-local static: any component that registers at construction
+  // forces the registry to be constructed first and therefore destroyed
+  // after it (the shared ThreadPool relies on this, thread_pool.cc).
+  static MetricRegistry registry;
+  return registry;
+}
+
+}  // namespace utcq::obs

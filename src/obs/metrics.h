@@ -1,0 +1,212 @@
+#ifndef UTCQ_OBS_METRICS_H_
+#define UTCQ_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace utcq::obs {
+
+/// Unified metrics layer (DESIGN.md §15). Three instrument kinds —
+/// monotonic Counter, signed Gauge, log-bucketed Histogram — owned by a
+/// MetricRegistry and read out as immutable snapshots. Every instrument's
+/// write path is a handful of relaxed atomic adds: no locks, no
+/// allocation, so recording is legal inside the decode/serve hot paths
+/// that repo_lint R4/R5 keep allocation-free.
+///
+/// Ownership: instruments live in their registry and are handed out by
+/// reference; components resolve their instruments once at construction
+/// and never touch the registry (which does lock) on the hot path.
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (resident bytes, open connections, queue
+/// depth). Mutated by deltas so concurrent writers compose; Set is for
+/// single-writer gauges only.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Sub(int64_t delta) { Add(-delta); }
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Read-side view of a Histogram: total count, sum of recorded values and
+/// the sparse list of non-empty buckets, from which percentiles are
+/// extracted. `count` is derived from the bucket counts, so it is always
+/// exactly their sum — a snapshot is internally consistent even when
+/// taken under concurrent writers.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  /// (bucket index, count) with strictly ascending indices and counts > 0.
+  std::vector<std::pair<uint32_t, uint64_t>> buckets;
+
+  /// Value at quantile q in [0, 1]. Exact for values < 16 (width-1
+  /// buckets); within at most one sub-bucket width (~12.5%) above, with
+  /// linear interpolation inside the bucket. Returns 0.0 for an empty
+  /// histogram.
+  double Percentile(double q) const;
+  double p50() const { return Percentile(0.50); }
+  double p90() const { return Percentile(0.90); }
+  double p99() const { return Percentile(0.99); }
+  double p999() const { return Percentile(0.999); }
+
+  /// Adds `other`'s samples into this snapshot (used to aggregate the
+  /// per-kind latency histograms into one distribution).
+  void MergeFrom(const HistogramSnapshot& other);
+};
+
+/// Fixed-layout log-linear histogram over uint64 values (HdrHistogram's
+/// bucketing scheme). Each power-of-two octave is split into
+/// 2^kSubBucketBits sub-buckets, so any value maps to a bucket whose
+/// width is at most value/8 — bounded ~12.5% relative error at every
+/// scale — and the layout is a compile-time constant shared by every
+/// histogram, which is what lets the wire encoding ship bare bucket
+/// indices (DESIGN.md §14).
+///
+/// Record() is two relaxed fetch_adds: lock-free, allocation-free,
+/// wait-free on x86. Memory: kNumBuckets * 8 bytes (~4 KiB) per
+/// histogram, paid once at registration.
+class Histogram {
+ public:
+  static constexpr uint32_t kSubBucketBits = 3;  // 8 sub-buckets per octave
+  static constexpr uint32_t kSubBuckets = 1u << kSubBucketBits;
+  /// Values < 2*kSubBuckets get exact width-1 buckets; each octave above
+  /// contributes kSubBuckets buckets, up to the 2^63 octave.
+  static constexpr uint32_t kNumBuckets =
+      2 * kSubBuckets + (63 - kSubBucketBits) * kSubBuckets;  // 496
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Maps a value to its bucket. Total order preserving: monotone in v,
+  /// exact (width 1) for v < 16.
+  static constexpr uint32_t BucketIndex(uint64_t v) {
+    if (v < 2 * kSubBuckets) return static_cast<uint32_t>(v);
+    const uint32_t log = 63 - static_cast<uint32_t>(std::countl_zero(v));
+    const uint32_t sub = static_cast<uint32_t>(
+        (v >> (log - kSubBucketBits)) - kSubBuckets);
+    return (log - kSubBucketBits + 1) * kSubBuckets + sub;
+  }
+
+  /// Smallest value landing in bucket `index` (inverse of BucketIndex).
+  static constexpr uint64_t BucketLowerBound(uint32_t index) {
+    if (index < 2 * kSubBuckets) return index;
+    const uint32_t log = index / kSubBuckets + kSubBucketBits - 1;
+    const uint64_t sub = index % kSubBuckets;
+    return (uint64_t{1} << log) + (sub << (log - kSubBucketBits));
+  }
+
+  /// Width of bucket `index` (the bucket covers [lower, lower + width)).
+  static constexpr uint64_t BucketWidth(uint32_t index) {
+    if (index < 2 * kSubBuckets) return 1;
+    return uint64_t{1} << (index / kSubBuckets - 1);
+  }
+
+  /// Hot-path write: two relaxed atomic adds, nothing else.
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Consistent-by-construction read: count is the sum of the bucket
+  /// counts captured, never a separately raced total. `sum` may lag the
+  /// captured buckets by in-flight Records (it is forced to 0 when no
+  /// bucket has been captured, so empty snapshots are exactly empty).
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// One instrument sample set, sorted by name within each kind. Produced
+/// by MetricRegistry::Snapshot, shipped over the wire as kMetricsResult
+/// (src/net/wire.h) and rendered by obs::ToPrometheusText.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Name-keyed owner of instruments. Get* registers on first use and
+/// returns a reference that stays valid for the registry's lifetime;
+/// calling Get* again with the same name returns the same instrument, so
+/// independently-constructed components can share one series. Registering
+/// the same name as two different kinds is a programming error and
+/// aborts (the wire encoding requires one kind per name).
+///
+/// Components take a `MetricRegistry*` and treat nullptr as "own a
+/// private registry": per-instance stats stay exact in tests while a
+/// server wires every layer into one registry (usually Global()) for
+/// export.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Captures every instrument, names sorted ascending within each kind
+  /// (and unique across kinds, by the one-kind-per-name rule).
+  RegistrySnapshot Snapshot() const;
+
+  /// The process-wide registry. Process-scoped components (the shared
+  /// ThreadPool) always register here; request-scoped components only
+  /// when told to.
+  static MetricRegistry& Global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& GetEntry(std::string_view name, Kind kind);
+
+  mutable common::Mutex mu_;
+  /// std::map: stable node addresses (references survive later inserts)
+  /// and already sorted for Snapshot.
+  std::map<std::string, Entry, std::less<>> entries_ UTCQ_GUARDED_BY(mu_);
+};
+
+}  // namespace utcq::obs
+
+#endif  // UTCQ_OBS_METRICS_H_

@@ -7,8 +7,19 @@
 
 namespace utcq::serve {
 
-DecodedTrajCache::DecodedTrajCache(size_t budget_bytes, uint32_t num_shards)
+DecodedTrajCache::DecodedTrajCache(size_t budget_bytes, uint32_t num_shards,
+                                   obs::MetricRegistry* registry)
     : shards_(std::max<uint32_t>(1, num_shards)) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricRegistry>();
+    registry = owned_registry_.get();
+  }
+  hits_ = &registry->GetCounter("serve.cache.hits");
+  misses_ = &registry->GetCounter("serve.cache.misses");
+  evictions_ = &registry->GetCounter("serve.cache.evictions");
+  decoded_bytes_ = &registry->GetCounter("serve.cache.decoded_bytes");
+  resident_bytes_ = &registry->GetGauge("serve.cache.resident_bytes");
+  resident_entries_ = &registry->GetGauge("serve.cache.resident_entries");
   budget_per_shard_ = budget_bytes / shards_.size();
 }
 
@@ -23,24 +34,27 @@ void DecodedTrajCache::EvictToBudget(Shard& shard) {
          !shard.lru.empty()) {
     const Entry& victim = shard.lru.back();
     shard.tracker.Release(victim.bytes);
+    resident_bytes_->Sub(static_cast<int64_t>(victim.bytes));
+    resident_entries_->Sub(1);
     shard.index.erase(victim.key);
     shard.lru.pop_back();
-    ++shard.evictions;
+    evictions_->Increment();
   }
 }
 
 std::shared_ptr<const traj::DecodedTraj> DecodedTrajCache::GetOrDecode(
-    uint64_t key, const DecodeFn& decode) {
+    uint64_t key, const DecodeFn& decode, PinOutcome* outcome) {
   Shard& shard = ShardFor(key);
   {
     common::MutexLock lock(shard.mu);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
-      ++shard.hits;
+      hits_->Increment();
+      if (outcome != nullptr) outcome->hit = true;
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       return it->second->value;
     }
-    ++shard.misses;
+    misses_->Increment();
   }
 
   // Decode unlocked: a multi-millisecond bitstream walk must not serialize
@@ -48,9 +62,13 @@ std::shared_ptr<const traj::DecodedTraj> DecodedTrajCache::GetOrDecode(
   auto value =
       std::make_shared<const traj::DecodedTraj>(decode());
   const size_t bytes = value->ApproxBytes();
+  decoded_bytes_->Add(bytes);
+  if (outcome != nullptr) {
+    outcome->hit = false;
+    outcome->decoded_bytes = bytes;
+  }
 
   common::MutexLock lock(shard.mu);
-  shard.decoded_bytes += bytes;
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // A concurrent miss inserted first; keep the resident copy so pins
@@ -61,6 +79,8 @@ std::shared_ptr<const traj::DecodedTraj> DecodedTrajCache::GetOrDecode(
   shard.lru.push_front(Entry{key, value, bytes});
   shard.index.emplace(key, shard.lru.begin());
   shard.tracker.Add(bytes);
+  resident_bytes_->Add(static_cast<int64_t>(bytes));
+  resident_entries_->Add(1);
   // The fresh entry sits at the front; under a tiny budget it may itself be
   // evicted (resident set stays empty) — the returned pin keeps it alive
   // for this caller regardless.
@@ -79,6 +99,8 @@ std::shared_ptr<const traj::DecodedTraj> DecodedTrajCache::Peek(
 void DecodedTrajCache::Clear() {
   for (Shard& shard : shards_) {
     common::MutexLock lock(shard.mu);
+    resident_bytes_->Sub(static_cast<int64_t>(shard.tracker.current_bytes()));
+    resident_entries_->Sub(static_cast<int64_t>(shard.lru.size()));
     shard.lru.clear();
     shard.index.clear();
     shard.tracker.Reset();
@@ -87,12 +109,12 @@ void DecodedTrajCache::Clear() {
 
 DecodedTrajCache::Stats DecodedTrajCache::stats() const {
   Stats total;
+  total.hits = hits_->value();
+  total.misses = misses_->value();
+  total.evictions = evictions_->value();
+  total.decoded_bytes = decoded_bytes_->value();
   for (const Shard& shard : shards_) {
     common::MutexLock lock(shard.mu);
-    total.hits += shard.hits;
-    total.misses += shard.misses;
-    total.evictions += shard.evictions;
-    total.decoded_bytes += shard.decoded_bytes;
     total.resident_bytes += shard.tracker.current_bytes();
     total.resident_entries += shard.lru.size();
   }

@@ -4,7 +4,6 @@
 #include <unordered_map>
 #include <utility>
 
-#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 
 namespace utcq::serve {
@@ -23,6 +22,14 @@ uint64_t CacheKey(uint32_t shard, uint32_t local) {
 /// and across live-shard rebuilds. (A sealed archive set never reaches
 /// 2^32 - 1 real shards, so the pseudo-shard cannot collide.)
 constexpr uint32_t kTierKeyShard = 0xFFFFFFFFu;
+
+obs::MetricRegistry* ResolveRegistry(
+    obs::MetricRegistry* requested,
+    std::unique_ptr<obs::MetricRegistry>& owned) {
+  if (requested != nullptr) return requested;
+  owned = std::make_unique<obs::MetricRegistry>();
+  return owned.get();
+}
 
 }  // namespace
 
@@ -57,27 +64,41 @@ QueryRequest QueryRequest::MakeRange(const network::Rect& region,
   return req;
 }
 
+#define UTCQ_ENGINE_INIT(opts)                                            \
+  opts_(opts), clock_(opts.clock != nullptr ? opts.clock                  \
+                                            : &obs::Clock::Real()),       \
+      cache_(opts.cache_budget_bytes, opts.cache_shards,                  \
+             ResolveRegistry(opts.registry, owned_registry_))
+
 QueryEngine::QueryEngine(const core::UtcqQueryProcessor& queries,
                          EngineOptions opts)
-    : single_(&queries),
-      opts_(opts),
-      cache_(opts.cache_budget_bytes, opts.cache_shards) {
-  latency_us_.reserve(kLatencyWindow);
+    : single_(&queries), UTCQ_ENGINE_INIT(opts) {
+  InitInstruments();
 }
 
 QueryEngine::QueryEngine(const shard::ShardedCorpus& corpus,
                          EngineOptions opts)
-    : sharded_(&corpus),
-      opts_(opts),
-      cache_(opts.cache_budget_bytes, opts.cache_shards) {
-  latency_us_.reserve(kLatencyWindow);
+    : sharded_(&corpus), UTCQ_ENGINE_INIT(opts) {
+  InitInstruments();
 }
 
 QueryEngine::QueryEngine(const TierSource& tier, EngineOptions opts)
-    : tier_(&tier),
-      opts_(opts),
-      cache_(opts.cache_budget_bytes, opts.cache_shards) {
-  latency_us_.reserve(kLatencyWindow);
+    : tier_(&tier), UTCQ_ENGINE_INIT(opts) {
+  InitInstruments();
+}
+
+#undef UTCQ_ENGINE_INIT
+
+void QueryEngine::InitInstruments() {
+  obs::MetricRegistry& reg =
+      opts_.registry != nullptr ? *opts_.registry : *owned_registry_;
+  queries_ = &reg.GetCounter("serve.engine.queries");
+  batches_ = &reg.GetCounter("serve.engine.batches");
+  latency_where_ = &reg.GetHistogram("serve.engine.latency_ns.where");
+  latency_when_ = &reg.GetHistogram("serve.engine.latency_ns.when");
+  latency_range_ = &reg.GetHistogram("serve.engine.latency_ns.range");
+  decode_bytes_ = &reg.GetHistogram("serve.engine.decode_bytes");
+  batch_size_ = &reg.GetHistogram("serve.engine.batch_size");
 }
 
 size_t QueryEngine::num_trajectories() const {
@@ -112,12 +133,68 @@ QueryEngine::Target QueryEngine::Resolve(uint32_t global,
 }
 
 std::shared_ptr<const traj::DecodedTraj> QueryEngine::Pin(
-    const Target& target) {
+    const Target& target, PinAgg* agg) {
   const core::UtcqQueryProcessor* qp = target.qp;
   const uint32_t local = target.local;
-  return cache_.GetOrDecode(target.cache_key, [qp, local] {
-    return qp->decoder().DecodeTraj(local);
-  });
+  DecodedTrajCache::PinOutcome outcome;
+  auto dt = cache_.GetOrDecode(
+      target.cache_key,
+      [qp, local] { return qp->decoder().DecodeTraj(local); }, &outcome);
+  if (agg != nullptr && !outcome.hit) {
+    common::MutexLock lock(agg->mu);
+    agg->decode_bytes += outcome.decoded_bytes;
+    agg->misses += 1;
+  }
+  return dt;
+}
+
+void QueryEngine::FinishQuery(const QueryRequest& req, uint64_t latency_ns,
+                              PinAgg& agg) {
+  LatencyFor(req.kind).Record(latency_ns);
+  uint64_t decode_bytes = 0;
+  uint64_t misses = 0;
+  {
+    common::MutexLock lock(agg.mu);
+    decode_bytes = agg.decode_bytes;
+    misses = agg.misses;
+  }
+  decode_bytes_->Record(decode_bytes);
+
+  const uint64_t threshold_ns = opts_.slow_query_threshold_us * 1000;
+  if (threshold_ns == 0 || latency_ns < threshold_ns ||
+      opts_.slow_query_log_size == 0) {
+    return;
+  }
+  SlowQuery entry;
+  entry.kind = req.kind;
+  entry.traj = req.kind == QueryKind::kRange ? UINT32_MAX : req.traj;
+  entry.latency_us = static_cast<double>(latency_ns) / 1000.0;
+  entry.decode_bytes = decode_bytes;
+  entry.cache_hit = misses == 0;
+  common::MutexLock lock(slow_mu_);
+  if (slow_.size() < opts_.slow_query_log_size) {
+    slow_.push_back(entry);
+    return;
+  }
+  // Full: keep the N worst by displacing the fastest retained entry.
+  auto fastest = std::min_element(
+      slow_.begin(), slow_.end(), [](const SlowQuery& a, const SlowQuery& b) {
+        return a.latency_us < b.latency_us;
+      });
+  if (fastest->latency_us < entry.latency_us) *fastest = entry;
+}
+
+std::vector<SlowQuery> QueryEngine::slow_queries() const {
+  std::vector<SlowQuery> out;
+  {
+    common::MutexLock lock(slow_mu_);
+    out = slow_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowQuery& a, const SlowQuery& b) {
+              return a.latency_us > b.latency_us;
+            });
+  return out;
 }
 
 std::vector<traj::WhereHit> QueryEngine::Where(uint32_t traj_idx,
@@ -146,56 +223,58 @@ QueryResult QueryEngine::Execute(const QueryRequest& req) {
 QueryResult QueryEngine::ExecuteOne(const QueryRequest& req,
                                     unsigned range_threads,
                                     const TierSnapshot* snap) {
-  const common::Stopwatch watch;
+  const uint64_t start_ns = clock_->NowNanos();
+  PinAgg agg;
   QueryResult result;
   result.kind = req.kind;
   // A server-shaped API sees untrusted trajectory ids: out-of-range point
   // queries answer empty instead of indexing past the routing table.
-  if (req.kind != QueryKind::kRange && req.traj >= TotalOf(snap)) {
-    queries_.fetch_add(1, std::memory_order_relaxed);
-    RecordLatency(watch.ElapsedMicros());
-    return result;
-  }
-  switch (req.kind) {
-    case QueryKind::kWhere: {
-      const Target target = Resolve(req.traj, snap);
-      // The uncached path rejects an out-of-window t from meta alone;
-      // pinning first would turn that O(1) rejection into a full decode.
-      const core::TrajMeta& meta =
-          target.qp->decoder().view().meta(target.local);
-      if (req.t < meta.t_first || req.t > meta.t_last) break;
-      const auto dt = Pin(target);
-      result.where = target.qp->Where(target.local, req.t, req.alpha, *dt);
-      break;
+  const bool routable =
+      req.kind == QueryKind::kRange || req.traj < TotalOf(snap);
+  if (routable) {
+    switch (req.kind) {
+      case QueryKind::kWhere: {
+        const Target target = Resolve(req.traj, snap);
+        // The uncached path rejects an out-of-window t from meta alone;
+        // pinning first would turn that O(1) rejection into a full decode.
+        const core::TrajMeta& meta =
+            target.qp->decoder().view().meta(target.local);
+        if (req.t < meta.t_first || req.t > meta.t_last) break;
+        const auto dt = Pin(target, &agg);
+        result.where = target.qp->Where(target.local, req.t, req.alpha, *dt);
+        break;
+      }
+      case QueryKind::kWhen: {
+        const Target target = Resolve(req.traj, snap);
+        // Same principle as kWhere: the uncached path rejects a trajectory
+        // with no StIU tuples near the edge from the index alone (Lemma 1
+        // full skip) — keep that O(index) rejection ahead of the decode.
+        // Accepted edges re-walk this tuple prefix inside When's group
+        // construction; that duplicate index scan is orders cheaper than
+        // the decode the rejection avoids.
+        if (!target.qp->MayPassEdge(target.local, req.edge)) break;
+        const auto dt = Pin(target, &agg);
+        result.when =
+            target.qp->When(target.local, req.edge, req.rd, req.alpha, *dt);
+        break;
+      }
+      case QueryKind::kRange:
+        result.range = RangeInternal(req.region, req.t, req.alpha,
+                                     range_threads, snap, &agg);
+        break;
     }
-    case QueryKind::kWhen: {
-      const Target target = Resolve(req.traj, snap);
-      // Same principle as kWhere: the uncached path rejects a trajectory
-      // with no StIU tuples near the edge from the index alone (Lemma 1
-      // full skip) — keep that O(index) rejection ahead of the decode.
-      // Accepted edges re-walk this tuple prefix inside When's group
-      // construction; that duplicate index scan is orders cheaper than
-      // the decode the rejection avoids.
-      if (!target.qp->MayPassEdge(target.local, req.edge)) break;
-      const auto dt = Pin(target);
-      result.when =
-          target.qp->When(target.local, req.edge, req.rd, req.alpha, *dt);
-      break;
-    }
-    case QueryKind::kRange:
-      result.range = RangeInternal(req.region, req.t, req.alpha,
-                                   range_threads, snap);
-      break;
   }
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  RecordLatency(watch.ElapsedMicros());
+  queries_->Increment();
+  const uint64_t now_ns = clock_->NowNanos();
+  FinishQuery(req, now_ns > start_ns ? now_ns - start_ns : 0, agg);
   return result;
 }
 
 traj::RangeResult QueryEngine::RangeInternal(const network::Rect& region,
                                              traj::Timestamp tq, double alpha,
                                              unsigned num_threads,
-                                             const TierSnapshot* snap) {
+                                             const TierSnapshot* snap,
+                                             PinAgg* agg) {
   if (snap != nullptr) {
     // Sealed fan-out first, then the live tail; live hits are offset to
     // global ids, and since every live id exceeds every sealed id the
@@ -204,19 +283,21 @@ traj::RangeResult QueryEngine::RangeInternal(const network::Rect& region,
     if (snap->sealed != nullptr) {
       merged = snap->sealed->Range(
           region, tq, alpha, nullptr, num_threads,
-          [this, snap](uint32_t s, uint32_t local) {
+          [this, snap, agg](uint32_t s, uint32_t local) {
             const uint32_t global =
                 snap->sealed->manifest().shards[s].members[local];
             return Pin({&snap->sealed->shard_queries(s), s, local,
-                        CacheKey(kTierKeyShard, global)});
+                        CacheKey(kTierKeyShard, global)},
+                       agg);
           });
     }
     if (snap->live != nullptr) {
       const uint32_t base = static_cast<uint32_t>(snap->sealed_count());
       const traj::RangeResult live_hits = snap->live->queries().Range(
-          region, tq, alpha, [this, snap, base](uint32_t local) {
+          region, tq, alpha, [this, snap, base, agg](uint32_t local) {
             return Pin({&snap->live->queries(), kTierKeyShard, local,
-                        CacheKey(kTierKeyShard, base + local)});
+                        CacheKey(kTierKeyShard, base + local)},
+                       agg);
           });
       for (const uint32_t local : live_hits) merged.push_back(base + local);
     }
@@ -225,13 +306,14 @@ traj::RangeResult QueryEngine::RangeInternal(const network::Rect& region,
   if (sharded_ != nullptr) {
     return sharded_->Range(
         region, tq, alpha, nullptr, num_threads,
-        [this](uint32_t s, uint32_t local) {
+        [this, agg](uint32_t s, uint32_t local) {
           return Pin({&sharded_->shard_queries(s), s, local,
-                      CacheKey(s, local)});
+                      CacheKey(s, local)},
+                     agg);
         });
   }
-  return single_->Range(region, tq, alpha, [this](uint32_t j) {
-    return Pin({single_, 0, j, CacheKey(0, j)});
+  return single_->Range(region, tq, alpha, [this, agg](uint32_t j) {
+    return Pin({single_, 0, j, CacheKey(0, j)}, agg);
   });
 }
 
@@ -280,17 +362,18 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(
       const core::TrajMeta& meta =
           target.qp->decoder().view().meta(target.local);
       // Pinned by the first request that survives its cheap rejection —
-      // the decode lands in that request's latency sample, matching
-      // Execute()'s accounting, and a group of all-rejected requests
-      // never decodes at all.
+      // the decode lands in that request's latency sample and pin
+      // attribution, matching Execute()'s accounting, and a group of
+      // all-rejected requests never decodes at all.
       std::shared_ptr<const traj::DecodedTraj> dt;
-      const auto pinned = [&]() -> const traj::DecodedTraj& {
-        if (dt == nullptr) dt = Pin(target);
-        return *dt;
-      };
       for (const uint32_t i : members) {
         const QueryRequest& req = requests[i];
-        const common::Stopwatch watch;
+        const uint64_t start_ns = clock_->NowNanos();
+        PinAgg agg;
+        const auto pinned = [&]() -> const traj::DecodedTraj& {
+          if (dt == nullptr) dt = Pin(target, &agg);
+          return *dt;
+        };
         results[i].kind = req.kind;
         if (req.kind == QueryKind::kWhere) {
           if (req.t >= meta.t_first && req.t <= meta.t_last) {
@@ -301,40 +384,32 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(
           results[i].when = target.qp->When(target.local, req.edge, req.rd,
                                             req.alpha, pinned());
         }
-        RecordLatency(watch.ElapsedMicros());
+        const uint64_t now_ns = clock_->NowNanos();
+        FinishQuery(req, now_ns > start_ns ? now_ns - start_ns : 0, agg);
       }
     } else {
       const uint32_t i = ranges[u];
       const QueryRequest& req = requests[i];
-      const common::Stopwatch watch;
+      const uint64_t start_ns = clock_->NowNanos();
+      PinAgg agg;
       results[i].kind = req.kind;
-      results[i].range =
-          RangeInternal(req.region, req.t, req.alpha, range_threads,
-                        snap.get());
-      RecordLatency(watch.ElapsedMicros());
+      results[i].range = RangeInternal(req.region, req.t, req.alpha,
+                                       range_threads, snap.get(), &agg);
+      const uint64_t now_ns = clock_->NowNanos();
+      FinishQuery(req, now_ns > start_ns ? now_ns - start_ns : 0, agg);
     }
   });
 
-  queries_.fetch_add(requests.size(), std::memory_order_relaxed);
-  batches_.fetch_add(1, std::memory_order_relaxed);
+  queries_->Add(requests.size());
+  batches_->Increment();
+  batch_size_->Record(requests.size());
   return results;
-}
-
-void QueryEngine::RecordLatency(double micros) {
-  const float sample = static_cast<float>(micros);
-  common::MutexLock lock(latency_mu_);
-  if (latency_us_.size() < kLatencyWindow) {
-    latency_us_.push_back(sample);
-  } else {
-    latency_us_[latency_pos_] = sample;
-    latency_pos_ = (latency_pos_ + 1) % kLatencyWindow;
-  }
 }
 
 EngineStats QueryEngine::stats() const {
   EngineStats out;
-  out.queries = queries_.load(std::memory_order_relaxed);
-  out.batches = batches_.load(std::memory_order_relaxed);
+  out.queries = queries_->value();
+  out.batches = batches_->value();
   const DecodedTrajCache::Stats cache = cache_.stats();
   out.cache_hits = cache.hits;
   out.cache_misses = cache.misses;
@@ -343,20 +418,14 @@ EngineStats QueryEngine::stats() const {
   out.cache_resident_bytes = cache.resident_bytes;
   out.cache_resident_entries = cache.resident_entries;
 
-  std::vector<float> window;
+  obs::HistogramSnapshot merged = latency_where_->Snapshot();
+  merged.MergeFrom(latency_when_->Snapshot());
+  merged.MergeFrom(latency_range_->Snapshot());
+  out.p50_latency_us = merged.p50() / 1000.0;
+  out.p99_latency_us = merged.p99() / 1000.0;
   {
-    common::MutexLock lock(latency_mu_);
-    window = latency_us_;
-  }
-  if (!window.empty()) {
-    const auto pick = [&window](double q) {
-      const size_t k = static_cast<size_t>(
-          q * static_cast<double>(window.size() - 1) + 0.5);
-      std::nth_element(window.begin(), window.begin() + k, window.end());
-      return static_cast<double>(window[k]);
-    };
-    out.p50_latency_us = pick(0.50);
-    out.p99_latency_us = pick(0.99);
+    common::MutexLock lock(slow_mu_);
+    out.slow_queries = slow_.size();
   }
   return out;
 }

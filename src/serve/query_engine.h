@@ -1,7 +1,6 @@
 #ifndef UTCQ_SERVE_QUERY_ENGINE_H_
 #define UTCQ_SERVE_QUERY_ENGINE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -9,6 +8,8 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "core/query.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "serve/decoded_cache.h"
 #include "serve/tier.h"
 #include "shard/sharded.h"
@@ -55,10 +56,34 @@ struct EngineOptions {
   /// ThreadPool::Shared() (no per-batch thread spawning); this caps how
   /// many of its workers one batch enlists.
   unsigned num_threads = 0;
+  /// Where the engine's `serve.*` instruments live (DESIGN.md §15).
+  /// nullptr = a private registry, so independent engines (tests) keep
+  /// exact per-instance stats; a server passes one registry for export.
+  obs::MetricRegistry* registry = nullptr;
+  /// Latency time source; nullptr = obs::Clock::Real(). Injected so tests
+  /// drive the latency histograms and slow-query log deterministically.
+  const obs::Clock* clock = nullptr;
+  /// Queries at least this slow (microseconds) enter the slow-query log;
+  /// 0 disables the log entirely (no lock ever taken for it).
+  uint64_t slow_query_threshold_us = 0;
+  /// How many worst queries the slow-query log retains.
+  size_t slow_query_log_size = 32;
 };
 
-/// Point-in-time engine counters. Latency percentiles are computed over a
-/// sliding window of the most recent samples (one per served request).
+/// One retained slow-query record (see EngineOptions thresholds).
+struct SlowQuery {
+  QueryKind kind = QueryKind::kWhere;
+  /// Target trajectory; UINT32_MAX for range queries.
+  uint32_t traj = 0;
+  double latency_us = 0.0;
+  /// Bytes this query's pins materialized (0 when served from cache).
+  uint64_t decode_bytes = 0;
+  /// True when every pin this query took was a cache hit.
+  bool cache_hit = false;
+};
+
+/// Point-in-time engine counters. Latency percentiles are read from the
+/// engine's obs latency histograms (all query kinds merged).
 struct EngineStats {
   uint64_t queries = 0;
   uint64_t batches = 0;
@@ -70,6 +95,8 @@ struct EngineStats {
   size_t cache_resident_entries = 0;
   double p50_latency_us = 0.0;
   double p99_latency_us = 0.0;
+  /// Entries currently retained in the slow-query log.
+  size_t slow_queries = 0;
 
   double hit_rate() const {
     const uint64_t total = cache_hits + cache_misses;
@@ -86,8 +113,9 @@ struct EngineStats {
 ///
 /// All entry points are safe to call from many threads concurrently: the
 /// underlying processors are immutable, the cache takes per-shard locks,
-/// and engine counters are atomics. Results are pinned-handle exact: every
-/// query returns precisely what the uncached processor returns.
+/// and engine counters are lock-free obs instruments. Results are
+/// pinned-handle exact: every query returns precisely what the uncached
+/// processor returns.
 class QueryEngine {
  public:
   /// Serves a single corpus. `queries` (and everything it borrows) must
@@ -133,6 +161,9 @@ class QueryEngine {
       const std::vector<QueryRequest>& requests);
 
   EngineStats stats() const;
+  /// The retained worst queries, sorted slowest first. Empty unless
+  /// EngineOptions::slow_query_threshold_us is set.
+  std::vector<SlowQuery> slow_queries() const;
   void ClearCache() { cache_.Clear(); }
   const EngineOptions& options() const { return opts_; }
 
@@ -144,31 +175,58 @@ class QueryEngine {
     uint64_t cache_key = 0;
   };
 
+  /// Per-query pin cost, accumulated across every Pin the query takes
+  /// (Range fans out across pool workers, hence the stack-local mutex).
+  struct PinAgg {
+    common::Mutex mu;
+    uint64_t decode_bytes UTCQ_GUARDED_BY(mu) = 0;
+    uint64_t misses UTCQ_GUARDED_BY(mu) = 0;
+  };
+
+  void InitInstruments();
   size_t TotalOf(const TierSnapshot* snap) const;
   Target Resolve(uint32_t global, const TierSnapshot* snap) const;
-  std::shared_ptr<const traj::DecodedTraj> Pin(const Target& target);
+  std::shared_ptr<const traj::DecodedTraj> Pin(const Target& target,
+                                               PinAgg* agg);
   QueryResult ExecuteOne(const QueryRequest& req, unsigned range_threads,
                          const TierSnapshot* snap);
   traj::RangeResult RangeInternal(const network::Rect& region,
                                   traj::Timestamp tq, double alpha,
                                   unsigned num_threads,
-                                  const TierSnapshot* snap);
-  void RecordLatency(double micros);
+                                  const TierSnapshot* snap, PinAgg* agg);
+  obs::Histogram& LatencyFor(QueryKind kind) {
+    switch (kind) {
+      case QueryKind::kWhere: return *latency_where_;
+      case QueryKind::kWhen: return *latency_when_;
+      case QueryKind::kRange: break;
+    }
+    return *latency_range_;
+  }
+  /// Records one finished request: latency histogram, slow-query log.
+  void FinishQuery(const QueryRequest& req, uint64_t latency_ns,
+                   PinAgg& agg);
 
   const core::UtcqQueryProcessor* single_ = nullptr;
   const shard::ShardedCorpus* sharded_ = nullptr;
   const TierSource* tier_ = nullptr;
   EngineOptions opts_;
+
+  /// Declared before the cache and instrument pointers: both borrow it.
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;
+  const obs::Clock* clock_ = nullptr;
+  obs::Counter* queries_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Histogram* latency_where_ = nullptr;
+  obs::Histogram* latency_when_ = nullptr;
+  obs::Histogram* latency_range_ = nullptr;
+  obs::Histogram* decode_bytes_ = nullptr;
+  obs::Histogram* batch_size_ = nullptr;
+
   DecodedTrajCache cache_;
 
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> batches_{0};
-
-  /// Sliding window of per-request latencies (microseconds).
-  static constexpr size_t kLatencyWindow = 8192;
-  mutable common::Mutex latency_mu_;
-  std::vector<float> latency_us_ UTCQ_GUARDED_BY(latency_mu_);
-  size_t latency_pos_ UTCQ_GUARDED_BY(latency_mu_) = 0;
+  /// Slow-query log: touched only when a request crosses the threshold.
+  mutable common::Mutex slow_mu_;
+  std::vector<SlowQuery> slow_ UTCQ_GUARDED_BY(slow_mu_);
 };
 
 }  // namespace utcq::serve

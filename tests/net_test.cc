@@ -271,6 +271,19 @@ TEST(Wire, DecodersRejectTruncationAndTrailingBytes) {
          ErrorBody out;
          return DecodeErrorBody(&r, &out);
        }},
+      {"metrics",
+       PayloadOf([](common::ByteWriter* w) {
+         obs::MetricRegistry reg;
+         reg.GetCounter("a.count").Add(3);
+         reg.GetGauge("b.level").Set(-7);
+         reg.GetHistogram("c.latency_ns").Record(1234);
+         EncodeMetricsResponse(reg.Snapshot(), w);
+       }),
+       [](const std::vector<uint8_t>& b) {
+         common::ByteReader r(b);
+         obs::RegistrySnapshot out;
+         return DecodeMetricsResponse(&r, &out);
+       }},
   };
   for (const Case& c : cases) {
     ASSERT_TRUE(c.decode(c.payload)) << c.name;
@@ -361,6 +374,153 @@ TEST(Wire, DecodersRejectOutOfRangeValues) {
     EXPECT_TRUE(DecodeIngestPoint(&r, &out));
     EXPECT_TRUE(std::isnan(out.point.x));
   }
+}
+
+// ---------------------------------------------------------- metrics wire
+
+TEST(Wire, MetricsResponseRoundTripsCanonically) {
+  obs::MetricRegistry reg;
+  reg.GetCounter("net.requests.query").Add(41);
+  reg.GetCounter("serve.cache.hits").Add(7);
+  reg.GetGauge("net.connections.open").Set(3);
+  reg.GetGauge("serve.cache.resident_bytes").Set(-12);  // signed survives
+  obs::Histogram& h = reg.GetHistogram("net.handle_ns");
+  h.Record(5);
+  h.Record(5);
+  h.Record(900);
+  h.Record(123456789);
+  reg.GetHistogram("serve.engine.batch_size");  // empty histogram ships too
+  const obs::RegistrySnapshot snap = reg.Snapshot();
+
+  common::ByteWriter w;
+  EncodeMetricsResponse(snap, &w);
+  const std::vector<uint8_t> bytes = w.bytes();
+  common::ByteReader r(bytes);
+  obs::RegistrySnapshot got;
+  ASSERT_TRUE(DecodeMetricsResponse(&r, &got));
+
+  ASSERT_EQ(got.counters.size(), snap.counters.size());
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    EXPECT_EQ(got.counters[i], snap.counters[i]);
+  }
+  ASSERT_EQ(got.gauges.size(), snap.gauges.size());
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    EXPECT_EQ(got.gauges[i], snap.gauges[i]);
+  }
+  ASSERT_EQ(got.histograms.size(), snap.histograms.size());
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    EXPECT_EQ(got.histograms[i].first, snap.histograms[i].first);
+    EXPECT_EQ(got.histograms[i].second.count, snap.histograms[i].second.count);
+    EXPECT_EQ(got.histograms[i].second.sum, snap.histograms[i].second.sum);
+    EXPECT_EQ(got.histograms[i].second.buckets,
+              snap.histograms[i].second.buckets);
+  }
+
+  // Canonical: re-encoding the decoded snapshot is byte-identical.
+  common::ByteWriter again;
+  EncodeMetricsResponse(got, &again);
+  EXPECT_EQ(again.bytes(), bytes);
+}
+
+TEST(Wire, MetricsDecoderRejectsMalformedPayloads) {
+  const auto rejects = [](const std::vector<uint8_t>& payload) {
+    common::ByteReader r(payload);
+    obs::RegistrySnapshot out;
+    return !DecodeMetricsResponse(&r, &out);
+  };
+  // Unknown payload version.
+  EXPECT_TRUE(rejects(PayloadOf([](common::ByteWriter* w) {
+    w->PutU8(kMetricsPayloadVersion + 1);
+    w->PutVarint(0);
+  })));
+  // Unknown instrument kind tag.
+  EXPECT_TRUE(rejects(PayloadOf([](common::ByteWriter* w) {
+    w->PutU8(kMetricsPayloadVersion);
+    w->PutVarint(1);
+    w->PutU8(3);  // kinds are 0/1/2
+    w->PutBlob("a", 1);
+    w->PutVarint(0);
+  })));
+  // Empty instrument name.
+  EXPECT_TRUE(rejects(PayloadOf([](common::ByteWriter* w) {
+    w->PutU8(kMetricsPayloadVersion);
+    w->PutVarint(1);
+    w->PutU8(0);
+    w->PutBlob("", 0);
+    w->PutVarint(1);
+  })));
+  // Name over the cap (bytes actually present, so only the cap rejects).
+  EXPECT_TRUE(rejects(PayloadOf([](common::ByteWriter* w) {
+    w->PutU8(kMetricsPayloadVersion);
+    w->PutVarint(1);
+    w->PutU8(0);
+    const std::string huge(kMaxMetricNameBytes + 1, 'n');
+    w->PutBlob(huge.data(), huge.size());
+    w->PutVarint(1);
+  })));
+  // Names out of order across instruments.
+  EXPECT_TRUE(rejects(PayloadOf([](common::ByteWriter* w) {
+    w->PutU8(kMetricsPayloadVersion);
+    w->PutVarint(2);
+    w->PutU8(0);
+    w->PutBlob("b", 1);
+    w->PutVarint(1);
+    w->PutU8(0);
+    w->PutBlob("a", 1);
+    w->PutVarint(1);
+  })));
+  // Duplicate name (ordering is strict).
+  EXPECT_TRUE(rejects(PayloadOf([](common::ByteWriter* w) {
+    w->PutU8(kMetricsPayloadVersion);
+    w->PutVarint(2);
+    w->PutU8(0);
+    w->PutBlob("a", 1);
+    w->PutVarint(1);
+    w->PutU8(1);
+    w->PutBlob("a", 1);
+    w->PutSignedVarint(1);
+  })));
+  // Histogram bucket index outside the compile-time layout.
+  EXPECT_TRUE(rejects(PayloadOf([](common::ByteWriter* w) {
+    w->PutU8(kMetricsPayloadVersion);
+    w->PutVarint(1);
+    w->PutU8(2);
+    w->PutBlob("h", 1);
+    w->PutVarint(10);  // sum
+    w->PutVarint(1);   // one bucket
+    w->PutVarint(obs::Histogram::kNumBuckets);
+    w->PutVarint(1);
+  })));
+  // Zero bucket count (the encoding is sparse; zeros are non-canonical).
+  EXPECT_TRUE(rejects(PayloadOf([](common::ByteWriter* w) {
+    w->PutU8(kMetricsPayloadVersion);
+    w->PutVarint(1);
+    w->PutU8(2);
+    w->PutBlob("h", 1);
+    w->PutVarint(0);
+    w->PutVarint(1);
+    w->PutVarint(4);
+    w->PutVarint(0);
+  })));
+  // Bucket indices out of order.
+  EXPECT_TRUE(rejects(PayloadOf([](common::ByteWriter* w) {
+    w->PutU8(kMetricsPayloadVersion);
+    w->PutVarint(1);
+    w->PutU8(2);
+    w->PutBlob("h", 1);
+    w->PutVarint(0);
+    w->PutVarint(2);
+    w->PutVarint(9);
+    w->PutVarint(1);
+    w->PutVarint(4);
+    w->PutVarint(1);
+  })));
+  // Crafted instrument count far beyond the remaining bytes: rejected
+  // before any allocation.
+  EXPECT_TRUE(rejects(PayloadOf([](common::ByteWriter* w) {
+    w->PutU8(kMetricsPayloadVersion);
+    w->PutVarint(uint64_t{1} << 50);
+  })));
 }
 
 // ------------------------------------------------------- frame assembling
@@ -959,6 +1119,147 @@ TEST(TcpServer, ShutdownDrainsFlushesAndLeaksNoSessions) {
   Client again;
   EXPECT_TRUE(again.Connect("127.0.0.1", server.port()));
   again.Close();
+  server.Shutdown();
+}
+
+// -------------------------------------------------------- metrics serving
+
+TEST(Session, MetricsErrorPolicy) {
+  NetFixture& f = Fixture();
+  serve::QueryEngine engine(f.sys->queries());
+  // A directly-constructed Session with no registry has nothing to export:
+  // typed kNotSupported, connection stays open.
+  {
+    Session session(&engine, nullptr, 64);
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(session.HandleFrames({HelloFrame()}, &out));
+    out.clear();
+    ASSERT_TRUE(session.HandleFrames({MakeFrame(Op::kMetrics, 2)}, &out));
+    const auto frames = SplitFrames(out);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(ErrorOf(frames[0]).code, ErrorCode::kNotSupported);
+  }
+  // The request payload is specified empty; anything else is kMalformed.
+  {
+    obs::MetricRegistry reg;
+    Session session(&engine, nullptr, 64, &reg);
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(session.HandleFrames({HelloFrame()}, &out));
+    out.clear();
+    ASSERT_TRUE(
+        session.HandleFrames({MakeFrame(Op::kMetrics, 2, {0x00})}, &out));
+    const auto frames = SplitFrames(out);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(ErrorOf(frames[0]).code, ErrorCode::kMalformed);
+  }
+}
+
+TEST(TcpServer, MetricsReconcileExactlyWithTheIssuedWorkload) {
+  NetFixture& f = Fixture();
+  // One registry spans the engine and the server, so the exported snapshot
+  // carries serve.* and net.* series together.
+  obs::MetricRegistry reg;
+  serve::EngineOptions eopts;
+  eopts.registry = &reg;
+  serve::QueryEngine engine(f.sys->queries(), eopts);
+  ServerOptions sopts;
+  sopts.registry = &reg;
+  TcpServer server(&engine, nullptr, sopts);
+  ASSERT_TRUE(server.Start());
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  const auto workload = f.MakeWorkload(23, 77);
+  for (const auto& req : workload) {
+    serve::QueryResult got;
+    ASSERT_TRUE(client.Query(req, &got).ok);
+  }
+  StatsResponse stats_resp;
+  ASSERT_TRUE(client.Stats(&stats_resp).ok);
+  // One malformed query: must land in net.errors, not in the query count
+  // (the counter tracks requests received, so the bad frame still counts
+  // as a query request).
+  client.SendFrame(MakeFrame(Op::kQuery, 9999, {0xFF}));
+  Frame err_frame;
+  ASSERT_TRUE(client.ReceiveFrame(&err_frame));
+  EXPECT_EQ(err_frame.op, Op::kError);
+
+  obs::RegistrySnapshot snap;
+  ASSERT_TRUE(client.Metrics(&snap).ok) << client.last_status().message;
+
+  const auto counter = [&snap](const std::string& name) -> uint64_t {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "counter " << name << " missing from the snapshot";
+    return 0;
+  };
+  // Requests by opcode reconcile exactly with what this client issued on
+  // the lone connection: 1 hello, queries + 1 malformed, 1 stats. The
+  // metrics fetch itself was counted before the snapshot was taken.
+  EXPECT_EQ(counter("net.requests.hello"), 1u);
+  EXPECT_EQ(counter("net.requests.query"), workload.size() + 1);
+  EXPECT_EQ(counter("net.requests.stats"), 1u);
+  EXPECT_EQ(counter("net.requests.metrics"), 1u);
+  EXPECT_EQ(counter("net.errors"), 1u);
+
+  // Cache accounting: hits + misses == the engine's own lookup totals,
+  // and the exported counters equal EngineStats exactly.
+  const auto es = engine.stats();
+  EXPECT_EQ(counter("serve.cache.hits"), es.cache_hits);
+  EXPECT_EQ(counter("serve.cache.misses"), es.cache_misses);
+  EXPECT_EQ(counter("serve.cache.hits") + counter("serve.cache.misses"),
+            es.cache_hits + es.cache_misses);
+  EXPECT_EQ(counter("serve.engine.queries"), es.queries);
+  EXPECT_EQ(es.queries, workload.size());
+
+  // The connection gauge reads 1 while this client is connected.
+  int64_t open = -1;
+  for (const auto& [n, v] : snap.gauges) {
+    if (n == "net.connections.open") open = v;
+  }
+  EXPECT_EQ(open, 1);
+
+  // Latency spans were recorded for every HandleFrames call.
+  bool found_handle = false;
+  for (const auto& [n, h] : snap.histograms) {
+    if (n == "net.handle_ns") {
+      found_handle = true;
+      EXPECT_GT(h.count, 0u);
+    }
+  }
+  EXPECT_TRUE(found_handle);
+
+  client.Close();
+  server.Shutdown();
+
+  // After the drain the gauge returns to zero.
+  const obs::RegistrySnapshot after = reg.Snapshot();
+  for (const auto& [n, v] : after.gauges) {
+    if (n == "net.connections.open") EXPECT_EQ(v, 0);
+  }
+}
+
+TEST(TcpServer, OwnedRegistryAnswersMetricsWhenNonePassed) {
+  NetFixture& f = Fixture();
+  serve::QueryEngine engine(f.sys->queries());
+  TcpServer server(&engine, nullptr);  // no registry in the options
+  ASSERT_TRUE(server.Start());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  obs::RegistrySnapshot snap;
+  ASSERT_TRUE(client.Metrics(&snap).ok) << client.last_status().message;
+  // The server-owned registry still carries the net.* series (the engine
+  // keeps its private registry, so serve.* is absent here).
+  bool saw_hello = false;
+  for (const auto& [n, v] : snap.counters) {
+    if (n == "net.requests.hello") {
+      saw_hello = true;
+      EXPECT_EQ(v, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_hello);
+  client.Close();
   server.Shutdown();
 }
 

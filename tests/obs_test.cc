@@ -1,0 +1,292 @@
+// Observability layer: the histogram's compile-time bucket layout must be
+// exactly the documented log-linear scheme (the wire encoding ships bare
+// bucket indices, so the layout IS the protocol), snapshots must stay
+// internally consistent under concurrent writers, and the registry must
+// hand out one instrument per name — same reference every call, one kind
+// per name, sorted snapshots.
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/clock.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+
+namespace utcq::obs {
+namespace {
+
+/// Deterministic time source: tests advance it by hand.
+struct FakeClock : Clock {
+  uint64_t now_ns = 0;
+  uint64_t NowNanos() const override { return now_ns; }
+};
+
+// --- bucket layout ----------------------------------------------------------
+
+TEST(HistogramLayout, ValuesBelow16GetExactWidthOneBuckets) {
+  for (uint64_t v = 0; v < 2 * Histogram::kSubBuckets; ++v) {
+    const uint32_t index = Histogram::BucketIndex(v);
+    EXPECT_EQ(index, v);
+    EXPECT_EQ(Histogram::BucketLowerBound(index), v);
+    EXPECT_EQ(Histogram::BucketWidth(index), 1u);
+  }
+}
+
+TEST(HistogramLayout, OctaveBoundaries) {
+  // The first log-bucketed octave starts at 16: [16,17] share a width-2
+  // bucket, 31 ends the octave, 32 opens the next (width 4).
+  EXPECT_EQ(Histogram::BucketIndex(15), 15u);
+  EXPECT_EQ(Histogram::BucketIndex(16), 16u);
+  EXPECT_EQ(Histogram::BucketIndex(17), 16u);
+  EXPECT_EQ(Histogram::BucketIndex(31), 23u);
+  EXPECT_EQ(Histogram::BucketIndex(32), 24u);
+  EXPECT_EQ(Histogram::BucketWidth(16), 2u);
+  EXPECT_EQ(Histogram::BucketWidth(24), 4u);
+}
+
+TEST(HistogramLayout, LowerBoundInvertsBucketIndex) {
+  for (uint32_t index = 0; index < Histogram::kNumBuckets; ++index) {
+    const uint64_t lower = Histogram::BucketLowerBound(index);
+    const uint64_t width = Histogram::BucketWidth(index);
+    // The bucket covers [lower, lower + width): both ends map back.
+    EXPECT_EQ(Histogram::BucketIndex(lower), index);
+    EXPECT_EQ(Histogram::BucketIndex(lower + width - 1), index);
+    // One past the end lands in the next bucket (the top bucket ends at
+    // UINT64_MAX, so there is no past-the-end value to check there).
+    if (index + 1 < Histogram::kNumBuckets) {
+      EXPECT_EQ(Histogram::BucketIndex(lower + width), index + 1);
+    }
+  }
+  // The layout covers the full uint64 range.
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramLayout, BucketIndexIsMonotone) {
+  uint32_t prev = Histogram::BucketIndex(0);
+  for (uint64_t v = 1; v < 4096; ++v) {
+    const uint32_t index = Histogram::BucketIndex(v);
+    EXPECT_GE(index, prev) << "v=" << v;
+    prev = index;
+  }
+}
+
+// --- snapshots and percentiles ----------------------------------------------
+
+TEST(Histogram, EmptySnapshotIsExactlyEmpty) {
+  Histogram h;
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_TRUE(snap.buckets.empty());
+  EXPECT_EQ(snap.Percentile(0.5), 0.0);
+  EXPECT_EQ(snap.p999(), 0.0);
+}
+
+TEST(Histogram, SmallValuePercentilesAreExact) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10; ++v) h.Record(v);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 10u);
+  EXPECT_EQ(snap.sum, 55u);
+  EXPECT_EQ(snap.buckets.size(), 10u);
+  EXPECT_EQ(snap.Percentile(0.0), 1.0);
+  EXPECT_EQ(snap.p50(), 5.0);
+  EXPECT_EQ(snap.Percentile(1.0), 10.0);
+}
+
+TEST(Histogram, CountIsAlwaysTheSumOfBucketCounts) {
+  Histogram h;
+  for (uint64_t v = 0; v < 1000; ++v) h.Record(v * 37);
+  const HistogramSnapshot snap = h.Snapshot();
+  uint64_t total = 0;
+  uint32_t prev_index = 0;
+  for (size_t i = 0; i < snap.buckets.size(); ++i) {
+    const auto& [index, n] = snap.buckets[i];
+    if (i > 0) EXPECT_GT(index, prev_index);  // strictly ascending
+    EXPECT_GT(n, 0u);                         // sparse: no empty buckets
+    prev_index = index;
+    total += n;
+  }
+  EXPECT_EQ(snap.count, total);
+  EXPECT_EQ(snap.count, 1000u);
+}
+
+TEST(Histogram, PercentileErrorIsBoundedByBucketWidth) {
+  Histogram h;
+  const uint64_t value = 1'000'000;
+  for (int i = 0; i < 100; ++i) h.Record(value);
+  const HistogramSnapshot snap = h.Snapshot();
+  const double p = snap.p50();
+  // All mass in one bucket: the estimate stays inside it (~12.5% wide).
+  EXPECT_GE(p, static_cast<double>(value) * 0.875);
+  EXPECT_LE(p, static_cast<double>(value) * 1.125);
+}
+
+TEST(Histogram, MergeFromAddsCountsSumsAndBuckets) {
+  Histogram a;
+  Histogram b;
+  a.Record(3);
+  a.Record(100);
+  b.Record(3);
+  b.Record(5000);
+  HistogramSnapshot sa = a.Snapshot();
+  const HistogramSnapshot sb = b.Snapshot();
+  sa.MergeFrom(sb);
+  EXPECT_EQ(sa.count, 4u);
+  EXPECT_EQ(sa.sum, 3u + 100u + 3u + 5000u);
+  // The shared bucket (value 3, exact) merged; indices stay ascending.
+  uint64_t total = 0;
+  for (size_t i = 0; i < sa.buckets.size(); ++i) {
+    if (i > 0) EXPECT_GT(sa.buckets[i].first, sa.buckets[i - 1].first);
+    total += sa.buckets[i].second;
+  }
+  EXPECT_EQ(total, 4u);
+  EXPECT_EQ(sa.buckets.front().first, Histogram::BucketIndex(3));
+  EXPECT_EQ(sa.buckets.front().second, 2u);
+}
+
+TEST(Histogram, ConcurrentRecordLosesNothing) {
+  // Run under TSan in CI: Record is relaxed atomics only, so this is also
+  // the data-race check for the hot-path write.
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(i % 97 + static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  uint64_t want_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 0; i < kPerThread; ++i) {
+      want_sum += i % 97 + static_cast<uint64_t>(t);
+    }
+  }
+  EXPECT_EQ(snap.sum, want_sum);
+}
+
+TEST(Histogram, SnapshotIsMonotoneUnderMoreRecords) {
+  Histogram h;
+  h.Record(10);
+  const HistogramSnapshot s1 = h.Snapshot();
+  h.Record(20);
+  h.Record(30);
+  const HistogramSnapshot s2 = h.Snapshot();
+  EXPECT_LT(s1.count, s2.count);
+  EXPECT_LT(s1.sum, s2.sum);
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(MetricRegistry, SameNameReturnsSameInstrument) {
+  MetricRegistry reg;
+  Counter& a = reg.GetCounter("serve.cache.hits");
+  Counter& b = reg.GetCounter("serve.cache.hits");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  b.Add(2);
+  EXPECT_EQ(a.value(), 3u);
+}
+
+TEST(MetricRegistry, SnapshotIsSortedAndComplete) {
+  MetricRegistry reg;
+  reg.GetCounter("b.count").Add(2);
+  reg.GetCounter("a.count").Add(1);
+  reg.GetGauge("z.depth").Set(-4);
+  reg.GetHistogram("m.latency_ns").Record(42);
+  const RegistrySnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a.count");
+  EXPECT_EQ(snap.counters[0].second, 1u);
+  EXPECT_EQ(snap.counters[1].first, "b.count");
+  EXPECT_EQ(snap.counters[1].second, 2u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, -4);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].second.count, 1u);
+}
+
+TEST(MetricRegistryDeathTest, OneKindPerNameIsEnforced) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MetricRegistry reg;
+  reg.GetCounter("serve.queries");
+  EXPECT_DEATH(reg.GetGauge("serve.queries"), "different kinds");
+}
+
+// --- trace spans ------------------------------------------------------------
+
+TEST(ScopedTimer, RecordsElapsedNanosOnDestruction) {
+  FakeClock clock;
+  Histogram h;
+  {
+    ScopedTimer timer(h, clock);
+    clock.now_ns += 1500;
+    EXPECT_EQ(timer.ElapsedNanos(), 1500u);
+  }
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 1500u);
+}
+
+TEST(Clock, RealClockIsMonotone) {
+  const Clock& clock = Clock::Real();
+  const uint64_t a = clock.NowNanos();
+  const uint64_t b = clock.NowNanos();
+  EXPECT_GE(b, a);
+}
+
+// --- text exposition --------------------------------------------------------
+
+TEST(Exposition, RendersEveryKindWithSanitizedNames) {
+  MetricRegistry reg;
+  reg.GetCounter("net.requests.query").Add(7);
+  reg.GetGauge("net.connections.open").Set(2);
+  Histogram& h = reg.GetHistogram("serve.latency_ns.where");
+  h.Record(5);
+  h.Record(5);
+  h.Record(100);
+  const std::string text = ToPrometheusText(reg.Snapshot());
+
+  EXPECT_NE(text.find("# TYPE utcq_net_requests_query counter\n"
+                      "utcq_net_requests_query 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE utcq_net_connections_open gauge\n"
+                      "utcq_net_connections_open 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE utcq_serve_latency_ns_where histogram\n"),
+            std::string::npos);
+  // Cumulative buckets: the exact value-5 bucket holds 2, the bucket
+  // holding 100 brings the running total to 3, and +Inf equals count.
+  EXPECT_NE(text.find("utcq_serve_latency_ns_where_bucket{le=\"5\"} 2\n"),
+            std::string::npos);
+  const uint32_t b100 = Histogram::BucketIndex(100);
+  const uint64_t le100 = Histogram::BucketLowerBound(b100) +
+                         Histogram::BucketWidth(b100) - 1;
+  EXPECT_NE(text.find("_bucket{le=\"" + std::to_string(le100) + "\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("utcq_serve_latency_ns_where_bucket{le=\"+Inf\"} 3\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("utcq_serve_latency_ns_where_sum 110\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("utcq_serve_latency_ns_where_count 3\n"),
+            std::string::npos);
+}
+
+TEST(Exposition, EmptyRegistryRendersEmpty) {
+  MetricRegistry reg;
+  EXPECT_TRUE(ToPrometheusText(reg.Snapshot()).empty());
+}
+
+}  // namespace
+}  // namespace utcq::obs

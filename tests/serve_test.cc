@@ -381,5 +381,105 @@ TEST(QueryEngine, StatsReportLatencyPercentiles) {
   EXPECT_GT(stats.bytes_decoded, 0u);
 }
 
+/// Advances by a programmable step on every read, so each query's
+/// latency (two reads: start and finish) is exactly `step` nanoseconds —
+/// the slow-query log becomes fully deterministic.
+struct StepClock : obs::Clock {
+  mutable uint64_t now = 0;
+  uint64_t step = 0;
+  uint64_t NowNanos() const override { return now += step; }
+};
+
+TEST(QueryEngine, SlowQueryLogRetainsTheWorstDeterministically) {
+  ServeFixture& f = Fixture();
+  StepClock clock;
+  EngineOptions opts;
+  opts.clock = &clock;
+  opts.slow_query_threshold_us = 1;
+  opts.slow_query_log_size = 4;
+  QueryEngine engine(f.sys->queries(), opts);
+
+  // Below threshold: never logged, cache misses included.
+  clock.step = 100;  // 0.1 µs per query
+  for (int i = 0; i < 3; ++i) {
+    engine.Where(0, f.corpus[0].times.front(), 0.3);
+  }
+  EXPECT_EQ(engine.stats().slow_queries, 0u);
+  EXPECT_TRUE(engine.slow_queries().empty());
+
+  // Six slow queries on one trajectory with rising synthetic latencies
+  // (2..7 µs), then one slower miss on a fresh trajectory (10 µs). The
+  // log holds 4 entries: it must retain exactly the worst four.
+  for (uint64_t us = 2; us <= 7; ++us) {
+    clock.step = us * 1000;
+    engine.Where(1, f.corpus[1].times.front(), 0.3);
+  }
+  clock.step = 10 * 1000;
+  engine.Where(2, f.corpus[2].times.front(), 0.3);
+
+  const auto slow = engine.slow_queries();
+  ASSERT_EQ(slow.size(), 4u);
+  EXPECT_EQ(engine.stats().slow_queries, 4u);
+  // Sorted slowest first: 10, 7, 6, 5 µs — the 2/3/4 µs entries were
+  // displaced.
+  EXPECT_DOUBLE_EQ(slow[0].latency_us, 10.0);
+  EXPECT_DOUBLE_EQ(slow[1].latency_us, 7.0);
+  EXPECT_DOUBLE_EQ(slow[2].latency_us, 6.0);
+  EXPECT_DOUBLE_EQ(slow[3].latency_us, 5.0);
+  // The 10 µs query decoded trajectory 2 for the first time: a miss with
+  // its decode cost attributed. The others were warm repeats.
+  EXPECT_EQ(slow[0].traj, 2u);
+  EXPECT_FALSE(slow[0].cache_hit);
+  EXPECT_GT(slow[0].decode_bytes, 0u);
+  for (size_t i = 1; i < slow.size(); ++i) {
+    EXPECT_EQ(slow[i].traj, 1u);
+    EXPECT_TRUE(slow[i].cache_hit);
+    EXPECT_EQ(slow[i].decode_bytes, 0u);
+    EXPECT_EQ(slow[i].kind, QueryKind::kWhere);
+  }
+}
+
+TEST(QueryEngine, ZeroThresholdDisablesTheSlowQueryLog) {
+  ServeFixture& f = Fixture();
+  StepClock clock;
+  clock.step = 1000 * 1000;  // every query takes a synthetic 1 ms
+  EngineOptions opts;
+  opts.clock = &clock;
+  opts.slow_query_threshold_us = 0;  // disabled
+  QueryEngine engine(f.sys->queries(), opts);
+  engine.Where(0, f.corpus[0].times.front(), 0.3);
+  EXPECT_TRUE(engine.slow_queries().empty());
+  EXPECT_EQ(engine.stats().slow_queries, 0u);
+}
+
+TEST(QueryEngine, SharedRegistryExportsTheEngineCountersExactly) {
+  ServeFixture& f = Fixture();
+  obs::MetricRegistry registry;
+  EngineOptions opts;
+  opts.registry = &registry;
+  QueryEngine engine(f.sys->queries(), opts);
+  const auto reqs = f.MakeWorkload(40, 123);
+  engine.ExecuteBatch(reqs);
+  for (const auto& req : reqs) engine.Execute(req);
+
+  const auto stats = engine.stats();
+  const auto snap = registry.Snapshot();
+  const auto counter = [&snap](const std::string& name) -> uint64_t {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "counter " << name << " missing";
+    return 0;
+  };
+  EXPECT_EQ(counter("serve.engine.queries"), stats.queries);
+  EXPECT_EQ(counter("serve.engine.queries"), 2 * reqs.size());
+  EXPECT_EQ(counter("serve.engine.batches"), stats.batches);
+  EXPECT_EQ(counter("serve.cache.hits"), stats.cache_hits);
+  EXPECT_EQ(counter("serve.cache.misses"), stats.cache_misses);
+  // Every pin the workload took is accounted: hits + misses covers all
+  // cache lookups, and the evictions counter matches.
+  EXPECT_EQ(counter("serve.cache.evictions"), stats.cache_evictions);
+}
+
 }  // namespace
 }  // namespace utcq::serve

@@ -1,0 +1,50 @@
+// Metrics scrape CLI (DESIGN.md §15): connects to a running utcq server,
+// fetches its instrument snapshot over the kMetrics opcode and prints it
+// in Prometheus text exposition format — the quickest way to eyeball a
+// live server and the glue a scrape-agent sidecar would wrap.
+//
+//   metrics_dump [host] <port>
+//
+// Exits 0 on a successful dump, 1 on connect/protocol failure, 2 on
+// usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "net/client.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: %s [host] <port>\n", argv[0]);
+    return 2;
+  }
+  const std::string host = argc == 3 ? argv[1] : "127.0.0.1";
+  const long port = std::strtol(argv[argc - 1], nullptr, 10);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "metrics_dump: bad port '%s'\n", argv[argc - 1]);
+    return 2;
+  }
+
+  utcq::net::Client client;
+  if (!client.Connect(host, static_cast<uint16_t>(port))) {
+    std::fprintf(stderr, "metrics_dump: connect to %s:%ld failed: %s\n",
+                 host.c_str(), port, client.last_status().message.c_str());
+    return 1;
+  }
+  utcq::obs::RegistrySnapshot snap;
+  const utcq::net::Client::Status status = client.Metrics(&snap);
+  if (!status.ok) {
+    std::fprintf(stderr, "metrics_dump: kMetrics failed (%s): %s\n",
+                 status.server_error
+                     ? utcq::net::ErrorCodeName(status.code)
+                     : "transport",
+                 status.message.c_str());
+    return 1;
+  }
+  const std::string text = utcq::obs::ToPrometheusText(snap);
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  return 0;
+}
