@@ -63,6 +63,11 @@ int main(int argc, char** argv) {
   core::UtcqParams params;
   params.default_interval_s = w->profile.default_interval_s;
   params.eta_p = w->profile.eta_p;
+  // Dense sync tables: HZ trajectories are short (mean ~13 edges), so the
+  // default interval of 32 would leave most of them sync-free and the
+  // cold-bracketed section below would never seek. Sync emission is
+  // meta-only — stream bytes and every result are unchanged.
+  params.t_sync_interval = 4;
   const core::UtcqSystem sys(w->net, grid, w->corpus, params,
                              core::StiuParams{32, 1800});
   const double alpha = 0.3;
@@ -105,10 +110,12 @@ int main(int argc, char** argv) {
   std::printf("equivalence: %zu mismatches (expected 0)\n", mismatches);
 
   // --- cold vs. warm single-trajectory throughput -------------------------
-  // Cold = every query pays the full bitstream decode (retention disabled);
+  // Cold = every query pays the full bitstream decode (retention disabled
+  // and partial decode forced off, preserving the pre-v3 baseline);
   // warm = the working set is fully resident after an untimed fill pass.
   serve::EngineOptions cold_opts;
   cold_opts.cache_budget_bytes = 0;
+  cold_opts.partial_decode = serve::PartialDecode::kOff;
   serve::QueryEngine cold_engine(sys.queries(), cold_opts);
   common::Stopwatch watch;
   for (const Point& p : points) {
@@ -118,6 +125,50 @@ int main(int argc, char** argv) {
   const double cold_seconds = watch.ElapsedSeconds();
   const double cold_queries = 2.0 * static_cast<double>(points.size());
   const double cold_hit_rate = cold_engine.stats().hit_rate();
+
+  // --- cold time-bracketed partial decode (archive v3, DESIGN.md §16) -----
+  // The same budget-0 workload answered from the seekable bitstreams
+  // (kAuto turns partial decode on when nothing can stay resident). The
+  // acceptance gate is strict: the bracketed path must consume fewer
+  // compressed-stream bytes than the full decodes above — otherwise the
+  // seek machinery is dead weight and this benchmark fails the run.
+  serve::EngineOptions bracketed_opts;
+  bracketed_opts.cache_budget_bytes = 0;
+  serve::QueryEngine bracketed_engine(sys.queries(), bracketed_opts);
+  size_t bracketed_mismatches = 0;
+  for (size_t i = 0; i < std::min<size_t>(points.size(), 50); ++i) {
+    const Point& p = points[i];
+    if (bracketed_engine.Where(p.traj, p.t, alpha) !=
+        sys.queries().Where(p.traj, p.t, alpha)) {
+      ++bracketed_mismatches;
+    }
+    if (bracketed_engine.When(p.traj, p.edge, 0.5, alpha) !=
+        sys.queries().When(p.traj, p.edge, 0.5, alpha)) {
+      ++bracketed_mismatches;
+    }
+  }
+  watch.Restart();
+  for (const Point& p : points) {
+    bracketed_engine.Where(p.traj, p.t, alpha);
+    bracketed_engine.When(p.traj, p.edge, 0.5, alpha);
+  }
+  const double bracketed_seconds = watch.ElapsedSeconds();
+  const double cold_bracketed_qps = SafeRate(cold_queries, bracketed_seconds);
+  const auto bracketed_stats = bracketed_engine.stats();
+  const uint64_t decode_bytes_partial = bracketed_stats.decode_bytes_partial;
+  const uint64_t decode_bytes_full_cold = cold_engine.stats().bytes_decoded;
+  const uint64_t sync_seeks = bracketed_stats.sync_seeks;
+  const bool partial_gate_ok =
+      bracketed_mismatches == 0 && bracketed_stats.partial_queries > 0 &&
+      decode_bytes_partial > 0 && decode_bytes_partial < decode_bytes_full_cold;
+  std::printf(
+      "cold bracketed: %.0f qps, %llu partial stream bytes vs %llu full "
+      "decode bytes, %llu sync seeks, gate %s\n",
+      cold_bracketed_qps,
+      static_cast<unsigned long long>(decode_bytes_partial),
+      static_cast<unsigned long long>(decode_bytes_full_cold),
+      static_cast<unsigned long long>(sync_seeks),
+      partial_gate_ok ? "ok" : "FAILED");
 
   serve::EngineOptions warm_opts;
   warm_opts.cache_budget_bytes = 128ull << 20;
@@ -248,6 +299,15 @@ int main(int argc, char** argv) {
                SafeRatio(warm_qps, cold_qps));
   std::fprintf(json, "  \"cold_hit_rate\": %.4f,\n", cold_hit_rate);
   std::fprintf(json, "  \"warm_hit_rate\": %.4f,\n", warm_hit_rate);
+  std::fprintf(json, "  \"cold_bracketed_qps\": %.3f,\n", cold_bracketed_qps);
+  std::fprintf(json, "  \"bracketed_over_cold\": %.3f,\n",
+               SafeRatio(cold_bracketed_qps, cold_qps));
+  std::fprintf(json, "  \"decode_bytes_partial\": %llu,\n",
+               static_cast<unsigned long long>(decode_bytes_partial));
+  std::fprintf(json, "  \"decode_bytes_full_cold\": %llu,\n",
+               static_cast<unsigned long long>(decode_bytes_full_cold));
+  std::fprintf(json, "  \"sync_seeks\": %llu,\n",
+               static_cast<unsigned long long>(sync_seeks));
   std::fprintf(json, "  \"p50_latency_us\": %.2f,\n",
                final_stats.p50_latency_us);
   std::fprintf(json, "  \"p99_latency_us\": %.2f,\n",
@@ -277,5 +337,5 @@ int main(int argc, char** argv) {
   std::fprintf(json, "\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_query.json\n");
-  return mismatches == 0 ? 0 : 1;
+  return mismatches == 0 && partial_gate_ok ? 0 : 1;
 }

@@ -58,13 +58,23 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   }
 
   // The archive passed validation: everything reachable from it must now
-  // be total. Decode a bounded number of trajectories in full.
+  // be total. Decode a bounded number of trajectories in full, then drive
+  // the v3 seek entry points — a validated-but-hostile sync table must
+  // yield a clean bracket or nothing, never an out-of-bounds bit walk.
   const utcq::core::CorpusView view = reader.view();
   const utcq::core::UtcqDecoder decoder(Net(), view);
   const size_t n = std::min(view.num_trajectories(), kMaxTrajDecodes);
+  std::vector<utcq::traj::Timestamp> window;
+  utcq::core::UtcqDecoder::SeekStats seek;
   for (size_t j = 0; j < n; ++j) {
-    (void)decoder.DecodeTimes(j);
+    const auto times = decoder.DecodeTimes(j);
     (void)decoder.DecodeTraj(j);
+    if (!times.empty()) {
+      (void)decoder.BracketTime(j, times[times.size() / 2], 0, times.front(),
+                                view.meta(j).t_pos, &seek);
+    }
+    const auto last = static_cast<uint32_t>(view.meta(j).n_points);
+    (void)decoder.DecodeRangeInto(j, last / 2, last, &window, &seek);
   }
 
   // Reload the StIU tuples and push a query through the full stack.

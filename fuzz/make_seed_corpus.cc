@@ -99,6 +99,25 @@ int main(int argc, char** argv) {
   ok &= WriteFile((out / "archive" / "empty.utcqarc").string(),
                   utcq::archive::ArchiveWriter(empty).Serialize());
 
+  // Format-version coverage: a v3 archive with dense sync tables (K=2, so
+  // even the short seed trajectories carry kTSyncIndex entries and the
+  // fuzzer starts at the tag-9 parse + seek paths), and a sync-free v2.
+  {
+    utcq::core::UtcqParams dense = params;
+    dense.t_sync_interval = 2;
+    const utcq::core::UtcqCompressor dense_comp(net, dense);
+    ok &= WriteFile(
+        (out / "archive" / "v3_dense_sync.utcqarc").string(),
+        utcq::archive::ArchiveWriter(dense_comp.Compress(corpus)).Serialize());
+
+    utcq::core::UtcqParams plain = params;
+    plain.t_sync_interval = 0;
+    const utcq::core::UtcqCompressor plain_comp(net, plain);
+    ok &= WriteFile(
+        (out / "archive" / "v2_no_sync.utcqarc").string(),
+        utcq::archive::ArchiveWriter(plain_comp.Compress(corpus)).Serialize());
+  }
+
   // --- manifests: a hash-sharded set and an append-log set ---
   {
     utcq::archive::ShardManifest m;

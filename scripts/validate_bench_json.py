@@ -24,6 +24,8 @@ REQUIRED = {
         "keys": ["bench", "trajectories", "threads_available",
                  "threads_effective_batch", "equivalence_mismatches",
                  "cold_qps", "warm_qps", "warm_over_cold", "warm_hit_rate",
+                 "cold_bracketed_qps", "decode_bytes_partial",
+                 "decode_bytes_full_cold", "sync_seeks",
                  "p50_latency_us", "p99_latency_us", "batch_runs",
                  "budget_runs"],
         "list_keys": {
@@ -158,9 +160,20 @@ def validate(filename):
         if doc.get(key, 0) != 0:
             errors.append(f"{key} = {doc[key]} (expected 0)")
     if bench == "query_serving":
-        for key in ("cold_qps", "warm_qps"):
+        for key in ("cold_qps", "warm_qps", "cold_bracketed_qps"):
             if not doc.get(key, 0) > 0:
                 errors.append(f"{key} = {doc.get(key)} (expected > 0)")
+        # The v3 partial-decode gate, re-checked on the recorded baseline:
+        # the bracketed path must have engaged the seek tables and consumed
+        # strictly less compressed stream than the full cold decodes.
+        if not doc.get("sync_seeks", 0) > 0:
+            errors.append(f"sync_seeks = {doc.get('sync_seeks')}"
+                          " (expected > 0)")
+        partial = doc.get("decode_bytes_partial", 0)
+        full = doc.get("decode_bytes_full_cold", 0)
+        if not 0 < partial < full:
+            errors.append(f"decode_bytes_partial = {partial} (expected in"
+                          f" (0, decode_bytes_full_cold = {full}))")
     if bench == "shard_scaling":
         for i, run in enumerate(doc.get("runs", [])):
             if not run.get("seconds", 0) > 0:

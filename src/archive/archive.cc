@@ -152,6 +152,73 @@ bool GetMetas(ByteReader& in, std::vector<core::TrajMeta>* metas) {
   return in.ok();
 }
 
+void PutTSyncIndex(ByteWriter& out, uint32_t interval,
+                   const std::vector<core::TrajMeta>& metas) {
+  out.PutVarint(interval);
+  out.PutVarint(metas.size());
+  for (const core::TrajMeta& m : metas) {
+    out.PutVarint(m.t_syncs.size());
+    // Entries and bit offsets are strictly ascending within a table (each
+    // sync sits >= K entries and >= K delta codes past the previous one),
+    // so delta coding keeps a sync at ~3 bytes.
+    uint32_t prev_entry = 0;
+    traj::Timestamp prev_t = 0;
+    uint64_t prev_bit = 0;
+    for (const core::TSync& s : m.t_syncs) {
+      out.PutVarint(s.entry - prev_entry);
+      out.PutSignedVarint(s.t - prev_t);
+      out.PutVarint(s.bit - prev_bit);
+      prev_entry = s.entry;
+      prev_t = s.t;
+      prev_bit = s.bit;
+    }
+  }
+}
+
+/// Parses the tag-9 payload into per-trajectory tables. Structural checks
+/// only (counts bounded by the payload, interval >= 1, strictly ascending
+/// entries and bit offsets, no wraparound); the cross-section checks
+/// against metas and the T stream run after the walk, since tag 9 may
+/// precede both in a crafted file.
+bool GetTSyncIndex(ByteReader& in, uint32_t* interval,
+                   std::vector<std::vector<core::TSync>>* tables) {
+  const uint64_t k = in.GetVarint();
+  // Interval 0 means "no sync points", which is expressed by omitting the
+  // section entirely; a present table claiming 0 is crafted.
+  if (k == 0 || k > UINT32_MAX) return false;
+  *interval = static_cast<uint32_t>(k);
+  const uint64_t n = in.GetVarint();
+  if (n > in.remaining()) return false;  // >= 1 byte (count) per trajectory
+  tables->resize(n);
+  for (std::vector<core::TSync>& table : *tables) {
+    const uint64_t count = in.GetVarint();
+    if (count > in.remaining()) return false;  // >= 3 bytes per sync
+    table.resize(count);
+    uint32_t prev_entry = 0;
+    traj::Timestamp prev_t = 0;
+    uint64_t prev_bit = 0;
+    for (size_t i = 0; i < table.size(); ++i) {
+      const uint64_t de = in.GetVarint();
+      // A zero delta is a duplicate (or, for the first sync, entry 0 —
+      // the block start needs no sync); a huge one wraps prev + de back
+      // below prev and smuggles a non-monotone table past the check.
+      if (de == 0 || de > UINT32_MAX - prev_entry) return false;
+      const int64_t dt = in.GetSignedVarint();
+      const uint64_t db = in.GetVarint();
+      if (i != 0 && db == 0) return false;  // each sync is >= 1 code later
+      if (db > UINT64_MAX - prev_bit) return false;
+      table[i].entry = prev_entry + static_cast<uint32_t>(de);
+      table[i].t = static_cast<traj::Timestamp>(
+          static_cast<uint64_t>(prev_t) + static_cast<uint64_t>(dt));
+      table[i].bit = prev_bit + db;
+      prev_entry = table[i].entry;
+      prev_t = table[i].t;
+      prev_bit = table[i].bit;
+    }
+  }
+  return in.ok();
+}
+
 size_t VarintLen(uint64_t v) {
   size_t n = 1;
   while (v >= 0x80) {
@@ -172,6 +239,11 @@ struct ArchiveRef {
   const std::vector<core::TrajMeta>* metas;
   const uint8_t* stiu;
   size_t stiu_size;
+  /// Version stamped into the header; the sync index (tag 9) is written
+  /// iff t_sync_interval > 0, regardless of version, so re-encoding a
+  /// loaded payload reproduces the original byte-for-byte.
+  uint32_t format_version;
+  uint32_t t_sync_interval;
 };
 
 std::vector<uint8_t> EncodeArchiveRef(const ArchiveRef& p) {
@@ -182,8 +254,9 @@ std::vector<uint8_t> EncodeArchiveRef(const ArchiveRef& p) {
 
   ByteWriter out;
   out.PutBytes(kMagic, sizeof(kMagic));
-  out.PutU32(kFormatVersion);
-  out.PutVarint(6 + (p.stiu_size > 0 ? 1 : 0));
+  out.PutU32(p.format_version);
+  out.PutVarint(6 + (p.stiu_size > 0 ? 1 : 0) +
+                (p.t_sync_interval > 0 ? 1 : 0));
   out.PutVarint(static_cast<uint64_t>(SectionTag::kParams));
   out.PutBlob(params_body.bytes().data(), params_body.size());
   const std::pair<SectionTag, const common::BitSpan*> streams[] = {
@@ -203,6 +276,12 @@ std::vector<uint8_t> EncodeArchiveRef(const ArchiveRef& p) {
   if (p.stiu_size > 0) {
     out.PutVarint(static_cast<uint64_t>(SectionTag::kStiu));
     out.PutBlob(p.stiu, p.stiu_size);
+  }
+  if (p.t_sync_interval > 0) {
+    ByteWriter sync_body;
+    PutTSyncIndex(sync_body, p.t_sync_interval, *p.metas);
+    out.PutVarint(static_cast<uint64_t>(SectionTag::kTSyncIndex));
+    out.PutBlob(sync_body.bytes().data(), sync_body.size());
   }
   const uint32_t crc = common::Crc32(out.bytes().data(), out.size());
   out.PutU32(crc);
@@ -386,7 +465,9 @@ std::vector<uint8_t> EncodeArchive(const ArchivePayload& payload) {
                            &payload.compressed_bits, payload.t.span(),
                            payload.ref.span(), payload.nref.span(),
                            payload.structure.span(), &payload.metas,
-                           payload.stiu.data(), payload.stiu.size()});
+                           payload.stiu.data(), payload.stiu.size(),
+                           payload.format_version,
+                           payload.params.t_sync_interval});
 }
 
 bool DecodeArchive(const uint8_t* data, size_t size, ArchivePayload* out,
@@ -397,9 +478,16 @@ bool DecodeArchive(const uint8_t* data, size_t size, ArchivePayload* out,
   };
 
   *out = ArchivePayload{};
+  // Pre-v3 semantics until a sync index proves otherwise: the in-memory
+  // default K would otherwise leak into payloads loaded from v1/v2 files
+  // (and re-encode them with a sync section the original never had).
+  out->params.t_sync_interval = 0;
   bool have_params = false;
   bool have_metas = false;
   bool have_streams[4] = {false, false, false, false};
+  bool have_syncs = false;
+  uint32_t sync_interval = 0;
+  std::vector<std::vector<core::TSync>> sync_tables;
   const bool walked = ForEachSection(
       data, size, /*min_version=*/1, "archive", error,
       [&](uint64_t tag, const uint8_t* body, uint64_t length) {
@@ -452,6 +540,12 @@ bool DecodeArchive(const uint8_t* data, size_t size, ArchivePayload* out,
             out->stiu_cells_per_side = static_cast<uint32_t>(cells);
             break;
           }
+          case SectionTag::kTSyncIndex:
+            if (!GetTSyncIndex(section, &sync_interval, &sync_tables)) {
+              return fail("invalid sync-index section");
+            }
+            have_syncs = true;
+            break;
           default:
             break;  // unknown section: skip (forward compatibility)
         }
@@ -462,6 +556,9 @@ bool DecodeArchive(const uint8_t* data, size_t size, ArchivePayload* out,
       !have_streams[2] || !have_streams[3]) {
     return fail("archive missing a required section");
   }
+  // The envelope was validated by the walk; keep the stored version so a
+  // re-encode stamps the same header the file arrived with.
+  out->format_version = ByteReader(data + sizeof(kMagic), 4).GetU32();
 
   // Cross-section sanity: every meta bit position must land inside its
   // stream, or later partial decodes would read out of bounds.
@@ -483,6 +580,29 @@ bool DecodeArchive(const uint8_t* data, size_t size, ArchivePayload* out,
       }
     }
   }
+
+  // Merge the sync index into the metas (tag 9 may have preceded tag 6 in
+  // a crafted file, so the cross-section checks run only now): each table
+  // belongs to the same-position trajectory, every entry must leave at
+  // least one more entry to scan toward, and every bit offset must leave
+  // at least one delta code in the T stream.
+  if (have_syncs) {
+    if (sync_tables.size() != out->metas.size()) {
+      return fail("sync-index trajectory count disagrees with the metas");
+    }
+    for (size_t j = 0; j < sync_tables.size(); ++j) {
+      for (const core::TSync& s : sync_tables[j]) {
+        if (s.entry + 1 >= out->metas[j].n_points) {
+          return fail("sync-index entry out of range");
+        }
+        if (s.bit >= out->t.size_bits) {
+          return fail("sync-index bit offset past the T stream");
+        }
+      }
+      out->metas[j].t_syncs = std::move(sync_tables[j]);
+    }
+    out->params.t_sync_interval = sync_interval;
+  }
   return true;
 }
 
@@ -495,11 +615,16 @@ std::vector<uint8_t> ArchiveWriter::Serialize() const {
   // copy of the compressed payload is into the output image itself.
   ByteWriter stiu;
   if (index_ != nullptr) index_->Serialize(stiu);
+  // A corpus built without sync points (K == 0) serializes as v2: the
+  // image carries nothing a v2 reader cannot parse, so it should not
+  // claim a version that locks v2 readers out.
+  const uint32_t interval = corpus_.params().t_sync_interval;
   return EncodeArchiveRef(
       {&corpus_.params(), corpus_.entry_bits(), &corpus_.compressed_bits(),
        corpus_.t_stream().span(), corpus_.ref_stream().span(),
        corpus_.nref_stream().span(), corpus_.structure_stream().span(),
-       &corpus_.metas(), stiu.bytes().data(), stiu.size()});
+       &corpus_.metas(), stiu.bytes().data(), stiu.size(),
+       interval > 0 ? kFormatVersion : 2, interval});
 }
 
 bool ArchiveWriter::Save(const std::string& path, std::string* error) const {

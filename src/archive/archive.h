@@ -37,8 +37,10 @@ namespace utcq::archive {
 inline constexpr char kMagic[8] = {'U', 'T', 'C', 'Q', 'A', 'R', 'C', '\0'};
 /// Version 2 added the shard-manifest tag (§6 append-only rule: new tag,
 /// version bump; the payload shapes of tags 1-7 are unchanged, so version-1
-/// files still open).
-inline constexpr uint32_t kFormatVersion = 2;
+/// files still open). Version 3 added the T-stream sync index (tag 9,
+/// DESIGN.md §16) the same way: v1/v2 files still open (their trajectories
+/// simply carry no skip tables), and v3 readers skip nothing new.
+inline constexpr uint32_t kFormatVersion = 3;
 
 /// Section tags. Values are part of the on-disk format: never renumber,
 /// only append.
@@ -51,6 +53,7 @@ enum class SectionTag : uint64_t {
   kMetas = 6,          // TrajMeta records (bit positions into the streams)
   kStiu = 7,           // serialized StIU tuple lists (optional)
   kShardManifest = 8,  // shard-set manifest (sole section of manifest files)
+  kTSyncIndex = 9,     // per-trajectory T-stream sync tables (v3, optional)
 };
 
 /// The decoded contents of an archive, owning every buffer a CorpusView
@@ -70,6 +73,10 @@ struct ArchivePayload {
   traj::ComponentSizes compressed_bits;
   Stream t, ref, nref, structure;
   std::vector<core::TrajMeta> metas;
+  /// Container version this payload was decoded from, stamped back on
+  /// re-encode so round-trips stay byte-identical (a v2 file must not come
+  /// back labelled v3). Payloads built in memory carry the current version.
+  uint32_t format_version = kFormatVersion;
   /// Serialized StIU section payload; empty when the archive carries none.
   std::vector<uint8_t> stiu;
   /// Grid resolution the StIU tuples were built over (from the StIU

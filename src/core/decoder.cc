@@ -20,8 +20,8 @@ std::vector<traj::Timestamp> UtcqDecoder::DecodeTimes(size_t j) const {
   return times;
 }
 
-void UtcqDecoder::DecodeTimesInto(size_t j,
-                                  std::vector<traj::Timestamp>* out) const {
+uint64_t UtcqDecoder::DecodeTimesInto(
+    size_t j, std::vector<traj::Timestamp>* out) const {
   out->clear();
   const TrajMeta& meta = cc_.meta(j);
   BitReader r = cc_.t_reader();
@@ -31,7 +31,7 @@ void UtcqDecoder::DecodeTimesInto(size_t j,
   const auto t0 = static_cast<traj::Timestamp>(ks.get_bits(r, 17));
   // Streams may come from an untrusted archive: every delta costs at least
   // one bit, so a count beyond the remaining bits is corrupt, not large.
-  if (n > 0 && n - 1 > r.remaining()) return;
+  if (n > 0 && n - 1 > r.remaining()) return 0;
   // SIAR expansion fused into the decode loop: accumulating each timestamp
   // as its delta comes off the stream skips the intermediate delta vector
   // an explicit SiarExpand call would allocate per trajectory.
@@ -54,15 +54,16 @@ void UtcqDecoder::DecodeTimesInto(size_t j,
     }
     if (got < chunk) {
       out->clear();
-      return;
+      return 0;
     }
     left -= chunk;
   }
+  return r.position() - meta.t_pos;
 }
 
 std::optional<UtcqDecoder::TimeBracket> UtcqDecoder::BracketTime(
     size_t j, traj::Timestamp t, uint32_t t_no, traj::Timestamp t_start,
-    uint64_t t_pos) const {
+    uint64_t t_pos, SeekStats* seek) const {
   const TrajMeta& meta = cc_.meta(j);
   if (t < t_start || meta.n_points == 0) return std::nullopt;
   if (t_no + 1 >= meta.n_points) {
@@ -71,6 +72,22 @@ std::optional<UtcqDecoder::TimeBracket> UtcqDecoder::BracketTime(
                         : std::nullopt;
   }
   BitReader r = cc_.t_reader();
+  // Upgrade the scan start through the skip table: the latest sync with
+  // entry > t_no and t strictly below the query time. Strictness keeps the
+  // seek path identical to the full scan on boundary queries (t exactly
+  // equal to a sample time brackets at the previous entry — see the §16
+  // contract on the declaration); the bounds guards make a crafted table
+  // degrade to the unseeked scan instead of reading out of range.
+  for (auto it = meta.t_syncs.rbegin(); it != meta.t_syncs.rend(); ++it) {
+    if (it->entry > t_no && it->entry + 1 < meta.n_points && it->t < t &&
+        it->bit <= r.size_bits()) {
+      t_no = it->entry;
+      t_start = it->t;
+      t_pos = it->bit;
+      if (seek != nullptr) ++seek->sync_seeks;
+      break;
+    }
+  }
   r.Seek(t_pos);
   const strategies::Kernels& ks = strategies::Active();
   traj::Timestamp cur = t_start;
@@ -78,10 +95,74 @@ std::optional<UtcqDecoder::TimeBracket> UtcqDecoder::BracketTime(
     const int64_t delta = common::GetImprovedExpGolomb(r, ks);
     const traj::Timestamp next =
         cur + cc_.params().default_interval_s + delta;
-    if (t <= next) return TimeBracket{i, cur, next};
+    if (t <= next) {
+      if (seek != nullptr) seek->bits_read += r.position() - t_pos;
+      return TimeBracket{i, cur, next};
+    }
     cur = next;
   }
+  if (seek != nullptr) seek->bits_read += r.position() - t_pos;
   return std::nullopt;  // t beyond the last timestamp
+}
+
+uint64_t UtcqDecoder::DecodeRangeInto(size_t j, uint32_t first, uint32_t last,
+                                      std::vector<traj::Timestamp>* out,
+                                      SeekStats* seek) const {
+  out->clear();
+  const TrajMeta& meta = cc_.meta(j);
+  if (meta.n_points == 0 || first >= meta.n_points || first > last) return 0;
+  if (last >= meta.n_points) last = meta.n_points - 1;
+
+  BitReader r = cc_.t_reader();
+  const strategies::Kernels& ks = strategies::Active();
+
+  // Start state: the latest sync at or before `first`, else the block
+  // header (count varint + 17-bit t0). The guards mirror BracketTime's —
+  // a crafted table degrades to the header start, never an out-of-range
+  // read.
+  uint32_t entry = 0;
+  traj::Timestamp t = 0;
+  uint64_t start_bit = meta.t_pos;
+  bool from_sync = false;
+  for (auto it = meta.t_syncs.rbegin(); it != meta.t_syncs.rend(); ++it) {
+    if (it->entry <= first && it->entry < meta.n_points &&
+        it->bit <= r.size_bits()) {
+      entry = it->entry;
+      t = it->t;
+      start_bit = it->bit;
+      from_sync = true;
+      break;
+    }
+  }
+  r.Seek(start_bit);
+  if (from_sync) {
+    if (seek != nullptr) ++seek->sync_seeks;
+  } else {
+    const uint64_t n = common::GetVarint(r);
+    if (n != meta.n_points) return 0;  // stream/meta disagree: corrupt
+    t = static_cast<traj::Timestamp>(ks.get_bits(r, 17));
+  }
+
+  const int64_t interval = cc_.params().default_interval_s;
+  if (entry >= first) out->push_back(t);  // entry == first by construction
+  int64_t deltas[128];
+  while (entry < last) {
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(last - entry, std::size(deltas)));
+    const size_t got = ks.decode_ieg(r, deltas, want);
+    for (size_t i = 0; i < got; ++i) {
+      t += interval + deltas[i];
+      ++entry;
+      if (entry >= first) out->push_back(t);
+    }
+    if (got < want) {  // overflow latched mid-stream: reject, as DecodeTimes
+      out->clear();
+      return 0;
+    }
+  }
+  const uint64_t bits = r.position() - start_bit;
+  if (seek != nullptr) seek->bits_read += bits;
+  return bits;
 }
 
 std::optional<UtcqDecoder::TimeBracket> UtcqDecoder::BracketInTimes(
@@ -107,8 +188,8 @@ DecodedInstance UtcqDecoder::DecodeReference(size_t j, uint32_t ref_idx) const {
   return d;
 }
 
-void UtcqDecoder::DecodeReferenceInto(size_t j, uint32_t ref_idx,
-                                      DecodedInstance* out) const {
+uint64_t UtcqDecoder::DecodeReferenceInto(size_t j, uint32_t ref_idx,
+                                          DecodedInstance* out) const {
   const TrajMeta& meta = cc_.meta(j);
   const RefMeta& rm = meta.refs[ref_idx];
   // Reset, keeping the vectors' capacity: a decode loop that threads one
@@ -125,7 +206,7 @@ void UtcqDecoder::DecodeReferenceInto(size_t j, uint32_t ref_idx,
   d.sv = static_cast<network::VertexId>(ks.get_bits(r, 32));
   const uint64_t e_len = common::GetVarint(r);
   // Untrusted-stream guard: each entry costs >= 1 bit (entry_bits >= 1).
-  if (e_len > r.remaining()) return;
+  if (e_len > r.remaining()) return 0;
   d.entries.resize(e_len);
   ks.read_fields(r, cc_.entry_bits(), d.entries.data(), d.entries.size());
   const size_t trimmed = e_len >= 2 ? e_len - 2 : 0;
@@ -140,6 +221,7 @@ void UtcqDecoder::DecodeReferenceInto(size_t j, uint32_t ref_idx,
               d.rds.size());
   const common::PddpCodec& pc = cc_.p_codec();
   d.p = ks.pddp_decode(r, pc.length_field_bits(), pc.max_code_bits());
+  return r.position() - rm.offset;
 }
 
 DecodedInstance UtcqDecoder::DecodeNonReference(
@@ -149,9 +231,9 @@ DecodedInstance UtcqDecoder::DecodeNonReference(
   return d;
 }
 
-void UtcqDecoder::DecodeNonReferenceInto(size_t j, uint32_t nref_idx,
-                                         const DecodedInstance& ref,
-                                         DecodedInstance* out) const {
+uint64_t UtcqDecoder::DecodeNonReferenceInto(size_t j, uint32_t nref_idx,
+                                             const DecodedInstance& ref,
+                                             DecodedInstance* out) const {
   const TrajMeta& meta = cc_.meta(j);
   const NrefMeta& nm = meta.nrefs[nref_idx];
   // Same capacity-preserving reset as DecodeReferenceInto; `ref` must not
@@ -245,7 +327,7 @@ void UtcqDecoder::DecodeNonReferenceInto(size_t j, uint32_t nref_idx,
 
   // --- D diffs ---
   const uint64_t h_d = common::GetVarint(r);
-  if (h_d > r.remaining()) return;  // each diff costs >= 1 bit
+  if (h_d > r.remaining()) return 0;  // each diff costs >= 1 bit
   const int pos_bits = BitsFor(meta.n_points > 0 ? meta.n_points - 1 : 0);
   const common::PddpCodec& dc = cc_.d_codec();
   d.rds = ref.rds;
@@ -258,6 +340,7 @@ void UtcqDecoder::DecodeNonReferenceInto(size_t j, uint32_t nref_idx,
 
   const common::PddpCodec& pc = cc_.p_codec();
   d.p = ks.pddp_decode(r, pc.length_field_bits(), pc.max_code_bits());
+  return r.position() - nm.offset;
 }
 
 DecodedInstance UtcqDecoder::DecodeByOriginal(size_t j, uint32_t w) const {

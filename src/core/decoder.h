@@ -37,11 +37,28 @@ class UtcqDecoder {
   /// DecodeTimes into a caller-owned buffer (cleared first). Decode-heavy
   /// loops reuse one buffer across trajectories so the per-call allocation
   /// disappears once its capacity has grown to the corpus maximum.
-  void DecodeTimesInto(size_t j, std::vector<traj::Timestamp>* out) const;
+  /// Returns the number of stream bits consumed (0 when the stream was
+  /// rejected as corrupt) — the unit the partial-decode counters report.
+  uint64_t DecodeTimesInto(size_t j, std::vector<traj::Timestamp>* out) const;
+
+  /// Per-call seek accounting for the sync-point entry points below.
+  struct SeekStats {
+    uint64_t bits_read = 0;   // stream bits this call consumed
+    uint32_t sync_seeks = 0;  // starts upgraded through TrajMeta::t_syncs
+  };
 
   /// Partial T decompression: starting from a temporal-index tuple
   /// (t_no, t_start, t_pos), finds i with t_i <= t <= t_{i+1}. Returns
   /// (i, t_i, t_{i+1}); nullopt when t falls outside the remaining span.
+  ///
+  /// When the trajectory carries a sync table (format v3), the scan start
+  /// is upgraded to the latest sync point with entry > t_no and t strictly
+  /// below the query time, so the walk reads at most ~K deltas instead of
+  /// everything after the temporal tuple. The strict `sync.t < t`
+  /// comparison is load-bearing: on a query time exactly equal to a sample
+  /// time the full scan brackets at the *previous* entry, and a seek
+  /// landing on the equal sample would skip it (the §16 boundary
+  /// contract, pinned by decoder_test).
   struct TimeBracket {
     size_t index;
     traj::Timestamp t0;
@@ -50,7 +67,18 @@ class UtcqDecoder {
   std::optional<TimeBracket> BracketTime(size_t j, traj::Timestamp t,
                                          uint32_t t_no,
                                          traj::Timestamp t_start,
-                                         uint64_t t_pos) const;
+                                         uint64_t t_pos,
+                                         SeekStats* seek = nullptr) const;
+
+  /// Decodes times[first .. last] (inclusive; clamped to the trajectory's
+  /// n_points) into `out` (cleared, capacity kept), seeking through the
+  /// sync table to the latest sync at or before `first` instead of
+  /// expanding from the block start. Allocation-free beyond `out`'s
+  /// growth; deltas route through the active strategy kernels. Returns
+  /// the stream bits consumed; on a corrupt stream `out` is left empty.
+  uint64_t DecodeRangeInto(size_t j, uint32_t first, uint32_t last,
+                           std::vector<traj::Timestamp>* out,
+                           SeekStats* seek = nullptr) const;
 
   /// BracketTime over an already-expanded time sequence: same scan, same
   /// results, no bitstream walk. `times` must be trajectory j's full
@@ -66,12 +94,14 @@ class UtcqDecoder {
   /// Scratch-buffer variants of the two instance decoders: `d`'s vectors
   /// are cleared (capacity kept) and refilled, so a loop that decodes many
   /// instances through one DecodedInstance stops paying an allocation per
-  /// instance. Results are identical to the by-value overloads.
-  void DecodeReferenceInto(size_t j, uint32_t ref_idx,
-                           DecodedInstance* d) const;
-  void DecodeNonReferenceInto(size_t j, uint32_t nref_idx,
-                              const DecodedInstance& ref,
-                              DecodedInstance* d) const;
+  /// instance. Results are identical to the by-value overloads. Both
+  /// return the stream bits consumed (0 on a rejected corrupt stream),
+  /// feeding the partial-decode byte accounting.
+  uint64_t DecodeReferenceInto(size_t j, uint32_t ref_idx,
+                               DecodedInstance* d) const;
+  uint64_t DecodeNonReferenceInto(size_t j, uint32_t nref_idx,
+                                  const DecodedInstance& ref,
+                                  DecodedInstance* d) const;
 
   /// Decodes the instance at original position `w` of trajectory `j`
   /// (resolving its reference first when needed).

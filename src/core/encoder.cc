@@ -174,9 +174,22 @@ void UtcqCompressor::AppendTrajectory(
       const size_t before = out.t_stream_.size_bits();
       common::PutVarint(out.t_stream_, tu.times.size());
       out.t_stream_.PutBits(static_cast<uint64_t>(tu.times.front()), 17);
+      // Sync points ride in the meta, never in the stream: the T bits are
+      // byte-identical with syncs on or off, so append-built and
+      // batch-built corpora stay bit-identical regardless of K.
+      const uint32_t sync_k = params_.t_sync_interval;
+      uint32_t entry = 0;
       for (const int64_t d :
            SiarDeltas(tu.times, params_.default_interval_s)) {
         common::PutImprovedExpGolomb(out.t_stream_, d);
+        ++entry;  // this delta expanded times[entry]
+        // A sync at the final entry would start a scan with no deltas
+        // left; only record restart states that still have stream ahead.
+        if (sync_k > 0 && entry % sync_k == 0 &&
+            entry + 1 < tu.times.size()) {
+          meta.t_syncs.push_back(
+              {entry, tu.times[entry], out.t_stream_.size_bits()});
+        }
       }
       out.compressed_bits_.t_bits += out.t_stream_.size_bits() - before;
     }

@@ -101,8 +101,11 @@ UtcqQueryProcessor::DecodeQualifying(size_t j, double alpha,
   std::vector<DecodedInstance> refs(meta.refs.size());
   for (uint32_t r = 0; r < meta.refs.size(); ++r) {
     if (!need_ref[r]) continue;
-    refs[r] = decoder_.DecodeReference(j, r);
-    if (stats != nullptr) ++stats->instances_decoded;
+    const uint64_t bits = decoder_.DecodeReferenceInto(j, r, &refs[r]);
+    if (stats != nullptr) {
+      ++stats->instances_decoded;
+      stats->stream_bits_read += bits;
+    }
     if (meta.refs[r].p_quantized >= alpha) {
       const auto inst = decoder_.ToInstance(refs[r]);
       if (inst.has_value()) {
@@ -110,12 +113,17 @@ UtcqQueryProcessor::DecodeQualifying(size_t j, double alpha,
       }
     }
   }
+  DecodedInstance scratch;
   for (uint32_t k = 0; k < meta.nrefs.size(); ++k) {
     const NrefMeta& nm = meta.nrefs[k];
     if (nm.p_quantized < alpha) continue;
-    const auto d = decoder_.DecodeNonReference(j, k, refs[nm.ref_pos]);
-    if (stats != nullptr) ++stats->instances_decoded;
-    const auto inst = decoder_.ToInstance(d);
+    const uint64_t bits =
+        decoder_.DecodeNonReferenceInto(j, k, refs[nm.ref_pos], &scratch);
+    if (stats != nullptr) {
+      ++stats->instances_decoded;
+      stats->stream_bits_read += bits;
+    }
+    const auto inst = decoder_.ToInstance(scratch);
     if (inst.has_value()) result.emplace_back(nm.orig_index, *inst);
   }
   return result;
@@ -144,12 +152,17 @@ std::vector<traj::WhereHit> UtcqQueryProcessor::WhereImpl(
   // Partial T decompression: start at the temporal tuple for t. With a
   // handle the expanded sequence replaces the bitstream scan.
   const auto& tuple = index_.TemporalTupleFor(traj_idx, t);
+  UtcqDecoder::SeekStats seek;
   const auto bracket =
       dt != nullptr
           ? UtcqDecoder::BracketInTimes(dt->times, meta.n_points, t,
                                         tuple.t_no, tuple.t_start)
           : decoder_.BracketTime(traj_idx, t, tuple.t_no, tuple.t_start,
-                                 tuple.t_pos);
+                                 tuple.t_pos, &seek);
+  if (stats != nullptr) {
+    stats->stream_bits_read += seek.bits_read;
+    stats->sync_seeks += seek.sync_seeks;
+  }
   if (!bracket.has_value()) return hits;
 
   // All qualifying instances share the bracket, so their positions batch
@@ -241,7 +254,8 @@ std::vector<traj::WhenHit> UtcqQueryProcessor::WhenImpl(
   const std::vector<Timestamp>* times = dt != nullptr ? &dt->times : nullptr;
   auto ensure_times = [&]() -> const std::vector<Timestamp>& {
     if (times == nullptr) {
-      times_storage = decoder_.DecodeTimes(traj_idx);
+      const uint64_t bits = decoder_.DecodeTimesInto(traj_idx, &times_storage);
+      if (stats != nullptr) stats->stream_bits_read += bits;
       times = &times_storage;
     }
     return *times;
@@ -259,8 +273,13 @@ std::vector<traj::WhenHit> UtcqQueryProcessor::WhenImpl(
     // non-references expand against it); a handle already has everything.
     std::optional<DecodedInstance> ref;
     if (dt == nullptr) {
-      ref = decoder_.DecodeReference(traj_idx, rt->ref_idx);
-      if (stats != nullptr) ++stats->instances_decoded;
+      ref.emplace();
+      const uint64_t bits =
+          decoder_.DecodeReferenceInto(traj_idx, rt->ref_idx, &*ref);
+      if (stats != nullptr) {
+        ++stats->instances_decoded;
+        stats->stream_bits_read += bits;
+      }
     }
     // Quantized relative distances can pull the sampled span slightly off
     // the exact query position; widen by the D error bound.
@@ -288,9 +307,13 @@ std::vector<traj::WhenHit> UtcqQueryProcessor::WhenImpl(
       std::optional<TrajectoryInstance> inst_storage;
       const TrajectoryInstance* inst = traj::SlotOrDecode(
           dt, &traj::DecodedTraj::nref_insts, nref_idx, inst_storage, [&] {
-            const auto d =
-                decoder_.DecodeNonReference(traj_idx, nref_idx, *ref);
-            if (stats != nullptr) ++stats->instances_decoded;
+            DecodedInstance d;
+            const uint64_t bits =
+                decoder_.DecodeNonReferenceInto(traj_idx, nref_idx, *ref, &d);
+            if (stats != nullptr) {
+              ++stats->instances_decoded;
+              stats->stream_bits_read += bits;
+            }
             return decoder_.ToInstance(d);
           });
       if (inst == nullptr) continue;
@@ -371,8 +394,14 @@ traj::RangeResult UtcqQueryProcessor::RangeImpl(
     }
 
     const auto& tuple = index_.TemporalTupleFor(j, tq);
-    const auto bracket =
-        decoder_.BracketTime(j, tq, tuple.t_no, tuple.t_start, tuple.t_pos);
+    UtcqDecoder::SeekStats seek;
+    const auto bracket = decoder_.BracketTime(j, tq, tuple.t_no,
+                                              tuple.t_start, tuple.t_pos,
+                                              &seek);
+    if (stats != nullptr) {
+      stats->stream_bits_read += seek.bits_read;
+      stats->sync_seeks += seek.sync_seeks;
+    }
     if (!bracket.has_value()) continue;
 
     // Pin the trajectory's handle only now that every index/meta-level
@@ -390,8 +419,13 @@ traj::RangeResult UtcqQueryProcessor::RangeImpl(
       for (const auto& [key, value] : ref_cache) {
         if (key == r) return value;
       }
-      ref_cache.emplace_back(r, decoder_.DecodeReference(j, r));
-      if (stats != nullptr) ++stats->instances_decoded;
+      ref_cache.emplace_back(r, DecodedInstance{});
+      const uint64_t bits =
+          decoder_.DecodeReferenceInto(j, r, &ref_cache.back().second);
+      if (stats != nullptr) {
+        ++stats->instances_decoded;
+        stats->stream_bits_read += bits;
+      }
       return ref_cache.back().second;
     };
 
@@ -426,9 +460,14 @@ traj::RangeResult UtcqQueryProcessor::RangeImpl(
           pvals[c] = meta.nrefs[idx].p_quantized;
           insts[c] = traj::SlotOrDecode(
               dt, &traj::DecodedTraj::nref_insts, idx, storage[c], [&] {
-                const auto d = decoder_.DecodeNonReference(
-                    j, idx, ref_of(meta.nrefs[idx].ref_pos));
-                if (stats != nullptr) ++stats->instances_decoded;
+                const DecodedInstance& ref = ref_of(meta.nrefs[idx].ref_pos);
+                DecodedInstance d;
+                const uint64_t bits =
+                    decoder_.DecodeNonReferenceInto(j, idx, ref, &d);
+                if (stats != nullptr) {
+                  ++stats->instances_decoded;
+                  stats->stream_bits_read += bits;
+                }
                 return decoder_.ToInstance(d);
               });
         }

@@ -19,6 +19,13 @@ struct QueryStats {
   uint64_t pruned_lemma4 = 0;  // range: region probability mass below alpha
   uint64_t accepted_lemma3 = 0;  // range: early accept
   uint64_t instances_decoded = 0;
+  /// Compressed stream bits the query actually consumed (T-stream bracket
+  /// scans, reference/non-reference expansion, lazy time decodes). This is
+  /// the partial-decode cost metric: comparable across the seek path and a
+  /// metered full decode, unlike in-memory handle sizes.
+  uint64_t stream_bits_read = 0;
+  /// Bracket scans whose start was upgraded through a v3 sync table.
+  uint64_t sync_seeks = 0;
 };
 
 /// Lemma 2 classification of a travelled subpath against a query region.

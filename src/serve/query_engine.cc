@@ -94,6 +94,9 @@ void QueryEngine::InitInstruments() {
       opts_.registry != nullptr ? *opts_.registry : *owned_registry_;
   queries_ = &reg.GetCounter("serve.engine.queries");
   batches_ = &reg.GetCounter("serve.engine.batches");
+  partial_queries_ = &reg.GetCounter("serve.engine.partial_queries");
+  decode_bytes_partial_ = &reg.GetCounter("serve.engine.decode_bytes_partial");
+  sync_seeks_ = &reg.GetCounter("serve.engine.sync_seeks");
   latency_where_ = &reg.GetHistogram("serve.engine.latency_ns.where");
   latency_when_ = &reg.GetHistogram("serve.engine.latency_ns.when");
   latency_range_ = &reg.GetHistogram("serve.engine.latency_ns.range");
@@ -146,6 +149,17 @@ std::shared_ptr<const traj::DecodedTraj> QueryEngine::Pin(
     agg->misses += 1;
   }
   return dt;
+}
+
+void QueryEngine::RecordPartial(const core::QueryStats& qs, PinAgg* agg) {
+  const uint64_t bytes = (qs.stream_bits_read + 7) / 8;
+  partial_queries_->Increment();
+  decode_bytes_partial_->Add(bytes);
+  sync_seeks_->Add(qs.sync_seeks);
+  if (agg != nullptr && bytes > 0) {
+    common::MutexLock lock(agg->mu);
+    agg->decode_bytes += bytes;
+  }
 }
 
 void QueryEngine::FinishQuery(const QueryRequest& req, uint64_t latency_ns,
@@ -240,6 +254,15 @@ QueryResult QueryEngine::ExecuteOne(const QueryRequest& req,
         const core::TrajMeta& meta =
             target.qp->decoder().view().meta(target.local);
         if (req.t < meta.t_first || req.t > meta.t_last) break;
+        if (PartialActive()) {
+          // Seek path: bracket through the sync table and decode only the
+          // qualifying instances — never the cache (a partial expansion
+          // cached under the full-decode key would poison later hits).
+          core::QueryStats qs;
+          result.where = target.qp->Where(target.local, req.t, req.alpha, &qs);
+          RecordPartial(qs, &agg);
+          break;
+        }
         const auto dt = Pin(target, &agg);
         result.where = target.qp->Where(target.local, req.t, req.alpha, *dt);
         break;
@@ -253,6 +276,13 @@ QueryResult QueryEngine::ExecuteOne(const QueryRequest& req,
         // construction; that duplicate index scan is orders cheaper than
         // the decode the rejection avoids.
         if (!target.qp->MayPassEdge(target.local, req.edge)) break;
+        if (PartialActive()) {
+          core::QueryStats qs;
+          result.when =
+              target.qp->When(target.local, req.edge, req.rd, req.alpha, &qs);
+          RecordPartial(qs, &agg);
+          break;
+        }
         const auto dt = Pin(target, &agg);
         result.when =
             target.qp->When(target.local, req.edge, req.rd, req.alpha, *dt);
@@ -275,6 +305,31 @@ traj::RangeResult QueryEngine::RangeInternal(const network::Rect& region,
                                              unsigned num_threads,
                                              const TierSnapshot* snap,
                                              PinAgg* agg) {
+  if (PartialActive()) {
+    // Cold bracket: no provider, so surviving members decode inline from
+    // the bitstreams (BracketTime seeks through the sync tables) and the
+    // cache is neither consulted nor populated.
+    core::QueryStats qs;
+    traj::RangeResult out;
+    if (snap != nullptr) {
+      if (snap->sealed != nullptr) {
+        out = snap->sealed->Range(region, tq, alpha, &qs, num_threads);
+      }
+      if (snap->live != nullptr) {
+        const uint32_t base = static_cast<uint32_t>(snap->sealed_count());
+        for (const uint32_t local :
+             snap->live->queries().Range(region, tq, alpha, &qs)) {
+          out.push_back(base + local);
+        }
+      }
+    } else if (sharded_ != nullptr) {
+      out = sharded_->Range(region, tq, alpha, &qs, num_threads);
+    } else {
+      out = single_->Range(region, tq, alpha, &qs);
+    }
+    RecordPartial(qs, agg);
+    return out;
+  }
   if (snap != nullptr) {
     // Sealed fan-out first, then the live tail; live hits are offset to
     // global ids, and since every live id exceeds every sealed id the
@@ -375,7 +430,25 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(
           return *dt;
         };
         results[i].kind = req.kind;
-        if (req.kind == QueryKind::kWhere) {
+        if (PartialActive()) {
+          // Same uncached calls as Execute()'s partial branch; requests
+          // the cheap meta/index rejection dismisses don't count as
+          // partial queries there either.
+          core::QueryStats qs;
+          bool attempted = false;
+          if (req.kind == QueryKind::kWhere) {
+            if (req.t >= meta.t_first && req.t <= meta.t_last) {
+              results[i].where =
+                  target.qp->Where(target.local, req.t, req.alpha, &qs);
+              attempted = true;
+            }
+          } else if (target.qp->MayPassEdge(target.local, req.edge)) {
+            results[i].when = target.qp->When(target.local, req.edge, req.rd,
+                                              req.alpha, &qs);
+            attempted = true;
+          }
+          if (attempted) RecordPartial(qs, &agg);
+        } else if (req.kind == QueryKind::kWhere) {
           if (req.t >= meta.t_first && req.t <= meta.t_last) {
             results[i].where =
                 target.qp->Where(target.local, req.t, req.alpha, pinned());
@@ -415,6 +488,9 @@ EngineStats QueryEngine::stats() const {
   out.cache_misses = cache.misses;
   out.cache_evictions = cache.evictions;
   out.bytes_decoded = cache.decoded_bytes;
+  out.partial_queries = partial_queries_->value();
+  out.decode_bytes_partial = decode_bytes_partial_->value();
+  out.sync_seeks = sync_seeks_->value();
   out.cache_resident_bytes = cache.resident_bytes;
   out.cache_resident_entries = cache.resident_entries;
 

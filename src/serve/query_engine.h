@@ -46,11 +46,32 @@ struct QueryResult {
   traj::RangeResult range;
 };
 
+/// Whether point queries and cold Range brackets answer from the seekable
+/// bitstreams (archive v3, DESIGN.md §16) instead of pinning a full decode.
+enum class PartialDecode : uint8_t {
+  /// Partial iff the cache keeps nothing resident (cache_budget_bytes == 0):
+  /// with no cache to warm, a full decode per query is pure waste, while a
+  /// warmed cache amortizes its decode across repeats partial decode would
+  /// pay every time.
+  kAuto,
+  /// Always pin a full decode (pre-v3 behaviour).
+  kOff,
+  /// Always answer from the bitstreams; the cache is never consulted or
+  /// populated by query execution. Differential harnesses force this to
+  /// sweep the seek path.
+  kAlways,
+};
+
 struct EngineOptions {
   /// Total decoded-trajectory cache budget. 0 keeps nothing resident
   /// (every query decodes — the cold path, useful for measurement).
   size_t cache_budget_bytes = 256ull << 20;
   uint32_t cache_shards = 8;
+  /// Partial-decode policy; see PartialDecode. The partial path never
+  /// touches the DecodedTrajCache in either direction — in particular it
+  /// must never insert its partially expanded state under the full-decode
+  /// key, where a later query would trust it as complete.
+  PartialDecode partial_decode = PartialDecode::kAuto;
   /// Fan-out width for ExecuteBatch grouping and Range. 0 picks
   /// common::DefaultThreads(). Work runs on the process-wide persistent
   /// ThreadPool::Shared() (no per-batch thread spawning); this caps how
@@ -91,6 +112,13 @@ struct EngineStats {
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
   uint64_t bytes_decoded = 0;
+  /// Queries answered from the bitstreams without pinning a full decode.
+  uint64_t partial_queries = 0;
+  /// Compressed-stream bytes those queries consumed (the partial analogue
+  /// of bytes_decoded, in comparable stream units).
+  uint64_t decode_bytes_partial = 0;
+  /// Bracket scans the partial path started from a v3 sync point.
+  uint64_t sync_seeks = 0;
   size_t cache_resident_bytes = 0;
   size_t cache_resident_entries = 0;
   double p50_latency_us = 0.0;
@@ -184,6 +212,17 @@ class QueryEngine {
   };
 
   void InitInstruments();
+  /// True when this engine answers point queries / cold Range brackets via
+  /// partial decode (see PartialDecode).
+  bool PartialActive() const {
+    return opts_.partial_decode == PartialDecode::kAlways ||
+           (opts_.partial_decode == PartialDecode::kAuto &&
+            opts_.cache_budget_bytes == 0);
+  }
+  /// Folds one partial query's stream consumption into the obs counters
+  /// and the per-query pin aggregation (for the decode_bytes histogram and
+  /// slow-query log; cache miss accounting is untouched — no pin happened).
+  void RecordPartial(const core::QueryStats& qs, PinAgg* agg);
   size_t TotalOf(const TierSnapshot* snap) const;
   Target Resolve(uint32_t global, const TierSnapshot* snap) const;
   std::shared_ptr<const traj::DecodedTraj> Pin(const Target& target,
@@ -216,6 +255,9 @@ class QueryEngine {
   const obs::Clock* clock_ = nullptr;
   obs::Counter* queries_ = nullptr;
   obs::Counter* batches_ = nullptr;
+  obs::Counter* partial_queries_ = nullptr;
+  obs::Counter* decode_bytes_partial_ = nullptr;
+  obs::Counter* sync_seeks_ = nullptr;
   obs::Histogram* latency_where_ = nullptr;
   obs::Histogram* latency_when_ = nullptr;
   obs::Histogram* latency_range_ = nullptr;

@@ -28,6 +28,8 @@ void Accumulate(core::QueryStats* into, const core::QueryStats& from) {
   into->pruned_lemma4 += from.pruned_lemma4;
   into->accepted_lemma3 += from.accepted_lemma3;
   into->instances_decoded += from.instances_decoded;
+  into->stream_bits_read += from.stream_bits_read;
+  into->sync_seeks += from.sync_seeks;
 }
 
 }  // namespace

@@ -205,6 +205,10 @@ Workload WorkloadGen::Generate() {
   w.params.eta_p = w.profile.eta_p;
   w.params.eta_d = w.profile.eta_d;
   w.params.num_pivots = rng_.Bernoulli(0.25) ? 2 : 1;
+  // Dense sync tables (archive v3 seek path engaged on nearly every
+  // bracket) or none at all (the pre-v3 scan) — both must answer
+  // identically on every path, and the differential run covers both.
+  w.params.t_sync_interval = rng_.Bernoulli(0.5) ? 2 : 0;
 
   traj::UncertainTrajectoryGenerator gen(
       w.net, w.profile, static_cast<uint64_t>(rng_.UniformInt(1, 1 << 30)));

@@ -421,5 +421,250 @@ TEST(Archive, OpenMissingFileFails) {
   EXPECT_FALSE(reader.is_open());
 }
 
+/// Restamps the CRC-32 footer after a deliberate image mutation, so the
+/// section being tested — not the checksum — is what rejects the input.
+void RestampCrc(std::vector<uint8_t>* image) {
+  const uint32_t crc = common::Crc32(image->data(), image->size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    (*image)[image->size() - 4 + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+}
+
+/// Splices a hand-built section into a serialized image: the section body
+/// is appended ahead of the CRC footer, the section-count varint (a single
+/// byte at offset 12 for these small archives) is bumped, and the footer
+/// is restamped. This reaches tag-9 shapes EncodeArchive can never emit.
+std::vector<uint8_t> WithExtraSection(std::vector<uint8_t> image, uint64_t tag,
+                                      const common::ByteWriter& body) {
+  common::ByteWriter section;
+  section.PutVarint(tag);
+  const std::vector<uint8_t> payload = body.bytes();
+  section.PutBlob(payload.data(), payload.size());
+  const std::vector<uint8_t>& sec = section.bytes();
+  image.insert(image.end() - 4, sec.begin(), sec.end());
+  EXPECT_LT(image[12], 0x7F);  // still a single-byte varint after the bump
+  image[12] += 1;
+  RestampCrc(&image);
+  return image;
+}
+
+TEST(Archive, V3RoundTripPreservesSyncTables) {
+  // The default UtcqParams emit sync points (t_sync_interval = 32), so the
+  // fixture's archive is already stamped format v3.
+  ArchiveFixture fx;
+  EXPECT_EQ(ArchiveWriter(fx.sys->compressed(), &fx.sys->index())
+                .Serialize()[8],
+            3u);  // version little-endian low byte
+
+  // A dense interval guarantees the fixture's short trajectories actually
+  // carry sync points, so the table round-trip is exercised non-vacuously.
+  core::UtcqParams params;
+  params.default_interval_s = traj::ChengduProfile().default_interval_s;
+  params.t_sync_interval = 4;
+  const core::UtcqSystem sys2(fx.net, *fx.grid, fx.corpus, params,
+                              core::StiuParams{16, 900});
+  const std::vector<uint8_t> bytes =
+      ArchiveWriter(sys2.compressed(), &sys2.index()).Serialize();
+  EXPECT_EQ(bytes[8], 3u);
+
+  ArchiveReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.OpenBytes(bytes, &error)) << error;
+  const ArchivePayload& payload = reader.payload();
+  EXPECT_EQ(payload.format_version, kFormatVersion);
+  EXPECT_EQ(payload.params.t_sync_interval, 4u);
+
+  // The loaded tables must match the live corpus sync for sync.
+  const core::CompressedCorpus& cc = sys2.compressed();
+  size_t total_syncs = 0;
+  ASSERT_EQ(payload.metas.size(), cc.num_trajectories());
+  for (size_t j = 0; j < payload.metas.size(); ++j) {
+    const auto& loaded = payload.metas[j].t_syncs;
+    const auto& live = cc.meta(j).t_syncs;
+    ASSERT_EQ(loaded.size(), live.size());
+    for (size_t s = 0; s < loaded.size(); ++s) {
+      EXPECT_EQ(loaded[s].entry, live[s].entry);
+      EXPECT_EQ(loaded[s].t, live[s].t);
+      EXPECT_EQ(loaded[s].bit, live[s].bit);
+    }
+    total_syncs += loaded.size();
+  }
+  EXPECT_GT(total_syncs, 0u);
+
+  // Re-encoding the loaded payload reproduces the image byte for byte,
+  // sync tables included.
+  EXPECT_EQ(EncodeArchive(payload), bytes);
+}
+
+TEST(Archive, SyncFreeCorpusWritesV2ThatRoundTripsBitExact) {
+  // With sync emission disabled the writer must stamp format v2 and emit
+  // no kTSyncIndex section at all — pre-v3 readers stay compatible, and
+  // the §6 single-serialization rule holds across the downgrade.
+  ArchiveFixture fx;
+  core::UtcqParams params;
+  params.default_interval_s = traj::ChengduProfile().default_interval_s;
+  params.t_sync_interval = 0;
+  const core::UtcqSystem sys2(fx.net, *fx.grid, fx.corpus, params,
+                              core::StiuParams{16, 900});
+  const std::vector<uint8_t> bytes =
+      ArchiveWriter(sys2.compressed(), &sys2.index()).Serialize();
+  EXPECT_EQ(bytes[8], 2u);
+
+  ArchiveReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.OpenBytes(bytes, &error)) << error;
+  EXPECT_EQ(reader.payload().format_version, 2u);
+  EXPECT_EQ(reader.payload().params.t_sync_interval, 0u);
+  for (const core::TrajMeta& m : reader.payload().metas) {
+    EXPECT_TRUE(m.t_syncs.empty());
+  }
+
+  // Re-encoding the loaded v2 payload reproduces the v2 image exactly —
+  // format_version is preserved, not silently upgraded to v3.
+  EXPECT_EQ(EncodeArchive(reader.payload()), bytes);
+
+  // And the sync-free archive answers brackets identically (the seek path
+  // simply never upgrades its scan start).
+  const core::UtcqDecoder plain(fx.net, reader.view());
+  const core::UtcqDecoder synced(fx.net, fx.sys->compressed());
+  for (size_t j = 0; j < 5; ++j) {
+    const auto times = synced.DecodeTimes(j);
+    ASSERT_FALSE(times.empty());
+    const traj::Timestamp probe = times[times.size() / 2];
+    const auto a = plain.BracketTime(j, probe, 0, times.front(),
+                                     reader.payload().metas[j].t_pos);
+    const auto b = synced.BracketTime(j, probe, 0, times.front(),
+                                      fx.sys->compressed().meta(j).t_pos);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a.has_value()) {
+      EXPECT_EQ(a->index, b->index);
+      EXPECT_EQ(a->t0, b->t0);
+      EXPECT_EQ(a->t1, b->t1);
+    }
+  }
+}
+
+TEST(Archive, RejectsCraftedSyncTables) {
+  // CRC-valid v3 archives whose skip tables lie — about entry order, entry
+  // range, or bit offsets — must be rejected at open (§6 discipline): a
+  // trusted hostile table would aim the seek path at arbitrary bit
+  // positions.  K=2 guarantees multi-sync tables to mutate.
+  ArchiveFixture fx;
+  core::UtcqParams params;
+  params.default_interval_s = traj::ChengduProfile().default_interval_s;
+  params.t_sync_interval = 2;
+  const core::UtcqSystem sys2(fx.net, *fx.grid, fx.corpus, params,
+                              core::StiuParams{16, 900});
+  ArchiveReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.OpenBytes(
+      ArchiveWriter(sys2.compressed(), &sys2.index()).Serialize(), &error))
+      << error;
+
+  core::TrajMeta* victim = nullptr;
+  size_t victim_j = 0;
+  ArchivePayload base = reader.payload();
+  for (size_t j = 0; j < base.metas.size(); ++j) {
+    if (base.metas[j].t_syncs.size() >= 2) {
+      victim = &base.metas[j];
+      victim_j = j;
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr);
+
+  // Non-monotone entry indices: the delta coding makes a repeated entry a
+  // zero delta, which the section parser refuses.
+  {
+    ArchivePayload payload = base;
+    auto& syncs = payload.metas[victim_j].t_syncs;
+    syncs[1].entry = syncs[0].entry;
+    ArchiveReader hostile;
+    EXPECT_FALSE(hostile.OpenBytes(EncodeArchive(payload), &error));
+    EXPECT_NE(error.find("sync-index"), std::string::npos) << error;
+  }
+
+  // Entry index at/after the last decodable bracket start.
+  {
+    ArchivePayload payload = base;
+    auto& syncs = payload.metas[victim_j].t_syncs;
+    syncs.back().entry = payload.metas[victim_j].n_points;
+    ArchiveReader hostile;
+    EXPECT_FALSE(hostile.OpenBytes(EncodeArchive(payload), &error));
+    EXPECT_NE(error.find("sync-index"), std::string::npos) << error;
+  }
+
+  // Bit offset past the end of the T stream.
+  {
+    ArchivePayload payload = base;
+    auto& syncs = payload.metas[victim_j].t_syncs;
+    syncs.back().bit = payload.t.size_bits;
+    ArchiveReader hostile;
+    EXPECT_FALSE(hostile.OpenBytes(EncodeArchive(payload), &error));
+    EXPECT_NE(error.find("sync-index"), std::string::npos) << error;
+  }
+
+  // The unmutated payload still re-encodes and opens — the rejections
+  // above came from the mutations, not the harness.
+  ArchiveReader ok;
+  EXPECT_TRUE(ok.OpenBytes(EncodeArchive(base), &error)) << error;
+}
+
+TEST(Archive, RejectsHandBuiltSyncSections) {
+  // Tag-9 shapes the writer can never produce: a zero sync interval, and a
+  // table set whose trajectory count disagrees with the metas. Both are
+  // spliced into a sync-free (v2) image so the crafted section is the only
+  // kTSyncIndex present.
+  ArchiveFixture fx;
+  core::UtcqParams params;
+  params.default_interval_s = traj::ChengduProfile().default_interval_s;
+  params.t_sync_interval = 0;
+  const core::UtcqSystem sys2(fx.net, *fx.grid, fx.corpus, params,
+                              core::StiuParams{16, 900});
+  const std::vector<uint8_t> v2 =
+      ArchiveWriter(sys2.compressed(), &sys2.index()).Serialize();
+  constexpr uint64_t kTag = 9;  // SectionTag::kTSyncIndex
+  std::string error;
+
+  // Sync interval zero.
+  {
+    common::ByteWriter body;
+    body.PutVarint(0);  // interval — must be >= 1
+    body.PutVarint(sys2.compressed().num_trajectories());
+    for (size_t j = 0; j < sys2.compressed().num_trajectories(); ++j) {
+      body.PutVarint(0);  // no syncs for this trajectory
+    }
+    ArchiveReader hostile;
+    EXPECT_FALSE(hostile.OpenBytes(WithExtraSection(v2, kTag, body), &error));
+    EXPECT_NE(error.find("sync-index"), std::string::npos) << error;
+  }
+
+  // Trajectory count disagrees with the metas section.
+  {
+    common::ByteWriter body;
+    body.PutVarint(2);  // interval
+    body.PutVarint(1);  // one table; metas carry 50 trajectories
+    body.PutVarint(0);
+    ArchiveReader hostile;
+    EXPECT_FALSE(hostile.OpenBytes(WithExtraSection(v2, kTag, body), &error));
+    EXPECT_NE(error.find("sync-index"), std::string::npos) << error;
+  }
+
+  // A structurally valid spliced table is accepted — the helper builds
+  // openable images, so the rejections above are the section's doing.
+  {
+    common::ByteWriter body;
+    body.PutVarint(2);
+    body.PutVarint(sys2.compressed().num_trajectories());
+    for (size_t j = 0; j < sys2.compressed().num_trajectories(); ++j) {
+      body.PutVarint(0);
+    }
+    ArchiveReader fine;
+    EXPECT_TRUE(fine.OpenBytes(WithExtraSection(v2, kTag, body), &error))
+        << error;
+    EXPECT_EQ(fine.payload().params.t_sync_interval, 2u);
+  }
+}
+
 }  // namespace
 }  // namespace utcq::archive

@@ -467,6 +467,26 @@ void RunWorkload(uint64_t seed) {
     EXPECT_EQ(server.active_connections(), 0u) << "leaked sessions";
   }
 
+  // --- path 8: the serving engine with partial decode forced on, over a
+  // recompression with a dense sync interval (K=2) — every query answers
+  // from the seekable bitstreams (archive v3, DESIGN.md §16) and must be
+  // hit-for-hit identical to the oracle and the full-decode engine. Sync
+  // emission is meta-only, so the K=2 corpus decodes identically to the
+  // workload corpus; the oracle carries over unchanged.
+  {
+    core::UtcqParams dense = w.params;
+    dense.t_sync_interval = 2;
+    const core::UtcqSystem dsys(w.net, grid, w.corpus, dense, index_params);
+    serve::EngineOptions eopts;
+    eopts.partial_decode = serve::PartialDecode::kAlways;
+    serve::QueryEngine engine(dsys.queries(), eopts);
+    RunPath(w.net, oracle, w.queries, PathOf("engine-partial", engine));
+    RunBatch(w.net, oracle, w.queries, engine, "engine-partial");
+    const serve::EngineStats stats = engine.stats();
+    EXPECT_GT(stats.partial_queries, 0u);
+    EXPECT_EQ(stats.cache_resident_bytes, 0u)
+        << "partial decode leaked state into the full-decode cache";
+  }
 
   for (const std::string& f : files) std::remove(f.c_str());
 }

@@ -204,6 +204,57 @@ TEST(QueryEngine, WhenOnForeignEdgesMatchesWithoutDecoding) {
   EXPECT_LE(engine.stats().cache_misses, 1u);
 }
 
+TEST(QueryEngine, PartialDecodeNeverTouchesTheCache) {
+  // A partial decode must never land in the DecodedTrajCache under the
+  // full-decode key: a later query hitting that entry would trust a stale
+  // prefix as the complete trajectory. The partial path is structurally
+  // cache-free — force it on over a warm-cache budget and the cache must
+  // stay empty in both directions (no inserts, no hits, no misses).
+  ServeFixture& f = Fixture();
+  core::UtcqParams params = f.params;
+  params.t_sync_interval = 2;  // dense sync tables so the seek path engages
+  const core::UtcqSystem sys2(f.net, *f.grid, f.corpus, params,
+                              core::StiuParams{16, 900});
+
+  EngineOptions popts;
+  popts.partial_decode = PartialDecode::kAlways;
+  QueryEngine partial(sys2.queries(), popts);
+
+  const auto reqs = f.MakeWorkload(120, 2026);
+  std::vector<QueryResult> got;
+  got.reserve(reqs.size());
+  for (const auto& req : reqs) got.push_back(partial.Execute(req));
+
+  const EngineStats ps = partial.stats();
+  EXPECT_GT(ps.partial_queries, 0u);
+  EXPECT_GT(ps.decode_bytes_partial, 0u);
+  EXPECT_GT(ps.sync_seeks, 0u);
+  EXPECT_EQ(ps.cache_resident_bytes, 0u);
+  EXPECT_EQ(ps.cache_resident_entries, 0u);
+  EXPECT_EQ(ps.cache_hits + ps.cache_misses, 0u);
+
+  // The partial answers are hit-for-hit identical to the full-decode
+  // engine over the same corpus (and to the uncached oracle).
+  QueryEngine full(sys2.queries());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_TRUE(ServeFixture::SameResult(got[i], full.Execute(reqs[i])))
+        << "request " << i;
+    EXPECT_TRUE(ServeFixture::SameResult(got[i], f.Uncached(reqs[i])))
+        << "request " << i;
+  }
+
+  // After partial traffic, a full-decode engine's first pin of a
+  // trajectory is a genuine miss that materializes the complete decode:
+  // resident bytes equal the whole trajectory exactly, not a prefix.
+  QueryEngine fresh(sys2.queries());
+  (void)fresh.Where(0, f.corpus[0].times.front(), 0.3);
+  const core::UtcqDecoder decoder(f.net, sys2.compressed());
+  const auto st = fresh.stats();
+  EXPECT_EQ(st.cache_misses, 1u);
+  EXPECT_EQ(st.cache_resident_bytes, decoder.DecodeTraj(0).ApproxBytes());
+  EXPECT_EQ(st.partial_queries, 0u);
+}
+
 TEST(QueryEngine, TinyBudgetEvictionStaysCorrect) {
   ServeFixture& f = Fixture();
   EngineOptions opts;
